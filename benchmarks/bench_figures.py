@@ -1,0 +1,29 @@
+"""Figures 1–4 — regenerated from live simulator state."""
+
+from repro.evaluation import figures
+
+
+def test_figure1_misidentification(benchmark, save_artifact):
+    text = benchmark(figures.figure1)
+    save_artifact("figure1.txt", text)
+    assert "2 valid" in text and "1 partial" in text and "2 data" in text
+
+
+def test_figure2_offline_flow(benchmark, save_artifact):
+    text = benchmark.pedantic(figures.figure2, rounds=1, iterations=1)
+    save_artifact("figure2.txt", text)
+    assert "libLogger" in text
+
+
+def test_figure3_ls_log(benchmark, save_artifact):
+    path, contents = benchmark.pedantic(figures.figure3, rounds=1,
+                                        iterations=1)
+    save_artifact("figure3.txt", f"{path}\n\n{contents}")
+    assert len([l for l in contents.splitlines() if l]) == 10
+
+
+def test_figure4_online_flow(benchmark, save_artifact):
+    text = benchmark.pedantic(figures.figure4, rounds=1, iterations=1)
+    save_artifact("figure4.txt", text)
+    assert "ptracer:detach" in text
+    assert "uninterposed             :     0" in text

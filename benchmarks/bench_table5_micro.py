@@ -1,0 +1,40 @@
+"""Table 5 — microbenchmark: syscall 500 under every mechanism.
+
+Reproduces the paper's overhead factors relative to native execution and
+asserts each is within 2 % of the published value, with the published
+ordering intact.
+"""
+
+import pytest
+
+from repro.evaluation.runner import MECHANISMS, measure_micro_cycles, micro_overheads
+from repro.evaluation.tables import PAPER_TABLE5, render_table5
+
+
+@pytest.fixture(scope="module")
+def overheads():
+    return micro_overheads()
+
+
+def test_table5_render(benchmark, overheads, save_artifact):
+    text = benchmark.pedantic(render_table5, args=(overheads,),
+                              rounds=1, iterations=1)
+    save_artifact("table5.txt", text)
+    assert "SUD" in text
+
+
+@pytest.mark.parametrize("mechanism", list(PAPER_TABLE5))
+def test_table5_cell(benchmark, mechanism):
+    per_call = benchmark.pedantic(
+        measure_micro_cycles, args=(mechanism,), rounds=1, iterations=1)
+    native = measure_micro_cycles("native")
+    assert per_call / native == pytest.approx(PAPER_TABLE5[mechanism],
+                                              rel=0.02)
+
+
+def test_table5_ordering(benchmark, overheads):
+    order = ["zpoline-default", "zpoline-ultra", "SUD-no-interposition",
+             "K23-default", "lazypoline", "K23-ultra", "K23-ultra+", "SUD"]
+    values = benchmark.pedantic(
+        lambda: [overheads[name] for name in order], rounds=1, iterations=1)
+    assert values == sorted(values)

@@ -1,0 +1,41 @@
+"""Table 6 — macrobenchmarks: nginx, lighttpd, redis, sqlite.
+
+One benchmark per row; each regenerates the row's native figure and every
+mechanism's relative throughput (or relative runtime for sqlite), asserting
+the paper's shape: native within 2 %, binary-rewriting interposers ≥ 95 %,
+SUD within a few points of the published collapse.
+"""
+
+import pytest
+
+from repro.evaluation.runner import MACRO_BY_KEY, MACRO_CONFIGS, macro_results
+from repro.evaluation.tables import render_table6
+
+
+@pytest.mark.parametrize("key", [config.key for config in MACRO_CONFIGS])
+def test_table6_row(benchmark, key, save_artifact):
+    config = MACRO_BY_KEY[key]
+    results = benchmark.pedantic(macro_results, args=(config,),
+                                 rounds=1, iterations=1)
+    if config.paper_native:
+        assert results["native"]["throughput"] == pytest.approx(
+            config.paper_native, rel=0.02)
+    for name, paper_pct in (config.paper_relative or {}).items():
+        measured = results[name]["relative_pct"]
+        if paper_pct > 90:
+            assert measured == pytest.approx(paper_pct, abs=2.5), name
+        else:
+            # The SUD collapse: reproduce within 8 points.
+            assert measured == pytest.approx(paper_pct, abs=8.0), name
+    lines = [f"{key}:"]
+    for name, result in results.items():
+        lines.append(f"  {name:24s} {result['relative_pct']:7.2f}%")
+    save_artifact(f"table6_{key}.txt", "\n".join(lines))
+
+
+def test_table6_full_render(benchmark, save_artifact):
+    from repro.evaluation.experiments import run_table6
+
+    text = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    save_artifact("table6.txt", text)
+    assert "geomean" in text

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures, times the
+regeneration with pytest-benchmark, sanity-checks the result against the
+paper's reference values, and writes the rendered artifact to
+``benchmarks/output/`` for inspection (the files EXPERIMENTS.md quotes).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = artifact_dir / name
+        path.write_text(text)
+        return path
+
+    return _save

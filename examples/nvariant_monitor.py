@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""N-variant execution monitoring — the use case §4.2 builds its
+exhaustiveness argument on (Bunshin, GHUMVEE, Orchestra, ...).
+
+An N-variant engine runs diversified replicas of a program in lockstep and
+cross-checks their *complete* system-call sequences; any divergence signals
+memory corruption or a hijacked replica.  The check is only sound if the
+monitor sees every syscall of every variant — a single blind spot means an
+attacker can act in the window the monitor cannot see.
+
+This example runs two ASLR-diversified variants of the same program and
+cross-checks their syscall traces under (a) K23 and (b) zpoline:
+
+- under K23 the monitor sees both variants' full sequences — including the
+  startup syscalls — and they match call-for-call;
+- under zpoline, the startup window is already invisible (the monitor
+  compares only the tail), and worse: the "compromised" variant smuggles an
+  extra open+read through a syscall site hidden from static disassembly by
+  embedded data (P2a).  zpoline's monitor sees byte-identical sequences for
+  the benign and compromised variants — the attack is invisible.  K23's
+  monitor flags the divergence immediately.
+
+Run:  python examples/nvariant_monitor.py
+"""
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.offline import import_logs
+from repro.interposers import ZpolineInterposer
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Nr
+from repro.workloads.programs import ProgramBuilder, data_ref
+
+TARGET = "/usr/bin/variant"
+
+
+def register_variant(kernel, compromised: bool) -> None:
+    """The protected program; the compromised build leaks /etc/secret
+    through a syscall site hidden from static disassembly (the 48 B8 bait
+    absorbs the mov+syscall into a phantom instruction — P2a)."""
+    from repro.arch.registers import Reg
+
+    builder = ProgramBuilder(TARGET, stub_profile=20)
+    builder.string("msg", "variant output\n")
+    builder.string("secret", "/etc/secret")
+    builder.buffer("buf", 64)
+    asm = builder.asm
+    builder.start()
+    if compromised:
+        # Smuggled openat via the hidden site.
+        asm.mov_ri(Reg.RDI, (1 << 64) - 100)
+        asm.lea_rip_label(Reg.RSI, "secret")
+        asm.xor_rr(Reg.RDX, Reg.RDX)
+        asm.jmp("hidden")
+        asm.raw(b"\x48\xb8")
+        asm.label("hidden")
+        asm.mov_ri(Reg.RAX, int(Nr.openat))
+        asm.mark("smuggle_open")
+        asm.syscall_()
+        asm.nop(8)
+        # Smuggled read through a second hidden site (same trick).
+        asm.mov_rr(Reg.RDI, Reg.RAX)
+        asm.lea_rip_label(Reg.RSI, "buf")
+        asm.mov_ri(Reg.RDX, 64)
+        asm.jmp("hidden2")
+        asm.raw(b"\x48\xb8")
+        asm.label("hidden2")
+        asm.mov_ri(Reg.RAX, int(Nr.read))
+        asm.mark("smuggle_read")
+        asm.syscall_()
+        asm.nop(8)
+    builder.libc("getpid")
+    builder.libc("write", 1, data_ref("msg"), 15)
+    builder.exit(0)
+    builder.register(kernel)
+
+
+def monitored_trace(make_interposer, compromised: bool, seed: int):
+    """Run one variant and return the syscall-number sequence its monitor
+    observed (the interposer's handled log — what a cross-checker gets)."""
+    kernel = Kernel(seed=seed)
+    kernel.vfs.create("/etc/secret", b"hunter2")
+    register_variant(kernel, compromised)
+    interposer = make_interposer(kernel)
+    interposer.install()
+    process = kernel.spawn_process(TARGET)
+    kernel.run_process(process)
+    assert process.exit_status == 0
+    return [nr for nr, _via in interposer.handled.get(process.pid, [])]
+
+
+def main() -> None:
+    def k23_factory(kernel):
+        offline_kernel = Kernel(seed=90)
+        offline_kernel.vfs.create("/etc/secret", b"hunter2")
+        register_variant(offline_kernel, compromised=False)
+        offline = OfflinePhase(offline_kernel)
+        offline.run(TARGET)
+        import_logs(kernel, offline.export())
+        return K23Interposer(kernel)
+
+    for name, factory in (("zpoline", ZpolineInterposer), ("K23", k23_factory)):
+        benign_a = monitored_trace(factory, compromised=False, seed=91)
+        benign_b = monitored_trace(factory, compromised=False, seed=92)
+        evil = monitored_trace(factory, compromised=True, seed=93)
+        lockstep_ok = benign_a == benign_b
+        detected = evil != benign_a
+        print(f"{name} monitor:")
+        print(f"  calls visible per variant : {len(benign_a)}")
+        print(f"  benign variants in lockstep: {'yes' if lockstep_ok else 'NO'}")
+        print(f"  compromised variant caught : "
+              f"{'yes - sequence diverged' if detected else 'NO - attack invisible'}")
+        if name == "zpoline":
+            assert lockstep_ok and not detected, \
+                "zpoline's blind spot should hide the smuggled calls"
+        else:
+            assert lockstep_ok and detected
+        print()
+    print("exhaustive interposition is what makes N-variant checking sound.")
+
+
+if __name__ == "__main__":
+    main()

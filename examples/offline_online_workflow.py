@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The full K23 two-phase workflow on a server workload (§5, Figure 2+4).
+
+Phase 1 (offline, controlled machine): run nginx under libLogger with a
+representative wrk workload; persist and seal the site log.
+
+Phase 2 (online, production machine): install K23, start nginx, drive load,
+and show the division of labour — ptrace for startup, the rewritten fast
+path for the hot request-loop sites, the SUD fallback for everything the
+offline run never saw — plus the performance cost relative to native.
+
+Run:  python examples/offline_online_workflow.py
+"""
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.logs import LOG_ROOT
+from repro.core.offline import import_logs
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Nr
+from repro.workloads.clients import wrk
+from repro.workloads.nginx import NGINX_PORT, install_nginx
+
+REQUESTS = 120
+
+
+def drive(kernel, requests=REQUESTS):
+    kernel.run(max_steps=1_000_000)  # master forks; worker reaches accept
+    generator = wrk(kernel, NGINX_PORT, connections=1)
+    generator.warmup(2)
+    return generator.drive(requests)
+
+
+def main() -> None:
+    # ---------------------------------------------------------------- phase 1
+    print("=== offline phase (controlled environment) ===")
+    offline_kernel = Kernel(seed=10)
+    path = install_nginx(offline_kernel, workers=1, file_size_kb=0)
+    offline = OfflinePhase(offline_kernel)
+
+    def offline_driver(kern, proc):
+        kern.run(max_steps=600_000)
+        generator = wrk(kern, NGINX_PORT, connections=1)
+        generator.drive(16)
+        generator.close()
+
+    _proc, log = offline.run(path, driver=offline_driver,
+                             max_steps=20_000_000)
+    log_paths = offline.persist()
+    print(f"logged {len(log)} unique syscall sites "
+          f"(paper's Table 2: 43 for nginx)")
+    print(f"log file: {log_paths[0]} (directory sealed immutable)")
+    region_counts = {}
+    for region, _off in log:
+        region_counts[region] = region_counts.get(region, 0) + 1
+    for region, count in sorted(region_counts.items()):
+        print(f"  {count:>3} sites in {region}")
+
+    # ---------------------------------------------------------------- phase 2
+    print("\n=== online phase (production machine) ===")
+    for name, with_k23 in (("native", False), ("K23-ultra", True)):
+        kernel = Kernel(seed=11)
+        kernel.torn_window_probability = 0.0
+        install_nginx(kernel, workers=1, file_size_kb=0)
+        if with_k23:
+            import_logs(kernel, offline.export())
+            k23 = K23Interposer(kernel, variant="ultra").install()
+        server = kernel.spawn_process(path)
+        result = drive(kernel)
+        cpr = result.cycles_per_request
+        print(f"\n{name}: {cpr:,.0f} cycles/request "
+              f"({3.2e9 / cpr:,.0f} req/s at 3.2 GHz)")
+        if with_k23:
+            worker = next(p for p in kernel.processes.values()
+                          if p.pid != server.pid)
+            vias = {}
+            for _nr, via in k23.handled.get(worker.pid, []):
+                vias[via] = vias.get(via, 0) + 1
+            startup = k23.startup_state(worker) or {}
+            print(f"  ptrace stage     : "
+                  f"{startup.get('startup_syscalls', 0)} startup syscalls, "
+                  f"then detached")
+            print(f"  rewritten sites  : {len(k23.rewritten_sites(worker))}")
+            print(f"  fast-path calls  : {vias.get('rewrite', 0)}")
+            print(f"  SUD fallbacks    : {vias.get('sud', 0)}")
+            missed = kernel.uninterposed_syscalls(worker.pid)
+            print(f"  missed syscalls  : {len(missed)}")
+            assert not missed
+            state = worker.interposer_state["k23"]
+            print(f"  NULL-check state : hash set, "
+                  f"{state['hashset'].memory_bytes} bytes "
+                  f"(vs 16 TiB reserved for a bitmap)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: build a program, run it natively, then under K23.
+
+Demonstrates the core public API in ~60 lines:
+
+1. create a simulated machine (:class:`repro.kernel.Kernel`);
+2. author a program with :class:`repro.workloads.programs.ProgramBuilder`;
+3. run it natively and inspect the kernel's ground-truth syscall log;
+4. run the K23 offline phase, install the interposer, and show that every
+   application syscall — including the pre-main loader storm — is
+   interposed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.offline import import_logs
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Nr
+from repro.workloads.programs import ProgramBuilder, data_ref
+
+
+def build_greeter(kernel) -> str:
+    builder = ProgramBuilder("/usr/bin/greeter")
+    builder.string("msg", "hello from the simulated machine\n")
+    builder.start()
+    builder.libc("getpid")
+    builder.libc("write", 1, data_ref("msg"), 33)
+    builder.exit(0)
+    return builder.register(kernel).name
+
+
+def main() -> None:
+    # --- native run ---------------------------------------------------------
+    kernel = Kernel(seed=1)
+    path = build_greeter(kernel)
+    process = kernel.spawn_process(path)
+    kernel.run_process(process)
+    print("native run:")
+    print(f"  stdout          : {bytes(process.output)!r}")
+    print(f"  exit status     : {process.exit_status}")
+    trace = [Nr.name_of(r.nr) for r in kernel.app_requested_syscalls(process.pid)]
+    print(f"  syscalls issued : {len(trace)} "
+          f"(first five: {', '.join(trace[:5])} ...)")
+    print(f"  pre-main (loader) syscalls: {process.premain_syscalls}")
+
+    # --- K23 offline phase (separate controlled machine) ---------------------
+    offline_kernel = Kernel(seed=2)
+    build_greeter(offline_kernel)
+    offline = OfflinePhase(offline_kernel)
+    _proc, log = offline.run(path)
+    print(f"\noffline phase: {len(log)} unique syscall sites logged")
+    for region, offset in log:
+        print(f"  {region},{offset}")
+
+    # --- online run under K23 ------------------------------------------------
+    online = Kernel(seed=3)
+    build_greeter(online)
+    import_logs(online, offline.export())
+    k23 = K23Interposer(online, variant="ultra").install()
+    process = online.spawn_process(path)
+    online.run_process(process)
+    print("\nK23 run:")
+    print(f"  stdout          : {bytes(process.output)!r}")
+    vias = {}
+    for _nr, via in k23.handled[process.pid]:
+        vias[via] = vias.get(via, 0) + 1
+    print(f"  interposed via  : {vias}")
+    missed = online.uninterposed_syscalls(process.pid)
+    print(f"  missed syscalls : {len(missed)}")
+    assert not missed, "K23 must interpose every application syscall"
+    print("\nexhaustive interposition confirmed.")
+
+
+if __name__ == "__main__":
+    main()

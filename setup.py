@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+This environment has no network access and no `wheel` package, so PEP-517
+editable installs (which build a wheel) fail.  Keeping a classic setup.py
+lets `pip install -e .` fall back to the legacy `setup.py develop` path.
+Package metadata lives in pyproject.toml; this file only mirrors what the
+legacy path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "K23 reproduction: system call interposition pitfalls and solutions "
+        "on a simulated x86-64/Linux substrate"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

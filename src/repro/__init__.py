@@ -1,0 +1,19 @@
+"""repro — a reproduction of "Clair Obscur: The Light and Shadow of System
+Call Interposition — From Pitfalls to Solutions with K23" (Middleware '25).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+- :mod:`repro.kernel` — the simulated machine.
+- :mod:`repro.interposers` — SUD / ptrace / zpoline / lazypoline.
+- :mod:`repro.core` — K23 (offline + online phases).
+- :mod:`repro.pitfalls` — the P1–P5 PoCs and Table 3 matrix.
+- :mod:`repro.workloads` — programs, servers, load generators.
+- :mod:`repro.evaluation` — the §6 experiment harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.kernel import Kernel
+from repro.core import K23Interposer, OfflinePhase
+
+__all__ = ["Kernel", "K23Interposer", "OfflinePhase", "__version__"]

@@ -1,0 +1,58 @@
+"""SimX86: a byte-exact x86-64 subset.
+
+The pitfalls studied by the K23 paper are *structural* properties of the
+x86-64 encoding: ``syscall`` (``0F 05``) and ``sysenter`` (``0F 34``) are two
+bytes long, ``callq *%rax`` (``FF D0``) happens to be two bytes as well, the
+instruction stream is variable length, and the bytes of a ``syscall`` opcode
+can appear inside longer instructions or inside data embedded in code pages.
+This package implements a subset of x86-64 that preserves all of those
+properties with the real encodings, so binary-rewriting interposers built on
+top behave exactly like their native counterparts with respect to
+rewriting, misidentification, and disassembler desync.
+
+Public surface:
+
+- :mod:`repro.arch.registers` — register file constants and helpers.
+- :mod:`repro.arch.isa` — instruction table and the :class:`Instruction` type.
+- :mod:`repro.arch.decoder` — single-instruction decoder.
+- :mod:`repro.arch.assembler` — :class:`Asm`, a label-aware code builder.
+- :mod:`repro.arch.disassembler` — linear sweep (with realistic desync) and
+  raw byte-pattern scanning, the two site-discovery strategies contrasted in
+  the paper (P2a/P3a).
+"""
+
+from repro.arch.registers import Reg
+from repro.arch.isa import (
+    Instruction,
+    Mnemonic,
+    SYSCALL_BYTES,
+    SYSENTER_BYTES,
+    CALL_RAX_BYTES,
+    NOP_BYTE,
+)
+from repro.arch.decoder import decode
+from repro.arch.assembler import Asm
+from repro.arch.disassembler import (
+    linear_sweep,
+    find_syscall_sites_linear,
+    find_syscall_sites_bytescan,
+    classify_syscall_sites,
+    SiteKind,
+)
+
+__all__ = [
+    "Reg",
+    "Instruction",
+    "Mnemonic",
+    "SYSCALL_BYTES",
+    "SYSENTER_BYTES",
+    "CALL_RAX_BYTES",
+    "NOP_BYTE",
+    "decode",
+    "Asm",
+    "linear_sweep",
+    "find_syscall_sites_linear",
+    "find_syscall_sites_bytescan",
+    "classify_syscall_sites",
+    "SiteKind",
+]

@@ -1,0 +1,206 @@
+"""SimA64: the fixed-length counterpart, for the §7 porting analysis.
+
+The paper's discussion: "for architectures with fixed instruction lengths,
+such as ARM, disassembly-based rewriting is expected to be less challenging
+than on variable-length architectures like x86-64.  Porting K23 to such
+architectures ... is an interesting direction for future work."
+
+This module implements the *static-analysis layer* of that port — enough of
+an AArch64-flavoured fixed-length encoding (4-byte instructions, ``SVC #0``
+as the kernel trap) to make the claim quantitative:
+
+- instruction boundaries are every 4 bytes, so a sweep can never
+  desynchronize: discovery is exact (**P2a's disassembly half and P3a
+  vanish structurally**);
+- the trap and its replacement branch are the same width, so the size-
+  mismatch problem that forces zpoline's trampoline gymnastics on x86-64
+  does not arise (a ``B``-range analysis replaces the address-0 trampoline);
+- the *environmental* pitfalls (P1a/P1b, P2b's pre-main and vDSO blind
+  spots, P5's coherence rules) are ISA-independent and remain — which is
+  why a K23-style hybrid is still the right design on ARM.
+
+Execution of SimA64 code is out of scope (the dynamic experiments run on
+SimX86); :func:`compare_discovery` is the analysis artifact.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Fixed instruction width.
+INSN_BYTES = 4
+
+#: ``SVC #0`` — the AArch64 supervisor call (syscall trap).
+SVC_0 = 0xD4000001
+
+#: ``NOP``.
+NOP = 0xD503201F
+
+#: ``RET``.
+RET = 0xD65F03C0
+
+#: ``B <imm26>`` opcode head (unconditional branch, ±128 MiB range).
+B_HEAD = 0b000101 << 26
+
+#: ``MOVZ Xd, #imm16`` head (64-bit, shift 0).
+MOVZ_HEAD = 0xD2800000
+
+#: ``BLR Xn`` head.
+BLR_HEAD = 0xD63F0000
+
+
+def movz(rd: int, imm16: int) -> int:
+    if not 0 <= rd < 31 or not 0 <= imm16 <= 0xFFFF:
+        raise ValueError("movz operands out of range")
+    return MOVZ_HEAD | (imm16 << 5) | rd
+
+
+def b(offset_insns: int) -> int:
+    """``B`` with a signed offset in *instructions* (±2^25)."""
+    if not -(1 << 25) <= offset_insns < (1 << 25):
+        raise ValueError("branch out of range")
+    return B_HEAD | (offset_insns & ((1 << 26) - 1))
+
+
+def blr(rn: int) -> int:
+    if not 0 <= rn < 31:
+        raise ValueError("register out of range")
+    return BLR_HEAD | (rn << 5)
+
+
+@dataclass(frozen=True)
+class A64Insn:
+    """One decoded (or raw-data) 4-byte word."""
+
+    offset: int
+    word: int
+
+    @property
+    def is_svc(self) -> bool:
+        return self.word == SVC_0
+
+    @property
+    def mnemonic(self) -> str:
+        if self.word == SVC_0:
+            return "svc #0"
+        if self.word == NOP:
+            return "nop"
+        if self.word == RET:
+            return "ret"
+        if self.word >> 26 == B_HEAD >> 26:
+            return "b"
+        if self.word & 0xFFE00000 == MOVZ_HEAD & 0xFFE00000:
+            return "movz"
+        if self.word & 0xFFFFFC1F == BLR_HEAD:
+            return "blr"
+        return ".word"  # unknown/data — still a well-defined 4-byte slot
+
+
+class A64Builder:
+    """Tiny fixed-width code builder (words, labels not needed: offsets
+    are trivially computable at fixed width)."""
+
+    def __init__(self) -> None:
+        self._words: List[int] = []
+        self.svc_sites: List[int] = []
+        self.data_slots: List[int] = []
+
+    @property
+    def offset(self) -> int:
+        return len(self._words) * INSN_BYTES
+
+    def emit(self, word: int) -> "A64Builder":
+        self._words.append(word & 0xFFFFFFFF)
+        return self
+
+    def svc(self) -> "A64Builder":
+        self.svc_sites.append(self.offset)
+        return self.emit(SVC_0)
+
+    def nop(self, count: int = 1) -> "A64Builder":
+        for _ in range(count):
+            self.emit(NOP)
+        return self
+
+    def ret(self) -> "A64Builder":
+        return self.emit(RET)
+
+    def word_data(self, value: int) -> "A64Builder":
+        """Embed a literal-pool word — data in the code stream, including
+        values that equal the SVC encoding."""
+        self.data_slots.append(self.offset)
+        return self.emit(value)
+
+    def assemble(self) -> bytes:
+        return b"".join(struct.pack("<I", word) for word in self._words)
+
+
+def sweep(code: bytes, base: int = 0) -> Iterable[A64Insn]:
+    """Fixed-width disassembly: every 4-byte slot decodes, by construction.
+
+    There is no resynchronization concept — the property that removes
+    P2a's disassembly half and P3a's partial-instruction hazard.
+    """
+    if len(code) % INSN_BYTES:
+        raise ValueError("A64 code must be a multiple of 4 bytes")
+    for offset in range(0, len(code), INSN_BYTES):
+        yield A64Insn(base + offset,
+                      struct.unpack_from("<I", code, offset)[0])
+
+
+def find_svc_sites(code: bytes) -> List[int]:
+    """Every aligned SVC slot.  Exact: no false negatives, and the only
+    possible false positives are *aligned literal words* that equal the SVC
+    encoding — detectable because they sit in the literal pool, never
+    reachable as instructions on a well-formed binary."""
+    return [insn.offset for insn in sweep(code) if insn.is_svc]
+
+
+def rewrite_feasibility(code: bytes) -> Dict[str, object]:
+    """The §7 size-match analysis: every discovered site can be replaced
+    in place by one same-width branch (``B``) whose ±128 MiB range must
+    cover the interposer stub."""
+    sites = find_svc_sites(code)
+    return {
+        "sites": sites,
+        "replacement_width_matches": True,  # both are 4 bytes, always
+        "branch_range_bytes": (1 << 25) * INSN_BYTES,
+        "needs_null_trampoline": False,  # B reaches a real stub directly
+    }
+
+
+def compare_discovery(x86_code: bytes, x86_true_sites: Iterable[int],
+                      a64_builder: A64Builder) -> str:
+    """Side-by-side discovery quality: SimX86 linear sweep (desync-prone)
+    vs SimA64 fixed-width sweep (exact).  The Figure-1-style artifact for
+    the porting discussion."""
+    from repro.arch.disassembler import (
+        find_syscall_sites_linear,
+        sweep_statistics,
+    )
+
+    x86_found = set(find_syscall_sites_linear(x86_code))
+    x86_truth = set(x86_true_sites)
+    stats = sweep_statistics(x86_code)
+    a64_code = a64_builder.assemble()
+    a64_found = set(find_svc_sites(a64_code))
+    a64_truth = set(a64_builder.svc_sites)
+    a64_data_hits = a64_found - a64_truth
+
+    lines = [
+        "Discovery quality: variable-length (x86-64) vs fixed-length (A64)",
+        "",
+        f"x86-64 sweep : {len(x86_found & x86_truth)}/{len(x86_truth)} true "
+        f"sites found, {len(x86_found - x86_truth)} phantom, "
+        f"{stats['desync_bytes']} desync bytes",
+        f"A64 sweep    : {len(a64_found & a64_truth)}/{len(a64_truth)} true "
+        f"sites found, {len(a64_data_hits)} literal-pool collisions "
+        f"(aligned, pool-resident, filterable)",
+        "",
+        "fixed width eliminates desync and partial-instruction hazards",
+        "(P2a's static half, P3a); P1/P2b/P5 are ISA-independent and a",
+        "K23-style hybrid remains necessary.",
+    ]
+    return "\n".join(lines)

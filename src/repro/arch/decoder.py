@@ -1,0 +1,253 @@
+"""Single-instruction decoder for SimX86.
+
+``decode`` implements exactly the encodings listed in :mod:`repro.arch.isa`.
+Anything else raises :class:`repro.errors.DecodeError` — which is precisely
+what makes linear-sweep disassembly *desync* when it wanders into embedded
+data, the root cause of pitfalls P2a/P3a.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.arch.isa import (
+    Cond,
+    GRP1_EXT_TO_MNEMONIC,
+    Instruction,
+    Mnemonic,
+    split_modrm,
+)
+from repro.arch.registers import Reg
+from repro.errors import DecodeError
+
+_ONE_BYTE = {
+    0x90: Mnemonic.NOP,
+    0xC3: Mnemonic.RET,
+    0xCC: Mnemonic.INT3,
+    0xF4: Mnemonic.HLT,
+}
+
+
+def _s8(value: int) -> int:
+    return value - 0x100 if value >= 0x80 else value
+
+
+def _s32(value: int) -> int:
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+def _need(code: bytes, offset: int, count: int) -> None:
+    if offset + count > len(code):
+        raise DecodeError(
+            f"truncated instruction at offset {offset:#x}", offset=offset
+        )
+
+
+def decode(code: bytes, offset: int = 0) -> Instruction:
+    """Decode one instruction from ``code`` starting at ``offset``.
+
+    Returns the decoded :class:`Instruction`; raises :class:`DecodeError`
+    for any byte sequence outside the SimX86 subset.
+    """
+    start = offset
+    _need(code, offset, 1)
+
+    # F3 0F 1E FA → endbr64 (only F3-prefixed form we accept).
+    if code[offset] == 0xF3:
+        _need(code, offset, 4)
+        if code[offset:offset + 4] == b"\xf3\x0f\x1e\xfa":
+            return Instruction(Mnemonic.ENDBR64, 4, bytes(code[start:start + 4]))
+        raise DecodeError(f"unsupported F3-prefixed opcode at {start:#x}", start)
+
+    rex_w = rex_r = rex_b = False
+    has_rex = False
+    if 0x40 <= code[offset] <= 0x4F:
+        prefix = code[offset]
+        rex_w = bool(prefix & 0x08)
+        rex_r = bool(prefix & 0x04)
+        rex_b = bool(prefix & 0x01)
+        has_rex = True
+        offset += 1
+        _need(code, offset, 1)
+
+    op = code[offset]
+    offset += 1
+
+    def make(mn: Mnemonic, end: int, **kw) -> Instruction:
+        return Instruction(mn, end - start, bytes(code[start:end]), **kw)
+
+    # -- one-byte opcodes ---------------------------------------------------
+    if op in _ONE_BYTE and not has_rex:
+        return make(_ONE_BYTE[op], offset)
+    if op == 0x90 and has_rex:  # REX.B 90 is xchg r8,rax on real HW; reject.
+        raise DecodeError(f"REX-prefixed nop at {start:#x}", start)
+
+    # -- push/pop (50+r / 58+r) ---------------------------------------------
+    if 0x50 <= op <= 0x57:
+        return make(Mnemonic.PUSH, offset, reg=Reg((op - 0x50) | (rex_b << 3)))
+    if 0x58 <= op <= 0x5F:
+        return make(Mnemonic.POP, offset, reg=Reg((op - 0x58) | (rex_b << 3)))
+
+    # -- mov reg, imm (B8+r) ------------------------------------------------
+    if 0xB8 <= op <= 0xBF:
+        reg = Reg((op - 0xB8) | (rex_b << 3))
+        if rex_w:
+            _need(code, offset, 8)
+            imm = struct.unpack_from("<Q", code, offset)[0]
+            return make(Mnemonic.MOV_RI, offset + 8, reg=reg, imm=imm)
+        _need(code, offset, 4)
+        imm = struct.unpack_from("<I", code, offset)[0]
+        return make(Mnemonic.MOV_RI, offset + 4, reg=reg, imm=imm)
+
+    # -- jumps / calls -------------------------------------------------------
+    if op == 0xEB:
+        _need(code, offset, 1)
+        return make(Mnemonic.JMP_REL, offset + 1, rel=_s8(code[offset]))
+    if op == 0xE9:
+        _need(code, offset, 4)
+        return make(Mnemonic.JMP_REL, offset + 4,
+                    rel=_s32(struct.unpack_from("<I", code, offset)[0]))
+    if op == 0xE8:
+        _need(code, offset, 4)
+        return make(Mnemonic.CALL_REL, offset + 4,
+                    rel=_s32(struct.unpack_from("<I", code, offset)[0]))
+    if 0x70 <= op <= 0x7F:
+        _need(code, offset, 1)
+        return make(Mnemonic.JCC_REL, offset + 1,
+                    rel=_s8(code[offset]), cond=Cond(op - 0x70))
+
+    # -- FF group: inc/dec/call/jmp on register operands ----------------------
+    if op == 0xFF:
+        _need(code, offset, 1)
+        mod, ext, rm = split_modrm(code[offset])
+        if mod != 0b11:
+            raise DecodeError(f"FF group with memory operand at {start:#x}", start)
+        target = Reg(rm | (rex_b << 3))
+        offset += 1
+        if ext == 0:
+            return make(Mnemonic.INC, offset, reg=target)
+        if ext == 1:
+            return make(Mnemonic.DEC, offset, reg=target)
+        if ext == 2:
+            return make(Mnemonic.CALL_REG, offset, reg=target)
+        if ext == 4:
+            return make(Mnemonic.JMP_REG, offset, reg=target)
+        raise DecodeError(f"unsupported FF /{ext} at {start:#x}", start)
+
+    # -- ModRM arithmetic / data movement -------------------------------------
+    _RR_OPS = {0x01: Mnemonic.ADD_RR, 0x29: Mnemonic.SUB_RR,
+               0x39: Mnemonic.CMP_RR, 0x31: Mnemonic.XOR_RR,
+               0x85: Mnemonic.TEST_RR}
+    if op in _RR_OPS:
+        _need(code, offset, 1)
+        mod, r, rm = split_modrm(code[offset])
+        if mod != 0b11:
+            raise DecodeError(f"{op:#x} with memory operand at {start:#x}", start)
+        # In the /r convention for 01/29/39/31/85: rm is dst, reg is src.
+        return make(_RR_OPS[op], offset + 1,
+                    reg=Reg(rm | (rex_b << 3)), rm=Reg(r | (rex_r << 3)))
+
+    if op == 0x89:  # mov r/m64, r64
+        _need(code, offset, 1)
+        mod, r, rm = split_modrm(code[offset])
+        src = Reg(r | (rex_r << 3))
+        dst = Reg(rm | (rex_b << 3))
+        if mod == 0b11:
+            return make(Mnemonic.MOV_RR, offset + 1, reg=dst, rm=src)
+        if mod == 0b00:
+            if dst.low3 in (0b100, 0b101):
+                raise DecodeError(f"SIB/disp addressing at {start:#x}", start)
+            return make(Mnemonic.MOV_STORE, offset + 1, reg=src, rm=dst)
+        raise DecodeError(f"mov with displacement at {start:#x}", start)
+
+    if op == 0x8B:  # mov r64, r/m64
+        _need(code, offset, 1)
+        mod, r, rm = split_modrm(code[offset])
+        dst = Reg(r | (rex_r << 3))
+        src = Reg(rm | (rex_b << 3))
+        if mod == 0b00:
+            if src.low3 in (0b100, 0b101):
+                raise DecodeError(f"SIB/disp addressing at {start:#x}", start)
+            return make(Mnemonic.MOV_LOAD, offset + 1, reg=dst, rm=src)
+        raise DecodeError(f"unsupported 8B form at {start:#x}", start)
+
+    if op == 0x88:  # mov r/m8, r8
+        _need(code, offset, 1)
+        mod, r, rm = split_modrm(code[offset])
+        if mod != 0b00 or rm in (0b100, 0b101):
+            raise DecodeError(f"unsupported 88 form at {start:#x}", start)
+        return make(Mnemonic.MOV_STORE8, offset + 1,
+                    reg=Reg(r | (rex_r << 3)), rm=Reg(rm | (rex_b << 3)))
+
+    if op == 0x8A:  # mov r8, r/m8
+        _need(code, offset, 1)
+        mod, r, rm = split_modrm(code[offset])
+        if mod != 0b00 or rm in (0b100, 0b101):
+            raise DecodeError(f"unsupported 8A form at {start:#x}", start)
+        return make(Mnemonic.MOV_LOAD8, offset + 1,
+                    reg=Reg(r | (rex_r << 3)), rm=Reg(rm | (rex_b << 3)))
+
+    if op == 0x8D:  # lea r64, [rip+disp32]
+        _need(code, offset, 1)
+        mod, r, rm = split_modrm(code[offset])
+        if mod != 0b00 or rm != 0b101:
+            raise DecodeError(f"unsupported lea form at {start:#x}", start)
+        offset += 1
+        _need(code, offset, 4)
+        disp = _s32(struct.unpack_from("<I", code, offset)[0])
+        return make(Mnemonic.LEA_RIP, offset + 4,
+                    reg=Reg(r | (rex_r << 3)), rel=disp)
+
+    if op == 0x83:  # grp1 r/m64, imm8
+        _need(code, offset, 2)
+        mod, ext, rm = split_modrm(code[offset])
+        if mod != 0b11 or ext not in GRP1_EXT_TO_MNEMONIC:
+            raise DecodeError(f"unsupported 83 /{ext} at {start:#x}", start)
+        return make(GRP1_EXT_TO_MNEMONIC[ext], offset + 2,
+                    reg=Reg(rm | (rex_b << 3)), imm=_s8(code[offset + 1]))
+
+    if op == 0x81:  # grp1 r/m64, imm32
+        _need(code, offset, 5)
+        mod, ext, rm = split_modrm(code[offset])
+        if mod != 0b11 or ext not in GRP1_EXT_TO_MNEMONIC:
+            raise DecodeError(f"unsupported 81 /{ext} at {start:#x}", start)
+        imm = _s32(struct.unpack_from("<I", code, offset + 1)[0])
+        return make(GRP1_EXT_TO_MNEMONIC[ext], offset + 5,
+                    reg=Reg(rm | (rex_b << 3)), imm=imm)
+
+    # -- 0F escape ------------------------------------------------------------
+    if op == 0x0F:
+        _need(code, offset, 1)
+        op2 = code[offset]
+        offset += 1
+        if op2 == 0x05:
+            return make(Mnemonic.SYSCALL, offset)
+        if op2 == 0x34:
+            return make(Mnemonic.SYSENTER, offset)
+        if op2 == 0x0B:
+            return make(Mnemonic.UD2, offset)
+        if op2 == 0xA2:
+            return make(Mnemonic.CPUID, offset)
+        if op2 == 0xAE:
+            _need(code, offset, 1)
+            if code[offset] == 0xF0:
+                return make(Mnemonic.MFENCE, offset + 1)
+            raise DecodeError(f"unsupported 0F AE form at {start:#x}", start)
+        if op2 == 0x1F:
+            _need(code, offset, 1)
+            m3 = code[offset]
+            if m3 == 0x00:  # 0F 1F 00: canonical 3-byte nop
+                return make(Mnemonic.NOP, offset + 1)
+            if m3 == 0xF8:  # SimX86 hostcall escape: 0F 1F F8 imm16
+                _need(code, offset + 1, 2)
+                idx = struct.unpack_from("<H", code, offset + 1)[0]
+                return make(Mnemonic.HOSTCALL, offset + 3, hostcall=idx)
+            raise DecodeError(f"unsupported 0F 1F form at {start:#x}", start)
+        if 0x80 <= op2 <= 0x8F:  # Jcc rel32
+            _need(code, offset, 4)
+            rel = _s32(struct.unpack_from("<I", code, offset)[0])
+            return make(Mnemonic.JCC_REL, offset + 4,
+                        rel=rel, cond=Cond(op2 - 0x80))
+        raise DecodeError(f"unsupported 0F {op2:02x} at {start:#x}", start)
+
+    raise DecodeError(f"unknown opcode {op:02x} at {start:#x}", start)

@@ -1,0 +1,71 @@
+"""x86-64 general-purpose register numbering.
+
+The numeric values match the hardware encoding (the 3-bit register field in
+ModRM / opcode+r, extended to 4 bits by REX.R / REX.B), which matters because
+``callq *%rax`` must encode to exactly ``FF D0`` for the two-byte rewrite
+trick the paper's interposers rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Reg(enum.IntEnum):
+    """General-purpose 64-bit registers, hardware-numbered."""
+
+    RAX = 0
+    RCX = 1
+    RDX = 2
+    RBX = 3
+    RSP = 4
+    RBP = 5
+    RSI = 6
+    RDI = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+    R11 = 11
+    R12 = 12
+    R13 = 13
+    R14 = 14
+    R15 = 15
+
+    @property
+    def low3(self) -> int:
+        """The 3-bit field stored in ModRM / opcode+r."""
+        return int(self) & 0b111
+
+    @property
+    def needs_rex_bit(self) -> bool:
+        """Whether encoding this register requires a REX extension bit."""
+        return int(self) >= 8
+
+
+#: System V AMD64 syscall argument registers, in order (``man 2 syscall``).
+SYSCALL_ARG_REGS = (Reg.RDI, Reg.RSI, Reg.RDX, Reg.R10, Reg.R8, Reg.R9)
+
+#: Registers the kernel clobbers on ``syscall``: RCX receives the return RIP
+#: and R11 receives RFLAGS.  K23's trampoline exploits this to avoid saving
+#: them (Section 6.2.1 of the paper).
+SYSCALL_CLOBBERED_REGS = (Reg.RCX, Reg.R11)
+
+#: Callee-saved registers per the System V AMD64 ABI.
+CALLEE_SAVED_REGS = (Reg.RBX, Reg.RBP, Reg.R12, Reg.R13, Reg.R14, Reg.R15)
+
+REG_NAMES = {r: r.name.lower() for r in Reg}
+NAME_TO_REG = {name: reg for reg, name in REG_NAMES.items()}
+
+
+def reg_name(reg: "Reg | int") -> str:
+    """Return the canonical lower-case name for *reg*."""
+    return REG_NAMES[Reg(reg)]
+
+
+def parse_reg(name: str) -> Reg:
+    """Parse a register name like ``"rax"`` or ``"%rax"`` into a :class:`Reg`."""
+    cleaned = name.strip().lstrip("%").lower()
+    try:
+        return NAME_TO_REG[cleaned]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None

@@ -1,0 +1,37 @@
+"""K23 — the paper's contribution: a pitfall-resilient hybrid interposer.
+
+Two phases (§5):
+
+- **offline** (:mod:`repro.core.offline`, :mod:`repro.core.liblogger`) —
+  run the target under a SUD-based logger with representative inputs,
+  recording the unique ``(region, offset)`` pair of every legitimate
+  ``syscall``/``sysenter`` site into sealed log files
+  (:mod:`repro.core.logs`, Figure 3 format).
+- **online** (:mod:`repro.core.k23`, :mod:`repro.core.ptracer_stage`,
+  :mod:`repro.core.libk23`) — a ptrace stage interposes everything from the
+  first instruction (and enforces LD_PRELOAD across ``execve`` — P1a);
+  libK23 then installs the trampoline, performs a *single selective rewrite*
+  of the pre-validated sites (P3a/P3b/P5), arms an SUD fallback for
+  everything else (P2a), guards ``prctl`` against dispatch-disable (P1b),
+  checks trampoline entries against a bounded hash set (P4a/P4b), and takes
+  over via a fake-syscall handoff after which the ptracer detaches.
+
+:class:`repro.core.k23.K23Interposer` exposes the three Table 4 variants:
+``default``, ``ultra`` (NULL-execution check), ``ultra+`` (NULL-execution
+check + stack switch).
+"""
+
+from repro.core.logs import SiteLog, LOG_ROOT
+from repro.core.offline import OfflinePhase
+from repro.core.k23 import K23Interposer
+from repro.core.config import K23_VARIANTS, ZPOLINE_VARIANTS, variant_table
+
+__all__ = [
+    "SiteLog",
+    "LOG_ROOT",
+    "OfflinePhase",
+    "K23Interposer",
+    "K23_VARIANTS",
+    "ZPOLINE_VARIANTS",
+    "variant_table",
+]

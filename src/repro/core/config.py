@@ -1,0 +1,49 @@
+"""Variant catalogue (the paper's Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One evaluated configuration.
+
+    Attributes:
+        name: variant identifier as printed in the paper.
+        extra_features: features enabled beyond the default configuration.
+        suited_for: deployment guidance (§6.2, Table 4 caption).
+    """
+
+    name: str
+    extra_features: Tuple[str, ...]
+    suited_for: str
+
+
+ZPOLINE_VARIANTS: List[VariantSpec] = [
+    VariantSpec("zpoline-default", (),
+                "high-performance, low-overhead environments"),
+    VariantSpec("zpoline-ultra", ("NULL Execution Check",),
+                "security- and debugging-critical scenarios"),
+]
+
+K23_VARIANTS: List[VariantSpec] = [
+    VariantSpec("K23-default", (),
+                "high-performance, low-overhead environments"),
+    VariantSpec("K23-ultra", ("NULL Execution Check",),
+                "security- and debugging-critical scenarios"),
+    VariantSpec("K23-ultra+", ("NULL Execution Check", "Stack Switch"),
+                "security- and debugging-critical scenarios"),
+]
+
+
+def variant_table() -> str:
+    """Render Table 4."""
+    rows = ZPOLINE_VARIANTS + K23_VARIANTS
+    lines = ["Variants          | Extra Features",
+             "------------------+----------------------------------------"]
+    for spec in rows:
+        features = " & ".join(spec.extra_features) or "—"
+        lines.append(f"{spec.name:<18}| {features}")
+    return "\n".join(lines)

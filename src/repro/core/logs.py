@@ -1,0 +1,95 @@
+"""Offline-phase site logs (the Figure 3 file format).
+
+One entry per unique legitimate syscall site: ``<region-path>,<offset>``.
+Offsets are relative to the containing region's base, which is exactly what
+survives ASLR between the offline and online runs (§5.1).  Logs live in the
+simulated VFS under :data:`LOG_ROOT` and are sealed immutable once the
+offline phase completes (§5.3).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Iterable, List, Set, Tuple
+
+#: Root of the log directory inside the simulated filesystem.
+LOG_ROOT = "/var/lib/k23/logs"
+
+
+class SiteLog:
+    """An ordered, de-duplicated set of ``(region, offset)`` pairs."""
+
+    def __init__(self, program: str):
+        self.program = program
+        self._entries: List[Tuple[str, int]] = []
+        self._seen: Set[Tuple[str, int]] = set()
+
+    def add(self, region: str, offset: int) -> bool:
+        """Record one site; returns True if it was new."""
+        key = (region, offset)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._entries.append(key)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._seen
+
+    def merge(self, other: "SiteLog") -> None:
+        """Fold another run's log in (multi-input coverage, §5.1)."""
+        for region, offset in other:
+            self.add(region, offset)
+
+    # -- serialization (Figure 3) -----------------------------------------------
+
+    def render(self) -> str:
+        """The on-disk format: ``region,offset`` per line."""
+        return "".join(f"{region},{offset}\n"
+                       for region, offset in self._entries)
+
+    @classmethod
+    def parse(cls, program: str, text: str) -> "SiteLog":
+        log = cls(program)
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            region, _, offset_text = line.rpartition(",")
+            if not region:
+                raise ValueError(f"{program} log line {lineno}: {line!r}")
+            log.add(region, int(offset_text))
+        return log
+
+    # -- VFS persistence -----------------------------------------------------------
+
+    @staticmethod
+    def path_for(program: str) -> str:
+        return f"{LOG_ROOT}/{posixpath.basename(program)}.log"
+
+    def save(self, vfs) -> str:
+        """Write the log file; returns its path."""
+        path = self.path_for(self.program)
+        vfs.create(path, self.render().encode())
+        return path
+
+    @classmethod
+    def load(cls, vfs, program: str) -> "SiteLog":
+        path = cls.path_for(program)
+        return cls.parse(program, vfs.read(path).decode())
+
+    @classmethod
+    def exists(cls, vfs, program: str) -> bool:
+        return vfs.exists(cls.path_for(program))
+
+
+def seal_logs(vfs) -> None:
+    """Mark the whole log directory immutable (§5.3 hardening)."""
+    if vfs.exists(LOG_ROOT):
+        vfs.set_immutable(LOG_ROOT, recursive=True)

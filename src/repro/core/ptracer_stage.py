@@ -1,0 +1,96 @@
+"""K23's online-phase ptracer (§5.2, left half of Figure 4).
+
+Attached before the first instruction, it:
+
+- interposes every startup syscall (the >100-call loader storm plus
+  anything else that runs before libK23's constructor) — P2b's first half;
+- disables the vDSO so timer calls take real ``syscall`` paths for the
+  program's whole lifetime — P2b's second half;
+- intercepts ``execve`` and rewrites ``LD_PRELOAD`` so libK23 is always
+  injected, even when the program launches children with a scrubbed or
+  empty environment — the P1a fix;
+- services the fake-syscall handoff protocol (§5.3): syscall number 1023
+  transfers accumulated startup state into libK23 (via
+  ``process_vm_writev``-style kernel copies), 1024 detaches the tracer.
+  Both are verified to originate from libK23's own mapped region before
+  being honoured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cpu.cycles import Event
+from repro.interposers.base import prepend_ld_preload
+from repro.kernel.ptrace import Tracer
+from repro.kernel.syscalls import (
+    K23_FAKE_SYSCALL_DETACH,
+    K23_FAKE_SYSCALL_STATE,
+)
+
+
+class K23Ptracer(Tracer):
+    """The startup tracer for one K23-governed process."""
+
+    def __init__(self, kernel, lib_path: str, timeline: Optional[list] = None,
+                 record=None):
+        super().__init__(kernel)
+        self.lib_path = lib_path
+        self.disable_vdso = True
+        self.record = record  # callback(pid, nr) for interposer accounting
+        self.timeline = timeline if timeline is not None else []
+        #: Startup accounting handed to libK23 at the 1023 handoff.
+        self.startup_state: Dict[str, object] = {"startup_syscalls": 0,
+                                                 "execve_rewrites": 0}
+        self.on_syscall_entry = self._entry
+        self.on_execve = self._enforce_preload
+
+    # -- syscall-entry stops ---------------------------------------------------
+
+    def _entry(self, stop) -> bool:
+        nr = stop.number
+        if nr in (K23_FAKE_SYSCALL_STATE, K23_FAKE_SYSCALL_DETACH):
+            return self._handle_fake(stop, nr)
+        self.startup_state["startup_syscalls"] += 1
+        if self.record is not None:
+            self.record(stop.thread.process.pid, nr)
+        return True
+
+    def _handle_fake(self, stop, nr: int) -> bool:
+        thread = stop.thread
+        process = thread.process
+        # §5.3: verify the fake syscall originates from libK23, not from
+        # potentially compromised code such as the dynamic loader.
+        record = process.loaded_images.get(self.lib_path)
+        token = process.interposer_state.get("k23", {}).get("handoff_token")
+        if record is None or token != ("k23", process.pid):
+            self.timeline.append(("ptracer:rejected-fake", nr))
+            stop.set_result(-1)
+            return False
+        if nr == K23_FAKE_SYSCALL_STATE:
+            # Transfer accumulated state via process_vm_writev-equivalent
+            # kernel copies (charged as one syscall round trip).
+            self.kernel.cycles.charge(Event.KERNEL_SYSCALL)
+            process.interposer_state["k23"]["from_ptracer"] = dict(
+                self.startup_state)
+            self.timeline.append(("ptracer:state-handoff",
+                                  dict(self.startup_state)))
+            stop.set_result(0)
+            return False
+        # K23_FAKE_SYSCALL_DETACH
+        self.timeline.append(("ptracer:detach",
+                              self.startup_state["startup_syscalls"]))
+        stop.set_result(0)
+        self.detach()
+        return False
+
+    # -- execve environment enforcement (P1a) --------------------------------------
+
+    def _enforce_preload(self, process, path: str, argv: List[str],
+                         env: Dict[str, str]) -> Dict[str, str]:
+        entries = env.get("LD_PRELOAD", "")
+        if self.lib_path not in entries.replace(":", " ").split():
+            prepend_ld_preload(env, self.lib_path)
+            self.startup_state["execve_rewrites"] += 1
+            self.timeline.append(("ptracer:execve-preload-fix", path))
+        return env

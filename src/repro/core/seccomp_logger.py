@@ -1,0 +1,86 @@
+"""A seccomp-based offline logger — the §5.1 alternative backend.
+
+The paper's offline phase only needs *exhaustive* interposition; SUD is the
+default, but "alternatives include ptrace or seccomp".  This backend
+installs a TRAP-everything seccomp filter and performs the same
+(region, offset) logging from the SIGSYS handler.  Functionally it produces
+byte-identical logs to :class:`repro.core.liblogger.LibLogger` — asserted
+by the test suite — while illustrating the interface trade-off: the filter
+itself cannot inspect pointer arguments (only the handler can), and
+disabling it from user space is impossible (seccomp filters are one-way),
+so this backend is immune to P1b by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.logs import SiteLog
+from repro.core.liblogger import region_is_expected
+from repro.interposers.base import (
+    Interposer,
+    make_injector_library,
+    prepend_ld_preload,
+)
+from repro.kernel.seccomp import Action, Verdict
+from repro.kernel.syscall_impl import BLOCKED
+from repro.kernel.syscalls import SIGSYS
+
+LIB_PATH = "/opt/k23/libseccomplogger.so"
+
+
+class SeccompLogger(Interposer):
+    """Offline logging via a TRAP-all seccomp filter."""
+
+    name = "libLogger-seccomp"
+
+    def __init__(self, kernel, hook=None):
+        super().__init__(kernel, hook)
+        self.logs: Dict[str, SiteLog] = {}
+        self.timeline = []
+        make_injector_library(kernel, LIB_PATH, "seccomplogger",
+                              self._constructor)
+
+    def before_exec(self, process) -> None:
+        prepend_ld_preload(process.env, LIB_PATH)
+
+    def log_for(self, program: str) -> SiteLog:
+        if program not in self.logs:
+            self.logs[program] = SiteLog(program)
+        return self.logs[program]
+
+    # -- constructor --------------------------------------------------------
+
+    def _constructor(self, thread, base: int) -> None:
+        process = thread.process
+        process.dispositions.set_action(SIGSYS, self._sigsys_handler)
+        # TRAP everything; the handler forwards through the kernel's direct
+        # path (modelling the filter's allowance for the handler's own
+        # trusted syscall sites).
+        process.seccomp.install(
+            lambda nr, args: Verdict(Action.TRAP))
+        process.interposer_state["seccomp_logger"] = {"armed": True}
+        self.timeline.append(("init", process.path))
+
+    # -- SIGSYS handler -------------------------------------------------------
+
+    def _sigsys_handler(self, sigctx) -> None:
+        if not sigctx.info.get("seccomp"):
+            return  # not ours
+        thread = sigctx.thread
+        process = thread.process
+        nr = sigctx.info["nr"]
+        site = sigctx.fault_rip
+        args = [sigctx.saved["regs"][reg] for reg in (7, 6, 2, 10, 8, 9)]
+        region = process.address_space.region_at(site)
+        if region_is_expected(process, region):
+            log = self.log_for(process.path)
+            if log.add(region.name, site - region.start):
+                self.timeline.append(
+                    ("log", f"{region.name}+{site - region.start:#x}"))
+        result = self.run_hook(thread, nr, args, via="sud")
+        if result is BLOCKED:
+            thread._sud_restart_credit = True
+            sigctx.set_resume_rip(site)
+            return
+        sigctx.set_return_value(result)

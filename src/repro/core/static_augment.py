@@ -1,0 +1,111 @@
+"""Static log augmentation — the paper's §7 future-work direction.
+
+"Not all applications have well-structured or comprehensive benchmark
+suites.  In such cases, a promising future direction is to combine dynamic
+and static analysis to reliably identify syscall/sysenter instructions
+during the offline phase."
+
+This module implements a *conservative* version of that combination.  For
+each expected (executable, non-writable, file-backed) image it linear-
+sweeps the code pages and accepts a statically-discovered site **only
+when**:
+
+1. the sweep of the whole surrounding executable page-run completed with
+   **zero desynchronizations** — embedded data anywhere in the run could
+   have shifted instruction boundaries, so any desync disqualifies the
+   entire run (this is what keeps P3a out: a site inside a cleanly-decoded
+   run cannot be a misparsed data byte or a partial instruction); and
+2. the byte scan agrees there is a ``syscall``/``sysenter`` pattern at that
+   offset (a trivially-true cross-check kept for defence in depth).
+
+Augmented entries are merged into the dynamic log before sealing.  libK23
+independently re-validates every entry at load time, so augmentation can
+only ever add *fast-path coverage* for sites the benign inputs missed —
+never rewrite hazards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arch.disassembler import linear_sweep
+from repro.core.logs import SiteLog
+from repro.memory.pages import PAGE_SIZE, Prot
+
+
+def clean_sweep_sites(code: bytes) -> "Tuple[bool, List[int]]":
+    """Sweep *code*; returns ``(clean, sites)``.
+
+    *clean* means the sweep never desynchronized **except inside the
+    trailing zero padding** that page-aligns a code section: a suffix of
+    0x00 bytes cannot hide or shift a ``syscall`` encoding, so it is
+    benign.  Any desync before that suffix — i.e. anywhere real bytes
+    follow — disqualifies the run (embedded data may have shifted every
+    subsequent boundary)."""
+    stripped = code.rstrip(b"\x00")
+    padding_start = len(stripped)
+    sites: List[int] = []
+    clean = True
+    for item in linear_sweep(code):
+        if item.is_desync:
+            if item.offset < padding_start:
+                clean = False
+        elif item.instruction.is_syscall_site:
+            if item.offset < padding_start:
+                sites.append(item.offset)
+    return clean, sites
+
+
+def _executable_runs(process, region):
+    """Maximal executable page runs within *region* (see zpoline's scan)."""
+    space = process.address_space
+    run_start = None
+    addr = region.start
+    while addr <= region.end:
+        executable = addr < region.end and space.prot_at(addr) & Prot.EXEC
+        if executable and run_start is None:
+            run_start = addr
+        elif not executable and run_start is not None:
+            yield run_start, addr - run_start
+            run_start = None
+        addr += PAGE_SIZE
+
+
+def augment_log(kernel, process, log: SiteLog) -> Dict[str, int]:
+    """Merge conservatively static-discovered sites into *log*.
+
+    *process* must have the target program loaded (e.g. the offline-phase
+    process after its run).  Returns per-region counts of added sites;
+    regions with any sweep desync contribute nothing ("rejected" entries
+    are reported under the pseudo-region key ``"!rejected:<name>"``).
+    """
+    from repro.core.liblogger import region_is_expected
+
+    added: Dict[str, int] = {}
+    space = process.address_space
+    for region in space.regions:
+        if not region_is_expected(process, region):
+            continue
+        for run_base, run_len in _executable_runs(process, region):
+            code = space.read_kernel(run_base, run_len)
+            clean, sites = clean_sweep_sites(code)
+            if not clean:
+                added[f"!rejected:{region.name}"] = (
+                    added.get(f"!rejected:{region.name}", 0) + len(sites))
+                continue
+            for offset in sites:
+                absolute = run_base + offset
+                if log.add(region.name, absolute - region.start):
+                    added[region.name] = added.get(region.name, 0) + 1
+    return added
+
+
+def offline_with_augmentation(offline_phase, path: str, **run_kwargs):
+    """Convenience: one offline run followed by static augmentation.
+
+    Returns ``(process, log, added)``.
+    """
+    process, log = offline_phase.run(path, **run_kwargs)
+    added = augment_log(offline_phase.kernel, process, log)
+    offline_phase.results[path] = log
+    return process, log, added

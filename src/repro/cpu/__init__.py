@@ -1,0 +1,26 @@
+"""CPU substrate: interpreter, instruction cache, and the cycle-cost model.
+
+- :mod:`repro.cpu.state` — architectural register state per hardware thread.
+- :mod:`repro.cpu.icache` — per-core instruction cache with *explicit*
+  invalidation only: cross-modifying code that skips the flush/serialize
+  protocol executes stale or torn instructions, which is how pitfall P5
+  manifests here exactly as on real silicon.
+- :mod:`repro.cpu.cycles` — the event-based cost model behind every
+  performance number in Tables 5 and 6 (see DESIGN.md §4 for calibration).
+- :mod:`repro.cpu.core` — single-step instruction semantics.
+"""
+
+from repro.cpu.state import CpuContext, Flags
+from repro.cpu.icache import ICache
+from repro.cpu.cycles import CycleModel, Event
+from repro.cpu.core import HostcallRegistry, step
+
+__all__ = [
+    "CpuContext",
+    "Flags",
+    "ICache",
+    "CycleModel",
+    "Event",
+    "HostcallRegistry",
+    "step",
+]

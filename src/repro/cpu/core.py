@@ -1,0 +1,275 @@
+"""Single-step instruction semantics for SimX86.
+
+:func:`step` executes exactly one instruction for an execution environment
+(duck-typed; implemented by :class:`repro.kernel.process.Thread`):
+
+- ``context`` — a :class:`repro.cpu.state.CpuContext`;
+- ``icache`` — this thread's core-local :class:`repro.cpu.icache.ICache`;
+- ``mem_fetch(addr, n)`` / ``mem_read(addr, n)`` / ``mem_write(addr, data)``
+  — permission-checked memory access (fetch is PKU-exempt);
+- ``on_syscall()`` — kernel dispatch for ``syscall``/``sysenter``;
+- ``on_hostcall(index)`` — host-callback dispatch for interposer bodies;
+- ``charge(event)`` — cycle accounting.
+
+RIP is advanced *before* execution, matching hardware: the kernel sees the
+return address in RCX on ``syscall``, and a trampoline entered by
+``callq *%rax`` finds the address of the instruction after the rewritten
+site on the stack — the exact property zpoline-style handlers rely on.
+
+Condition codes model ZF/SF only (no OF/CF); signed comparisons in SimX86
+programs must keep operands within ±2^62, which all generated workloads do.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List
+
+from repro.arch.isa import Cond, Instruction, Mnemonic
+from repro.arch.registers import Reg
+from repro.cpu.cycles import Event
+from repro.errors import Breakpoint, DecodeError, Halt, InvalidOpcode
+
+_MASK64 = (1 << 64) - 1
+
+
+def _burned_index(env) -> None:  # pragma: no cover - placeholder slot
+    raise InvalidOpcode(0, "burned hostcall index")
+
+
+class HostcallRegistry:
+    """Maps hostcall indices to Python callables.
+
+    Interposer bodies (signal handler logic, trampoline tails) are registered
+    here by library constructors; simulated code reaches them with the
+    ``HOSTCALL`` escape instruction.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: List[Callable] = []
+        self._names: Dict[int, str] = {}
+
+    #: Indices whose little-endian encoding would place a ``0F 05``/``0F 34``
+    #: byte pair inside the HOSTCALL instruction (e.g. 0x050F → ``0F 05``),
+    #: which would perturb byte-scanning experiments.  Burned, never issued.
+    _HAZARDOUS_INDICES = frozenset({0x050F, 0x340F})
+
+    def register(self, handler: Callable, name: str = "") -> int:
+        """Register *handler*; returns the index to assemble into code."""
+        while len(self._handlers) in self._HAZARDOUS_INDICES:
+            self._handlers.append(_burned_index)
+        index = len(self._handlers)
+        self._handlers.append(handler)
+        self._names[index] = name or getattr(handler, "__name__", f"host{index}")
+        return index
+
+    def get(self, index: int) -> Callable:
+        try:
+            return self._handlers[index]
+        except IndexError:
+            raise InvalidOpcode(0, f"unregistered hostcall {index}") from None
+
+    def name(self, index: int) -> str:
+        return self._names.get(index, f"host{index}")
+
+    def __len__(self) -> int:
+        return len(self._handlers)
+
+
+def _cond_met(cond: Cond, flags) -> bool:
+    if cond is Cond.E:
+        return flags.zf
+    if cond is Cond.NE:
+        return not flags.zf
+    if cond is Cond.L:
+        return flags.sf
+    if cond is Cond.GE:
+        return not flags.sf
+    if cond is Cond.LE:
+        return flags.zf or flags.sf
+    if cond is Cond.G:
+        return not (flags.zf or flags.sf)
+    if cond is Cond.S:
+        return flags.sf
+    if cond is Cond.NS:
+        return not flags.sf
+    raise InvalidOpcode(0, f"unsupported condition {cond.name}")
+
+
+def step(env) -> Instruction:
+    """Execute one instruction; returns it (for tracing)."""
+    ctx = env.context
+    fetch_addr = ctx.rip
+    try:
+        insn = env.icache.fetch(fetch_addr, env.mem_fetch)
+    except DecodeError as exc:
+        raise InvalidOpcode(fetch_addr, str(exc)) from exc
+
+    ctx.rip = (ctx.rip + insn.length) & _MASK64
+    env.charge(Event.INSTRUCTION)
+    m = insn.mnemonic
+
+    if m in (Mnemonic.NOP, Mnemonic.ENDBR64):
+        # Interpreter optimization: consume runs of single-byte nops in one
+        # step (the trampoline sled at address 0 is up to 512 of them).
+        # Semantics are identical — nops have no side effects.  The run is
+        # charged as a single retired instruction: nop-sled traversal cost
+        # is modelled by the TRAMPOLINE_SLED event the interposer handlers
+        # charge (matching zpoline's jump-optimized trampoline, whose
+        # traversal cost is near-constant in the landing offset).
+        if insn.length == 1:
+            while True:
+                lookahead = b""
+                for span in (64, 16, 4, 1):  # degrade at page boundaries
+                    try:
+                        lookahead = env.mem_fetch(ctx.rip, span)
+                        break
+                    except Exception:
+                        continue
+                run = 0
+                while run < len(lookahead) and lookahead[run] == 0x90:
+                    run += 1
+                if run == 0:
+                    break
+                ctx.rip = (ctx.rip + run) & _MASK64
+                if run < len(lookahead):
+                    break
+
+    elif m is Mnemonic.MOV_RI:
+        ctx.set(insn.reg, insn.imm)
+
+    elif m is Mnemonic.MOV_RR:
+        ctx.set(insn.reg, ctx.get(insn.rm))
+
+    elif m is Mnemonic.MOV_LOAD:
+        raw = env.mem_read(ctx.get(insn.rm), 8)
+        ctx.set(insn.reg, struct.unpack("<Q", raw)[0])
+
+    elif m is Mnemonic.MOV_STORE:
+        _store(env, ctx.get(insn.rm), struct.pack("<Q", ctx.get(insn.reg)))
+
+    elif m is Mnemonic.MOV_LOAD8:
+        raw = env.mem_read(ctx.get(insn.rm), 1)
+        ctx.set(insn.reg, raw[0])
+
+    elif m is Mnemonic.MOV_STORE8:
+        _store(env, ctx.get(insn.rm), bytes([ctx.get(insn.reg) & 0xFF]))
+
+    elif m is Mnemonic.LEA_RIP:
+        ctx.set(insn.reg, (ctx.rip + insn.rel) & _MASK64)
+
+    elif m is Mnemonic.ADD_RR:
+        result = ctx.get(insn.reg) + ctx.get(insn.rm)
+        ctx.set(insn.reg, result)
+        ctx.flags.set_from_result(result)
+
+    elif m is Mnemonic.SUB_RR:
+        result = ctx.get(insn.reg) - ctx.get(insn.rm)
+        ctx.set(insn.reg, result)
+        ctx.flags.set_from_result(result)
+
+    elif m is Mnemonic.CMP_RR:
+        ctx.flags.set_from_result(ctx.get(insn.reg) - ctx.get(insn.rm))
+
+    elif m is Mnemonic.XOR_RR:
+        result = ctx.get(insn.reg) ^ ctx.get(insn.rm)
+        ctx.set(insn.reg, result)
+        ctx.flags.set_from_result(result)
+
+    elif m is Mnemonic.TEST_RR:
+        ctx.flags.set_from_result(ctx.get(insn.reg) & ctx.get(insn.rm))
+
+    elif m is Mnemonic.ADD_RI:
+        result = ctx.get(insn.reg) + insn.imm
+        ctx.set(insn.reg, result)
+        ctx.flags.set_from_result(result)
+
+    elif m is Mnemonic.SUB_RI:
+        result = ctx.get(insn.reg) - insn.imm
+        ctx.set(insn.reg, result)
+        ctx.flags.set_from_result(result)
+
+    elif m is Mnemonic.CMP_RI:
+        ctx.flags.set_from_result(ctx.get(insn.reg) - insn.imm)
+
+    elif m is Mnemonic.INC:
+        result = ctx.get(insn.reg) + 1
+        ctx.set(insn.reg, result)
+        ctx.flags.set_from_result(result)
+
+    elif m is Mnemonic.DEC:
+        result = ctx.get(insn.reg) - 1
+        ctx.set(insn.reg, result)
+        ctx.flags.set_from_result(result)
+
+    elif m is Mnemonic.PUSH:
+        _push(env, ctx.get(insn.reg))
+
+    elif m is Mnemonic.POP:
+        ctx.set(insn.reg, _pop(env))
+
+    elif m is Mnemonic.JMP_REL:
+        ctx.rip = (ctx.rip + insn.rel) & _MASK64
+
+    elif m is Mnemonic.JCC_REL:
+        if _cond_met(insn.cond, ctx.flags):
+            ctx.rip = (ctx.rip + insn.rel) & _MASK64
+
+    elif m is Mnemonic.CALL_REL:
+        _push(env, ctx.rip)
+        ctx.rip = (ctx.rip + insn.rel) & _MASK64
+
+    elif m is Mnemonic.CALL_REG:
+        _push(env, ctx.rip)
+        ctx.rip = ctx.get(insn.reg)
+
+    elif m is Mnemonic.JMP_REG:
+        ctx.rip = ctx.get(insn.reg)
+
+    elif m is Mnemonic.RET:
+        ctx.rip = _pop(env)
+
+    elif m in (Mnemonic.SYSCALL, Mnemonic.SYSENTER):
+        env.on_syscall()
+
+    elif m is Mnemonic.HOSTCALL:
+        env.on_hostcall(insn.hostcall)
+
+    elif m in (Mnemonic.CPUID, Mnemonic.MFENCE):
+        # Serializing: this core discards any stale decoded lines.
+        env.icache.flush_all()
+
+    elif m is Mnemonic.INT3:
+        raise Breakpoint(fetch_addr)
+
+    elif m is Mnemonic.UD2:
+        raise InvalidOpcode(fetch_addr, "ud2")
+
+    elif m is Mnemonic.HLT:
+        raise Halt(f"hlt in user mode at {fetch_addr:#x}")
+
+    else:  # pragma: no cover - table is exhaustive
+        raise InvalidOpcode(fetch_addr, f"unimplemented {m}")
+
+    return insn
+
+
+def _store(env, addr: int, data: bytes) -> None:
+    env.mem_write(addr, data)
+    # x86 local coherence: the storing core sees its own modification.
+    env.icache.invalidate_range(addr, len(data))
+
+
+def _push(env, value: int) -> None:
+    ctx = env.context
+    rsp = (ctx.get(Reg.RSP) - 8) & _MASK64
+    ctx.set(Reg.RSP, rsp)
+    env.mem_write(rsp, struct.pack("<Q", value & _MASK64))
+
+
+def _pop(env) -> int:
+    ctx = env.context
+    rsp = ctx.get(Reg.RSP)
+    value = struct.unpack("<Q", env.mem_read(rsp, 8))[0]
+    ctx.set(Reg.RSP, (rsp + 8) & _MASK64)
+    return value

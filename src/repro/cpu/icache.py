@@ -1,0 +1,89 @@
+"""Per-core instruction cache with explicit-invalidation semantics.
+
+x86 keeps the instruction cache coherent with *local* stores, but
+cross-modifying code (thread A patches bytes thread B is executing) is only
+architecturally safe if the writer uses a proper protocol and the executor
+serializes.  lazypoline's rewriter does neither (pitfall P5): it stores the
+two patch bytes non-atomically and never serializes other cores, so a core
+that already decoded the old instruction may keep executing it, or may fetch
+a *torn* half-patched encoding.
+
+This cache models that hazard precisely:
+
+- each core caches decoded instructions by address;
+- stores by the *same* core invalidate its own lines (x86 local coherence);
+- stores by *other* cores leave the cache stale unless the writer calls
+  :meth:`ICache.flush_remote` on every core (the "icache flush / shootdown"
+  a correct rewriter performs) or the executing core runs a serializing
+  instruction (``cpuid``/``mfence`` in the SimX86 subset).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.arch.decoder import decode
+from repro.arch.isa import Instruction
+from repro.errors import DecodeError
+
+#: Maximum bytes one line caches (longest SimX86 instruction is 10 bytes).
+LINE_SPAN = 16
+
+
+class ICache:
+    """Decoded-instruction cache for one core."""
+
+    def __init__(self, core_id: int = 0):
+        self.core_id = core_id
+        self._lines: Dict[int, Tuple[bytes, Instruction]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(self, address: int, read_bytes) -> Instruction:
+        """Return the instruction at *address*.
+
+        ``read_bytes(addr, n)`` performs the actual (permission-checked)
+        memory fetch on a miss.  On a hit the cached decode is returned
+        without touching memory — stale bytes and all.
+        """
+        line = self._lines.get(address)
+        if line is not None:
+            self.hits += 1
+            return line[1]
+        self.misses += 1
+        raw = None
+        fault = None
+        # A full line may cross into an unmapped page even though the
+        # instruction itself fits (e.g. the tail of the trampoline page);
+        # degrade to shorter reads before giving up.
+        for span in (LINE_SPAN, 10, 5, 2, 1):
+            try:
+                raw = read_bytes(address, span)
+                break
+            except Exception as exc:  # SegmentationFault and kin
+                fault = exc
+        if raw is None:
+            raise fault
+        insn = decode(raw, 0)
+        self._lines[address] = (raw[: insn.length], insn)
+        return insn
+
+    # -- invalidation protocol -------------------------------------------------
+
+    def invalidate_range(self, start: int, length: int) -> None:
+        """Drop lines overlapping ``[start, start+length)``.
+
+        Called automatically for same-core stores, and by correct rewriters
+        (zpoline, K23) for every core after patching.
+        """
+        doomed = [addr for addr in self._lines
+                  if addr < start + length and start < addr + len(self._lines[addr][0])]
+        for addr in doomed:
+            del self._lines[addr]
+
+    def flush_all(self) -> None:
+        """Serializing instruction executed on this core (cpuid/mfence)."""
+        self._lines.clear()
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,154 @@
+"""Exception hierarchy shared across the repro package.
+
+Every failure mode of the simulated machine maps onto one of these
+exceptions so that tests and pitfall PoCs can assert on precise outcomes
+(e.g. "a NULL code fetch must raise :class:`SegmentationFault`, not silently
+execute trampoline bytes").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DecodeError(ReproError):
+    """Raised when a byte sequence cannot be decoded as a SimX86 instruction.
+
+    Attributes:
+        offset: byte offset (relative to the buffer handed to the decoder)
+            at which decoding failed.
+    """
+
+    def __init__(self, message: str, offset: int = 0):
+        super().__init__(message)
+        self.offset = offset
+
+
+class AssemblerError(ReproError):
+    """Raised for invalid assembler input (unknown label, bad operand...)."""
+
+
+class MemoryError_(ReproError):
+    """Base class for address-space errors (named with a trailing underscore
+    to avoid shadowing the builtin :class:`MemoryError`)."""
+
+
+class SegmentationFault(MemoryError_):
+    """An access violated page permissions or touched unmapped memory.
+
+    Attributes:
+        address: faulting virtual address.
+        access: one of ``"read"``, ``"write"``, ``"exec"``.
+        reason: human-readable cause ("unmapped", "permission", "pkey").
+    """
+
+    def __init__(self, address: int, access: str, reason: str = "unmapped"):
+        super().__init__(
+            f"segmentation fault: {access} access at {address:#x} ({reason})"
+        )
+        self.address = address
+        self.access = access
+        self.reason = reason
+
+
+class ProtectionKeyFault(SegmentationFault):
+    """A data access was blocked by the thread's PKRU register.
+
+    On real hardware this is reported as a SIGSEGV with ``si_code=SEGV_PKUERR``;
+    we keep it as a subclass of :class:`SegmentationFault` so generic handlers
+    treat it identically.
+    """
+
+    def __init__(self, address: int, access: str):
+        super().__init__(address, access, reason="pkey")
+
+
+class MapError(MemoryError_):
+    """``mmap``/``mprotect``-style request could not be satisfied."""
+
+
+class CPUFault(ReproError):
+    """Base class for faults raised while the CPU executes instructions."""
+
+
+class InvalidOpcode(CPUFault):
+    """The CPU fetched bytes that do not form a valid instruction (#UD)."""
+
+    def __init__(self, address: int, message: str = ""):
+        super().__init__(f"invalid opcode at {address:#x}{': ' + message if message else ''}")
+        self.address = address
+
+
+class Breakpoint(CPUFault):
+    """An ``int3`` instruction was executed (#BP)."""
+
+    def __init__(self, address: int):
+        super().__init__(f"breakpoint at {address:#x}")
+        self.address = address
+
+
+class Halt(ReproError):
+    """A ``hlt`` instruction was executed in user mode (treated as #GP)."""
+
+
+class KernelError(ReproError):
+    """Base class for simulated-kernel errors."""
+
+
+class NoSuchProcess(KernelError):
+    """Operation referenced a PID that does not exist."""
+
+
+class ProcessExited(KernelError):
+    """Raised internally to unwind the interpreter when a process exits.
+
+    Attributes:
+        status: the exit status passed to ``exit``/``exit_group``.
+    """
+
+    def __init__(self, status: int):
+        super().__init__(f"process exited with status {status}")
+        self.status = status
+
+
+class ProcessKilled(ProcessExited):
+    """The process was terminated by a fatal signal.
+
+    Attributes:
+        signal: the terminating signal number.
+    """
+
+    def __init__(self, signal: int, detail: str = ""):
+        ProcessExited.__init__(self, 128 + signal)
+        self.signal = signal
+        self.detail = detail
+        self.args = (f"process killed by signal {signal}"
+                     f"{' (' + detail + ')' if detail else ''}",)
+
+
+class InterposerAbort(ProcessExited):
+    """An interposer deliberately aborted the process (e.g. K23's NULL
+    execution check or prctl guard fired).
+
+    Attributes:
+        reason: why the interposer pulled the trigger.
+    """
+
+    def __init__(self, reason: str):
+        ProcessExited.__init__(self, 134)  # SIGABRT-style status
+        self.reason = reason
+        self.args = (f"interposer abort: {reason}",)
+
+
+class LoaderError(ReproError):
+    """The program image or one of its libraries could not be loaded."""
+
+
+class VFSError(KernelError):
+    """Simulated-filesystem error; carries a Linux errno."""
+
+    def __init__(self, errno: int, message: str):
+        super().__init__(message)
+        self.errno = errno

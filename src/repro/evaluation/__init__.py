@@ -1,0 +1,35 @@
+"""Evaluation harness: the paper's §6 methodology and every table/figure.
+
+- :mod:`repro.evaluation.stats` — 10-run repetition with min/max outlier
+  drop, geometric means, std-% reporting, and the seeded measurement-noise
+  model (the simulator is deterministic; run-to-run variance is modelled).
+- :mod:`repro.evaluation.runner` — mechanism registry (the 8 evaluated
+  configurations) and the micro/macro measurement drivers.
+- :mod:`repro.evaluation.tables` — Table 2/3/4/5/6 renderers.
+- :mod:`repro.evaluation.figures` — Figure 1–4 generators.
+- :mod:`repro.evaluation.experiments` — the CLI
+  (``python -m repro.evaluation.experiments <table2|...|figure4|all>``).
+"""
+
+from repro.evaluation.stats import RepeatedMeasurement, geomean
+from repro.evaluation.runner import (
+    MECHANISMS,
+    measure_micro_cycles,
+    micro_overheads,
+    MacroConfig,
+    MACRO_CONFIGS,
+    measure_macro,
+    macro_results,
+)
+
+__all__ = [
+    "RepeatedMeasurement",
+    "geomean",
+    "MECHANISMS",
+    "measure_micro_cycles",
+    "micro_overheads",
+    "MacroConfig",
+    "MACRO_CONFIGS",
+    "measure_macro",
+    "macro_results",
+]

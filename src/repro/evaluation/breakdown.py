@@ -1,0 +1,88 @@
+"""Where-the-cycles-went decomposition.
+
+The cycle model keeps per-event counters, so any run can be decomposed into
+its cost sources — the analysis §6.2.1 does narratively ("the performance
+degradation ... stems primarily from relying on SUD as a fallback
+mechanism") becomes a table.  Used by the microbenchmark analysis bench and
+available for any workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.cycles import Event
+from repro.kernel import Kernel
+
+
+def _counts_for(name: str, iterations: int, seed: int) -> Dict[Event, int]:
+    from repro.core import OfflinePhase
+    from repro.core.offline import import_logs
+    from repro.evaluation.runner import make_interposer, needs_offline
+    from repro.workloads.stress import STRESS_PATH, build_stress
+
+    kernel = Kernel(seed=seed)
+    kernel.torn_window_probability = 0.0
+    build_stress(iterations).register(kernel)
+    if needs_offline(name):
+        offline_kernel = Kernel(seed=seed + 1)
+        build_stress(16).register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run(STRESS_PATH)
+        import_logs(kernel, offline.export())
+    make_interposer(name, kernel)
+    process = kernel.spawn_process(STRESS_PATH)
+    kernel.run_process(process, max_steps=50_000_000)
+    if not process.exited or process.exit_status != 0:
+        raise RuntimeError(f"decomposition run failed under {name}")
+    return kernel.cycles.snapshot()
+
+
+def run_decomposed(name: str, iterations: int = 800, seed: int = 85
+                   ) -> Dict[Event, Tuple[int, int]]:
+    """Steady-state per-event ``(count, cycles)`` for *iterations* of the
+    stress loop under mechanism *name*.
+
+    Differential, like Table 5's measurement: two runs with different
+    iteration counts, subtracted — so one-time startup costs (the K23
+    ptrace stage, zpoline's load-time rewrites) cancel and only the
+    per-call regime remains.
+    """
+    low = _counts_for(name, iterations // 4, seed)
+    high = _counts_for(name, iterations + iterations // 4, seed)
+    from repro.cpu.cycles import DEFAULT_COSTS
+
+    breakdown: Dict[Event, Tuple[int, int]] = {}
+    for event in Event:
+        count = high[event] - low[event]
+        if count:
+            breakdown[event] = (count, count * DEFAULT_COSTS[event])
+    return breakdown
+
+
+def render_breakdown(name: str,
+                     breakdown: Dict[Event, Tuple[int, int]]) -> str:
+    total = sum(cycles for _count, cycles in breakdown.values())
+    lines = [f"cycle decomposition: {name}",
+             f"{'event':<24} {'count':>10} {'cycles':>12} {'share':>7}",
+             "-" * 58]
+    ordered = sorted(breakdown.items(), key=lambda item: -item[1][1])
+    for event, (count, cycles) in ordered:
+        share = 100.0 * cycles / total if total else 0.0
+        lines.append(f"{event.value:<24} {count:>10,} {cycles:>12,} "
+                     f"{share:>6.1f}%")
+    lines.append(f"{'total':<24} {'':>10} {total:>12,}")
+    return "\n".join(lines)
+
+
+def dominant_event(breakdown: Dict[Event, Tuple[int, int]],
+                   exclude: Tuple[Event, ...] = (Event.INSTRUCTION,
+                                                 Event.KERNEL_SYSCALL)
+                   ) -> Optional[Event]:
+    """The costliest event outside baseline execution — the mechanism's
+    characteristic expense."""
+    candidates = [(cycles, event) for event, (_count, cycles)
+                  in breakdown.items() if event not in exclude]
+    if not candidates:
+        return None
+    return max(candidates)[1]

@@ -1,0 +1,190 @@
+"""Experiment CLI: regenerate any table or figure from the paper.
+
+Usage::
+
+    python -m repro.evaluation.experiments table2
+    python -m repro.evaluation.experiments table3
+    python -m repro.evaluation.experiments table4
+    python -m repro.evaluation.experiments table5
+    python -m repro.evaluation.experiments table6 [row-key]
+    python -m repro.evaluation.experiments figure1|figure2|figure3|figure4
+    python -m repro.evaluation.experiments all
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+from repro.core import OfflinePhase
+from repro.evaluation import figures
+from repro.evaluation.runner import (
+    MACRO_BY_KEY,
+    MACRO_CONFIGS,
+    MECHANISMS,
+    macro_results,
+    micro_overheads,
+)
+from repro.evaluation.tables import (
+    render_table2,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from repro.kernel import Kernel
+from repro.workloads.clients import redis_benchmark, wrk
+from repro.workloads.coreutils import install_coreutils
+from repro.workloads.lighttpd import LIGHTTPD_PORT, install_lighttpd
+from repro.workloads.nginx import NGINX_PORT, install_nginx
+from repro.workloads.redis import REDIS_PORT, install_redis
+from repro.workloads.sqlite import install_sqlite
+
+
+def run_table2(seed: int = 12) -> str:
+    """Offline-phase unique-site counts for all nine programs."""
+    counts: Dict[str, int] = {}
+    # Coreutils: plain runs.
+    kernel = Kernel(seed=seed)
+    paths = install_coreutils(kernel)
+    offline = OfflinePhase(kernel)
+    for path in paths:
+        _proc, log = offline.run(path)
+        counts[path] = len(log)
+    # sqlite.
+    kernel = Kernel(seed=seed)
+    sqlite_path = install_sqlite(kernel)
+    offline = OfflinePhase(kernel)
+    _proc, log = offline.run(sqlite_path, max_steps=20_000_000)
+    counts[sqlite_path] = len(log)
+    # Servers, driven with representative workloads.
+    server_specs = [
+        (lambda k: install_nginx(k, 1, 0), NGINX_PORT, wrk),
+        (lambda k: install_lighttpd(k, 1, 0), LIGHTTPD_PORT, wrk),
+        (lambda k: install_redis(k, 1), REDIS_PORT, redis_benchmark),
+    ]
+    for installer, port, client_factory in server_specs:
+        kernel = Kernel(seed=seed)
+        path = installer(kernel)
+        offline = OfflinePhase(kernel)
+
+        def driver(kern, proc, _port=port, _factory=client_factory):
+            kern.run(max_steps=600_000)
+            generator = _factory(kern, _port, 1)
+            generator.drive(12)
+            generator.close()
+
+        _proc, log = offline.run(path, driver=driver, max_steps=20_000_000)
+        counts[path] = len(log)
+    # Order as in the paper (coreutils by count, then apps).
+    ordered = dict(sorted(counts.items(), key=lambda kv: kv[1]))
+    return render_table2(ordered)
+
+
+def run_table3(show_evidence: bool = True) -> str:
+    from repro.pitfalls import pitfall_matrix, render_table3
+
+    return render_table3(pitfall_matrix(), show_evidence=show_evidence)
+
+
+def run_table4() -> str:
+    return render_table4()
+
+
+def run_table5() -> str:
+    return render_table5(micro_overheads())
+
+
+def run_table6(keys: "List[str] | None" = None) -> str:
+    rows = []
+    for config in MACRO_CONFIGS:
+        if keys and config.key not in keys:
+            continue
+        results = macro_results(config)
+        rows.append({
+            "label": config.label,
+            "native": results["native"].get("throughput"),
+            "relative": {name: results[name]["relative_pct"]
+                         for name in MECHANISMS if name != "native"},
+            "paper_relative": config.paper_relative,
+        })
+    return render_table6(rows)
+
+
+def run_figure1() -> str:
+    return figures.figure1()
+
+
+def run_figure2() -> str:
+    return figures.figure2()
+
+
+def run_figure3() -> str:
+    path, contents = figures.figure3()
+    return (f"Figure 3: log file generated for ls ({path}):\n\n"
+            + contents)
+
+
+def run_figure4() -> str:
+    return figures.figure4()
+
+
+def run_report() -> str:
+    """Regenerate everything into one markdown report (also written to
+    benchmarks/output/report.md when that directory exists)."""
+    import pathlib
+    import sys
+
+    from repro.evaluation.report import generate_report
+
+    text = generate_report(out=sys.stdout)
+    out_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "output"
+    if out_dir.parent.exists():
+        out_dir.mkdir(exist_ok=True)
+        (out_dir / "report.md").write_text(text)
+    return ""
+
+
+_EXPERIMENTS = {
+    "report": run_report,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+}
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    target = args[0]
+    if target == "all":
+        for name, runner in _EXPERIMENTS.items():
+            print(f"\n=== {name} " + "=" * (66 - len(name)))
+            print(runner())
+        return 0
+    runner = _EXPERIMENTS.get(target)
+    if runner is None:
+        print(f"unknown experiment {target!r}; "
+              f"choose from {', '.join(_EXPERIMENTS)} or 'all'")
+        return 2
+    if target == "table6" and len(args) > 1:
+        for key in args[1:]:
+            if key not in MACRO_BY_KEY:
+                print(f"unknown table6 row {key!r}; "
+                      f"rows: {', '.join(MACRO_BY_KEY)}")
+                return 2
+        print(run_table6(args[1:]))
+        return 0
+    print(runner())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

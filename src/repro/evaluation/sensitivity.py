@@ -1,0 +1,139 @@
+"""Sensitivity analysis: are the reproduced conclusions calibration-proof?
+
+The cycle model's constants were calibrated against the paper's Table 5
+(DESIGN.md §4).  A fair question is whether the *qualitative* conclusions —
+who wins, where SUD collapses, which variant costs what — depend on those
+exact values.  This module perturbs each calibrated constant across a
+range and re-derives the microbenchmark analytically (the per-mechanism
+event counts per call are fixed by each design, so the overhead is a
+closed-form function of the costs), then checks the paper's ordering
+invariants at every point.
+
+Per-call event counts (validated against the simulator by
+``tests/evaluation/test_sensitivity.py``):
+
+====================  =============================================
+mechanism             events per syscall-500 invocation
+====================  =============================================
+native                loop instructions + KERNEL
+zpoline-default       + 4 insns + SLED + ZPOLINE_HANDLER
+zpoline-ultra         + BITMAP_CHECK
+SUD-no-interposition  + SLOWPATH
+K23-default           + SLOWPATH + 4 insns + SLED + K23 + 2×SEL
+lazypoline            + SLOWPATH + 4 insns + SLED + LAZY + 2×SEL
+K23-ultra(+)          + HASHSET (+ STACK_SWITCH)
+SUD                   + SLOWPATH×2 + KERNEL + DELIVERY + SIGRETURN
+                      + 2×SEL
+====================  =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.cpu.cycles import DEFAULT_COSTS, Event
+
+#: Instructions per microbenchmark iteration outside the kernel (loop body,
+#: libc shim, wrapper) — measured once from the simulator.
+NATIVE_INSNS = 15
+
+#: Extra instructions on the rewritten path (callq, sled batch, hostcall,
+#: ret).
+TRAMPOLINE_INSNS = 4
+
+
+def analytic_micro(costs: Dict[Event, int]) -> Dict[str, float]:
+    """Closed-form per-call cycles for every mechanism under *costs*."""
+    c = costs
+    native = NATIVE_INSNS * c[Event.INSTRUCTION] + c[Event.KERNEL_SYSCALL]
+    trampoline = (TRAMPOLINE_INSNS * c[Event.INSTRUCTION]
+                  + c[Event.TRAMPOLINE_SLED])
+    sud_floor = c[Event.SUD_ARMED_SLOWPATH]
+    selector = 2 * c[Event.SUD_SELECTOR_WRITE]
+    per_call = {
+        "native": native,
+        "zpoline-default": native + trampoline + c[Event.ZPOLINE_HANDLER],
+        "SUD-no-interposition": native + sud_floor,
+        "K23-default": (native + sud_floor + trampoline
+                        + c[Event.K23_HANDLER] + selector),
+        "lazypoline": (native + sud_floor + trampoline
+                       + c[Event.LAZYPOLINE_HANDLER] + selector),
+        "SUD": (native + sud_floor * 2 + c[Event.KERNEL_SYSCALL]
+                + c[Event.SIGNAL_DELIVERY] + c[Event.SIGRETURN] + selector),
+    }
+    per_call["zpoline-ultra"] = (per_call["zpoline-default"]
+                                 + c[Event.BITMAP_CHECK])
+    per_call["K23-ultra"] = per_call["K23-default"] + c[Event.HASHSET_CHECK]
+    per_call["K23-ultra+"] = per_call["K23-ultra"] + c[Event.STACK_SWITCH]
+    return per_call
+
+
+#: The paper's qualitative claims, as ordering predicates over per-call
+#: cycles.  Each must hold at every perturbation point.
+def invariants_hold(per_call: Dict[str, float]) -> List[str]:
+    """Returns the list of violated invariants (empty = all hold)."""
+    violations = []
+
+    def check(name: str, condition: bool) -> None:
+        if not condition:
+            violations.append(name)
+
+    check("zpoline fastest interposer",
+          per_call["zpoline-ultra"] < min(per_call["K23-default"],
+                                          per_call["lazypoline"]))
+    check("K23-default beats lazypoline",
+          per_call["K23-default"] < per_call["lazypoline"])
+    check("armed-SUD floor under K23",
+          per_call["K23-default"] > per_call["SUD-no-interposition"])
+    check("checks cost something",
+          per_call["K23-ultra"] > per_call["K23-default"]
+          and per_call["zpoline-ultra"] > per_call["zpoline-default"])
+    check("SUD collapse (>5x everyone else)",
+          per_call["SUD"] > 5 * per_call["K23-ultra+"])
+    return violations
+
+
+#: Constants perturbed and the multiplier range swept.
+SWEPT_CONSTANTS: Tuple[Event, ...] = (
+    Event.KERNEL_SYSCALL,
+    Event.SUD_ARMED_SLOWPATH,
+    Event.SIGNAL_DELIVERY,
+    Event.SIGRETURN,
+    Event.TRAMPOLINE_SLED,
+    Event.ZPOLINE_HANDLER,
+    Event.LAZYPOLINE_HANDLER,
+    Event.K23_HANDLER,
+    Event.BITMAP_CHECK,
+    Event.HASHSET_CHECK,
+)
+
+MULTIPLIERS: Tuple[float, ...] = (0.5, 0.7, 1.0, 1.5, 2.0)
+
+
+def sweep() -> List[Tuple[str, float, List[str]]]:
+    """Perturb each constant over MULTIPLIERS; returns
+    ``(event, multiplier, violations)`` triples."""
+    results = []
+    for event in SWEPT_CONSTANTS:
+        for multiplier in MULTIPLIERS:
+            costs = dict(DEFAULT_COSTS)
+            costs[event] = max(1, int(costs[event] * multiplier))
+            per_call = analytic_micro(costs)
+            results.append((event.value, multiplier,
+                            invariants_hold(per_call)))
+    return results
+
+
+def render_sweep(results) -> str:
+    lines = ["Sensitivity: paper-ordering invariants under cost perturbation",
+             f"({len(results)} points: "
+             f"{len(SWEPT_CONSTANTS)} constants x {len(MULTIPLIERS)} "
+             f"multipliers)", ""]
+    broken = [r for r in results if r[2]]
+    if not broken:
+        lines.append("all invariants hold at every point.")
+    else:
+        for event, multiplier, violations in broken:
+            lines.append(f"  {event} x{multiplier}: "
+                         f"violated {', '.join(violations)}")
+    return "\n".join(lines)

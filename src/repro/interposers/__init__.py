@@ -1,0 +1,59 @@
+"""System call interposers — the paper's comparison set.
+
+Each interposer governs processes spawned while installed on the kernel
+(``kernel.interposer = <instance>``), injecting itself the same way its
+native counterpart does (``LD_PRELOAD`` constructor, SUD arming, ptrace
+attach).  All expose the same surface:
+
+- ``hook`` — the interposition function.  The default mirrors the paper's
+  evaluation methodology: an empty hook that forwards the original call and
+  returns its result (§6.2).
+- ``handled`` — per-pid log of application syscalls the interposer actually
+  saw, compared against kernel ground truth by the exhaustiveness
+  experiments.
+
+Members:
+
+- :class:`repro.interposers.null_interposer.NullInterposer` — native baseline.
+- :class:`repro.interposers.sud_interposer.SudInterposer` — pure SUD
+  (and the selector-ALLOW "no-interposition" variant isolating the armed
+  slow path).
+- :class:`repro.interposers.ptracer.PtraceInterposer` — ptrace from first
+  instruction.
+- :class:`repro.interposers.zpoline.ZpolineInterposer` — load-time static
+  rewriting (``-default`` / ``-ultra``), with its genuine pitfalls.
+- :class:`repro.interposers.lazypoline.LazypolineInterposer` — SUD-discovery
+  runtime rewriting, with its genuine pitfalls.
+"""
+
+from repro.interposers.base import EMPTY_HOOK, Interposer, SyscallHook
+from repro.interposers.hooks import (
+    CountingHook,
+    RedirectHook,
+    SandboxHook,
+    TracingHook,
+    chain,
+)
+from repro.interposers.null_interposer import NullInterposer
+from repro.interposers.sud_interposer import SudInterposer
+from repro.interposers.ptracer import PtraceInterposer
+from repro.interposers.zpoline import ZpolineInterposer
+from repro.interposers.lazypoline import LazypolineInterposer
+from repro.interposers.seccomp_sandbox import SeccompSandbox
+
+__all__ = [
+    "EMPTY_HOOK",
+    "Interposer",
+    "SyscallHook",
+    "NullInterposer",
+    "SudInterposer",
+    "PtraceInterposer",
+    "ZpolineInterposer",
+    "LazypolineInterposer",
+    "SeccompSandbox",
+    "TracingHook",
+    "CountingHook",
+    "SandboxHook",
+    "RedirectHook",
+    "chain",
+]

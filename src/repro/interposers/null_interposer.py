@@ -1,0 +1,11 @@
+"""The native baseline: no interposition at all."""
+
+from __future__ import annotations
+
+from repro.interposers.base import Interposer
+
+
+class NullInterposer(Interposer):
+    """Native execution — the denominator of every overhead figure."""
+
+    name = "native"

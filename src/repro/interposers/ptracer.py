@@ -1,0 +1,63 @@
+"""Standalone ptrace-based interposer.
+
+Exhaustive from the very first instruction — the only commodity mechanism
+with that property (§5.2) — but each syscall costs two tracee stops plus
+tracer-side work, which is why Table 5-class workloads cannot run under it
+permanently.  K23 reuses this machinery for its startup stage
+(:mod:`repro.core.ptracer_stage`).
+"""
+
+from __future__ import annotations
+
+from repro.interposers.base import Interposer
+from repro.kernel.ptrace import Tracer
+
+
+class PtraceInterposer(Interposer):
+    """Attach a host-level tracer to every governed process."""
+
+    name = "ptrace"
+
+    def __init__(self, kernel, hook=None, disable_vdso: bool = True):
+        super().__init__(kernel, hook)
+        self.disable_vdso = disable_vdso
+        self.tracers = {}
+
+    def before_exec(self, process) -> None:
+        tracer = Tracer(self.kernel)
+        tracer.disable_vdso = self.disable_vdso
+        tracer.on_syscall_entry = self._entry
+        self.tracers[process.pid] = tracer
+        tracer.attach(process)
+
+    def _entry(self, stop) -> bool:
+        """Syscall-entry stop: run the hook.
+
+        The default empty hook forwards; under ptrace "forwarding" means
+        letting the stopped syscall proceed, so the hook's ``forward()``
+        returns a token and we translate it into "don't skip".
+        """
+        thread = stop.thread
+        nr = stop.number
+        self.record(thread.process.pid, nr, via="ptrace")
+
+        forwarded = {"yes": False}
+
+        def forward() -> int:
+            # Under ptrace the original call proceeds in the kernel after
+            # the entry stop; the result is only visible at the exit stop.
+            forwarded["yes"] = True
+            return 0
+
+        verdict = self.hook(thread, nr, stop.args(), forward)
+        if not forwarded["yes"]:
+            # The hook swallowed the call (sandbox deny / emulation):
+            # skip execution and make its return value the syscall result.
+            stop.set_result(verdict if isinstance(verdict, int) else 0)
+            return False
+        return True
+
+    def on_process_exit(self, process) -> None:
+        tracer = self.tracers.pop(process.pid, None)
+        if tracer is not None and not tracer.detached:
+            tracer.detach()

@@ -1,0 +1,71 @@
+"""A kernel-level seccomp sandbox — the expressiveness baseline.
+
+§1 frames the trade-off: seccomp "either incurs comparable performance
+overheads or restricts the interposer's expressiveness — such as lacking
+support for deep inspection of pointer arguments — depending on how it is
+configured."  This interposer is the cheap-but-shallow end of that line: a
+pure in-kernel filter (no SIGSYS handler at all) that judges system calls
+on **numbers and raw argument values only**.
+
+Contrast with :class:`repro.interposers.hooks.SandboxHook` on any
+in-process interposer, which can dereference the pointer arguments (read
+the path being opened, the buffer being written) before deciding.  The test
+suite demonstrates the gap concretely: a path-based policy is expressible
+as a hook but *not* as a seccomp filter.
+
+Costs: one filter evaluation per syscall, no signal traffic — the fastest
+possible enforcement, and the least it can know.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.interposers.base import Interposer
+from repro.kernel.seccomp import Action, FilterProgram, Verdict
+from repro.kernel.syscalls import Errno
+
+
+class SeccompSandbox(Interposer):
+    """Install a deny-by-number filter into every governed process.
+
+    Unlike the LD_PRELOAD interposers this needs no library injection at
+    all: the filter is installed before the first instruction (so it also
+    covers the loader's startup syscalls) and cannot be removed from user
+    space — seccomp filters are one-way.  What it *cannot* do is look
+    through pointers: ``deny`` is a set of syscall numbers, optionally
+    refined by :meth:`refine` predicates over raw argument values.
+    """
+
+    name = "seccomp-sandbox"
+
+    def __init__(self, kernel, deny: Iterable[int] = (),
+                 errno: int = Errno.EPERM):
+        super().__init__(kernel)
+        self.deny = frozenset(int(nr) for nr in deny)
+        self.errno = errno
+        self._refinements = []
+        #: (pid, nr, args) of calls the filter rejected.
+        self.denied = []
+
+    def refine(self, nr: int, predicate) -> "SeccompSandbox":
+        """Deny *nr* only when ``predicate(args)`` holds (args are raw
+        integer values — the full extent of seccomp's visibility)."""
+        self._refinements.append((int(nr), predicate))
+        return self
+
+    def _program(self, process) -> FilterProgram:
+        def program(nr: int, args: Sequence[int]) -> Verdict:
+            if nr in self.deny:
+                self.denied.append((process.pid, nr, tuple(args)))
+                return Verdict(Action.ERRNO, self.errno)
+            for target, predicate in self._refinements:
+                if nr == target and predicate(args):
+                    self.denied.append((process.pid, nr, tuple(args)))
+                    return Verdict(Action.ERRNO, self.errno)
+            return Verdict(Action.ALLOW)
+
+        return program
+
+    def before_exec(self, process) -> None:
+        process.seccomp.install(self._program(process))

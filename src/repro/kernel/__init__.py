@@ -1,0 +1,29 @@
+"""Simulated Linux kernel.
+
+Implements the interfaces the paper's interposers are built from, with real
+x86-64 syscall numbers and Linux semantics where the pitfalls depend on them:
+
+- :mod:`repro.kernel.syscalls` — syscall numbers, errno values, prctl and
+  SUD constants.
+- :mod:`repro.kernel.vfs` — in-memory filesystem (files, directories,
+  immutability bit for K23's log directory).
+- :mod:`repro.kernel.net` — localhost stream sockets driven by host-level
+  load generators.
+- :mod:`repro.kernel.process` — processes, threads, file descriptors,
+  environments.
+- :mod:`repro.kernel.signals` — signal actions and SIGSYS/SIGSEGV delivery
+  with mutable ucontexts.
+- :mod:`repro.kernel.sud` — Syscall User Dispatch (selector byte, allowlist
+  range, per-thread arming).
+- :mod:`repro.kernel.ptrace` — cross-process tracing with syscall stops and
+  tracee memory/register access.
+- :mod:`repro.kernel.vdso` — the vDSO fast path that bypasses ``syscall``
+  instructions entirely (half of pitfall P2b).
+- :mod:`repro.kernel.kernel` — dispatch, scheduling, fork/execve/wait.
+"""
+
+from repro.kernel.syscalls import Errno, Nr
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process, Thread
+
+__all__ = ["Errno", "Nr", "Kernel", "Process", "Thread"]

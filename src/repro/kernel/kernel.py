@@ -1,0 +1,453 @@
+"""The simulated kernel: syscall dispatch, signals, scheduling, processes.
+
+Dispatch order at a ``syscall`` instruction mirrors Linux:
+
+1. **Syscall User Dispatch** — if the thread armed SUD and the selector says
+   BLOCK (and the site is outside the allowlisted range), the call never
+   executes; a SIGSYS is delivered instead.
+2. **ptrace** — a traced syscall stops twice (entry/exit) with the tracer
+   able to rewrite registers, memory, and the environment of ``execve``.
+3. **Execution** — the syscall table runs; once any thread of the process
+   has ever armed SUD, every kernel entry also pays the armed-SUD slow path
+   (the cost Table 5 isolates as "SUD-no-interposition").
+
+Ground-truth accounting: every *executed* syscall lands in ``syscall_log``
+with an origin tag, and every vDSO invocation lands in ``vdso_calls`` — the
+raw material for the exhaustiveness experiments (P2a/P2b).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.arch.registers import Reg
+from repro.cpu.core import HostcallRegistry, step as cpu_step
+from repro.cpu.cycles import CycleModel, Event
+from repro.errors import (
+    Breakpoint,
+    Halt,
+    InvalidOpcode,
+    ProcessExited,
+    ProcessKilled,
+    SegmentationFault,
+)
+from repro.kernel.net import NetStack
+from repro.kernel.process import Process, Thread
+from repro.kernel.syscall_impl import BLOCKED as BLOCKED_SENTINEL, SYSCALL_TABLE
+from repro.kernel.signals import SignalContext, default_action
+from repro.kernel.syscalls import (
+    Errno,
+    Nr,
+    SIGILL,
+    SIGSEGV,
+    SIGSYS,
+    SIGTRAP,
+    SIGNAL_NAMES,
+)
+from repro.kernel.vfs import VFS
+
+#: Scheduler quantum: instructions per thread turn.
+DEFAULT_QUANTUM = 100
+
+
+@dataclass
+class SyscallRecord:
+    """One executed system call (ground truth).
+
+    Attributes:
+        pid: calling process.
+        nr: syscall number.
+        site: address of the triggering ``syscall`` instruction, or 0 when
+            the call was issued by host-level interposer code.
+        origin: how the call reached execution —
+            ``"app"`` (raw trap, uninterposed),
+            ``"ptrace"`` (raw trap, observed by an attached tracer),
+            ``"sud-handler"`` / ``"rewrite-handler"`` (an interposer
+            forwarded the application's original call),
+            ``"interposer-internal"`` (interposer bookkeeping, not
+            application-requested).
+    """
+
+    pid: int
+    nr: int
+    site: int
+    origin: str
+
+    @property
+    def app_requested(self) -> bool:
+        return self.origin != "interposer-internal"
+
+    @property
+    def interposed(self) -> bool:
+        return self.origin in ("ptrace", "sud-handler", "rewrite-handler")
+
+
+class Kernel:
+    """One simulated machine: kernel state + scheduler + cycle accounting."""
+
+    def __init__(self, seed: int = 0, costs: Optional[Dict] = None,
+                 aslr: bool = True):
+        self.vfs = VFS()
+        self.net = NetStack()
+        self.cycles = CycleModel(costs)
+        self.hostcalls = HostcallRegistry()
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 100
+        self.rng = random.Random(seed)
+        self.aslr = aslr
+        self.syscall_log: List[SyscallRecord] = []
+        self.vdso_calls: List[tuple] = []
+        self.quantum = DEFAULT_QUANTUM
+        self._preempting = False
+        #: Probability that a mid-patch preemption window actually lets
+        #: sibling threads run (pitfall P5).  The window is nanoseconds wide
+        #: on hardware, so organic workloads rarely land in it; the default
+        #: of 1.0 surfaces the hazard deterministically (as the P5 PoC
+        #: does), while the performance harness sets 0.0 to measure the
+        #: surviving fast path — matching the paper's completed benchmark
+        #: runs of lazypoline.
+        self.torn_window_probability = 1.0
+        #: The interposer harness currently governing new processes (set by
+        #: repro.interposers machinery; None = native execution).
+        self.interposer = None
+        # Lazy import: the loader builds on kernel.process types.
+        from repro.loader.linker import Loader
+
+        self.loader = Loader(self)
+        self._table = SYSCALL_TABLE
+
+    # ------------------------------------------------------------- processes
+
+    def new_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def spawn_process(self, path: str, argv: Optional[List[str]] = None,
+                      env: Optional[Dict[str, str]] = None) -> Process:
+        """Create a process and load *path* into it (fork+exec equivalent)."""
+        process = Process(self, self.new_pid(), path, argv, env)
+        self.processes[process.pid] = process
+        if self.interposer is not None:
+            self.interposer.before_exec(process)
+        self.loader.load_into(process, path, argv or [path], process.env)
+        return process
+
+    def find_process(self, pid: int) -> Optional[Process]:
+        return self.processes.get(pid)
+
+    def now_ns(self) -> int:
+        """Monotonic clock derived from the cycle counter (3.2 GHz)."""
+        return int(self.cycles.cycles / 3.2)
+
+    # ------------------------------------------------------------- dispatch
+
+    def handle_syscall(self, thread: Thread) -> None:
+        """Kernel entry from a ``syscall``/``sysenter`` instruction."""
+        ctx = thread.context
+        process = thread.process
+        nr = ctx.syscall_number
+        site = ctx.rip - 2
+
+        # 1. Syscall User Dispatch.
+        if thread.sud.should_dispatch(site, self._read_selector(process)):
+            # A restarted blocking call (accept/recvfrom that parked inside
+            # the handler's forwarded syscall) re-enters this path purely as
+            # a simulation artifact; on hardware the thread blocks in-kernel
+            # within the ORIGINAL dispatch, so the retry is not re-charged.
+            restart_credit = getattr(thread, "_sud_restart_credit", False)
+            thread._sud_restart_credit = False
+            if not restart_credit:
+                self.cycles.charge(Event.KERNEL_SYSCALL)
+                self.cycles.charge(Event.SUD_ARMED_SLOWPATH)
+                armed = sum(1 for t in process.threads
+                            if t.sud.enabled and not t.exited)
+                if armed > 1:
+                    # Multi-threaded signal-delivery contention (see
+                    # repro.cpu.cycles.SUD_CONTENTION_FACTOR).
+                    from repro.cpu.cycles import SUD_CONTENTION_FACTOR
+
+                    base = (self.cycles.costs[Event.SIGNAL_DELIVERY]
+                            + self.cycles.costs[Event.SIGRETURN])
+                    self.cycles.charge_cycles(
+                        int((armed - 1) * SUD_CONTENTION_FACTOR * base))
+            self.deliver_signal(thread, SIGSYS, fault_rip=site,
+                                info={"nr": nr, "site": site},
+                                charge=not restart_credit)
+            return
+
+        # 2. ptrace entry stop.
+        tracer = process.tracer
+        traced = tracer is not None and not tracer.detached
+        proceed = True
+        if traced:
+            proceed = tracer.notify_entry(thread)
+
+        # 2b. seccomp filter evaluation (after the ptrace entry stop, as on
+        # Linux; filters see numbers and raw argument values only).
+        if proceed and process.seccomp.active:
+            from repro.kernel.seccomp import Action, SECCOMP_FILTER_COST
+
+            self.cycles.charge_cycles(SECCOMP_FILTER_COST)
+            verdict = process.seccomp.evaluate(nr, ctx.syscall_args())
+            if verdict.action == Action.TRAP:
+                restart_credit = getattr(thread, "_sud_restart_credit", False)
+                thread._sud_restart_credit = False
+                if not restart_credit:
+                    self.cycles.charge(Event.KERNEL_SYSCALL)
+                self.deliver_signal(thread, SIGSYS, fault_rip=site,
+                                    info={"nr": nr, "site": site,
+                                          "seccomp": True},
+                                    charge=not restart_credit)
+                return
+            if verdict.action == Action.ERRNO:
+                ctx.set_syscall_result(-verdict.errno)
+                ctx.set(Reg.RCX, ctx.rip)
+                ctx.set(Reg.R11, 0x202)
+                if traced and not tracer.detached:
+                    tracer.notify_exit(thread)
+                return
+
+        # 3. Execute.
+        thread._just_execed = False
+        if proceed:
+            origin = "ptrace" if traced else "app"
+            result = self.do_syscall(thread, nr, ctx.syscall_args(),
+                                     origin=origin, site=site)
+            if result is BLOCKED_SENTINEL:
+                # Restartable syscall: back onto the syscall instruction;
+                # the parked thread re-enters this path once the wake
+                # condition fires.  Drop the provisional log record so
+                # ground truth counts the call once.
+                self.syscall_log.pop()
+                ctx.rip = site
+                return
+            self.cycles.charge(Event.KERNEL_SYSCALL)
+            if process.sud_armed_ever:
+                self.cycles.charge(Event.SUD_ARMED_SLOWPATH)
+            if result is not None and not thread._just_execed:
+                ctx.set_syscall_result(result)
+
+        if not thread._just_execed:
+            # x86-64 syscall ABI: kernel clobbers RCX (return RIP) and R11
+            # (RFLAGS) — the asymmetry K23's trampoline exploits (§6.2.1).
+            ctx.set(Reg.RCX, ctx.rip)
+            ctx.set(Reg.R11, 0x202)
+            if traced and not tracer.detached:
+                tracer.notify_exit(thread)
+
+    def _read_selector(self, process: Process) -> Callable[[int], int]:
+        def read(addr: int) -> int:
+            try:
+                return process.address_space.read_kernel(addr, 1)[0]
+            except SegmentationFault:
+                return 0
+        return read
+
+    def do_syscall(self, thread: Thread, nr: int, args: List[int],
+                   origin: str, site: int = 0) -> Optional[int]:
+        """Execute one syscall against the tables; returns the result value
+        (or None when the handler fully managed the context, e.g. execve)."""
+        self.syscall_log.append(SyscallRecord(thread.process.pid, nr, site,
+                                              origin))
+        impl = self._table.get(nr)
+        if impl is None:
+            return -Errno.ENOSYS
+        from repro.errors import VFSError
+
+        try:
+            return impl(self, thread, args)
+        except VFSError as exc:
+            return -exc.errno
+
+    def direct_syscall(self, thread: Thread, nr: int, args: List[int],
+                       origin: str = "interposer-internal",
+                       site: int = 0):
+        """Syscall issued by host-level interposer code (its own ``syscall``
+        instructions live in allowlisted/selector-off regions, so they enter
+        the kernel without re-dispatch).  Charges the same kernel costs.
+
+        Returns the result value, or the BLOCKED sentinel when the call must
+        be restarted — the calling handler rewinds its own resume point (see
+        ``repro.interposers.base.forward_syscall``).
+        """
+        result = self.do_syscall(thread, nr, args, origin=origin, site=site)
+        if result is BLOCKED_SENTINEL:
+            self.syscall_log.pop()
+            return result
+        self.cycles.charge(Event.KERNEL_SYSCALL)
+        if thread.process.sud_armed_ever:
+            self.cycles.charge(Event.SUD_ARMED_SLOWPATH)
+        return -Errno.ENOSYS if result is None else result
+
+    def dispatch_hostcall(self, thread: Thread, index: int) -> None:
+        self.hostcalls.get(index)(thread)
+
+    # --------------------------------------------------------------- signals
+
+    def deliver_signal(self, thread: Thread, signal: int, fault_rip: int = 0,
+                       info: Optional[Dict] = None,
+                       charge: bool = True) -> None:
+        """Deliver *signal* to *thread* per the process dispositions."""
+        action = thread.process.dispositions.get_action(signal)
+        if action is None:
+            detail = SIGNAL_NAMES.get(signal, str(signal))
+            if info:
+                detail += f" ({info})"
+            default_action(signal, detail)
+            return
+        if callable(action):
+            if charge:
+                self.cycles.charge(Event.SIGNAL_DELIVERY)
+            thread._just_execed = False
+            sigctx = SignalContext(signal, thread, thread.context.save(),
+                                   fault_rip, info or {})
+            action(sigctx)
+            if charge:
+                self.cycles.charge(Event.SIGRETURN)
+            if not thread._just_execed:
+                # rt_sigreturn semantics; skipped when the handler execve'd
+                # (the frame belongs to the torn-down image).
+                thread.context.restore(sigctx.saved)
+            return
+        # Simulated-address handler: push a frame, redirect RIP.
+        self.cycles.charge(Event.SIGNAL_DELIVERY)
+        if not hasattr(thread, "signal_frames"):
+            thread.signal_frames = []
+        thread.signal_frames.append(thread.context.save())
+        thread.context.set(Reg.RDI, signal)
+        thread.context.rip = action
+
+    # -------------------------------------------------------------- scheduler
+
+    def step_thread(self, thread: Thread) -> bool:
+        """Execute one instruction, converting faults to signals.
+
+        Returns False when the thread/process can no longer run.
+        """
+        try:
+            cpu_step(thread)
+            return True
+        except ProcessExited as exc:
+            self._terminate(thread.process, exc)
+            return False
+        except SegmentationFault as exc:
+            return self._fault(thread, SIGSEGV, {"addr": exc.address,
+                                                 "access": exc.access,
+                                                 "reason": exc.reason})
+        except InvalidOpcode as exc:
+            return self._fault(thread, SIGILL, {"addr": exc.address})
+        except Breakpoint as exc:
+            return self._fault(thread, SIGTRAP, {"addr": exc.address})
+        except Halt:
+            return self._fault(thread, SIGSEGV, {"reason": "hlt"})
+
+    def _fault(self, thread: Thread, signal: int, info: Dict) -> bool:
+        try:
+            self.deliver_signal(thread, signal, fault_rip=thread.context.rip,
+                                info=info)
+            return True
+        except ProcessExited as exc:
+            self._terminate(thread.process, exc)
+            return False
+
+    def _terminate(self, process: Process, exc: ProcessExited) -> None:
+        process.terminate(exc.status)
+        process.kill_detail = getattr(exc, "detail", "") or getattr(
+            exc, "reason", "")
+        if self.interposer is not None:
+            self.interposer.on_process_exit(process)
+
+    def runnable_threads(self) -> List[Thread]:
+        threads = []
+        for process in self.processes.values():
+            if process.exited:
+                continue
+            for thread in process.threads:
+                if thread.exited:
+                    continue
+                if thread.block_condition is not None and not thread.try_unblock():
+                    continue
+                threads.append(thread)
+        return threads
+
+    def run(self, max_steps: int = 5_000_000) -> int:
+        """Round-robin scheduler; returns instructions retired."""
+        retired = 0
+        while retired < max_steps:
+            threads = self.runnable_threads()
+            if not threads:
+                break
+            progressed = False
+            for thread in threads:
+                for _ in range(self.quantum):
+                    if not thread.runnable:
+                        break
+                    if not self.step_thread(thread):
+                        break
+                    retired += 1
+                    progressed = True
+                    if retired >= max_steps:
+                        break
+            if not progressed:
+                break
+        return retired
+
+    def run_process(self, process: Process, max_steps: int = 5_000_000) -> int:
+        """Run until *process* exits (other processes keep scheduling too)."""
+        retired = 0
+        while not process.exited and retired < max_steps:
+            before = retired
+            threads = self.runnable_threads()
+            if not threads:
+                break
+            for thread in threads:
+                for _ in range(self.quantum):
+                    if not thread.runnable:
+                        break
+                    if not self.step_thread(thread):
+                        break
+                    retired += 1
+            if retired == before:
+                break
+        return retired
+
+    def preemption_window(self, current: Thread, steps: int = 20) -> None:
+        """Let *other* threads of the same process run briefly.
+
+        Models the preemption window a host-level handler body is exposed to
+        mid-operation — the window lazypoline's non-atomic two-byte patch
+        opens (P5).  No-op when re-entered.
+        """
+        if self._preempting:
+            return
+        if self.torn_window_probability < 1.0 and \
+                self.rng.random() >= self.torn_window_probability:
+            return
+        self._preempting = True
+        try:
+            for thread in list(current.process.threads):
+                if thread is current or not thread.runnable:
+                    continue
+                for _ in range(steps):
+                    if not thread.runnable:
+                        break
+                    if not self.step_thread(thread):
+                        break
+        finally:
+            self._preempting = False
+
+    # ------------------------------------------------------------ introspection
+
+    def app_requested_syscalls(self, pid: Optional[int] = None) -> List[SyscallRecord]:
+        """Executed syscalls the application asked for (ground truth)."""
+        return [r for r in self.syscall_log
+                if r.app_requested and (pid is None or r.pid == pid)]
+
+    def uninterposed_syscalls(self, pid: Optional[int] = None) -> List[SyscallRecord]:
+        """Application syscalls that executed without any interposer seeing
+        them — the misses behind P1/P2."""
+        return [r for r in self.app_requested_syscalls(pid)
+                if r.origin == "app"]

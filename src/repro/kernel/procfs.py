@@ -1,0 +1,88 @@
+"""procfs: synthesized ``/proc`` files.
+
+libLogger resolves trap addresses "by parsing /proc/$PID/maps" (§5.1); this
+module makes that literal: opening ``/proc/<pid>/maps`` (or
+``/proc/self/maps``) yields the live rendering of the process's address
+space, and the maps parser used by the logger consumes exactly that text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+_MAPS_RE = re.compile(
+    r"^(?P<start>[0-9a-f]+)-(?P<end>[0-9a-f]+)\s+(?P<perms>[rwxps-]{4})\s+"
+    r"(?P<offset>[0-9a-f]+)\s+\S+\s+\d+\s*(?P<path>.*)$")
+
+
+@dataclass(frozen=True)
+class MapsEntry:
+    """One parsed ``/proc/$PID/maps`` line."""
+
+    start: int
+    end: int
+    perms: str
+    file_offset: int
+    path: str
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    @property
+    def executable(self) -> bool:
+        return "x" in self.perms
+
+    @property
+    def writable(self) -> bool:
+        return "w" in self.perms
+
+
+def render_maps(process) -> bytes:
+    """The file contents of ``/proc/<pid>/maps`` for *process*."""
+    return ("\n".join(process.address_space.maps()) + "\n").encode()
+
+
+def parse_maps(text: str) -> List[MapsEntry]:
+    """Parse maps text into entries (tolerant of the pathless lines)."""
+    entries: List[MapsEntry] = []
+    for line in text.splitlines():
+        line = line.rstrip()
+        if not line:
+            continue
+        match = _MAPS_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable maps line: {line!r}")
+        entries.append(MapsEntry(
+            start=int(match.group("start"), 16),
+            end=int(match.group("end"), 16),
+            perms=match.group("perms"),
+            file_offset=int(match.group("offset"), 16),
+            path=match.group("path").strip()))
+    return entries
+
+
+def entry_for(entries: List[MapsEntry], address: int) -> Optional[MapsEntry]:
+    for entry in entries:
+        if entry.contains(address):
+            return entry
+    return None
+
+
+def resolve_proc_path(kernel, process, path: str) -> Optional[bytes]:
+    """Content for a /proc path opened by *process*, or None if not one we
+    synthesize."""
+    parts = path.strip("/").split("/")
+    if len(parts) != 3 or parts[0] != "proc" or parts[2] != "maps":
+        return None
+    if parts[1] == "self":
+        target = process
+    else:
+        try:
+            target = kernel.find_process(int(parts[1]))
+        except ValueError:
+            return None
+        if target is None:
+            return None
+    return render_maps(target)

@@ -1,0 +1,94 @@
+"""Signal actions and delivery.
+
+Two kinds of handlers exist:
+
+- **host handlers** — Python callables registered by interposer libraries
+  (their SIGSYS logic).  They receive a :class:`SignalContext` whose register
+  snapshot they may mutate; returning performs ``rt_sigreturn`` semantics
+  (the possibly-modified context is restored).  This mirrors the
+  "modify the signal context directly" technique of zpoline/lazypoline
+  (§2.1), which avoids allowlisting the handler's return ``syscall``.
+- **simulated handlers** — a code address in the target; the kernel pushes a
+  frame and redirects RIP (used by application-level handlers in tests).
+
+Default dispositions follow Linux: SIGSEGV/SIGILL/SIGTRAP/SIGSYS/SIGABRT
+terminate the process; SIGCHLD is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+from repro.errors import ProcessKilled
+from repro.kernel.syscalls import SIGCHLD, SIGNAL_NAMES
+
+#: Signals whose default action terminates the process.
+_FATAL_BY_DEFAULT = frozenset(SIGNAL_NAMES) - {SIGCHLD}
+
+
+@dataclass
+class SignalContext:
+    """The ucontext handed to a host signal handler.
+
+    Attributes:
+        signal: delivered signal number.
+        thread: the faulting/dispatching thread (handlers may inspect the
+            process through it, e.g. ``/proc`` parsing in libLogger).
+        saved: mutable register snapshot (``CpuContext.save()`` format);
+            mutations take effect at sigreturn.
+        fault_rip: RIP of the *triggering* instruction (for SIGSYS: the
+            address of the ``syscall``/``sysenter`` itself — what libLogger
+            records and lazypoline rewrites).
+        info: free-form extras (syscall number for SIGSYS, fault address for
+            SIGSEGV).
+    """
+
+    signal: int
+    thread: object
+    saved: Dict
+    fault_rip: int
+    info: Dict = field(default_factory=dict)
+
+    def set_return_value(self, value: int) -> None:
+        """Set RAX in the saved context (the syscall-emulation idiom)."""
+        from repro.arch.registers import Reg
+
+        self.saved["regs"][Reg.RAX] = value & (1 << 64) - 1
+
+    def set_resume_rip(self, address: int) -> None:
+        """Redirect where sigreturn resumes execution."""
+        self.saved["rip"] = address
+
+
+#: A host handler takes the SignalContext; a simulated handler is a code
+#: address.
+Handler = Union[Callable[[SignalContext], None], int]
+
+
+class SignalDispositions:
+    """Per-process signal action table."""
+
+    def __init__(self) -> None:
+        self._actions: Dict[int, Handler] = {}
+
+    def set_action(self, signal: int, handler: Optional[Handler]) -> None:
+        if handler is None:
+            self._actions.pop(signal, None)
+        else:
+            self._actions[signal] = handler
+
+    def get_action(self, signal: int) -> Optional[Handler]:
+        return self._actions.get(signal)
+
+    def copy(self) -> "SignalDispositions":
+        clone = SignalDispositions()
+        clone._actions = dict(self._actions)
+        return clone
+
+
+def default_action(signal: int, detail: str = "") -> None:
+    """Apply the default disposition for *signal*."""
+    if signal in _FATAL_BY_DEFAULT:
+        raise ProcessKilled(signal, detail or SIGNAL_NAMES.get(signal, str(signal)))
+    # Ignored by default (SIGCHLD).

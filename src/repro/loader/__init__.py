@@ -1,0 +1,19 @@
+"""Program images and the dynamic loader.
+
+- :mod:`repro.loader.image` — "SimELF" images: one code+data blob built with
+  the :class:`repro.arch.assembler.Asm` builder, plus symbols, imports
+  (GOT-patched at load time), needed libraries, and constructors.
+- :mod:`repro.loader.libc` — the simulated C library: one ``syscall``
+  instruction per wrapper (so offline logs see realistic per-function sites,
+  Table 2), a generic ``syscall(3)`` shim, and vDSO-routed time functions
+  (the P2b blind spot).
+- :mod:`repro.loader.linker` — the dynamic loader: ASLR placement, library
+  mapping, ``LD_PRELOAD`` injection, GOT patching, ``dlopen``/``dlmopen``,
+  and a startup stub that issues the genuine pre-main syscall storm (>100
+  calls for ``ls``-sized programs — the other half of P2b).
+"""
+
+from repro.loader.image import SimImage
+from repro.loader.linker import Loader
+
+__all__ = ["SimImage", "Loader"]

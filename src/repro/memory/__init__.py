@@ -1,0 +1,40 @@
+"""Virtual-memory substrate.
+
+Implements the memory machinery the paper's interposers depend on:
+
+- :mod:`repro.memory.pages` — page protection flags and constants.
+- :mod:`repro.memory.pku` — Protection Keys for Userspace (PKRU semantics,
+  including the crucial asymmetry that PKU blocks *data* access but not
+  instruction fetch — the root of pitfall P4a).
+- :mod:`repro.memory.address_space` — a paged 64-bit address space with
+  ``mmap``/``mprotect``/``pkey_mprotect``, named regions (for
+  ``/proc/$PID/maps``), and fault-raising access checks.
+- :mod:`repro.memory.bitmap` — zpoline's whole-address-space validity bitmap
+  (fast checks, large reserved footprint — P4b).
+- :mod:`repro.memory.hashset` — K23's robin-hood hash set replacement
+  (bounded memory, slightly slower probe — the trade-off quantified in
+  Table 5).
+- :mod:`repro.memory.twolevel` — the zpoline authors' proposed
+  directory-of-bitmaps alternative (§4.4): small reservation, extra load.
+"""
+
+from repro.memory.pages import PAGE_SIZE, Prot, page_base, page_index
+from repro.memory.pku import PKEY_DEFAULT, Pkru
+from repro.memory.address_space import AddressSpace, Region
+from repro.memory.bitmap import AddressBitmap
+from repro.memory.hashset import RobinHoodSet
+from repro.memory.twolevel import TwoLevelTable
+
+__all__ = [
+    "PAGE_SIZE",
+    "Prot",
+    "page_base",
+    "page_index",
+    "Pkru",
+    "PKEY_DEFAULT",
+    "AddressSpace",
+    "Region",
+    "AddressBitmap",
+    "RobinHoodSet",
+    "TwoLevelTable",
+]

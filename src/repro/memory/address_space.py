@@ -1,0 +1,281 @@
+"""A paged 64-bit virtual address space with named regions.
+
+This is the process-memory substrate under every simulated program: the
+loader maps code/data here, rewriters flip bytes here, the kernel consults it
+for ``/proc/$PID/maps``, and the CPU's fetch/load/store paths go through the
+permission checks (including PKU) that produce segmentation faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import MapError, ProtectionKeyFault, SegmentationFault
+from repro.memory.pages import (
+    PAGE_SIZE,
+    Prot,
+    page_base,
+    page_index,
+    page_span,
+    round_up_pages,
+)
+from repro.memory.pku import PKEY_DEFAULT, PKEY_COUNT, Pkru
+
+#: Where anonymous/library mappings start when the caller lets the kernel
+#: pick an address (grows upward like Linux's mmap_base, simplified).
+MMAP_BASE = 0x7F00_0000_0000
+
+#: Stack top for the main thread.
+STACK_TOP = 0x7FFF_FFFF_F000
+
+
+@dataclass
+class Region:
+    """A named mapping, as one line of ``/proc/$PID/maps``.
+
+    Attributes:
+        start: inclusive base address.
+        end: exclusive end address.
+        name: pathname column (e.g. ``/usr/lib/x86_64-linux-gnu/libc.so.6``
+            or ``[stack]``).
+        file_offset: offset of ``start`` within the backing file, for
+            file-backed mappings.
+    """
+
+    start: int
+    end: int
+    name: str
+    file_offset: int = 0
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class AddressSpace:
+    """Sparse paged memory with per-page protection and protection keys."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self._prot: Dict[int, Prot] = {}
+        self._pkey: Dict[int, int] = {}
+        self.regions: List[Region] = []
+        self._mmap_cursor = MMAP_BASE
+
+    # ------------------------------------------------------------------ mapping
+
+    def mmap(
+        self,
+        addr: Optional[int],
+        length: int,
+        prot: Prot,
+        name: str = "[anon]",
+        fixed: bool = False,
+        pkey: int = PKEY_DEFAULT,
+        file_offset: int = 0,
+    ) -> int:
+        """Map ``length`` bytes (rounded up to pages) and return the base.
+
+        With ``addr=None`` the kernel chooses a free range.  With ``fixed``
+        the mapping is placed exactly at ``addr`` (page-aligned), replacing
+        any existing pages — MAP_FIXED semantics, which is how the trampoline
+        claims virtual address 0.
+        """
+        if length <= 0:
+            raise MapError("mmap length must be positive")
+        length = round_up_pages(length)
+        if addr is None:
+            addr = self._find_free(length)
+        else:
+            if addr % PAGE_SIZE:
+                raise MapError(f"mmap address {addr:#x} is not page-aligned")
+            if not fixed and self._overlaps(addr, length):
+                raise MapError(
+                    f"mapping {addr:#x}+{length:#x} overlaps an existing one"
+                )
+        for idx in page_span(addr, length):
+            self._pages[idx] = bytearray(PAGE_SIZE)
+            self._prot[idx] = prot
+            self._pkey[idx] = pkey
+        self._drop_region_overlap(addr, addr + length)
+        self.regions.append(Region(addr, addr + length, name, file_offset))
+        self.regions.sort(key=lambda r: r.start)
+        return addr
+
+    def munmap(self, addr: int, length: int) -> None:
+        """Unmap whole pages in ``[addr, addr+length)``."""
+        if addr % PAGE_SIZE:
+            raise MapError(f"munmap address {addr:#x} is not page-aligned")
+        length = round_up_pages(length)
+        for idx in page_span(addr, length):
+            self._pages.pop(idx, None)
+            self._prot.pop(idx, None)
+            self._pkey.pop(idx, None)
+        self._drop_region_overlap(addr, addr + length)
+
+    def mprotect(self, addr: int, length: int, prot: Prot) -> None:
+        """Change protection on whole mapped pages (EINVAL-style on gaps)."""
+        if addr % PAGE_SIZE:
+            raise MapError(f"mprotect address {addr:#x} is not page-aligned")
+        length = round_up_pages(length)
+        indices = list(page_span(addr, length))
+        for idx in indices:
+            if idx not in self._pages:
+                raise MapError(
+                    f"mprotect range {addr:#x}+{length:#x} covers unmapped pages"
+                )
+        for idx in indices:
+            self._prot[idx] = prot
+
+    def pkey_mprotect(self, addr: int, length: int, prot: Prot, pkey: int) -> None:
+        """``pkey_mprotect``: mprotect + assign a protection key."""
+        if not 0 <= pkey < PKEY_COUNT:
+            raise MapError(f"invalid pkey {pkey}")
+        self.mprotect(addr, length, prot)
+        for idx in page_span(addr, round_up_pages(length)):
+            self._pkey[idx] = pkey
+
+    def _find_free(self, length: int) -> int:
+        addr = self._mmap_cursor
+        while self._overlaps(addr, length):
+            addr += round_up_pages(length) + PAGE_SIZE
+        self._mmap_cursor = addr + round_up_pages(length) + PAGE_SIZE
+        return addr
+
+    def _overlaps(self, addr: int, length: int) -> bool:
+        return any(idx in self._pages for idx in page_span(addr, length))
+
+    def _drop_region_overlap(self, start: int, end: int) -> None:
+        """Trim or remove region metadata overlapping ``[start, end)``."""
+        kept: List[Region] = []
+        for region in self.regions:
+            if region.end <= start or region.start >= end:
+                kept.append(region)
+                continue
+            if region.start < start:
+                kept.append(Region(region.start, start, region.name,
+                                   region.file_offset))
+            if region.end > end:
+                kept.append(Region(end, region.end, region.name,
+                                   region.file_offset + (end - region.start)))
+        self.regions = sorted(kept, key=lambda r: r.start)
+
+    # ------------------------------------------------------------------- access
+
+    def is_mapped(self, addr: int, length: int = 1) -> bool:
+        return all(idx in self._pages for idx in page_span(addr, length))
+
+    def prot_at(self, addr: int) -> Prot:
+        """Protection of the page containing *addr* (NONE if unmapped)."""
+        return self._prot.get(page_index(addr), Prot.NONE)
+
+    def pkey_at(self, addr: int) -> int:
+        return self._pkey.get(page_index(addr), PKEY_DEFAULT)
+
+    def _check(self, addr: int, length: int, access: str,
+               pkru: Optional[Pkru]) -> None:
+        needed = {"read": Prot.READ, "write": Prot.WRITE, "exec": Prot.EXEC}[access]
+        for idx in page_span(addr, length):
+            if idx not in self._pages:
+                raise SegmentationFault(addr, access, reason="unmapped")
+            if not self._prot[idx] & needed:
+                raise SegmentationFault(addr, access, reason="permission")
+            if pkru is not None and not pkru.permits(self._pkey[idx], access):
+                raise ProtectionKeyFault(addr, access)
+
+    def read(self, addr: int, length: int, pkru: Optional[Pkru] = None) -> bytes:
+        """Data read with permission + PKU checks."""
+        self._check(addr, length, "read", pkru)
+        return self._copy_out(addr, length)
+
+    def fetch(self, addr: int, length: int) -> bytes:
+        """Instruction fetch: requires EXEC; **not** subject to PKU."""
+        self._check(addr, length, "exec", None)
+        return self._copy_out(addr, length)
+
+    def write(self, addr: int, data: bytes, pkru: Optional[Pkru] = None) -> None:
+        """Data write with permission + PKU checks."""
+        self._check(addr, len(data), "write", pkru)
+        self._copy_in(addr, data)
+
+    def read_kernel(self, addr: int, length: int) -> bytes:
+        """Kernel-privilege read (loader, ptrace PEEK, /proc): only requires
+        the pages to be mapped."""
+        for idx in page_span(addr, length):
+            if idx not in self._pages:
+                raise SegmentationFault(addr, "read", reason="unmapped")
+        return self._copy_out(addr, length)
+
+    def write_kernel(self, addr: int, data: bytes) -> None:
+        """Kernel-privilege write (loader, ptrace POKE, process_vm_writev)."""
+        for idx in page_span(addr, len(data)):
+            if idx not in self._pages:
+                raise SegmentationFault(addr, "write", reason="unmapped")
+        self._copy_in(addr, data)
+
+    def _copy_out(self, addr: int, length: int) -> bytes:
+        out = bytearray()
+        remaining = length
+        cursor = addr
+        while remaining:
+            idx = page_index(cursor)
+            off = cursor - idx * PAGE_SIZE
+            take = min(remaining, PAGE_SIZE - off)
+            out += self._pages[idx][off:off + take]
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    def _copy_in(self, addr: int, data: bytes) -> None:
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            idx = page_index(cursor)
+            off = cursor - idx * PAGE_SIZE
+            take = min(len(view), PAGE_SIZE - off)
+            self._pages[idx][off:off + take] = view[:take]
+            cursor += take
+            view = view[take:]
+
+    # -------------------------------------------------------------------- /proc
+
+    def region_at(self, addr: int) -> Optional[Region]:
+        """The named region containing *addr*, if any."""
+        for region in self.regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def maps(self) -> List[str]:
+        """Render ``/proc/$PID/maps``-style lines, one per region."""
+        lines = []
+        for region in self.regions:
+            prot = self._prot.get(page_index(region.start), Prot.NONE)
+            lines.append(
+                f"{region.start:012x}-{region.end:012x} {prot.text} "
+                f"{region.file_offset:08x} 00:00 0"
+                f"{' ' * 19}{region.name}"
+            )
+        return lines
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes currently backed by pages."""
+        return len(self._pages) * PAGE_SIZE
+
+    # --------------------------------------------------------------------- fork
+
+    def fork_copy(self) -> "AddressSpace":
+        """Deep copy for ``fork`` (no COW modelling; correctness only)."""
+        child = AddressSpace()
+        child._pages = {idx: bytearray(page) for idx, page in self._pages.items()}
+        child._prot = dict(self._prot)
+        child._pkey = dict(self._pkey)
+        child.regions = [Region(r.start, r.end, r.name, r.file_offset)
+                         for r in self.regions]
+        child._mmap_cursor = self._mmap_cursor
+        return child

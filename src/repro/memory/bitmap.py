@@ -1,0 +1,88 @@
+"""zpoline's whole-address-space validity bitmap (pitfall P4b).
+
+zpoline-ultra validates, at the trampoline entry point, that the return
+address on the stack points just past a *known, rewritten* syscall site.  The
+upstream implementation reserves one bit per byte of user virtual address
+space (2^47 bytes → 16 TiB of *reserved* virtual memory per process) and lets
+demand paging allocate physical chunks only where bits are actually set.
+Checks are a couple of bit operations — very fast — but the reservation is
+real: every process carries it, which the paper flags as a problem for
+low-end devices and many-process deployments (P4b).
+
+We model both sides of the trade-off: ``reserved_virtual_bytes`` is the
+full-span reservation; ``resident_bytes`` counts only the demand-allocated
+chunks (one chunk per :data:`CHUNK_SPAN` of address space).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.memory.pages import USER_VA_SIZE
+
+#: Address-space span covered by one physically-allocated chunk.  Linux
+#: demand-pages at 4 KiB granularity; one 4 KiB chunk of bitmap covers
+#: 4096*8 = 32768 bytes of address space.
+CHUNK_SPAN = 4096 * 8
+CHUNK_BYTES = 4096
+
+
+class AddressBitmap:
+    """One validity bit per virtual-address byte, demand-allocated."""
+
+    def __init__(self, span: int = USER_VA_SIZE):
+        self.span = span
+        self._chunks: Dict[int, bytearray] = {}
+        self._count = 0
+
+    # -- marking ----------------------------------------------------------------
+
+    def set(self, address: int) -> None:
+        """Mark *address* as a valid (rewritten) site."""
+        if not 0 <= address < self.span:
+            raise ValueError(f"address {address:#x} outside bitmap span")
+        chunk_idx, byte_idx, bit = self._locate(address)
+        chunk = self._chunks.get(chunk_idx)
+        if chunk is None:
+            chunk = self._chunks[chunk_idx] = bytearray(CHUNK_BYTES)
+        if not chunk[byte_idx] >> bit & 1:
+            chunk[byte_idx] |= 1 << bit
+            self._count += 1
+
+    def clear(self, address: int) -> None:
+        chunk_idx, byte_idx, bit = self._locate(address)
+        chunk = self._chunks.get(chunk_idx)
+        if chunk is not None and chunk[byte_idx] >> bit & 1:
+            chunk[byte_idx] &= ~(1 << bit) & 0xFF
+            self._count -= 1
+
+    def test(self, address: int) -> bool:
+        """The fast validity check performed at the trampoline entry."""
+        if not 0 <= address < self.span:
+            return False
+        chunk_idx, byte_idx, bit = self._locate(address)
+        chunk = self._chunks.get(chunk_idx)
+        return bool(chunk and chunk[byte_idx] >> bit & 1)
+
+    __contains__ = test
+
+    def __len__(self) -> int:
+        return self._count
+
+    @staticmethod
+    def _locate(address: int):
+        chunk_idx, within = divmod(address, CHUNK_SPAN)
+        byte_idx, bit = divmod(within, 8)
+        return chunk_idx, byte_idx, bit
+
+    # -- footprint accounting (the P4b numbers) -----------------------------------
+
+    @property
+    def reserved_virtual_bytes(self) -> int:
+        """Virtual memory reserved for the bitmap: one bit per address byte."""
+        return self.span // 8
+
+    @property
+    def resident_bytes(self) -> int:
+        """Physical memory actually allocated by demand paging."""
+        return len(self._chunks) * CHUNK_BYTES

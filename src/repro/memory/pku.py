@@ -1,0 +1,87 @@
+"""Protection Keys for Userspace (PKU / MPK).
+
+Real PKU associates one of 16 protection keys with each page and consults the
+per-thread PKRU register on every *data* access: two bits per key, AD
+(access-disable: blocks reads and writes) and WD (write-disable: blocks
+writes).  **Instruction fetches are never blocked by PKU** — which is exactly
+how zpoline/lazypoline/K23 build eXecute-Only Memory (XOM) trampolines at
+virtual address 0: reads and writes fault (preserving NULL-dereference
+crashes) while execution proceeds.  That asymmetry is also what makes P4a
+possible: a NULL *code* pointer silently executes the trampoline.
+"""
+
+from __future__ import annotations
+
+#: The default protection key assigned by ``mmap`` (key 0: always accessible
+#: in the default PKRU configuration).
+PKEY_DEFAULT = 0
+
+#: Number of keys supported by the hardware.
+PKEY_COUNT = 16
+
+#: PKRU bit layout: key *k* owns bits ``2k`` (AD) and ``2k+1`` (WD).
+_AD_BIT = 0
+_WD_BIT = 1
+
+
+class Pkru:
+    """A thread's PKRU register.
+
+    The value is a 32-bit integer; helpers manipulate the two bits belonging
+    to each key.  ``Pkru`` instances are tiny mutable value objects owned by
+    each simulated thread.
+    """
+
+    def __init__(self, value: int = 0):
+        self.value = value & 0xFFFF_FFFF
+
+    def __repr__(self) -> str:
+        return f"Pkru({self.value:#010x})"
+
+    def copy(self) -> "Pkru":
+        return Pkru(self.value)
+
+    # -- bit accessors -------------------------------------------------------
+
+    def access_disabled(self, pkey: int) -> bool:
+        """True when reads AND writes through *pkey* pages are blocked."""
+        return bool(self.value >> (2 * pkey + _AD_BIT) & 1)
+
+    def write_disabled(self, pkey: int) -> bool:
+        """True when writes through *pkey* pages are blocked."""
+        return bool(self.value >> (2 * pkey + _WD_BIT) & 1)
+
+    def set_access_disabled(self, pkey: int, disabled: bool) -> None:
+        bit = 1 << (2 * pkey + _AD_BIT)
+        self.value = (self.value | bit) if disabled else (self.value & ~bit)
+
+    def set_write_disabled(self, pkey: int, disabled: bool) -> None:
+        bit = 1 << (2 * pkey + _WD_BIT)
+        self.value = (self.value | bit) if disabled else (self.value & ~bit)
+
+    # -- access checks ----------------------------------------------------------
+
+    def permits(self, pkey: int, access: str) -> bool:
+        """Whether this PKRU allows *access* (``"read"``/``"write"``) via *pkey*.
+
+        ``"exec"`` is always permitted: PKU does not gate instruction fetch.
+        """
+        if access == "exec":
+            return True
+        if self.access_disabled(pkey):
+            return False
+        if access == "write" and self.write_disabled(pkey):
+            return False
+        return True
+
+
+def xom_pkru_for(pkey: int) -> Pkru:
+    """A PKRU that turns *pkey* pages into eXecute-Only Memory.
+
+    Data reads and writes fault; instruction fetch proceeds.  This is the
+    configuration the interposers apply to the trampoline page at address 0.
+    """
+    pkru = Pkru(0)
+    pkru.set_access_disabled(pkey, True)
+    pkru.set_write_disabled(pkey, True)
+    return pkru

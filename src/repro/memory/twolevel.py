@@ -1,0 +1,98 @@
+"""Two-level validity table — the zpoline authors' proposed alternative.
+
+§4.4/§6.1: "The zpoline authors acknowledge P4b and propose alternative,
+slower strategies that reduce memory overhead."  The canonical such
+strategy is a radix structure: a directory indexed by the address's high
+bits whose entries point to demand-allocated leaf bitmaps.  Reserved
+virtual memory shrinks from span/8 bytes (16 TiB) to one directory, at the
+cost of an extra dependent load per check.
+
+This completes the design-space triangle the evaluation's ablation
+measures:
+
+======================  ===================  =======================
+structure               check cost           memory
+======================  ===================  =======================
+flat bitmap (zpoline)   2 ops                16 TiB reserved
+two-level table         3 ops (+1 load)      directory + used leaves
+robin-hood set (K23)    hashed probe(s)      bounded by log size
+======================  ===================  =======================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.memory.pages import USER_VA_SIZE
+
+#: Address-space span covered by one leaf bitmap: 32 MiB of addresses per
+#: leaf keeps the directory at 4M slots (32 MiB reserved — six orders of
+#: magnitude below the flat bitmap's 16 TiB) while code typically touches
+#: one or two leaves.
+LEAF_SPAN = 1 << 25
+LEAF_BYTES = LEAF_SPAN // 8
+
+#: Directory entries needed to cover the user address space.
+DIRECTORY_ENTRIES = USER_VA_SIZE // LEAF_SPAN
+
+#: Modelled bytes per directory slot (one pointer).
+DIRECTORY_SLOT_BYTES = 8
+
+
+class TwoLevelTable:
+    """Directory-of-leaf-bitmaps validity structure."""
+
+    def __init__(self, span: int = USER_VA_SIZE):
+        self.span = span
+        self._leaves: Dict[int, bytearray] = {}
+        self._count = 0
+
+    @staticmethod
+    def _locate(address: int):
+        leaf_idx, within = divmod(address, LEAF_SPAN)
+        byte_idx, bit = divmod(within, 8)
+        return leaf_idx, byte_idx, bit
+
+    def set(self, address: int) -> None:
+        if not 0 <= address < self.span:
+            raise ValueError(f"address {address:#x} outside table span")
+        leaf_idx, byte_idx, bit = self._locate(address)
+        leaf = self._leaves.get(leaf_idx)
+        if leaf is None:
+            leaf = self._leaves[leaf_idx] = bytearray(LEAF_BYTES)
+        if not leaf[byte_idx] >> bit & 1:
+            leaf[byte_idx] |= 1 << bit
+            self._count += 1
+
+    def clear(self, address: int) -> None:
+        leaf_idx, byte_idx, bit = self._locate(address)
+        leaf = self._leaves.get(leaf_idx)
+        if leaf is not None and leaf[byte_idx] >> bit & 1:
+            leaf[byte_idx] &= ~(1 << bit) & 0xFF
+            self._count -= 1
+
+    def test(self, address: int) -> bool:
+        """The check: directory load, then leaf bit test (one extra
+        dependent memory access vs the flat bitmap)."""
+        if not 0 <= address < self.span:
+            return False
+        leaf_idx, byte_idx, bit = self._locate(address)
+        leaf = self._leaves.get(leaf_idx)  # the extra load
+        return bool(leaf and leaf[byte_idx] >> bit & 1)
+
+    __contains__ = test
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- footprint accounting ---------------------------------------------------
+
+    @property
+    def reserved_virtual_bytes(self) -> int:
+        """Only the directory is reserved up front."""
+        return (self.span // LEAF_SPAN) * DIRECTORY_SLOT_BYTES
+
+    @property
+    def resident_bytes(self) -> int:
+        return (self.reserved_virtual_bytes
+                + len(self._leaves) * LEAF_BYTES)

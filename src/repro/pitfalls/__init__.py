@@ -1,0 +1,33 @@
+"""System Call Interposition Pitfalls — PoCs and the Table 3 matrix.
+
+- :mod:`repro.pitfalls.poc` — one proof-of-concept program per pitfall
+  (P1a, P1b, P2a, P2b, P3a, P3b, P4a, P4b, P5), each with an evaluator that
+  runs it under a given interposer and grades the outcome.
+- :mod:`repro.pitfalls.matrix` — runs every PoC against zpoline,
+  lazypoline, and K23 and renders the paper's Table 3.
+"""
+
+from repro.pitfalls.poc import (
+    PITFALL_IDS,
+    PitfallOutcome,
+    InterposerKit,
+    ZPOLINE_KIT,
+    LAZYPOLINE_KIT,
+    K23_KIT,
+    NATIVE_KIT,
+    evaluate_pitfall,
+)
+from repro.pitfalls.matrix import pitfall_matrix, render_table3
+
+__all__ = [
+    "PITFALL_IDS",
+    "PitfallOutcome",
+    "InterposerKit",
+    "ZPOLINE_KIT",
+    "LAZYPOLINE_KIT",
+    "K23_KIT",
+    "NATIVE_KIT",
+    "evaluate_pitfall",
+    "pitfall_matrix",
+    "render_table3",
+]

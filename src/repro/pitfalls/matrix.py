@@ -1,0 +1,97 @@
+"""The Table 3 matrix: every pitfall × every interposer."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.pitfalls.poc import (
+    K23_KIT,
+    LAZYPOLINE_KIT,
+    PITFALL_IDS,
+    PitfallOutcome,
+    ZPOLINE_KIT,
+    InterposerKit,
+    evaluate_pitfall,
+)
+
+#: The paper's Table 3 expectations — used by tests to assert the
+#: reproduction matches, and by the renderer to flag divergence.
+PAPER_TABLE3: Dict[str, Dict[str, bool]] = {
+    "P1a": {"zpoline": False, "lazypoline": False, "K23": True},
+    "P1b": {"zpoline": True, "lazypoline": False, "K23": True},
+    "P2a": {"zpoline": False, "lazypoline": True, "K23": True},
+    "P2b": {"zpoline": False, "lazypoline": False, "K23": True},
+    "P3a": {"zpoline": False, "lazypoline": True, "K23": True},
+    "P3b": {"zpoline": True, "lazypoline": False, "K23": True},
+    "P4a": {"zpoline": True, "lazypoline": False, "K23": True},
+    "P4b": {"zpoline": False, "lazypoline": True, "K23": True},
+    "P5": {"zpoline": True, "lazypoline": False, "K23": True},
+}
+
+_SECTION = {
+    "P1a": "P1 - Interposition Bypass (§4.1)",
+    "P1b": "P1 - Interposition Bypass (§4.1)",
+    "P2a": "P2 - System Call Overlook (§4.2)",
+    "P2b": "P2 - System Call Overlook (§4.2)",
+    "P3a": "P3 - Instruction Misidentification (§4.3)",
+    "P3b": "P3 - Instruction Misidentification (§4.3)",
+    "P4a": "P4 - NULL Access Termination (§4.4)",
+    "P4b": "P4 - NULL Access Termination (§4.4)",
+    "P5": "P5 - Runtime Rewriting (§4.5)",
+}
+
+DEFAULT_KITS = (ZPOLINE_KIT, LAZYPOLINE_KIT, K23_KIT)
+
+
+def pitfall_matrix(kits: Sequence[InterposerKit] = DEFAULT_KITS,
+                   pitfalls: Sequence[str] = PITFALL_IDS
+                   ) -> List[PitfallOutcome]:
+    """Evaluate every (pitfall, interposer) cell; returns the outcomes."""
+    outcomes: List[PitfallOutcome] = []
+    for pitfall in pitfalls:
+        for kit in kits:
+            outcomes.append(evaluate_pitfall(pitfall, kit))
+    return outcomes
+
+
+def render_table3(outcomes: List[PitfallOutcome],
+                  show_evidence: bool = False) -> str:
+    """Render the outcomes as the paper's Table 3."""
+    names: List[str] = []
+    for outcome in outcomes:
+        if outcome.interposer not in names:
+            names.append(outcome.interposer)
+    cells: Dict[tuple, PitfallOutcome] = {
+        (o.pitfall, o.interposer): o for o in outcomes
+    }
+    header = f"{'Pitfall':<44}" + "".join(f"{n:>12}" for n in names)
+    lines = [header, "-" * len(header)]
+    for pitfall in PITFALL_IDS:
+        if (pitfall, names[0]) not in cells:
+            continue
+        row = f"{_SECTION[pitfall] + '  ' + pitfall:<44}"
+        for name in names:
+            outcome = cells.get((pitfall, name))
+            mark = "-" if outcome is None else ("Y" if outcome.handled else "X")
+            expected = PAPER_TABLE3.get(pitfall, {}).get(name)
+            if expected is not None and outcome is not None \
+                    and outcome.handled != expected:
+                mark += "!"  # divergence from the paper
+            row += f"{mark:>12}"
+        lines.append(row)
+    if show_evidence:
+        lines.append("")
+        for outcome in outcomes:
+            lines.append(f"[{outcome.pitfall}/{outcome.interposer}] "
+                         f"{'OK ' if outcome.handled else 'HIT'} "
+                         f"{outcome.evidence}")
+    return "\n".join(lines)
+
+
+def matches_paper(outcomes: List[PitfallOutcome]) -> bool:
+    """True when every cell agrees with the paper's Table 3."""
+    for outcome in outcomes:
+        expected = PAPER_TABLE3.get(outcome.pitfall, {}).get(outcome.interposer)
+        if expected is not None and outcome.handled != expected:
+            return False
+    return True

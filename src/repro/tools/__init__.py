@@ -1,0 +1,8 @@
+"""Command-line tools built on the library.
+
+- ``python -m repro.tools.simtrace`` — strace for the simulated machine:
+  run a workload binary under any interposer and print its trace, the
+  per-syscall histogram, and the coverage report.
+- ``python -m repro.tools.pitfallcheck`` — grade any single interposer
+  column against the pitfall PoCs (CI-style exit status).
+"""

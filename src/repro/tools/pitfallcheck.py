@@ -1,0 +1,66 @@
+"""pitfallcheck — grade an interposer against the pitfall PoCs.
+
+Usage::
+
+    python -m repro.tools.pitfallcheck [zpoline|lazypoline|K23|all]
+                                       [--pitfall P1a ...] [--evidence]
+
+Exit status 0 when every evaluated cell matches the paper's Table 3, 1
+otherwise — a CI gate for the reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.pitfalls import (
+    K23_KIT,
+    LAZYPOLINE_KIT,
+    PITFALL_IDS,
+    ZPOLINE_KIT,
+    evaluate_pitfall,
+)
+from repro.pitfalls.matrix import PAPER_TABLE3
+
+KITS = {"zpoline": ZPOLINE_KIT, "lazypoline": LAZYPOLINE_KIT,
+        "K23": K23_KIT}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pitfallcheck", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("interposer", nargs="?", default="all",
+                        choices=[*KITS, "all"])
+    parser.add_argument("--pitfall", action="append", choices=PITFALL_IDS,
+                        help="restrict to specific pitfalls")
+    parser.add_argument("--evidence", action="store_true")
+    args = parser.parse_args(argv)
+
+    kits = list(KITS.values()) if args.interposer == "all" \
+        else [KITS[args.interposer]]
+    pitfalls = args.pitfall or list(PITFALL_IDS)
+
+    divergent = 0
+    for pitfall in pitfalls:
+        for kit in kits:
+            outcome = evaluate_pitfall(pitfall, kit)
+            expected = PAPER_TABLE3[pitfall][kit.name]
+            agrees = outcome.handled == expected
+            divergent += 0 if agrees else 1
+            verdict = "handled" if outcome.handled else "PITFALL"
+            flag = "" if agrees else "  << diverges from paper"
+            print(f"{pitfall:<4} {kit.name:<11} {verdict:<8}{flag}")
+            if args.evidence:
+                print(f"     {outcome.evidence}")
+    if divergent:
+        print(f"\n{divergent} cell(s) diverge from the paper's Table 3")
+        return 1
+    print("\nall evaluated cells match the paper's Table 3")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

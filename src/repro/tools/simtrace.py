@@ -1,0 +1,90 @@
+"""simtrace — strace for the simulated machine.
+
+Usage::
+
+    python -m repro.tools.simtrace <program> [--interposer MECH] [--summary]
+                                   [--seed N]
+
+``<program>`` is one of the bundled workloads (pwd, touch, ls, cat, clear)
+or any absolute path previously registered by a setup module.
+``--interposer`` is any Table 5 mechanism name (default: K23-ultra); K23
+variants automatically run their offline phase first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import OfflinePhase
+from repro.core.offline import import_logs
+from repro.evaluation.runner import MECHANISMS, make_interposer, needs_offline
+from repro.interposers.hooks import CountingHook, TracingHook, chain
+from repro.kernel import Kernel
+from repro.workloads.coreutils import install_coreutils
+
+COREUTILS = {"pwd", "touch", "ls", "cat", "clear"}
+
+
+def _resolve_program(name: str) -> str:
+    if name.lstrip("/").rsplit("/", 1)[-1] in COREUTILS:
+        return f"/usr/bin/{name.rsplit('/', 1)[-1]}"
+    if name.startswith("/"):
+        return name
+    raise SystemExit(f"unknown program {name!r}; "
+                     f"bundled: {', '.join(sorted(COREUTILS))}")
+
+
+def trace(program: str, mechanism: str = "K23-ultra", seed: int = 1,
+          summary: bool = False, out=None):
+    out = out or sys.stdout
+    path = _resolve_program(program)
+    tracer = TracingHook()
+    counter = CountingHook()
+    hook = chain(tracer, counter)
+
+    kernel = Kernel(seed=seed)
+    install_coreutils(kernel)
+    if needs_offline(mechanism):
+        offline_kernel = Kernel(seed=seed + 1)
+        install_coreutils(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run(path)
+        import_logs(kernel, offline.export())
+    interposer = make_interposer(mechanism, kernel)
+    interposer.hook = hook
+    process = kernel.spawn_process(path)
+    kernel.run_process(process)
+
+    if not summary:
+        for line in tracer.formatted():
+            print(line, file=out)
+    print(counter.summary(), file=out)
+    missed = kernel.uninterposed_syscalls(process.pid)
+    vdso = [e for e in kernel.vdso_calls if e[0] == process.pid]
+    print(f"\ncoverage: {interposer.handled_count(process.pid)} interposed, "
+          f"{len(missed)} missed, {len(vdso)} vDSO calls unseen "
+          f"(mechanism: {mechanism})", file=out)
+    print(f"exit status: {process.exit_status}", file=out)
+    return process, tracer, counter, missed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simtrace", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("program", help="bundled coreutil name or path")
+    parser.add_argument("--interposer", default="K23-ultra",
+                        choices=list(MECHANISMS))
+    parser.add_argument("--summary", action="store_true",
+                        help="histogram only (strace -c)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    process, _tracer, _counter, _missed = trace(
+        args.program, args.interposer, args.seed, args.summary)
+    return 0 if process.exit_status == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

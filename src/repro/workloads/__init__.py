@@ -1,0 +1,18 @@
+"""Simulated applications and load generators.
+
+- :mod:`repro.workloads.programs` — :class:`ProgramBuilder`, the high-level
+  authoring layer over :class:`repro.arch.assembler.Asm` (libc calls through
+  GOT slots, loops, data strings).
+- :mod:`repro.workloads.coreutils` — ``pwd``, ``touch``, ``ls``, ``cat``,
+  ``clear``; syscall-site diversity matching the paper's Table 2.
+- :mod:`repro.workloads.nginx` / :mod:`repro.workloads.lighttpd` — static
+  HTTP servers (accept/epoll/recv/stat/open/read/write/close loops).
+- :mod:`repro.workloads.redis` — GET-workload key/value server.
+- :mod:`repro.workloads.sqlite` — a WAL-journaled speedtest1-style workload.
+- :mod:`repro.workloads.clients` — wrk- and redis-benchmark-style drivers.
+- :mod:`repro.workloads.stress` — the syscall-500 microbenchmark (§6.2.1).
+"""
+
+from repro.workloads.programs import ProgramBuilder, RESULT, data_ref
+
+__all__ = ["ProgramBuilder", "RESULT", "data_ref"]

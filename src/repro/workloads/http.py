@@ -1,0 +1,171 @@
+"""Shared machinery for the HTTP-server workloads (nginx / lighttpd).
+
+Both servers follow the classic pre-fork worker model the paper benchmarks:
+a master process binds the listening socket, forks N workers that inherit
+it, and parks in ``wait4``; each worker accepts keep-alive connections and
+answers GET requests.
+
+The two servers differ in their per-request syscall mix, mirroring their
+real architectures:
+
+- **nginx mode** (``cache_revalidate_every=1``): full file I/O on every
+  request — ``recvfrom``, ``lseek``, ``read`` (plus an EOF-confirming
+  ``read`` and a body ``sendto`` for non-empty files), ``sendto``.
+  4 syscalls/request at 0 KB, 6 at 4 KB.
+- **lighttpd mode** (``cache_revalidate_every=N``): serves from its file
+  cache — ``recvfrom`` + ``sendto`` (+ body ``sendto``) per request, with
+  the ``lseek``/``read`` revalidation only every N-th request.
+
+Worker count, per-request application compute (``burn``), and the served
+file are read from a config file at startup (three fields: 8-byte LE worker
+count, 8-byte LE burn cycles, NUL-terminated path), so one binary serves
+every Table 6 configuration and keeps a single offline log.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.arch.registers import Reg
+from repro.kernel.syscalls import Nr
+from repro.workloads.programs import ProgramBuilder, RESULT, data_ref
+
+WWW_EMPTY = "/var/www/empty.html"
+WWW_4K = "/var/www/page4k.html"
+
+
+def pad_inline_sites(builder: ProgramBuilder, count: int,
+                     prefix: str) -> None:
+    """Emit *count* one-shot inlined syscall sites (the static-binary /
+    hand-written-assembly sites that inflate real applications' unique-site
+    counts in Table 2).  Each executes exactly once at startup."""
+    for index in range(count):
+        builder.direct_syscall(Nr.getpid, mark=f"{prefix}.inline{index}")
+
+
+def write_server_config(kernel, path: str, workers: int, burn_cycles: int,
+                        file_path: str) -> None:
+    """Write the runtime config consumed by :func:`build_http_server`."""
+    payload = (struct.pack("<QQ", workers, burn_cycles)
+               + file_path.encode() + b"\x00")
+    kernel.vfs.create(path, payload)
+
+
+def install_www(kernel) -> None:
+    kernel.vfs.create(WWW_EMPTY, b"")
+    kernel.vfs.create(WWW_4K, b"x" * 4096)
+
+
+def build_http_server(path: str, conf_path: str, port: int,
+                      inline_pad: int, cache_revalidate_every: int = 1,
+                      stub_profile: int = 40) -> ProgramBuilder:
+    """Author one pre-fork HTTP server binary (see module docstring)."""
+    builder = ProgramBuilder(path, stub_profile=stub_profile)
+    builder.string("conf", conf_path)
+    builder.buffer("confbuf", 256)
+    builder.buffer("reqbuf", 512)
+    builder.buffer("filebuf", 4608)
+    builder.buffer("events", 64)
+    builder.buffer("revcnt", 8)
+    asm = builder.asm
+    builder.start()
+
+    # One-shot inlined sites (startup bookkeeping; Table 2 padding).
+    pad_inline_sites(builder, inline_pad, path.rsplit("/", 1)[-1])
+
+    # Read the runtime configuration.
+    builder.libc("openat", (1 << 64) - 100, data_ref("conf"), 0)
+    asm.mov_rr(Reg.RBX, Reg.RAX)
+    builder.libc("read", Reg.RBX, data_ref("confbuf"), 256)
+    builder.libc("close", Reg.RBX)
+
+    # Bind and listen; the listener fd lives in R14 across fork.
+    builder.libc("socket", 2, 1, 0)
+    asm.mov_rr(Reg.R14, Reg.RAX)
+    builder.libc("bind", Reg.R14, port, 0)
+    builder.libc("listen", Reg.R14, 128)
+
+    # Fork the workers (count from config word 0).
+    asm.lea_rip_label(Reg.R15, "confbuf")
+    asm.load(Reg.R15, Reg.R15)  # R15 = worker count
+    builder.label(".fork_loop")
+    asm.test_rr(Reg.R15, Reg.R15)
+    asm.je(".master")
+    builder.libc("fork")
+    asm.test_rr(Reg.RAX, Reg.RAX)
+    asm.je(".worker")
+    asm.dec(Reg.R15)
+    asm.jmp(".fork_loop")
+
+    # Master: reap forever (parks in wait4).
+    builder.label(".master")
+    builder.libc("wait4", 0, 0, 0, 0)
+    builder.exit(0)
+
+    # ---------------------------------------------------------------- worker
+    builder.label(".worker")
+    # RBP = per-request application compute (config word 1).
+    asm.lea_rip_label(Reg.R11, "confbuf")
+    asm.add_ri(Reg.R11, 8)
+    asm.load(Reg.RBP, Reg.R11)
+    builder.libc("epoll_create", 1)
+    asm.mov_rr(Reg.R12, Reg.RAX)
+    builder.libc("epoll_ctl", Reg.R12, 1, Reg.R14, 0)
+
+    builder.label(".accept_loop")
+    builder.libc("epoll_wait", Reg.R12, data_ref("events"), 8,
+                 (1 << 64) - 1)
+    builder.libc("accept", Reg.R14, 0, 0)
+    asm.mov_rr(Reg.R13, Reg.RAX)
+
+    # Per-connection file setup: stat + open + fstat once, prime the cache.
+    asm.lea_rip_label(Reg.R11, "confbuf")
+    asm.add_ri(Reg.R11, 16)
+    builder.libc("newfstatat", (1 << 64) - 100, Reg.R11, 0, 0)
+    asm.lea_rip_label(Reg.R11, "confbuf")
+    asm.add_ri(Reg.R11, 16)
+    builder.libc("openat", (1 << 64) - 100, Reg.R11, 0)
+    asm.mov_rr(Reg.RBX, Reg.RAX)
+    builder.libc("fstat", Reg.RBX, 0)
+    builder.libc("read", Reg.RBX, data_ref("filebuf"), 4096)
+    asm.mov_rr(Reg.R15, Reg.RAX)  # R15 = cached body size
+    # Reset the revalidation countdown.
+    asm.lea_rip_label(Reg.R11, "revcnt")
+    asm.mov_ri(Reg.RAX, cache_revalidate_every)
+    asm.store(Reg.R11, Reg.RAX)
+
+    builder.label(".req_loop")
+    builder.libc("recvfrom", Reg.R13, data_ref("reqbuf"), 512, 0, 0, 0)
+    asm.test_rr(Reg.RAX, Reg.RAX)
+    asm.je(".conn_closed")
+
+    # File I/O: every request (nginx) or every N-th request (lighttpd).
+    asm.lea_rip_label(Reg.R11, "revcnt")
+    asm.load(Reg.RAX, Reg.R11)
+    asm.dec(Reg.RAX)
+    asm.store(Reg.R11, Reg.RAX)
+    asm.test_rr(Reg.RAX, Reg.RAX)
+    asm.jne(".serve")
+    asm.mov_ri(Reg.RAX, cache_revalidate_every)
+    asm.store(Reg.R11, Reg.RAX)
+    builder.libc("lseek", Reg.RBX, 0, 0)
+    builder.libc("read", Reg.RBX, data_ref("filebuf"), 4096)
+    asm.mov_rr(Reg.R15, Reg.RAX)
+    asm.test_rr(Reg.RAX, Reg.RAX)
+    asm.je(".serve")
+    builder.libc("read", Reg.RBX, data_ref("filebuf"), 4096)  # EOF confirm
+
+    builder.label(".serve")
+    builder.libc("burn", Reg.RBP)  # parse + route + headers + log
+    builder.libc("sendto", Reg.R13, data_ref("reqbuf"), 128, 0, 0, 0)
+    asm.test_rr(Reg.R15, Reg.R15)
+    asm.je(".req_loop")
+    builder.libc("sendto", Reg.R13, data_ref("filebuf"), Reg.R15, 0, 0, 0)
+    asm.jmp(".req_loop")
+
+    builder.label(".conn_closed")
+    builder.libc("close", Reg.RBX)
+    builder.libc("close", Reg.R13)
+    asm.jmp(".accept_loop")
+    return builder

@@ -1,0 +1,93 @@
+"""Simulated redis (branch 8.0), 100 % GET workload.
+
+I/O-thread model: the main thread binds the listener and spawns N-1 extra
+I/O threads; each thread runs an accept/keep-alive loop answering GET
+requests (``recvfrom`` + in-memory lookup + ``sendto``).  redis is the most
+syscall-dense of the macro workloads per unit of compute — two syscalls
+around a cheap hash lookup — which is why pure-SUD interposition collapses
+on it (Table 6).
+
+Table 2 measures 92 unique sites for redis: the server's own wrapper layer
+(connection abstraction, jemalloc, ae event loop, bio threads) contributes
+many inlined sites beyond plain libc — modelled by ``INLINE_PAD``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.arch.registers import Reg
+from repro.workloads.http import pad_inline_sites
+from repro.workloads.programs import ProgramBuilder, data_ref
+
+REDIS_PATH = "/usr/bin/redis-server"
+REDIS_CONF = "/etc/redis/repro.conf"
+REDIS_PORT = 6379
+
+#: In-memory GET cost (hash lookup + reply formatting).
+REDIS_BURN_CYCLES = 9_280
+
+#: Table 2 target: 92 unique sites.
+REDIS_TABLE2_SITES = 92
+INLINE_PAD = 83
+
+
+def write_redis_config(kernel, io_threads: int) -> None:
+    kernel.vfs.create(REDIS_CONF, struct.pack("<Q", io_threads))
+
+
+def build_redis() -> ProgramBuilder:
+    builder = ProgramBuilder(REDIS_PATH, stub_profile=60)
+    builder.string("conf", REDIS_CONF)
+    builder.buffer("confbuf", 64)
+    builder.buffer("reqbuf", 256)
+    builder.buffer("reply", 256)
+    asm = builder.asm
+    builder.start()
+
+    pad_inline_sites(builder, INLINE_PAD, "redis")
+
+    builder.libc("openat", (1 << 64) - 100, data_ref("conf"), 0)
+    asm.mov_rr(Reg.RBX, Reg.RAX)
+    builder.libc("read", Reg.RBX, data_ref("confbuf"), 64)
+    builder.libc("close", Reg.RBX)
+
+    builder.libc("socket", 2, 1, 0)
+    asm.mov_rr(Reg.R14, Reg.RAX)
+    builder.libc("bind", Reg.R14, REDIS_PORT, 0)
+    builder.libc("listen", Reg.R14, 511)
+
+    # Spawn io_threads-1 extra threads; the main thread serves too.
+    asm.lea_rip_label(Reg.R15, "confbuf")
+    asm.load(Reg.R15, Reg.R15)
+    asm.dec(Reg.R15)
+    builder.label(".spawn_loop")
+    asm.test_rr(Reg.R15, Reg.R15)
+    asm.je(".serve")
+    asm.lea_rip_label(Reg.RDI, ".serve")
+    builder.libc("pthread_create", Reg.RDI)
+    asm.dec(Reg.R15)
+    asm.jmp(".spawn_loop")
+
+    # ------------------------------------------------------------- io thread
+    builder.label(".serve")
+    builder.label(".accept_loop")
+    builder.libc("accept", Reg.R14, 0, 0)
+    asm.mov_rr(Reg.R13, Reg.RAX)
+    builder.label(".req_loop")
+    builder.libc("recvfrom", Reg.R13, data_ref("reqbuf"), 256, 0, 0, 0)
+    asm.test_rr(Reg.RAX, Reg.RAX)
+    asm.je(".conn_closed")
+    builder.libc("burn", REDIS_BURN_CYCLES)  # dict lookup + reply build
+    builder.libc("sendto", Reg.R13, data_ref("reply"), 32, 0, 0, 0)
+    asm.jmp(".req_loop")
+    builder.label(".conn_closed")
+    builder.libc("close", Reg.R13)
+    asm.jmp(".accept_loop")
+    return builder
+
+
+def install_redis(kernel, io_threads: int = 1) -> str:
+    write_redis_config(kernel, io_threads)
+    build_redis().register(kernel)
+    return REDIS_PATH

@@ -1,0 +1,34 @@
+"""The §6.2.1 microbenchmark: syscall number 500, invoked in a tight loop.
+
+Number 500 does not exist, so the kernel rejects it immediately — minimal
+in-kernel time, maximal emphasis on interposition overhead.  The loop runs
+through libc's generic ``syscall(3)`` shim (one stable site, so every
+mechanism reaches steady state after the first iteration).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.syscalls import FAKE_SYSCALL_STRESS
+from repro.workloads.programs import ProgramBuilder
+
+STRESS_PATH = "/usr/bin/syscall-stress"
+
+#: Iterations per measured run.  The paper runs 100 M on hardware; the
+#: simulator's per-iteration cost is deterministic, so a few thousand
+#: iterations measure the same per-call cycle cost.
+DEFAULT_ITERATIONS = 2_000
+
+
+def build_stress(iterations: int = DEFAULT_ITERATIONS) -> ProgramBuilder:
+    builder = ProgramBuilder(STRESS_PATH, stub_profile=10)
+    builder.start()
+    builder.loop(iterations)
+    builder.libc("syscall", FAKE_SYSCALL_STRESS)
+    builder.end_loop()
+    builder.exit(0)
+    return builder
+
+
+def install_stress(kernel, iterations: int = DEFAULT_ITERATIONS) -> str:
+    build_stress(iterations).register(kernel)
+    return STRESS_PATH

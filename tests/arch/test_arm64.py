@@ -1,0 +1,110 @@
+"""SimA64 tests: the fixed-length porting analysis (§7)."""
+
+import pytest
+
+from repro.arch import Asm
+from repro.arch.arm64 import (
+    A64Builder,
+    INSN_BYTES,
+    SVC_0,
+    b,
+    blr,
+    compare_discovery,
+    find_svc_sites,
+    movz,
+    rewrite_feasibility,
+    sweep,
+)
+from repro.arch.registers import Reg
+
+
+def sample_builder() -> A64Builder:
+    builder = A64Builder()
+    builder.emit(movz(8, 93))     # x8 = exit nr
+    builder.svc()
+    builder.nop(2)
+    builder.word_data(0x12345678)  # literal pool
+    builder.word_data(SVC_0)       # literal that *equals* the trap encoding
+    builder.emit(movz(8, 64))
+    builder.svc()
+    builder.ret()
+    return builder
+
+
+def test_every_slot_decodes():
+    builder = sample_builder()
+    code = builder.assemble()
+    insns = list(sweep(code))
+    assert len(insns) == len(code) // INSN_BYTES
+    assert all(insn.mnemonic for insn in insns)
+
+
+def test_sweep_rejects_misaligned_buffers():
+    with pytest.raises(ValueError):
+        list(sweep(b"\x01\x02\x03"))
+
+
+def test_all_true_sites_found():
+    builder = sample_builder()
+    found = find_svc_sites(builder.assemble())
+    assert set(builder.svc_sites) <= set(found)
+
+
+def test_only_collision_is_aligned_literal():
+    """The sole false positive on fixed-length: a literal word equal to the
+    SVC encoding — always aligned and pool-resident (filterable), unlike
+    x86's arbitrary-offset partial instructions."""
+    builder = sample_builder()
+    found = set(find_svc_sites(builder.assemble()))
+    phantoms = found - set(builder.svc_sites)
+    assert phantoms == {builder.data_slots[1]}
+    assert all(offset % INSN_BYTES == 0 for offset in phantoms)
+
+
+def test_encoders_validate_operands():
+    with pytest.raises(ValueError):
+        movz(31, 0)
+    with pytest.raises(ValueError):
+        movz(0, 1 << 16)
+    with pytest.raises(ValueError):
+        b(1 << 25)
+    with pytest.raises(ValueError):
+        blr(31)
+
+
+def test_branch_encoding_roundtrip():
+    word = b(-2)
+    assert word >> 26 == 0b000101
+    assert word & ((1 << 26) - 1) == (-2) & ((1 << 26) - 1)
+
+
+def test_rewrite_feasibility_analysis():
+    builder = sample_builder()
+    analysis = rewrite_feasibility(builder.assemble())
+    assert analysis["replacement_width_matches"]
+    assert not analysis["needs_null_trampoline"]
+    assert analysis["branch_range_bytes"] == 128 * (1 << 20)
+    assert set(builder.svc_sites) <= set(analysis["sites"])
+
+
+def test_compare_discovery_artifact():
+    """x86 sweep desyncs and misses a hidden site; the A64 sweep is exact."""
+    x86 = Asm()
+    x86.mov_ri(Reg.RAX, 39)
+    x86.mark("visible")
+    x86.syscall_()
+    x86.jmp("hidden")
+    x86.raw(b"\x48\xb8")  # absorbs the next mov+syscall
+    x86.label("hidden")
+    x86.mov_ri(Reg.RAX, 102)
+    x86.mark("hidden_site")
+    x86.syscall_()
+    x86.nop(8)
+    x86.ret()
+    report = compare_discovery(x86.assemble(),
+                               [x86.marks["visible"],
+                                x86.marks["hidden_site"]],
+                               sample_builder())
+    assert "1/2 true sites found" in report       # x86 missed the hidden one
+    assert "2/2 true sites found" in report       # A64 exact
+    assert "desync" in report

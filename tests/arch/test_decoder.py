@@ -1,0 +1,193 @@
+"""Decoder unit tests: byte-exact encodings and rejection behaviour."""
+
+import pytest
+
+from repro.arch import decode
+from repro.arch.isa import Cond, Mnemonic
+from repro.arch.registers import Reg
+from repro.errors import DecodeError
+
+
+def test_syscall_is_two_bytes():
+    insn = decode(b"\x0f\x05")
+    assert insn.mnemonic is Mnemonic.SYSCALL
+    assert insn.length == 2
+    assert insn.is_syscall_site
+
+
+def test_sysenter_is_two_bytes():
+    insn = decode(b"\x0f\x34")
+    assert insn.mnemonic is Mnemonic.SYSENTER
+    assert insn.length == 2
+    assert insn.is_syscall_site
+
+
+def test_call_rax_is_two_bytes():
+    """The size match that makes the zpoline rewrite possible at all."""
+    insn = decode(b"\xff\xd0")
+    assert insn.mnemonic is Mnemonic.CALL_REG
+    assert insn.reg is Reg.RAX
+    assert insn.length == 2
+
+
+def test_call_reg_high_register_needs_rex():
+    insn = decode(b"\x41\xff\xd2")  # callq *%r10
+    assert insn.mnemonic is Mnemonic.CALL_REG
+    assert insn.reg is Reg.R10
+    assert insn.length == 3
+
+
+def test_jmp_reg():
+    insn = decode(b"\xff\xe0")  # jmp *%rax
+    assert insn.mnemonic is Mnemonic.JMP_REG
+    assert insn.reg is Reg.RAX
+
+
+def test_nop_ret_int3_hlt():
+    assert decode(b"\x90").mnemonic is Mnemonic.NOP
+    assert decode(b"\xc3").mnemonic is Mnemonic.RET
+    assert decode(b"\xcc").mnemonic is Mnemonic.INT3
+    assert decode(b"\xf4").mnemonic is Mnemonic.HLT
+
+
+def test_endbr64():
+    insn = decode(b"\xf3\x0f\x1e\xfa")
+    assert insn.mnemonic is Mnemonic.ENDBR64
+    assert insn.length == 4
+
+
+def test_mov_ri64_carries_immediate_bytes():
+    # mov $0x050f, %rax → REX.W B8 0F 05 00 00 00 00 00 00
+    insn = decode(b"\x48\xb8\x0f\x05\x00\x00\x00\x00\x00\x00")
+    assert insn.mnemonic is Mnemonic.MOV_RI
+    assert insn.reg is Reg.RAX
+    assert insn.imm == 0x050F
+    assert insn.length == 10
+    # The syscall opcode bytes hide inside the immediate (a "partial
+    # instruction" in the paper's terminology).
+    assert b"\x0f\x05" in insn.raw
+
+
+def test_mov_ri32_zero_extends():
+    insn = decode(b"\xb8\x2a\x00\x00\x00")  # mov $42, %eax
+    assert insn.mnemonic is Mnemonic.MOV_RI
+    assert insn.imm == 42
+    assert insn.length == 5
+
+
+def test_mov_rr():
+    insn = decode(b"\x48\x89\xc7")  # mov %rax, %rdi
+    assert insn.mnemonic is Mnemonic.MOV_RR
+    assert insn.reg is Reg.RDI  # destination
+    assert insn.rm is Reg.RAX  # source
+
+
+def test_mov_load_store():
+    load = decode(b"\x48\x8b\x07")  # mov (%rdi), %rax
+    assert load.mnemonic is Mnemonic.MOV_LOAD
+    assert load.reg is Reg.RAX and load.rm is Reg.RDI
+    store = decode(b"\x48\x89\x07")  # mov %rax, (%rdi)
+    assert store.mnemonic is Mnemonic.MOV_STORE
+    assert store.reg is Reg.RAX and store.rm is Reg.RDI
+
+
+def test_byte_load_store():
+    store = decode(b"\x88\x03")  # movb %al, (%rbx)
+    assert store.mnemonic is Mnemonic.MOV_STORE8
+    assert store.reg is Reg.RAX and store.rm is Reg.RBX
+    load = decode(b"\x8a\x03")  # movb (%rbx), %al
+    assert load.mnemonic is Mnemonic.MOV_LOAD8
+
+
+def test_lea_rip_relative():
+    insn = decode(b"\x48\x8d\x05\x10\x00\x00\x00")  # lea 0x10(%rip), %rax
+    assert insn.mnemonic is Mnemonic.LEA_RIP
+    assert insn.reg is Reg.RAX
+    assert insn.rel == 0x10
+    assert insn.length == 7
+
+
+def test_arithmetic_rr():
+    assert decode(b"\x48\x01\xc3").mnemonic is Mnemonic.ADD_RR
+    assert decode(b"\x48\x29\xc3").mnemonic is Mnemonic.SUB_RR
+    assert decode(b"\x48\x39\xc3").mnemonic is Mnemonic.CMP_RR
+    assert decode(b"\x48\x31\xff").mnemonic is Mnemonic.XOR_RR
+    assert decode(b"\x48\x85\xc0").mnemonic is Mnemonic.TEST_RR
+
+
+def test_grp1_imm8_signed():
+    insn = decode(b"\x48\x83\xe8\xff")  # sub $-1, %rax
+    assert insn.mnemonic is Mnemonic.SUB_RI
+    assert insn.imm == -1
+
+
+def test_grp1_imm32():
+    insn = decode(b"\x48\x81\xc0\x00\x01\x00\x00")  # add $256, %rax
+    assert insn.mnemonic is Mnemonic.ADD_RI
+    assert insn.imm == 256
+    assert insn.length == 7
+
+
+def test_inc_dec():
+    assert decode(b"\x48\xff\xc0").mnemonic is Mnemonic.INC
+    assert decode(b"\x48\xff\xc8").mnemonic is Mnemonic.DEC
+
+
+def test_branches():
+    jmp8 = decode(b"\xeb\xfe")  # jmp .-2 (self)
+    assert jmp8.mnemonic is Mnemonic.JMP_REL and jmp8.rel == -2
+    jmp32 = decode(b"\xe9\x00\x01\x00\x00")
+    assert jmp32.rel == 0x100
+    call = decode(b"\xe8\xfc\xff\xff\xff")
+    assert call.mnemonic is Mnemonic.CALL_REL and call.rel == -4
+    je = decode(b"\x74\x05")
+    assert je.mnemonic is Mnemonic.JCC_REL and je.cond is Cond.E
+    jne32 = decode(b"\x0f\x85\x10\x00\x00\x00")
+    assert jne32.cond is Cond.NE and jne32.rel == 0x10
+
+
+def test_push_pop_with_rex():
+    assert decode(b"\x50").reg is Reg.RAX
+    assert decode(b"\x41\x50").reg is Reg.R8
+    assert decode(b"\x58").mnemonic is Mnemonic.POP
+    assert decode(b"\x41\x5f").reg is Reg.R15
+
+
+def test_hostcall_escape():
+    insn = decode(b"\x0f\x1f\xf8\x2a\x00")
+    assert insn.mnemonic is Mnemonic.HOSTCALL
+    assert insn.hostcall == 42
+    assert insn.length == 5
+
+
+def test_hostcall_never_contains_syscall_bytes():
+    from repro.arch.isa import HOSTCALL_PREFIX
+
+    assert b"\x0f\x05" not in HOSTCALL_PREFIX
+    assert b"\x0f\x34" not in HOSTCALL_PREFIX
+
+
+def test_serialization_instructions():
+    assert decode(b"\x0f\xa2").mnemonic is Mnemonic.CPUID
+    assert decode(b"\x0f\xae\xf0").mnemonic is Mnemonic.MFENCE
+    assert decode(b"\x0f\x0b").mnemonic is Mnemonic.UD2
+
+
+@pytest.mark.parametrize(
+    "junk",
+    [b"\x06", b"\x0f\xff", b"\xff\x00", b"\x48", b"\xe9\x00", b"\x48\xb8\x00"],
+)
+def test_rejects_junk_and_truncation(junk):
+    with pytest.raises(DecodeError):
+        decode(junk)
+
+
+def test_decode_at_offset():
+    buf = b"\x90\x90\x0f\x05"
+    insn = decode(buf, 2)
+    assert insn.mnemonic is Mnemonic.SYSCALL
+
+
+def test_text_rendering_smoke():
+    assert decode(b"\xff\xd0").text() == "callq *%rax"
+    assert decode(b"\x0f\x05").text() == "syscall"

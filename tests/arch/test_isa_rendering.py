@@ -1,0 +1,123 @@
+"""Instruction text rendering and remaining decoder surface."""
+
+import pytest
+
+from repro.arch import Asm, decode
+from repro.arch.isa import (
+    Cond,
+    Instruction,
+    Mnemonic,
+    SYSCALL_PATTERNS,
+    modrm,
+    rex,
+    split_modrm,
+)
+from repro.arch.registers import (
+    CALLEE_SAVED_REGS,
+    Reg,
+    SYSCALL_ARG_REGS,
+    SYSCALL_CLOBBERED_REGS,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestTextRendering:
+    @pytest.mark.parametrize("build,expected", [
+        (lambda a: a.mov_ri(Reg.RAX, 0x3c), "mov $0x3c, %rax"),
+        (lambda a: a.mov_rr(Reg.RDI, Reg.RAX), "mov %rax, %rdi"),
+        (lambda a: a.load(Reg.RAX, Reg.RDI), "mov (%rdi), %rax"),
+        (lambda a: a.store(Reg.RDI, Reg.RAX), "mov %rax, (%rdi)"),
+        (lambda a: a.add_rr(Reg.RBX, Reg.RCX), "add %rcx, %rbx"),
+        (lambda a: a.sub_ri(Reg.RAX, 8), "sub $0x8, %rax"),
+        (lambda a: a.push(Reg.R12), "push %r12"),
+        (lambda a: a.pop(Reg.R12), "pop %r12"),
+        (lambda a: a.inc(Reg.RDX), "inc %rdx"),
+        (lambda a: a.call_reg(Reg.R10), "callq *%r10"),
+        (lambda a: a.jmp_reg(Reg.RAX), "jmp *%rax"),
+        (lambda a: a.hostcall(9), "hostcall $9"),
+        (lambda a: a.syscall_(), "syscall"),
+        (lambda a: a.sysenter_(), "sysenter"),
+        (lambda a: a.ret(), "ret"),
+        (lambda a: a.load8(Reg.RAX, Reg.RBX), "movb (%rbx), %raxb"),
+        (lambda a: a.store8(Reg.RBX, Reg.RAX), "movb %raxb, (%rbx)"),
+    ])
+    def test_render(self, build, expected):
+        asm = Asm()
+        build(asm)
+        assert decode(asm.assemble()).text() == expected
+
+    def test_branch_rendering(self):
+        asm = Asm()
+        asm.label("top")
+        asm.jmp("top")
+        text = decode(asm.assemble()).text()
+        assert text.startswith("jmp .")
+
+    def test_jcc_rendering(self):
+        asm = Asm()
+        asm.label("top")
+        asm.je("top")
+        assert decode(asm.assemble()).text().startswith("je .")
+
+    def test_lea_rendering(self):
+        asm = Asm()
+        asm.lea_rip_label(Reg.RSI, "x")
+        asm.label("x")
+        assert "lea" in decode(asm.assemble()).text()
+
+
+class TestModrmHelpers:
+    @pytest.mark.parametrize("mod,reg,rm", [(0, 0, 0), (3, 7, 7), (2, 5, 3)])
+    def test_pack_unpack_roundtrip(self, mod, reg, rm):
+        assert split_modrm(modrm(mod, reg, rm)) == (mod, reg, rm)
+
+    def test_rex_bits(self):
+        assert rex() == 0x40
+        assert rex(w=True) == 0x48
+        assert rex(w=True, r=True, x=True, b=True) == 0x4F
+
+
+class TestRegisters:
+    def test_names_roundtrip(self):
+        for reg in Reg:
+            assert parse_reg(reg_name(reg)) is reg
+            assert parse_reg("%" + reg_name(reg)) is reg
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            parse_reg("xmm0")
+
+    def test_abi_register_sets(self):
+        assert SYSCALL_ARG_REGS[0] is Reg.RDI
+        assert SYSCALL_ARG_REGS[3] is Reg.R10  # not RCX: the kernel ABI
+        assert Reg.RCX in SYSCALL_CLOBBERED_REGS
+        assert Reg.R11 in SYSCALL_CLOBBERED_REGS
+        assert Reg.RBX in CALLEE_SAVED_REGS
+
+    def test_rex_bit_property(self):
+        assert not Reg.RAX.needs_rex_bit
+        assert Reg.R8.needs_rex_bit
+        assert Reg.R8.low3 == Reg.RAX.low3
+
+
+class TestJcc32:
+    @pytest.mark.parametrize("cc,cond", [
+        (0x84, Cond.E), (0x85, Cond.NE), (0x8C, Cond.L), (0x8D, Cond.GE),
+        (0x8E, Cond.LE), (0x8F, Cond.G), (0x88, Cond.S), (0x89, Cond.NS),
+    ])
+    def test_long_form_conditions(self, cc, cond):
+        insn = decode(bytes([0x0F, cc, 4, 0, 0, 0]))
+        assert insn.mnemonic is Mnemonic.JCC_REL
+        assert insn.cond is cond
+        assert insn.rel == 4
+
+
+def test_syscall_patterns_are_the_two_trap_encodings():
+    assert SYSCALL_PATTERNS == (b"\x0f\x05", b"\x0f\x34")
+
+
+def test_instruction_is_frozen():
+    insn = decode(b"\x90")
+    with pytest.raises(Exception):
+        insn.length = 5

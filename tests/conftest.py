@@ -1,0 +1,15 @@
+import pytest
+
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    """A fresh simulated machine with a fixed seed."""
+    return Kernel(seed=42)
+
+
+@pytest.fixture
+def kernel_noaslr():
+    """A machine with ASLR disabled (stable absolute addresses)."""
+    return Kernel(seed=42, aslr=False)

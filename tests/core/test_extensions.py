@@ -1,0 +1,220 @@
+"""Extension features: the seccomp offline backend (§5.1's alternative) and
+conservative static log augmentation (§7 future work)."""
+
+import pytest
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.offline import import_logs
+from repro.core.static_augment import (
+    augment_log,
+    clean_sweep_sites,
+    offline_with_augmentation,
+)
+from repro.kernel import Kernel
+from repro.kernel.seccomp import (
+    Action,
+    SeccompState,
+    Verdict,
+    deny_with_errno,
+    trap_all_except,
+)
+from repro.kernel.syscalls import Errno, Nr
+from repro.workloads.coreutils import install_coreutils
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import spawn_and_run
+
+
+class TestSeccompState:
+    def test_inactive_by_default(self):
+        assert not SeccompState().active
+
+    def test_trap_all_except(self):
+        program = trap_all_except([Nr.exit, Nr.exit_group])
+        assert program(Nr.exit, []).action == Action.ALLOW
+        assert program(Nr.write, []).action == Action.TRAP
+
+    def test_deny_with_errno(self):
+        program = deny_with_errno([Nr.socket], Errno.EPERM)
+        verdict = program(Nr.socket, [])
+        assert verdict.action == Action.ERRNO and verdict.errno == Errno.EPERM
+        assert program(Nr.write, []).action == Action.ALLOW
+
+    def test_most_restrictive_verdict_wins(self):
+        state = SeccompState()
+        state.install(deny_with_errno([Nr.write], Errno.EPERM))
+        state.install(trap_all_except([Nr.write]))
+        # write: ERRNO from filter 1; getpid: TRAP from filter 2 (wins).
+        assert state.evaluate(Nr.write, []).action == Action.ERRNO
+        assert state.evaluate(Nr.getpid, []).action == Action.TRAP
+
+    def test_fork_inherits_filters(self, kernel):
+        from repro.arch.registers import Reg
+
+        builder = ProgramBuilder("/bin/scfork")
+        builder.start()
+        builder.libc("fork")
+        builder.asm.test_rr(Reg.RAX, Reg.RAX)
+        builder.asm.jne("parent")
+        builder.libc("socket", 2, 1, 0)  # child: denied by inherited filter
+        builder.libc("exit", Reg.RAX)
+        builder.label("parent")
+        builder.libc("wait4", 0, 0, 0, 0)
+        builder.exit(0)
+        builder.register(kernel)
+        process = kernel.spawn_process("/bin/scfork")
+        process.seccomp.install(deny_with_errno([Nr.socket], Errno.EPERM))
+        kernel.run()
+        child = next(p for p in kernel.processes.values()
+                     if p.parent is process)
+        assert child.exit_status == (-Errno.EPERM) & 0xFF
+
+
+class TestSeccompErrnoPath:
+    def test_denied_syscall_returns_errno(self, kernel):
+        builder = ProgramBuilder("/bin/scdeny")
+        builder.start()
+        builder.libc("socket", 2, 1, 0)
+        from repro.arch.registers import Reg
+
+        builder.libc("exit", Reg.RAX)
+        builder.register(kernel)
+        process = kernel.spawn_process("/bin/scdeny")
+        process.seccomp.install(deny_with_errno([Nr.socket], Errno.EPERM))
+        kernel.run_process(process)
+        assert process.exit_status == (-Errno.EPERM) & 0xFF
+
+
+class TestSeccompOfflineBackend:
+    def test_backend_validation(self, kernel):
+        with pytest.raises(ValueError):
+            OfflinePhase(kernel, backend="ebpf")
+
+    def test_logs_identical_to_sud_backend(self):
+        logs = {}
+        for backend in ("sud", "seccomp"):
+            kernel = Kernel(seed=17)
+            install_coreutils(kernel, names=["/usr/bin/cat"])
+            offline = OfflinePhase(kernel, backend=backend)
+            _proc, log = offline.run("/usr/bin/cat")
+            logs[backend] = sorted(log)
+        assert logs["sud"] == logs["seccomp"]
+
+    def test_seccomp_logged_program_runs_under_k23(self):
+        offline_kernel = Kernel(seed=18)
+        install_coreutils(offline_kernel, names=["/usr/bin/pwd"])
+        offline = OfflinePhase(offline_kernel, backend="seccomp")
+        offline.run("/usr/bin/pwd")
+
+        kernel = Kernel(seed=19)
+        install_coreutils(kernel, names=["/usr/bin/pwd"])
+        import_logs(kernel, offline.export())
+        k23 = K23Interposer(kernel).install()
+        process = spawn_and_run(kernel, "/usr/bin/pwd")
+        assert process.exit_status == 0
+        assert kernel.uninterposed_syscalls(process.pid) == []
+        assert len(k23.rewritten_sites(process)) == 7  # pwd's Table 2 count
+
+
+class TestStaticAugmentation:
+    def test_clean_sweep_sites(self):
+        from repro.arch import Asm
+        from repro.arch.registers import Reg
+
+        asm = Asm()
+        asm.mov_ri(Reg.RAX, 39)
+        asm.mark("s")
+        asm.syscall_()
+        asm.ret()
+        clean, sites = clean_sweep_sites(asm.assemble())
+        assert clean and sites == [asm.marks["s"]]
+
+    def test_dirty_sweep_rejected(self):
+        from repro.arch import Asm
+        from repro.arch.registers import Reg
+
+        asm = Asm()
+        asm.jmp("over")
+        asm.raw(b"\x01\x02\x03")  # undecodable data → desync
+        asm.label("over")
+        asm.syscall_()
+        asm.ret()
+        clean, _sites = clean_sweep_sites(asm.assemble())
+        assert not clean
+
+    def _partial_coverage_setup(self, seed):
+        """A program whose 'rare' branch (getuid) never runs offline."""
+        def register(kernel):
+            builder = ProgramBuilder("/usr/bin/rare")
+            builder.string("flag", "/etc/rare-mode")
+            builder.start()
+            builder.libc("access", data_ref("flag"), 0)
+            from repro.arch.registers import Reg
+
+            builder.asm.test_rr(Reg.RAX, Reg.RAX)
+            builder.asm.jne(".common")
+            builder.libc("getuid")  # only with /etc/rare-mode present
+            builder.label(".common")
+            builder.libc("getpid")
+            builder.exit(0)
+            builder.register(kernel)
+
+        kernel = Kernel(seed=seed)
+        register(kernel)
+        return kernel, register
+
+    def test_augmentation_adds_unexercised_sites(self):
+        kernel, _register = self._partial_coverage_setup(23)
+        offline = OfflinePhase(kernel)
+        process, log, added = offline_with_augmentation(offline,
+                                                        "/usr/bin/rare")
+        # The dynamic run never saw getuid's site; augmentation found it in
+        # libc's cleanly-sweeping code pages.
+        from repro.loader.libc import LIBC_PATH
+
+        _base, libc, _ns = process.loaded_images[LIBC_PATH]
+        assert (LIBC_PATH, libc.syscall_sites["getuid.syscall"]) in log
+        assert added.get(LIBC_PATH, 0) > 0
+
+    def test_augmented_log_accelerates_rare_path(self):
+        """The rare branch takes the rewritten fast path online instead of
+        the SUD fallback."""
+        kernel, register = self._partial_coverage_setup(24)
+        offline = OfflinePhase(kernel)
+        offline_with_augmentation(offline, "/usr/bin/rare")
+
+        online = Kernel(seed=25)
+        register_fn = register
+        register_fn(online)
+        online.vfs.create("/etc/rare-mode", b"")  # rare branch active now
+        import_logs(online, offline.export())
+        k23 = K23Interposer(online).install()
+        process = spawn_and_run(online, "/usr/bin/rare")
+        assert process.exit_status == 0
+        vias = dict((nr, via) for nr, via in k23.handled[process.pid])
+        from repro.kernel.syscalls import Nr
+
+        assert vias.get(Nr.getuid) == "rewrite"  # not "sud"
+
+    def test_augmentation_never_adds_data_or_partial_sites(self):
+        """A program with embedded data: its whole main-image run is
+        rejected (desync), so no P3a hazard can enter the log."""
+        kernel = Kernel(seed=26)
+        builder = ProgramBuilder("/usr/bin/dataful")
+        builder.start()
+        asm = builder.asm
+        asm.jmp("over")
+        asm.raw(b"\x0f\x05\x01\x02")  # data resembling a syscall
+        asm.label("over")
+        builder.libc("getpid")
+        builder.exit(0)
+        builder.register(kernel)
+        offline = OfflinePhase(kernel)
+        process, log, added = offline_with_augmentation(offline,
+                                                        "/usr/bin/dataful")
+        datum_entries = [(region, off) for region, off in log
+                         if region == "/usr/bin/dataful"]
+        # The data bytes must not be logged (only libc sites were added).
+        code_offsets = {off for _r, off in datum_entries}
+        data_offset = builder.asm.data_spans[0][0]
+        assert data_offset not in code_offsets
+        assert any(key.startswith("!rejected:") for key in added)

@@ -1,0 +1,274 @@
+"""K23 end-to-end: offline phase, online phase, handoff, fallback, guards."""
+
+import pytest
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.liblogger import LibLogger
+from repro.core.logs import SiteLog
+from repro.core.offline import import_logs
+from repro.cpu.cycles import Event
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Nr
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+def getpid_loop(path="/usr/bin/target", iterations=3):
+    builder = ProgramBuilder(path)
+    builder.string("msg", "ok\n")
+    builder.start()
+    builder.loop(iterations)
+    builder.libc("getpid")
+    builder.end_loop()
+    builder.libc("write", 1, data_ref("msg"), 3)
+    builder.exit(0)
+    return builder
+
+
+def run_offline(kernel, path="/usr/bin/target"):
+    offline = OfflinePhase(kernel)
+    process, log = offline.run(path)
+    offline.persist()
+    return offline, process, log
+
+
+class TestOfflinePhase:
+    def test_logs_unique_sites(self, kernel):
+        getpid_loop().register(kernel)
+        offline, process, log = run_offline(kernel)
+        # getpid (×3, one site), write, exit — three unique sites.
+        assert len(log) == 3
+
+    def test_sites_are_region_relative(self, kernel):
+        getpid_loop().register(kernel)
+        offline, process, log = run_offline(kernel)
+        from repro.loader.libc import LIBC_PATH
+
+        _base, libc, _ns = process.loaded_images[LIBC_PATH]
+        expected = {libc.syscall_sites["getpid.syscall"],
+                    libc.syscall_sites["write.syscall"],
+                    libc.syscall_sites["exit.syscall"]}
+        assert {off for region, off in log if region == LIBC_PATH} == expected
+
+    def test_premain_and_stub_sites_excluded(self, kernel):
+        getpid_loop().register(kernel)
+        offline, process, log = run_offline(kernel)
+        assert all(not region.startswith("[") for region, _off in log)
+
+    def test_repeat_runs_merge(self, kernel):
+        getpid_loop().register(kernel)
+        offline = OfflinePhase(kernel)
+        offline.run("/usr/bin/target")
+        _, log2 = offline.run("/usr/bin/target")
+        assert len(log2) == 3  # no duplicates across runs
+
+    def test_persist_seals_directory(self, kernel):
+        getpid_loop().register(kernel)
+        offline, _, _ = run_offline(kernel)
+        from repro.core.logs import LOG_ROOT
+        from repro.errors import VFSError
+
+        with pytest.raises(VFSError):
+            kernel.vfs.create(f"{LOG_ROOT}/forged.log", b"")
+
+    def test_program_output_unaffected(self, kernel):
+        getpid_loop().register(kernel)
+        offline, process, _ = run_offline(kernel)
+        assert bytes(process.output) == b"ok\n"
+        assert process.exit_status == 0
+
+
+def k23_machine(variant="default", builder_fn=getpid_loop, seed=42):
+    """Offline phase on one machine, online on a fresh one (log export)."""
+    offline_kernel = Kernel(seed=seed)
+    builder_fn().register(offline_kernel)
+    offline = OfflinePhase(offline_kernel)
+    offline.run("/usr/bin/target")
+
+    online_kernel = Kernel(seed=seed + 1)
+    builder_fn().register(online_kernel)
+    import_logs(online_kernel, offline.export())
+    k23 = K23Interposer(online_kernel, variant=variant).install()
+    return online_kernel, k23
+
+
+class TestK23Online:
+    def test_program_runs_correctly(self):
+        kernel, k23 = k23_machine()
+        process = spawn_and_run(kernel, "/usr/bin/target")
+        assert process.exit_status == 0
+        assert bytes(process.output) == b"ok\n"
+
+    def test_logged_sites_rewritten(self):
+        kernel, k23 = k23_machine()
+        process = spawn_and_run(kernel, "/usr/bin/target")
+        sites = k23.rewritten_sites(process)
+        assert len(sites) == 3
+        for site in sites:
+            assert process.address_space.read_kernel(site, 2) == b"\xff\xd0"
+
+    def test_exhaustive_no_app_syscall_escapes(self):
+        """The headline property: every application syscall is interposed —
+        startup (ptrace), logged sites (rewrite), everything else (SUD)."""
+        kernel, k23 = k23_machine()
+        process = spawn_and_run(kernel, "/usr/bin/target")
+        assert kernel.uninterposed_syscalls(process.pid) == []
+
+    def test_vdso_disabled_no_vdso_calls(self):
+        def clock_builder(path="/usr/bin/target"):
+            builder = ProgramBuilder(path)
+            builder.buffer("ts", 16)
+            builder.start()
+            builder.libc("clock_gettime", 0, data_ref("ts"))
+            builder.exit(0)
+            return builder
+
+        kernel, k23 = k23_machine(builder_fn=clock_builder)
+        process = spawn_and_run(kernel, "/usr/bin/target")
+        assert not kernel.vdso_calls
+        assert any(r.nr == Nr.clock_gettime
+                   for r in kernel.app_requested_syscalls(process.pid))
+
+    def test_handoff_transfers_startup_state(self):
+        kernel, k23 = k23_machine()
+        process = spawn_and_run(kernel, "/usr/bin/target")
+        state = k23.startup_state(process)
+        assert state is not None
+        assert state["startup_syscalls"] > 10
+
+    def test_ptracer_detached_after_handoff(self):
+        kernel, k23 = k23_machine()
+        process = spawn_and_run(kernel, "/usr/bin/target")
+        assert process.tracer is None or process.tracer.detached
+        steps = [step for step, _ in k23.timeline]
+        assert "ptracer:state-handoff" in steps
+        assert "ptracer:detach" in steps
+
+    def test_rewritten_path_taken_after_init(self):
+        kernel, k23 = k23_machine()
+        process = spawn_and_run(kernel, "/usr/bin/target")
+        vias = [via for nr, via in k23.handled[process.pid]
+                if nr == Nr.getpid]
+        assert "rewrite" in vias
+
+    def test_unlogged_site_falls_back_to_sud(self):
+        """A syscall absent from the offline log is still interposed (P2a)
+        and its site is NOT rewritten (unlike lazypoline)."""
+        def partial_builder(path="/usr/bin/target"):
+            builder = getpid_loop(path)
+            return builder
+
+        # Offline logs only getpid/write/exit; online program also calls
+        # getuid, which the offline run never saw.
+        offline_kernel = Kernel(seed=1)
+        getpid_loop().register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run("/usr/bin/target")
+
+        online_kernel = Kernel(seed=2)
+        builder = ProgramBuilder("/usr/bin/target")
+        builder.string("msg", "ok\n")
+        builder.start()
+        builder.loop(3)
+        builder.libc("getpid")
+        builder.end_loop()
+        builder.libc("getuid")  # never logged offline
+        builder.libc("write", 1, data_ref("msg"), 3)
+        builder.exit(0)
+        builder.register(online_kernel)
+        import_logs(online_kernel, offline.export())
+        k23 = K23Interposer(online_kernel).install()
+        process = spawn_and_run(online_kernel, "/usr/bin/target")
+
+        assert process.exit_status == 0
+        vias = dict((nr, via) for nr, via in k23.handled[process.pid])
+        assert vias.get(Nr.getuid) == "sud"
+        assert online_kernel.uninterposed_syscalls(process.pid) == []
+        # The getuid site must remain an intact syscall instruction.
+        from repro.loader.libc import LIBC_PATH
+
+        base, libc, _ns = process.loaded_images[LIBC_PATH]
+        site = base + libc.syscall_sites["getuid.syscall"]
+        assert process.address_space.read_kernel(site, 2) == b"\x0f\x05"
+
+    def test_log_validation_skips_non_syscall_entries(self):
+        """A log entry pointing at bytes that are no longer a syscall must
+        be skipped, not rewritten."""
+        online_kernel = Kernel(seed=3)
+        getpid_loop().register(online_kernel)
+        forged = SiteLog("/usr/bin/target")
+        forged.add("/usr/bin/target", 0)  # _start's endbr64, not a syscall
+        import_logs(online_kernel, {"/usr/bin/target": forged.render()})
+        k23 = K23Interposer(online_kernel).install()
+        process = spawn_and_run(online_kernel, "/usr/bin/target")
+        assert process.exit_status == 0
+        state = process.interposer_state["k23"]
+        assert state["rewritten"] == []
+        assert state["skipped_log_entries"]
+
+    def test_prctl_disable_aborts(self):
+        """P1b fix: disabling SUD through prctl kills the process."""
+        from repro.kernel.syscalls import (
+            PR_SET_SYSCALL_USER_DISPATCH,
+            PR_SYS_DISPATCH_OFF,
+        )
+
+        def evil_builder(path="/usr/bin/target"):
+            builder = ProgramBuilder(path)
+            builder.start()
+            builder.libc("prctl", PR_SET_SYSCALL_USER_DISPATCH,
+                         PR_SYS_DISPATCH_OFF, 0, 0, 0)
+            builder.libc("getpid")
+            builder.exit(0)
+            return builder
+
+        kernel, k23 = k23_machine(builder_fn=evil_builder)
+        process = spawn_and_run(kernel, "/usr/bin/target")
+        assert process.exited
+        assert process.exit_status != 0
+        assert "P1b" in getattr(process, "kill_detail", "")
+
+    def test_variants_validate(self):
+        with pytest.raises(ValueError):
+            K23Interposer(Kernel(), variant="mega")
+
+    @pytest.mark.parametrize("variant,expect_hash,expect_stack", [
+        ("default", 0, 0),
+        ("ultra", 1, 0),
+        ("ultra+", 1, 1),
+    ])
+    def test_variant_feature_charges(self, variant, expect_hash,
+                                     expect_stack):
+        kernel, k23 = k23_machine(variant=variant)
+        spawn_and_run(kernel, "/usr/bin/target")
+        hash_checks = kernel.cycles.counts[Event.HASHSET_CHECK]
+        stack_switches = kernel.cycles.counts[Event.STACK_SWITCH]
+        assert (hash_checks > 0) == bool(expect_hash)
+        assert (stack_switches > 0) == bool(expect_stack)
+
+    def test_blocking_server_under_k23(self):
+        from tests.kernel.test_net import echo_server
+
+        offline_kernel = Kernel(seed=5)
+        echo_server(offline_kernel, port=8080, requests=1)
+        offline = OfflinePhase(offline_kernel)
+
+        def driver(kern, proc):
+            kern.run_process(proc, max_steps=200_000)
+            conn = kern.net.connect(8080)
+            conn.client_send(b"offline")
+
+        offline.run("/bin/echo1", driver=driver)
+
+        online_kernel = Kernel(seed=6)
+        echo_server(online_kernel, port=8080, requests=1)
+        import_logs(online_kernel, offline.export())
+        k23 = K23Interposer(online_kernel).install()
+        process = online_kernel.spawn_process("/bin/echo1")
+        online_kernel.run_process(process, max_steps=400_000)
+        assert not process.exited
+        conn = online_kernel.net.connect(8080)
+        conn.client_send(b"ping")
+        online_kernel.run_process(process, max_steps=400_000)
+        assert conn.client_recv_all() == b"ping"
+        assert process.exited and process.exit_status == 0

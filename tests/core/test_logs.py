@@ -1,0 +1,73 @@
+"""SiteLog format/persistence tests (Figure 3 machinery)."""
+
+import pytest
+
+from repro.core.logs import LOG_ROOT, SiteLog, seal_logs
+from repro.errors import VFSError
+from repro.kernel.vfs import VFS
+
+
+def test_add_dedups():
+    log = SiteLog("/usr/bin/ls")
+    assert log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 1153562)
+    assert not log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 1153562)
+    assert len(log) == 1
+
+
+def test_render_matches_figure3_format():
+    log = SiteLog("/usr/bin/ls")
+    log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 1153562)
+    log.add("/usr/bin/ls", 943685)
+    text = log.render()
+    assert "/usr/lib/x86_64-linux-gnu/libc.so.6,1153562\n" in text
+    assert "/usr/bin/ls,943685\n" in text
+
+
+def test_parse_roundtrip():
+    log = SiteLog("/usr/bin/ls")
+    log.add("/usr/lib/x86_64-linux-gnu/libc.so.6", 42)
+    log.add("/usr/bin/ls", 7)
+    parsed = SiteLog.parse("/usr/bin/ls", log.render())
+    assert list(parsed) == list(log)
+
+
+def test_parse_skips_comments_and_blanks():
+    parsed = SiteLog.parse("/p", "# header\n\n/lib/a.so,5\n")
+    assert list(parsed) == [("/lib/a.so", 5)]
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(ValueError):
+        SiteLog.parse("/p", "garbage-without-comma\n")
+
+
+def test_merge_accumulates_coverage():
+    run1 = SiteLog("/p")
+    run1.add("/lib/a.so", 1)
+    run2 = SiteLog("/p")
+    run2.add("/lib/a.so", 1)
+    run2.add("/lib/a.so", 2)
+    run1.merge(run2)
+    assert len(run1) == 2
+
+
+def test_save_load_and_seal():
+    vfs = VFS()
+    log = SiteLog("/usr/bin/cat")
+    log.add("/lib/a.so", 9)
+    path = log.save(vfs)
+    assert path == f"{LOG_ROOT}/cat.log"
+    loaded = SiteLog.load(vfs, "/usr/bin/cat")
+    assert list(loaded) == [("/lib/a.so", 9)]
+    seal_logs(vfs)
+    with pytest.raises(VFSError):
+        vfs.append(path, b"tamper")
+    with pytest.raises(VFSError):
+        vfs.create(f"{LOG_ROOT}/evil.log", b"")
+
+
+def test_exists():
+    vfs = VFS()
+    assert not SiteLog.exists(vfs, "/usr/bin/cat")
+    SiteLog("/usr/bin/cat").save(vfs)
+    assert SiteLog.exists(vfs, "/usr/bin/cat")

@@ -1,0 +1,101 @@
+"""OfflinePhase edge cases: export/import, site counts API, persist
+idempotence, and logger behaviour under unusual programs."""
+
+import pytest
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.logs import LOG_ROOT, SiteLog
+from repro.core.offline import import_logs
+from repro.kernel import Kernel
+from repro.workloads.coreutils import install_coreutils
+from repro.workloads.programs import ProgramBuilder
+from tests.simutil import make_hello, spawn_and_run
+
+
+def test_export_import_roundtrip():
+    source = Kernel(seed=76)
+    install_coreutils(source, names=["/usr/bin/pwd"])
+    offline = OfflinePhase(source)
+    offline.run("/usr/bin/pwd")
+    exported = offline.export()
+    assert "/usr/bin/pwd" in exported
+
+    destination = Kernel(seed=77)
+    import_logs(destination, exported)
+    loaded = SiteLog.load(destination.vfs, "/usr/bin/pwd")
+    assert sorted(loaded) == sorted(offline.results["/usr/bin/pwd"])
+    # Sealed on import.
+    from repro.errors import VFSError
+
+    with pytest.raises(VFSError):
+        destination.vfs.append(f"{LOG_ROOT}/pwd.log", b"x")
+
+
+def test_import_without_seal():
+    destination = Kernel(seed=78)
+    import_logs(destination, {"/usr/bin/x": "/lib/a.so,5\n"}, seal=False)
+    destination.vfs.append(f"{LOG_ROOT}/x.log", b"/lib/a.so,6\n")  # allowed
+
+
+def test_site_counts_api(kernel):
+    install_coreutils(kernel, names=["/usr/bin/pwd", "/usr/bin/cat"])
+    offline = OfflinePhase(kernel)
+    offline.run("/usr/bin/pwd")
+    offline.run("/usr/bin/cat")
+    counts = offline.site_counts()
+    assert counts == {"/usr/bin/pwd": 7, "/usr/bin/cat": 11}
+
+
+def test_persist_writes_one_file_per_program(kernel):
+    install_coreutils(kernel, names=["/usr/bin/pwd", "/usr/bin/cat"])
+    offline = OfflinePhase(kernel)
+    offline.run("/usr/bin/pwd")
+    offline.run("/usr/bin/cat")
+    paths = offline.persist(seal=False)
+    assert sorted(paths) == [f"{LOG_ROOT}/cat.log", f"{LOG_ROOT}/pwd.log"]
+
+
+def test_interposer_restored_after_run(kernel):
+    """OfflinePhase must not leave the logger installed as the machine's
+    governing interposer."""
+    make_hello().register(kernel)
+    sentinel = object()
+    kernel.interposer = None
+    offline = OfflinePhase(kernel)
+    offline.run("/usr/bin/hello")
+    assert kernel.interposer is None
+
+
+def test_crashing_program_still_yields_partial_log(kernel):
+    """A program that faults mid-run: everything logged before the crash
+    is kept (the P4a PoC relies on this)."""
+    from repro.arch.registers import Reg
+
+    builder = ProgramBuilder("/bin/crashy")
+    builder.start()
+    builder.libc("getpid")
+    builder.asm.xor_rr(Reg.RBX, Reg.RBX)
+    builder.asm.load(Reg.RAX, Reg.RBX)  # NULL read: SIGSEGV
+    builder.exit(0)
+    builder.register(kernel)
+    offline = OfflinePhase(kernel)
+    process, log = offline.run("/bin/crashy")
+    assert process.exited and process.exit_status != 0
+    assert len(log) == 1  # getpid made it in
+
+
+def test_k23_with_foreign_program_log(kernel):
+    """Online K23 for a program whose log belongs to a DIFFERENT binary
+    layout: validation skips stale entries; fallback still covers."""
+    install_coreutils(kernel, names=["/usr/bin/pwd"])
+    # A log recorded for some other build: offsets point into nonsense.
+    forged = SiteLog("/usr/bin/pwd")
+    forged.add("/usr/bin/pwd", 3)    # mid-instruction
+    forged.add("/usr/bin/pwd", 17)   # arbitrary
+    import_logs(kernel, {"/usr/bin/pwd": forged.render()})
+    k23 = K23Interposer(kernel, variant="ultra").install()
+    process = spawn_and_run(kernel, "/usr/bin/pwd")
+    assert process.exit_status == 0
+    assert kernel.uninterposed_syscalls(process.pid) == []
+    state = process.interposer_state["k23"]
+    assert len(state["skipped_log_entries"]) >= 1

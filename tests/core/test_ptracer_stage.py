@@ -1,0 +1,150 @@
+"""K23 ptracer-stage unit tests: handoff protocol, verification, execve
+enforcement (§5.2/§5.3)."""
+
+import pytest
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.offline import import_logs
+from repro.core.ptracer_stage import K23Ptracer
+from repro.kernel import Kernel
+from repro.kernel.syscalls import (
+    K23_FAKE_SYSCALL_DETACH,
+    K23_FAKE_SYSCALL_STATE,
+)
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+def k23_run(seed=50, builder_fn=make_hello, path="/usr/bin/hello"):
+    offline_kernel = Kernel(seed=seed)
+    builder_fn().register(offline_kernel)
+    offline = OfflinePhase(offline_kernel)
+    offline.run(path)
+    kernel = Kernel(seed=seed + 1)
+    builder_fn().register(kernel)
+    import_logs(kernel, offline.export())
+    k23 = K23Interposer(kernel).install()
+    process = spawn_and_run(kernel, path)
+    return kernel, k23, process
+
+
+class TestHandoffProtocol:
+    def test_state_then_detach_order(self):
+        kernel, k23, process = k23_run()
+        steps = [step for step, _ in k23.timeline]
+        state_idx = steps.index("ptracer:state-handoff")
+        detach_idx = steps.index("ptracer:detach")
+        fallback_idx = steps.index("libk23:sud-fallback-armed")
+        assert state_idx < detach_idx < fallback_idx
+
+    def test_fake_syscalls_never_reach_execution(self):
+        """The kernel must never execute 1023/1024: the tracer swallows
+        both at the entry stop."""
+        kernel, k23, process = k23_run()
+        fake = [r for r in kernel.syscall_log
+                if r.nr in (K23_FAKE_SYSCALL_STATE, K23_FAKE_SYSCALL_DETACH)]
+        assert fake == []
+
+    def test_handoff_carries_startup_counts(self):
+        kernel, k23, process = k23_run()
+        state = k23.startup_state(process)
+        assert state["startup_syscalls"] > 0
+        assert state["execve_rewrites"] == 0
+
+    def test_forged_fake_syscall_rejected(self):
+        """§5.3: a fake syscall from code that is not libK23 (no handoff
+        token) must be rejected, not honoured."""
+        def forger(path="/usr/bin/hello"):
+            builder = ProgramBuilder(path)
+            builder.direct_syscall  # (built below)
+            builder.string("m", "after\n")
+            builder.start()
+            # Forge the state-transfer fake syscall from application code.
+            builder.direct_syscall(K23_FAKE_SYSCALL_DETACH, mark="forged")
+            builder.libc("write", 1, data_ref("m"), 6)
+            builder.exit(0)
+            return builder
+
+        offline_kernel = Kernel(seed=55)
+        forger().register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run("/usr/bin/hello")
+        kernel = Kernel(seed=56)
+        forger().register(kernel)
+        import_logs(kernel, offline.export())
+        k23 = K23Interposer(kernel).install()
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        assert process.exit_status == 0
+        # The forged attempt: rejected before libK23's genuine handoff?
+        # The genuine handoff happens at constructor time (pre-main), so
+        # the tracer has already detached by the time application code
+        # forges one; the forged call simply executes and fails (ENOSYS)
+        # under libK23's interposition instead of detaching anything.
+        assert ("ptracer:detach" in [s for s, _ in k23.timeline])
+        forged_records = [r for r in kernel.syscall_log
+                          if r.nr == K23_FAKE_SYSCALL_DETACH]
+        assert forged_records, "the forged call must reach execution"
+        assert all(r.interposed for r in forged_records)
+
+    def test_forged_fake_syscall_rejected_while_traced(self, kernel):
+        """Directly exercise the verification path: a traced thread without
+        the handoff token issues 1023 → rejected."""
+        make_hello().register(kernel)
+        tracer = K23Ptracer(kernel, "/opt/k23/libk23.so")
+        process = kernel.spawn_process("/usr/bin/hello")
+        tracer.attach(process)
+        thread = process.main_thread
+        from repro.arch.registers import Reg
+
+        thread.context.set(Reg.RAX, K23_FAKE_SYSCALL_STATE)
+        from repro.kernel.ptrace import SyscallStop
+
+        stop = SyscallStop(thread, entry=True)
+        proceed = tracer._handle_fake(stop, K23_FAKE_SYSCALL_STATE)
+        assert proceed is False
+        assert ("ptracer:rejected-fake", K23_FAKE_SYSCALL_STATE) in \
+            tracer.timeline
+        assert not tracer.detached
+
+
+class TestExecveEnforcement:
+    def test_preload_fix_counted(self):
+        """An execve with scrubbed env gets LD_PRELOAD reinstated and the
+        fix is recorded in the handoff state."""
+        def execer(path="/bin/execer2"):
+            builder = ProgramBuilder(path)
+            builder.string("target", "/usr/bin/hello")
+            builder.words("argv", [0, 0])
+            builder.words("envp", [0])
+            builder.start()
+            from repro.arch.registers import Reg
+
+            asm = builder.asm
+            asm.lea_rip_label(Reg.RBX, "argv")
+            asm.lea_rip_label(Reg.RAX, "target")
+            asm.store(Reg.RBX, Reg.RAX)
+            builder.libc("execve", data_ref("target"), data_ref("argv"),
+                         data_ref("envp"))
+            builder.exit(99)
+            return builder
+
+        offline_kernel = Kernel(seed=57)
+        make_hello().register(offline_kernel)
+        execer().register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run("/bin/execer2")
+        offline.run("/usr/bin/hello")
+
+        kernel = Kernel(seed=58)
+        make_hello().register(kernel)
+        execer().register(kernel)
+        import_logs(kernel, offline.export())
+        k23 = K23Interposer(kernel).install()
+        process = spawn_and_run(kernel, "/bin/execer2")
+        assert process.path == "/usr/bin/hello"
+        assert process.exit_status == 0
+        assert "/opt/k23/libk23.so" in process.env.get("LD_PRELOAD", "")
+        steps = [s for s, _ in k23.timeline]
+        assert "ptracer:execve-preload-fix" in steps
+        assert "ptracer:reattached-for-execve" in steps
+        assert kernel.uninterposed_syscalls(process.pid) == []

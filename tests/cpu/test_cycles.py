@@ -1,0 +1,69 @@
+"""Cycle-model unit tests."""
+
+import pytest
+
+from repro.cpu.cycles import CLOCK_HZ, CycleModel, DEFAULT_COSTS, Event
+
+
+def test_charge_accumulates():
+    model = CycleModel()
+    added = model.charge(Event.KERNEL_SYSCALL)
+    assert added == DEFAULT_COSTS[Event.KERNEL_SYSCALL]
+    model.charge(Event.INSTRUCTION, times=5)
+    assert model.cycles == added + 5
+    assert model.counts[Event.INSTRUCTION] == 5
+
+
+def test_charge_cycles_raw():
+    model = CycleModel()
+    model.charge_cycles(123)
+    assert model.cycles == 123
+
+
+def test_cost_overrides():
+    model = CycleModel(costs={Event.KERNEL_SYSCALL: 1000})
+    assert model.charge(Event.KERNEL_SYSCALL) == 1000
+    # Other costs keep their defaults.
+    assert model.costs[Event.SIGNAL_DELIVERY] == \
+        DEFAULT_COSTS[Event.SIGNAL_DELIVERY]
+
+
+def test_seconds_at_modelled_clock():
+    model = CycleModel()
+    model.charge_cycles(CLOCK_HZ)
+    assert model.seconds == pytest.approx(1.0)
+
+
+def test_snapshot_is_a_copy():
+    model = CycleModel()
+    model.charge(Event.MPROTECT)
+    snap = model.snapshot()
+    model.charge(Event.MPROTECT)
+    assert snap[Event.MPROTECT] == 1
+    assert model.counts[Event.MPROTECT] == 2
+
+
+def test_reset():
+    model = CycleModel()
+    model.charge(Event.DLOPEN)
+    model.reset()
+    assert model.cycles == 0
+    assert all(count == 0 for count in model.counts.values())
+
+
+def test_every_event_has_a_cost():
+    assert set(DEFAULT_COSTS) == set(Event)
+
+
+def test_calibration_relationships():
+    """Structural relations the paper's analysis rests on (§6.2.1)."""
+    costs = DEFAULT_COSTS
+    # Signal delivery dwarfs everything on the fast paths.
+    assert costs[Event.SIGNAL_DELIVERY] > 20 * costs[Event.KERNEL_SYSCALL] / 3
+    # The hash-set probe costs more than the bitmap probe (P4b trade).
+    assert costs[Event.HASHSET_CHECK] > costs[Event.BITMAP_CHECK]
+    # K23's handler is leaner than lazypoline's (rcx/r11 reuse).
+    assert costs[Event.K23_HANDLER] < costs[Event.LAZYPOLINE_HANDLER]
+    # ptrace stops are the most expensive per-syscall mechanism.
+    assert 2 * costs[Event.PTRACE_STOP] > \
+        costs[Event.SIGNAL_DELIVERY] + costs[Event.SIGRETURN]

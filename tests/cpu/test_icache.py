@@ -1,0 +1,70 @@
+"""I-cache coherence model tests — the substrate for pitfall P5."""
+
+from repro.arch.isa import Mnemonic
+from repro.cpu.icache import ICache
+
+
+def make_memory(initial: bytes):
+    buf = bytearray(initial)
+
+    def read(addr, n):
+        return bytes(buf[addr:addr + n])
+
+    return buf, read
+
+
+def test_fetch_decodes_and_caches():
+    buf, read = make_memory(b"\x0f\x05" + b"\x90" * 14)
+    cache = ICache()
+    insn = cache.fetch(0, read)
+    assert insn.mnemonic is Mnemonic.SYSCALL
+    assert cache.misses == 1
+    cache.fetch(0, read)
+    assert cache.hits == 1
+
+
+def test_stale_decode_after_remote_write():
+    """Another core patches the bytes; without a flush this core keeps
+    executing the *old* instruction — the P5 hazard."""
+    buf, read = make_memory(b"\x0f\x05" + b"\x90" * 14)
+    cache = ICache()
+    assert cache.fetch(0, read).mnemonic is Mnemonic.SYSCALL
+    buf[0:2] = b"\xff\xd0"  # remote rewrite to callq *%rax
+    assert cache.fetch(0, read).mnemonic is Mnemonic.SYSCALL  # stale!
+
+
+def test_invalidate_range_picks_up_new_bytes():
+    buf, read = make_memory(b"\x0f\x05" + b"\x90" * 14)
+    cache = ICache()
+    cache.fetch(0, read)
+    buf[0:2] = b"\xff\xd0"
+    cache.invalidate_range(0, 2)
+    assert cache.fetch(0, read).mnemonic is Mnemonic.CALL_REG
+
+
+def test_invalidate_covers_overlapping_lines():
+    # An instruction cached at address 3 overlaps a write at address 5.
+    buf, read = make_memory(b"\x90" * 3 + b"\x48\xb8" + b"\x11" * 8 + b"\x90" * 5)
+    cache = ICache()
+    cache.fetch(3, read)
+    buf[5] = 0x22
+    cache.invalidate_range(5, 1)
+    assert cache.fetch(3, read).raw[2] == 0x22
+
+
+def test_flush_all():
+    buf, read = make_memory(b"\x90" * 16)
+    cache = ICache()
+    cache.fetch(0, read)
+    cache.fetch(1, read)
+    assert len(cache) == 2
+    cache.flush_all()
+    assert len(cache) == 0
+
+
+def test_distinct_addresses_cached_separately():
+    buf, read = make_memory(b"\x90\xc3" + b"\x90" * 14)
+    cache = ICache()
+    assert cache.fetch(0, read).mnemonic is Mnemonic.NOP
+    assert cache.fetch(1, read).mnemonic is Mnemonic.RET
+    assert cache.misses == 2

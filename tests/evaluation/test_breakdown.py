@@ -1,0 +1,62 @@
+"""Decomposition tests: each mechanism's characteristic expense surfaces as
+its dominant non-baseline event — the §6.2.1 narrative, quantified."""
+
+import pytest
+
+from repro.cpu.cycles import Event
+from repro.evaluation.breakdown import (
+    dominant_event,
+    render_breakdown,
+    run_decomposed,
+)
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    return {name: run_decomposed(name)
+            for name in ("native", "zpoline-default", "lazypoline",
+                         "K23-default", "SUD")}
+
+
+def test_native_is_pure_baseline(breakdowns):
+    events = set(breakdowns["native"])
+    assert events <= {Event.INSTRUCTION, Event.KERNEL_SYSCALL,
+                      Event.MPROTECT}
+
+
+def test_sud_dominated_by_signal_delivery(breakdowns):
+    """'...stems primarily from relying on SUD' (§6.2.1), literally."""
+    assert dominant_event(breakdowns["SUD"]) in (Event.SIGNAL_DELIVERY,
+                                                 Event.SIGRETURN)
+    _count, delivery = breakdowns["SUD"][Event.SIGNAL_DELIVERY]
+    total = sum(c for _n, c in breakdowns["SUD"].values())
+    assert delivery / total > 0.35
+
+
+def test_armed_slowpath_is_k23s_main_tax(breakdowns):
+    assert dominant_event(breakdowns["K23-default"]) is \
+        Event.SUD_ARMED_SLOWPATH
+
+
+def test_zpoline_has_no_sud_costs(breakdowns):
+    assert Event.SUD_ARMED_SLOWPATH not in breakdowns["zpoline-default"]
+    assert Event.SIGNAL_DELIVERY not in breakdowns["zpoline-default"]
+    assert Event.ZPOLINE_HANDLER in breakdowns["zpoline-default"]
+
+
+def test_handler_counts_match_iterations(breakdowns):
+    count, _cycles = breakdowns["zpoline-default"][Event.ZPOLINE_HANDLER]
+    assert count == 800  # one handler body per stress iteration
+
+
+def test_lazypoline_rewriting_absent_in_steady_state(breakdowns):
+    """Discovery rewriting is one-time: the differential (steady-state)
+    decomposition shows no rewrite or mprotect traffic at all."""
+    assert Event.REWRITE_SITE not in breakdowns["lazypoline"]
+    assert Event.MPROTECT not in breakdowns["lazypoline"]
+
+
+def test_render(breakdowns):
+    text = render_breakdown("SUD", breakdowns["SUD"])
+    assert "signal_delivery" in text
+    assert "total" in text and "%" in text

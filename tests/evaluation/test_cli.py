@@ -1,0 +1,46 @@
+"""Experiment-CLI tests (python -m repro.evaluation.experiments)."""
+
+import pytest
+
+from repro.evaluation.experiments import main, run_table4
+
+
+def test_help(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out and "figure3" in out
+
+
+def test_unknown_target(capsys):
+    assert main(["table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_table4(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "K23-ultra+" in out
+
+
+def test_figure1(capsys):
+    assert main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "partial instruction" in out
+
+
+def test_figure3(capsys):
+    assert main(["figure3"]) == 0
+    out = capsys.readouterr().out
+    assert "ls.log" in out and "libc.so.6," in out
+
+
+def test_table6_single_row(capsys):
+    assert main(["table6", "redis-1t"]) == 0
+    out = capsys.readouterr().out
+    assert "redis (1 I/O thread)" in out
+    assert "geomean" in out
+
+
+def test_table6_unknown_row(capsys):
+    assert main(["table6", "minecraft"]) == 2
+    assert "unknown table6 row" in capsys.readouterr().out

@@ -1,0 +1,55 @@
+"""Figure/table generator tests."""
+
+import pytest
+
+from repro.evaluation import figures
+from repro.evaluation.tables import render_table2, render_table4
+
+
+def test_figure1_classifies_all_three_kinds():
+    text = figures.figure1()
+    assert "valid syscall/sysenter instruction" in text
+    assert "partial instruction" in text
+    assert "data resembling a syscall" in text
+    # byte scan over-approximates; the sweep misses the partial hit.
+    assert "2 valid" in text and "1 partial" in text and "2 data" in text
+
+
+def test_figure2_shows_offline_steps():
+    text = figures.figure2()
+    assert "libLogger" in text
+    assert "(region, offset)" in text
+    assert "unique sites logged for ls" in text
+
+
+def test_figure3_log_format():
+    path, contents = figures.figure3()
+    assert path.endswith("/ls.log")
+    lines = [line for line in contents.splitlines() if line]
+    assert len(lines) == 10  # ls: Table 2
+    for line in lines:
+        region, _, offset = line.rpartition(",")
+        assert region.startswith("/")
+        assert int(offset) >= 0
+
+
+def test_figure4_shows_online_flow_and_paths():
+    text = figures.figure4()
+    assert "ptracer:state-handoff" in text
+    assert "ptracer:detach" in text
+    assert "rewritten fast path" in text
+    assert "uninterposed             :     0" in text
+
+
+def test_table2_rendering():
+    text = render_table2({"/usr/bin/pwd": 7, "/usr/bin/redis-server": 92})
+    assert "pwd" in text and "92" in text
+
+
+def test_table4_lists_all_variants():
+    text = render_table4()
+    for name in ("zpoline-default", "zpoline-ultra", "K23-default",
+                 "K23-ultra", "K23-ultra+"):
+        assert name in text
+    assert "NULL Execution Check" in text
+    assert "Stack Switch" in text

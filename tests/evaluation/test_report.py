@@ -1,0 +1,48 @@
+"""Report-generator smoke test (heavy sub-experiments stubbed)."""
+
+import io
+
+import pytest
+
+import repro.evaluation.report as report_mod
+from repro.evaluation.tables import PAPER_TABLE5
+
+
+def test_generate_report_structure(monkeypatch):
+    from repro.evaluation import experiments
+    from repro.pitfalls import matrix as matrix_mod
+    from repro.pitfalls.poc import PitfallOutcome
+
+    monkeypatch.setattr(experiments, "run_table2", lambda: "TABLE2-STUB")
+    monkeypatch.setattr(experiments, "run_table6", lambda: "TABLE6-STUB")
+    for number in (1, 2, 3, 4):
+        monkeypatch.setattr(experiments, f"run_figure{number}",
+                            lambda n=number: f"FIGURE{n}-STUB")
+    outcomes = [PitfallOutcome(p, name, expected, "stub")
+                for p, row in matrix_mod.PAPER_TABLE3.items()
+                for name, expected in row.items()]
+    monkeypatch.setattr(report_mod, "micro_overheads",
+                        lambda: dict(PAPER_TABLE5))
+    import repro.pitfalls as pitfalls_pkg
+
+    monkeypatch.setattr(pitfalls_pkg, "pitfall_matrix", lambda: outcomes)
+
+    stream = io.StringIO()
+    text = report_mod.generate_report(out=stream)
+    assert text == stream.getvalue()
+    for marker in ("TABLE2-STUB", "TABLE6-STUB", "FIGURE3-STUB",
+                   "Matches the paper exactly: **True**",
+                   "Worst per-row deviation"):
+        assert marker in text
+
+
+def test_config_variant_specs():
+    from repro.core.config import K23_VARIANTS, ZPOLINE_VARIANTS
+
+    names = [spec.name for spec in ZPOLINE_VARIANTS + K23_VARIANTS]
+    assert names == ["zpoline-default", "zpoline-ultra", "K23-default",
+                     "K23-ultra", "K23-ultra+"]
+    ultra_plus = K23_VARIANTS[-1]
+    assert ultra_plus.extra_features == ("NULL Execution Check",
+                                         "Stack Switch")
+    assert "security" in ultra_plus.suited_for

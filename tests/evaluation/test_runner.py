@@ -1,0 +1,102 @@
+"""Evaluation-runner tests: micro ordering, macro shape, figure/table
+generation.  These assert the paper's qualitative claims hold, run-to-run."""
+
+import pytest
+
+from repro.evaluation.runner import (
+    MACRO_BY_KEY,
+    MECHANISMS,
+    macro_results,
+    make_interposer,
+    measure_micro_cycles,
+    micro_overheads,
+)
+from repro.evaluation.tables import PAPER_TABLE5, render_table5
+from repro.kernel import Kernel
+
+
+@pytest.fixture(scope="module")
+def overheads():
+    return micro_overheads()
+
+
+class TestMicro:
+    def test_native_per_call_cost_reasonable(self):
+        native = measure_micro_cycles("native")
+        assert 250 < native < 450  # syscall + loop overhead
+
+    def test_every_mechanism_measured(self, overheads):
+        assert set(overheads) == set(MECHANISMS[1:])
+
+    def test_paper_ordering_reproduced(self, overheads):
+        """Table 5's headline ordering: zpoline < K23-default < lazypoline
+        < K23-ultra < K23-ultra+ << SUD."""
+        assert overheads["zpoline-default"] < overheads["zpoline-ultra"]
+        assert overheads["zpoline-ultra"] < overheads["K23-default"]
+        assert overheads["K23-default"] < overheads["lazypoline"]
+        assert overheads["lazypoline"] < overheads["K23-ultra"]
+        assert overheads["K23-ultra"] < overheads["K23-ultra+"]
+        assert overheads["K23-ultra+"] < 2.0 < overheads["SUD"]
+
+    def test_sud_slowpath_floor(self, overheads):
+        """SUD-armed kernel entries are the floor under lazypoline/K23."""
+        floor = overheads["SUD-no-interposition"]
+        assert floor > 1.1
+        assert overheads["lazypoline"] > floor
+        assert overheads["K23-default"] > floor
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE5))
+    def test_within_two_percent_of_paper(self, overheads, name):
+        assert overheads[name] == pytest.approx(PAPER_TABLE5[name],
+                                                rel=0.02)
+
+    def test_render_table5(self, overheads):
+        text = render_table5(overheads)
+        assert "zpoline-default" in text and "15.30" in text or "15.2" in text
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            make_interposer("frobnicator", Kernel())
+
+
+class TestMacroShape:
+    @pytest.fixture(scope="class")
+    def nginx_row(self):
+        return macro_results(MACRO_BY_KEY["nginx-1w-0k"])
+
+    def test_native_matches_paper(self, nginx_row):
+        config = MACRO_BY_KEY["nginx-1w-0k"]
+        assert nginx_row["native"]["throughput"] == pytest.approx(
+            config.paper_native, rel=0.02)
+
+    def test_fast_interposers_above_95_percent(self, nginx_row):
+        for name in ("zpoline-default", "zpoline-ultra", "lazypoline",
+                     "K23-default", "K23-ultra", "K23-ultra+"):
+            assert nginx_row[name]["relative_pct"] > 95.0
+
+    def test_sud_collapses(self, nginx_row):
+        assert nginx_row["SUD"]["relative_pct"] < 60.0
+
+    def test_ordering_zpoline_k23_lazypoline(self, nginx_row):
+        assert (nginx_row["zpoline-default"]["relative_pct"]
+                > nginx_row["K23-default"]["relative_pct"]
+                > nginx_row["lazypoline"]["relative_pct"])
+
+    def test_redis_one_thread_client_limited(self):
+        """The redis 1-I/O-thread row: everyone ≈100 % because the client
+        saturates first; only SUD dips (Table 6)."""
+        results = macro_results(MACRO_BY_KEY["redis-1t"])
+        for name in ("zpoline-default", "lazypoline", "K23-ultra+"):
+            assert results[name]["relative_pct"] > 99.0
+        assert 90.0 < results["SUD"]["relative_pct"] < 99.0
+
+    def test_redis_six_threads_sud_collapse(self):
+        """The most dramatic cell: 6 I/O threads under SUD (paper 35.75%)."""
+        results = macro_results(MACRO_BY_KEY["redis-6t"])
+        assert results["SUD"]["relative_pct"] < 50.0
+        assert results["lazypoline"]["relative_pct"] > 99.0
+
+    def test_sqlite_runtime_ratio(self):
+        results = macro_results(MACRO_BY_KEY["sqlite"])
+        assert results["zpoline-default"]["relative_pct"] > 98.0
+        assert results["SUD"]["relative_pct"] == pytest.approx(55.9, abs=3.0)

@@ -1,0 +1,63 @@
+"""Statistics pipeline tests (§6.2 methodology)."""
+
+import math
+
+import pytest
+
+from repro.evaluation.stats import (
+    RepeatedMeasurement,
+    drop_outliers,
+    geomean,
+    ratio_measurement,
+    std_percent,
+)
+
+
+def test_geomean_basic():
+    assert geomean([2, 8]) == pytest.approx(4.0)
+    assert geomean([5]) == pytest.approx(5.0)
+
+
+def test_geomean_empty_raises():
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_drop_outliers_removes_min_and_max():
+    assert sorted(drop_outliers([5, 1, 3, 9, 4])) == [3, 4, 5]
+
+
+def test_drop_outliers_small_sequences_untouched():
+    assert drop_outliers([1, 2]) == [1, 2]
+
+
+def test_std_percent():
+    assert std_percent([10, 10, 10]) == 0.0
+    assert std_percent([10]) == 0.0
+    assert std_percent([9, 10, 11]) == pytest.approx(10.0)
+
+
+class TestRepeatedMeasurement:
+    def test_ten_runs_eight_kept(self):
+        cell = RepeatedMeasurement(100.0, runs=10, seed=1)
+        assert len(cell.samples) == 10
+        assert len(cell.kept) == 8
+
+    def test_geomean_close_to_value(self):
+        cell = RepeatedMeasurement(1.2788, runs=10, sigma=0.0005, seed=2)
+        assert cell.geomean == pytest.approx(1.2788, rel=0.002)
+
+    def test_std_pct_matches_sigma_scale(self):
+        cell = RepeatedMeasurement(100.0, runs=10, sigma=0.0005, seed=3)
+        assert 0.0 < cell.std_pct < 0.2
+
+    def test_seeded_determinism(self):
+        a = RepeatedMeasurement(7.0, seed=9)
+        b = RepeatedMeasurement(7.0, seed=9)
+        assert a.samples == b.samples
+        c = RepeatedMeasurement(7.0, seed=10)
+        assert a.samples != c.samples
+
+    def test_ratio_measurement(self):
+        cell = ratio_measurement(128.0, 100.0, seed=4)
+        assert cell.geomean == pytest.approx(1.28, rel=0.01)

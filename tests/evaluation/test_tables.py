@@ -1,0 +1,61 @@
+"""Table-renderer unit tests (synthetic inputs; no heavy measurement)."""
+
+import pytest
+
+from repro.evaluation.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE5,
+    render_table2,
+    render_table5,
+    render_table6,
+)
+
+
+def test_render_table2_includes_paper_column():
+    text = render_table2({"/usr/bin/ls": 10, "/custom/thing": 5})
+    assert "| 10" in text and "ls" in text
+    assert "thing" in text and "| -" in text  # unknown app: no paper value
+
+
+def test_render_table5_reports_geomean_and_std():
+    overheads = dict(PAPER_TABLE5)  # feed the paper's own values
+    text = render_table5(overheads)
+    for name in PAPER_TABLE5:
+        assert name in text
+    assert "+/-" in text
+
+
+def test_render_table5_noise_is_seeded():
+    text_a = render_table5(dict(PAPER_TABLE5), seed=5)
+    text_b = render_table5(dict(PAPER_TABLE5), seed=5)
+    text_c = render_table5(dict(PAPER_TABLE5), seed=6)
+    assert text_a == text_b
+    assert text_a != text_c
+
+
+def _rows():
+    return [
+        {"label": "appA (x)", "native": 100000.0,
+         "relative": {"zpoline-default": 99.0, "SUD": 50.0},
+         "paper_relative": {"zpoline-default": 98.5, "SUD": 51.0}},
+        {"label": "appB (y)", "native": None,
+         "relative": {"zpoline-default": 97.0, "SUD": 60.0},
+         "paper_relative": None},
+    ]
+
+
+def test_render_table6_structure():
+    text = render_table6(_rows())
+    assert "appA (x)" in text and "appB (y)" in text
+    assert "100,000" in text
+    assert "N/A" in text          # appB has no native figure
+    assert "geomean" in text
+    assert "/98.50" in text       # the paper column where available
+
+
+def test_render_table6_geomean_row():
+    text = render_table6(_rows())
+    geomean_line = [line for line in text.splitlines()
+                    if line.startswith("geomean")][0]
+    # geomean(99, 97) ≈ 98.0, geomean(50, 60) ≈ 54.77 (within noise)
+    assert " 9" in geomean_line and "5" in geomean_line

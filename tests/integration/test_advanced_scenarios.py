@@ -1,0 +1,213 @@
+"""Advanced end-to-end scenarios: multi-input offline coverage, hook
+expressiveness, dlmopen namespaces, and exec chains under K23."""
+
+import pytest
+
+from repro.arch.registers import Reg
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.offline import import_logs
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Nr
+from repro.loader.image import SimImage
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+class TestMultiInputOfflineCoverage:
+    """§5.1: 'To improve coverage, we can repeat the process with different
+    inputs, generating additional logs.'"""
+
+    @staticmethod
+    def _register(kernel):
+        builder = ProgramBuilder("/usr/bin/branchy")
+        builder.string("mode", "/etc/mode-b")
+        builder.start()
+        builder.libc("access", data_ref("mode"), 0)
+        builder.asm.test_rr(Reg.RAX, Reg.RAX)
+        builder.asm.jne(".mode_a")
+        builder.libc("getuid")   # mode B path
+        builder.exit(0)
+        builder.label(".mode_a")
+        builder.libc("getpid")   # mode A path
+        builder.exit(0)
+        builder.register(kernel)
+
+    def test_second_input_extends_the_log(self):
+        kernel = Kernel(seed=37)
+        self._register(kernel)
+        offline = OfflinePhase(kernel)
+        _proc, log_a = offline.run("/usr/bin/branchy")
+        count_a = len(log_a)
+        kernel.vfs.create("/etc/mode-b", b"")  # the second input
+        _proc, log_ab = offline.run("/usr/bin/branchy")
+        assert len(log_ab) > count_a  # getuid's site appeared
+        from repro.loader.libc import LIBC_PATH
+
+        offsets = {off for region, off in log_ab if region == LIBC_PATH}
+        libc = kernel.loader.ensure_libc()
+        assert libc.syscall_sites["getpid.syscall"] in offsets
+        assert libc.syscall_sites["getuid.syscall"] in offsets
+
+    def test_merged_log_covers_both_paths_online(self):
+        offline_kernel = Kernel(seed=38)
+        self._register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run("/usr/bin/branchy")
+        offline_kernel.vfs.create("/etc/mode-b", b"")
+        offline.run("/usr/bin/branchy")
+
+        online = Kernel(seed=39)
+        self._register(online)
+        online.vfs.create("/etc/mode-b", b"")
+        import_logs(online, offline.export())
+        k23 = K23Interposer(online).install()
+        process = spawn_and_run(online, "/usr/bin/branchy")
+        vias = dict((nr, via) for nr, via in k23.handled[process.pid])
+        assert vias.get(Nr.getuid) == "rewrite"  # fast path, both inputs
+
+
+class TestHookExpressiveness:
+    """§1/§8: in-process interposers retain full expressiveness — deep
+    inspection of pointer arguments — unlike e.g. seccomp filters."""
+
+    def test_hook_can_dereference_pointer_arguments(self):
+        captured = []
+
+        def deep_hook(thread, nr, args, forward):
+            if nr == Nr.write and args[0] == 1:
+                payload = thread.process.address_space.read_kernel(
+                    args[1], args[2])
+                captured.append(bytes(payload))
+            return forward()
+
+        offline_kernel = Kernel(seed=44)
+        make_hello().register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run("/usr/bin/hello")
+        kernel = Kernel(seed=45)
+        make_hello().register(kernel)
+        import_logs(kernel, offline.export())
+        K23Interposer(kernel, hook=deep_hook).install()
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        assert captured == [b"hello\n"]
+        assert process.exit_status == 0
+
+    def test_hook_can_rewrite_buffer_before_forwarding(self):
+        def redact_hook(thread, nr, args, forward):
+            if nr == Nr.write and args[0] == 1:
+                thread.process.address_space.write_kernel(
+                    args[1], b"x" * min(args[2], 5))
+            return forward()
+
+        offline_kernel = Kernel(seed=46)
+        make_hello().register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run("/usr/bin/hello")
+        kernel = Kernel(seed=47)
+        make_hello().register(kernel)
+        import_logs(kernel, offline.export())
+        K23Interposer(kernel, hook=redact_hook).install()
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        assert bytes(process.output) == b"xxxxx\n"
+
+
+class TestDlmopenNamespaces:
+    """§5.3: dlmopen loads libraries into isolated namespaces — prior
+    interposers use it to avoid recursive interposition of their own
+    library dependencies; rewriters must not touch foreign namespaces."""
+
+    @staticmethod
+    def _register_payload(kernel):
+        payload = SimImage(name="/opt/ns_payload.so", entry="")
+        payload.asm.label("payload_fn")
+        payload.asm.endbr64()
+        payload.asm.mov_ri(Reg.RAX, int(Nr.gettid))
+        payload.asm.mark("payload_site")
+        payload.asm.syscall_()
+        payload.asm.ret()
+        payload.finalize()
+        kernel.loader.register_image(payload)
+
+    def test_dlmopen_loads_into_distinct_namespace(self, kernel):
+        self._register_payload(kernel)
+        builder = ProgramBuilder("/bin/nsdemo")
+        builder.string("lib", "/opt/ns_payload.so")
+        builder.start()
+        builder.libc("dlmopen", 1, data_ref("lib"))
+        builder.exit(0)
+        builder.register(kernel)
+        process = spawn_and_run(kernel, "/bin/nsdemo")
+        assert process.exit_status == 0
+        key = "/opt/ns_payload.so#ns1"
+        assert key in process.loaded_images
+        _base, _image, namespace = process.loaded_images[key]
+        assert namespace == 1
+
+    def test_zpoline_skips_foreign_namespaces(self, kernel):
+        """Code dlmopen'd into another namespace must not be rewritten by
+        a later zpoline-style pass (the interposer's own isolated copies
+        would otherwise recurse)."""
+        from repro.interposers.zpoline import ZpolineInterposer
+
+        self._register_payload(kernel)
+        builder = ProgramBuilder("/bin/nsdemo2")
+        builder.string("lib", "/opt/ns_payload.so")
+        builder.start()
+        builder.libc("dlmopen", 1, data_ref("lib"))
+        builder.libc("getpid")
+        builder.exit(0)
+        builder.register(kernel)
+        ZpolineInterposer(kernel).install()
+        process = spawn_and_run(kernel, "/bin/nsdemo2")
+        key = "/opt/ns_payload.so#ns1"
+        base, image, _ns = process.loaded_images[key]
+        site = base + image.syscall_sites["payload_site"]
+        # dlmopen happened after zpoline's load-time pass anyway, and the
+        # site must hold its original bytes.
+        assert process.address_space.read_kernel(site, 2) == b"\x0f\x05"
+
+
+class TestExecChains:
+    def test_k23_survives_exec_chain(self):
+        """A → exec B → exec C, each with scrubbed env: every stage stays
+        fully interposed (the §5.3 restart loop)."""
+
+        def register_all(kernel):
+            make_hello(path="/usr/bin/final").register(kernel)
+
+            def execer(path, target):
+                builder = ProgramBuilder(path)
+                builder.string("target", target)
+                builder.words("argv", [0, 0])
+                builder.words("envp", [0])
+                builder.start()
+                asm = builder.asm
+                asm.lea_rip_label(Reg.RBX, "argv")
+                asm.lea_rip_label(Reg.RAX, "target")
+                asm.store(Reg.RBX, Reg.RAX)
+                builder.libc("execve", data_ref("target"),
+                             data_ref("argv"), data_ref("envp"))
+                builder.exit(99)
+                return builder
+
+            execer("/bin/stage_b", "/usr/bin/final").register(kernel)
+            execer("/bin/stage_a", "/bin/stage_b").register(kernel)
+
+        offline_kernel = Kernel(seed=48)
+        register_all(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        for path in ("/bin/stage_a", "/bin/stage_b", "/usr/bin/final"):
+            offline.run(path)
+
+        kernel = Kernel(seed=49)
+        register_all(kernel)
+        import_logs(kernel, offline.export())
+        k23 = K23Interposer(kernel).install()
+        process = spawn_and_run(kernel, "/bin/stage_a")
+        assert process.path == "/usr/bin/final"
+        assert process.exit_status == 0
+        assert bytes(process.output) == b"hello\n"
+        assert kernel.uninterposed_syscalls(process.pid) == []
+        fixes = [d for s, d in k23.timeline
+                 if s == "ptracer:execve-preload-fix"]
+        assert len(fixes) == 2  # both scrubbed execs repaired

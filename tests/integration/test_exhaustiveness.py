@@ -1,0 +1,99 @@
+"""Cross-mechanism exhaustiveness invariants over real workloads.
+
+The paper's central correctness claim: only K23 (with its ptrace stage and
+SUD fallback) interposes *every* application syscall; the others have
+characteristic, explainable blind spots.
+"""
+
+import pytest
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.offline import import_logs
+from repro.interposers import LazypolineInterposer, ZpolineInterposer
+from repro.kernel import Kernel
+from repro.workloads.coreutils import install_coreutils
+
+COREUTILS = ["/usr/bin/pwd", "/usr/bin/cat", "/usr/bin/clear"]
+
+
+def run_k23(path, seed=13, variant="ultra"):
+    offline_kernel = Kernel(seed=seed)
+    install_coreutils(offline_kernel, names=[path])
+    offline = OfflinePhase(offline_kernel)
+    offline.run(path)
+    kernel = Kernel(seed=seed + 1)
+    install_coreutils(kernel, names=[path])
+    import_logs(kernel, offline.export())
+    k23 = K23Interposer(kernel, variant=variant).install()
+    process = kernel.spawn_process(path)
+    kernel.run_process(process)
+    return kernel, k23, process
+
+
+@pytest.mark.parametrize("path", COREUTILS)
+def test_k23_interposes_everything(path):
+    kernel, k23, process = run_k23(path)
+    assert process.exit_status == 0
+    assert kernel.uninterposed_syscalls(process.pid) == []
+    assert not [e for e in kernel.vdso_calls if e[0] == process.pid]
+
+
+@pytest.mark.parametrize("path", COREUTILS)
+def test_k23_output_identical_to_native(path):
+    native_kernel = Kernel(seed=21)
+    install_coreutils(native_kernel, names=[path])
+    native = native_kernel.spawn_process(path)
+    native_kernel.run_process(native)
+
+    _kernel, _k23, interposed = run_k23(path, seed=22)
+    assert bytes(interposed.output) == bytes(native.output)
+    assert interposed.exit_status == native.exit_status
+
+
+@pytest.mark.parametrize("variant", ["default", "ultra", "ultra+"])
+def test_k23_variants_all_exhaustive(variant):
+    kernel, k23, process = run_k23("/usr/bin/pwd", seed=31, variant=variant)
+    assert kernel.uninterposed_syscalls(process.pid) == []
+
+
+def test_zpoline_misses_are_exactly_premain(kernel):
+    """zpoline's blind spot on a clean static binary is precisely the
+    pre-constructor window (P2b) — nothing more."""
+    install_coreutils(kernel, names=["/usr/bin/pwd"])
+    ZpolineInterposer(kernel).install()
+    process = kernel.spawn_process("/usr/bin/pwd")
+    kernel.run_process(process)
+    missed = kernel.uninterposed_syscalls(process.pid)
+    assert missed
+    for record in missed:
+        region = process.address_space.region_at(record.site)
+        assert region is not None and region.name == "[ld.so]", record
+
+
+def test_lazypoline_misses_are_exactly_premain(kernel):
+    install_coreutils(kernel, names=["/usr/bin/pwd"])
+    LazypolineInterposer(kernel).install()
+    process = kernel.spawn_process("/usr/bin/pwd")
+    kernel.run_process(process)
+    missed = kernel.uninterposed_syscalls(process.pid)
+    assert missed
+    for record in missed:
+        region = process.address_space.region_at(record.site)
+        assert region is not None and region.name == "[ld.so]", record
+
+
+def test_ground_truth_counts_agree_across_mechanisms():
+    """The same deterministic program requests the same *main-phase*
+    syscalls whoever is watching (pre-main counts differ because injecting
+    libK23 adds loader work for one more library)."""
+    native_kernel = Kernel(seed=41)
+    install_coreutils(native_kernel, names=["/usr/bin/cat"])
+    native = native_kernel.spawn_process("/usr/bin/cat")
+    native_kernel.run_process(native)
+    native_main = (len(native_kernel.app_requested_syscalls(native.pid))
+                   - native.premain_syscalls)
+
+    kernel, k23, process = run_k23("/usr/bin/cat", seed=42)
+    k23_main = (len(kernel.app_requested_syscalls(process.pid))
+                - process.premain_syscalls)
+    assert k23_main == native_main

@@ -1,0 +1,42 @@
+"""§6.1's observation: even simple utilities issue over 100 system calls
+during startup, before any interposition library is loaded."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.workloads.coreutils import install_coreutils
+from tests.simutil import spawn_and_run
+
+
+def test_ls_issues_over_100_startup_syscalls(kernel):
+    install_coreutils(kernel, names=["/usr/bin/ls"])
+    process = spawn_and_run(kernel, "/usr/bin/ls")
+    assert process.premain_syscalls > 100
+
+
+def test_startup_syscalls_precede_library_constructors(kernel):
+    """The loader stub's calls happen before any LD_PRELOAD constructor —
+    the structural reason LD_PRELOAD-only interposers cannot see them."""
+    order = []
+
+    from repro.loader.image import SimImage
+
+    lib = SimImage(name="/opt/probe.so", entry="")
+    lib.constructors.append(
+        lambda thread, base: order.append(len(kernel_ref[0].syscall_log)))
+    lib.finalize()
+    kernel_ref = [kernel]
+    kernel.loader.register_image(lib)
+    install_coreutils(kernel, names=["/usr/bin/ls"])
+    process = spawn_and_run(kernel, "/usr/bin/ls",
+                            env={"LD_PRELOAD": "/opt/probe.so"})
+    assert order, "constructor must have run"
+    syscalls_before_ctor = order[0]
+    assert syscalls_before_ctor > 100
+
+
+def test_all_coreutils_have_startup_storms(kernel):
+    paths = install_coreutils(kernel)
+    for path in paths:
+        process = spawn_and_run(kernel, path)
+        assert process.premain_syscalls > 40, path

@@ -1,0 +1,55 @@
+"""CLI tool tests: simtrace and pitfallcheck."""
+
+import pytest
+
+from repro.tools import pitfallcheck, simtrace
+
+
+class TestSimtrace:
+    def test_traces_coreutil_under_k23(self, capsys):
+        assert simtrace.main(["cat", "--interposer", "K23-ultra"]) == 0
+        out = capsys.readouterr().out
+        assert "openat(" in out          # the trace
+        assert "0 missed" in out         # exhaustive coverage
+        assert "exit status: 0" in out
+
+    def test_zpoline_reports_misses(self, capsys):
+        assert simtrace.main(["pwd", "--interposer", "zpoline-default",
+                              "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "missed" in out
+        assert "openat(" not in out  # summary mode suppresses the trace
+
+    def test_summary_histogram(self, capsys):
+        simtrace.main(["clear", "--summary"])
+        out = capsys.readouterr().out
+        assert "total" in out and "ioctl" in out
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            simtrace.main(["frobnicate"])
+
+    def test_native_mode(self, capsys):
+        assert simtrace.main(["pwd", "--interposer", "native",
+                              "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "0 interposed" in out
+
+
+class TestPitfallcheck:
+    def test_single_cell_matches(self, capsys):
+        assert pitfallcheck.main(["zpoline", "--pitfall", "P3a"]) == 0
+        out = capsys.readouterr().out
+        assert "P3a" in out and "PITFALL" in out
+        assert "match the paper" in out
+
+    def test_k23_handles_p1b(self, capsys):
+        assert pitfallcheck.main(["K23", "--pitfall", "P1b",
+                                  "--evidence"]) == 0
+        out = capsys.readouterr().out
+        assert "handled" in out
+        assert "abort" in out
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            pitfallcheck.main(["seccomp-only"])

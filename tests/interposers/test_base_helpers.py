@@ -1,0 +1,119 @@
+"""Interposer framework-helper tests: LD_PRELOAD handling, trampoline
+layout, restart helpers, selector machinery."""
+
+import struct
+
+import pytest
+
+from repro.arch import decode
+from repro.arch.isa import Mnemonic
+from repro.arch.registers import Reg
+from repro.interposers.base import (
+    EMPTY_HOOK,
+    SLED_SIZE,
+    TRAMPOLINE_PKEY,
+    TRAMPOLINE_TAIL_BYTES,
+    install_trampoline,
+    prepend_ld_preload,
+    read_return_address,
+    restart_from_trampoline,
+    write_selector,
+)
+from repro.kernel import Kernel
+from repro.memory.pages import PAGE_SIZE, Prot
+from tests.simutil import make_hello, spawn_and_run
+
+
+class TestPreload:
+    def test_prepend_to_empty(self):
+        env = {}
+        prepend_ld_preload(env, "/opt/a.so")
+        assert env["LD_PRELOAD"] == "/opt/a.so"
+
+    def test_prepend_keeps_existing(self):
+        env = {"LD_PRELOAD": "/opt/b.so"}
+        prepend_ld_preload(env, "/opt/a.so")
+        assert env["LD_PRELOAD"] == "/opt/a.so:/opt/b.so"
+
+    def test_idempotent(self):
+        env = {"LD_PRELOAD": "/opt/a.so:/opt/b.so"}
+        prepend_ld_preload(env, "/opt/a.so")
+        assert env["LD_PRELOAD"] == "/opt/a.so:/opt/b.so"
+
+    def test_space_separated_form(self):
+        env = {"LD_PRELOAD": "/opt/a.so /opt/b.so"}
+        prepend_ld_preload(env, "/opt/c.so")
+        entries = env["LD_PRELOAD"].split(":")
+        assert entries[0] == "/opt/c.so"
+        assert "/opt/a.so" in entries and "/opt/b.so" in entries
+
+
+class TestTrampolineLayout:
+    @pytest.fixture
+    def process(self, kernel):
+        make_hello().register(kernel)
+        return spawn_and_run(kernel, "/usr/bin/hello")
+
+    def test_fills_exactly_one_page(self, kernel, process):
+        index = kernel.hostcalls.register(lambda thread: None, "t")
+        tail = install_trampoline(kernel, process, index)
+        assert tail == SLED_SIZE
+        assert SLED_SIZE + TRAMPOLINE_TAIL_BYTES == PAGE_SIZE
+        blob = process.address_space.read_kernel(0, PAGE_SIZE)
+        assert blob[:SLED_SIZE] == b"\x90" * SLED_SIZE
+        tail_insn = decode(blob, SLED_SIZE)
+        assert tail_insn.mnemonic is Mnemonic.HOSTCALL
+        assert decode(blob, SLED_SIZE + 5).mnemonic is Mnemonic.RET
+
+    def test_xom_protection_applied(self, kernel, process):
+        index = kernel.hostcalls.register(lambda thread: None, "t")
+        install_trampoline(kernel, process, index)
+        assert process.address_space.pkey_at(0) == TRAMPOLINE_PKEY
+        # Threads' PKRU denies data access through the trampoline key.
+        pkru = process.main_thread.context.pkru
+        assert not pkru.permits(TRAMPOLINE_PKEY, "read")
+        assert pkru.permits(TRAMPOLINE_PKEY, "exec")
+
+    def test_without_xom(self, kernel, process):
+        index = kernel.hostcalls.register(lambda thread: None, "t")
+        install_trampoline(kernel, process, index, xom=False)
+        assert process.address_space.pkey_at(0) == 0
+
+
+class TestRestartHelpers:
+    def test_read_return_address_and_restart(self, kernel):
+        make_hello().register(kernel)
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        thread = process.main_thread
+        stack = process.address_space.mmap(None, PAGE_SIZE,
+                                           Prot.READ | Prot.WRITE)
+        return_addr = 0x5000_1234
+        rsp = stack + 512
+        process.address_space.write_kernel(rsp,
+                                           struct.pack("<Q", return_addr))
+        thread.context.set(Reg.RSP, rsp)
+        assert read_return_address(thread) == return_addr
+        restart_from_trampoline(thread)
+        assert thread.context.rip == return_addr - 2  # back on the site
+        assert thread.context.get(Reg.RSP) == rsp + 8  # push undone
+
+
+class TestSelector:
+    def test_write_selector_charges_and_stores(self, kernel):
+        from repro.cpu.cycles import Event
+
+        make_hello().register(kernel)
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        from repro.interposers.base import allocate_selector_page
+
+        selector = allocate_selector_page(kernel, process)
+        before = kernel.cycles.counts[Event.SUD_SELECTOR_WRITE]
+        write_selector(kernel, process, selector, 1)
+        assert process.address_space.read_kernel(selector, 1) == b"\x01"
+        assert kernel.cycles.counts[Event.SUD_SELECTOR_WRITE] == before + 1
+
+
+def test_empty_hook_forwards():
+    called = []
+    result = EMPTY_HOOK(None, 1, [], lambda: called.append(1) or 7)
+    assert result == 7 and called == [1]

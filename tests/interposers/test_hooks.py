@@ -1,0 +1,220 @@
+"""Hook-library tests: tracing, counting, sandboxing, redirection, latency
+injection, and composition — each exercised through a real interposer."""
+
+import pytest
+
+from repro.core import K23Interposer, OfflinePhase
+from repro.core.offline import import_logs
+from repro.interposers import ZpolineInterposer
+from repro.interposers.hooks import (
+    CountingHook,
+    LatencyHook,
+    RedirectHook,
+    SandboxHook,
+    TracingHook,
+    chain,
+    latency_hook,
+)
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Errno, Nr
+from repro.workloads.programs import ProgramBuilder, RESULT, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+def run_with_hook(hook, builder_factory=make_hello, path="/usr/bin/hello",
+                  seed=60, prepare=None):
+    kernel = Kernel(seed=seed)
+    builder_factory().register(kernel)
+    if prepare:
+        prepare(kernel)
+    ZpolineInterposer(kernel, hook=hook).install()
+    process = spawn_and_run(kernel, path)
+    return kernel, process
+
+
+class TestTracingHook:
+    def test_records_forwarded_calls(self):
+        hook = TracingHook()
+        kernel, process = run_with_hook(hook)
+        names = [name for _pid, name, _args, _result in hook.events]
+        # `exit` never returns from forward(), so (as with real strace's
+        # "exit(0) = ?") post-call hooks only see returning calls.
+        assert names == ["write"]
+
+    def test_formatted_output(self):
+        hook = TracingHook()
+        run_with_hook(hook)
+        lines = hook.formatted()
+        assert any("write(" in line for line in lines)
+
+
+class TestCountingHook:
+    def test_histogram(self):
+        hook = CountingHook()
+
+        def builder():
+            b = ProgramBuilder("/usr/bin/hello")
+            b.start()
+            b.loop(5)
+            b.libc("getpid")
+            b.end_loop()
+            b.exit(0)
+            return b
+
+        run_with_hook(hook, builder)
+        assert hook.counts[Nr.getpid] == 5
+        assert "getpid" in hook.summary()
+        assert "total" in hook.summary()
+
+
+class TestSandboxHook:
+    def test_denylist_returns_errno(self):
+        hook = SandboxHook(deny=[Nr.socket])
+
+        def builder():
+            b = ProgramBuilder("/usr/bin/hello")
+            b.start()
+            b.libc("socket", 2, 1, 0)
+            b.libc("exit", RESULT)
+            return b
+
+        kernel, process = run_with_hook(hook, builder)
+        assert process.exit_status == (-Errno.EPERM) & 0xFF
+        assert hook.violations == [(process.pid, Nr.socket)]
+
+    def test_allowlist_mode(self):
+        hook = SandboxHook(allow_only=[Nr.write, Nr.exit, Nr.exit_group],
+                           errno=Errno.EACCES)
+
+        def builder():
+            b = ProgramBuilder("/usr/bin/hello")
+            b.string("m", "ok\n")
+            b.start()
+            b.libc("getpid")  # not allowlisted
+            b.libc("write", 1, data_ref("m"), 3)
+            b.exit(0)
+            return b
+
+        kernel, process = run_with_hook(hook, builder)
+        assert process.exit_status == 0
+        assert bytes(process.output) == b"ok\n"
+        assert (process.pid, Nr.getpid) in hook.violations
+
+    def test_kill_on_violation(self):
+        hook = SandboxHook(deny=[Nr.socket], kill_on_violation=True)
+
+        def builder():
+            b = ProgramBuilder("/usr/bin/hello")
+            b.start()
+            b.libc("socket", 2, 1, 0)
+            b.exit(0)
+            return b
+
+        kernel, process = run_with_hook(hook, builder)
+        assert process.exited and process.exit_status != 0
+        assert "sandbox violation" in getattr(process, "kill_detail", "")
+
+
+class TestRedirectHook:
+    def test_openat_path_rewritten(self):
+        hook = RedirectHook({"/etc/target": "/etc/other!"[:11]})
+
+        def builder():
+            b = ProgramBuilder("/usr/bin/hello")
+            b.string("p", "/etc/target")
+            b.buffer("buf", 32)
+            b.start()
+            b.libc("openat", (1 << 64) - 100, data_ref("p"), 0)
+            b.libc("read", RESULT, data_ref("buf"), 9)
+            b.libc("write", 1, data_ref("buf"), 9)
+            b.exit(0)
+            return b
+
+        def prepare(kernel):
+            kernel.vfs.create("/etc/target", b"original!")
+            kernel.vfs.create("/etc/other!", b"redirect!")
+
+        kernel, process = run_with_hook(hook, builder, prepare=prepare)
+        assert bytes(process.output) == b"redirect!"
+        assert hook.redirections == [("/etc/target", "/etc/other!")]
+
+    def test_rejects_growing_redirects(self):
+        hook = RedirectHook({"/a": "/much/longer/path"})
+
+        def builder():
+            b = ProgramBuilder("/usr/bin/hello")
+            b.string("p", "/a")
+            b.start()
+            b.libc("openat", (1 << 64) - 100, data_ref("p"), 0)
+            b.exit(0)
+            return b
+
+        # The hook's ValueError surfaces as a hard failure of the run — a
+        # configuration bug must never be silently absorbed.
+        with pytest.raises(ValueError):
+            run_with_hook(hook, builder)
+
+
+class TestLatencyHook:
+    def test_adds_cycles(self):
+        quiet = CountingHook()
+        kernel_a, _ = run_with_hook(quiet, seed=61)
+        baseline = kernel_a.cycles.cycles
+        hook = latency_hook([Nr.write], extra_cycles=50_000)
+        kernel_b, _ = run_with_hook(hook, seed=61)
+        assert kernel_b.cycles.cycles >= baseline + 50_000
+
+    def test_failure_injection(self):
+        hook = latency_hook([Nr.getpid], fail_every=2)
+
+        def builder():
+            b = ProgramBuilder("/usr/bin/hello")
+            b.start()
+            b.libc("getpid")   # ok
+            b.libc("getpid")   # injected EINTR
+            b.libc("exit", RESULT)
+            return b
+
+        kernel, process = run_with_hook(hook, builder)
+        assert process.exit_status == (-Errno.EINTR) & 0xFF
+
+
+class TestChain:
+    def test_order_and_short_circuit(self):
+        trace = TracingHook()
+        sandbox = SandboxHook(deny=[Nr.socket])
+
+        def builder():
+            b = ProgramBuilder("/usr/bin/hello")
+            b.start()
+            b.libc("socket", 2, 1, 0)
+            b.libc("getpid")
+            b.exit(0)
+            return b
+
+        # Tracing wraps the sandbox: even denied calls get traced, with the
+        # sandbox's verdict as their result.
+        kernel, process = run_with_hook(chain(trace, sandbox), builder)
+        traced = {name: result for _pid, name, _args, result in trace.events}
+        assert traced["socket"] == -Errno.EPERM
+        assert traced["getpid"] > 0
+
+    def test_chain_requires_hooks(self):
+        with pytest.raises(ValueError):
+            chain()
+
+    def test_chain_under_k23(self):
+        offline_kernel = Kernel(seed=63)
+        make_hello().register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run("/usr/bin/hello")
+        kernel = Kernel(seed=64)
+        make_hello().register(kernel)
+        import_logs(kernel, offline.export())
+        trace = TracingHook()
+        count = CountingHook()
+        K23Interposer(kernel, hook=chain(trace, count)).install()
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        assert process.exit_status == 0
+        assert count.counts[Nr.write] == 1
+        assert any(name == "write" for _p, name, _a, _r in trace.events)

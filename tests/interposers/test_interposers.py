@@ -1,0 +1,191 @@
+"""Interposer integration tests: coverage, mechanisms, and costs."""
+
+import pytest
+
+from repro.cpu.cycles import Event
+from repro.interposers import (
+    LazypolineInterposer,
+    NullInterposer,
+    PtraceInterposer,
+    SudInterposer,
+    ZpolineInterposer,
+)
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Nr
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+def run_under(interposer_cls, builder_fn=make_hello, path="/usr/bin/hello",
+              seed=42, **kwargs):
+    kernel = Kernel(seed=seed)
+    builder_fn().register(kernel)
+    interposer = interposer_cls(kernel, **kwargs).install()
+    process = spawn_and_run(kernel, path)
+    return kernel, interposer, process
+
+
+def getpid_twice():
+    builder = ProgramBuilder("/usr/bin/hello")
+    builder.start()
+    builder.libc("getpid")
+    builder.libc("getpid")
+    builder.exit(0)
+    return builder
+
+
+class TestZpoline:
+    def test_output_preserved(self):
+        kernel, zp, process = run_under(ZpolineInterposer)
+        assert process.exit_status == 0
+        assert bytes(process.output) == b"hello\n"
+
+    def test_main_syscalls_interposed_via_rewrite(self):
+        kernel, zp, process = run_under(ZpolineInterposer)
+        vias = {via for _nr, via in zp.handled[process.pid]}
+        assert vias == {"rewrite"}
+        nrs = {nr for nr, _via in zp.handled[process.pid]}
+        assert Nr.write in nrs and Nr.exit in nrs
+
+    def test_libc_site_bytes_rewritten(self):
+        kernel, zp, process = run_under(ZpolineInterposer)
+        from repro.loader.libc import LIBC_PATH
+
+        base, image, _ns = process.loaded_images[LIBC_PATH]
+        site = base + image.syscall_sites["write.syscall"]
+        assert process.address_space.read_kernel(site, 2) == b"\xff\xd0"
+
+    def test_trampoline_mapped_at_zero(self):
+        kernel, zp, process = run_under(ZpolineInterposer)
+        assert process.address_space.is_mapped(0)
+        region = process.address_space.region_at(0)
+        assert region.name == "[trampoline]"
+
+    def test_premain_syscalls_missed(self):
+        """P2b: everything before the constructor escapes."""
+        kernel, zp, process = run_under(ZpolineInterposer)
+        missed = kernel.uninterposed_syscalls(process.pid)
+        assert len(missed) >= 10  # the loader stub storm
+
+    def test_ultra_bitmap_populated(self):
+        kernel, zp, process = run_under(ZpolineInterposer, variant="ultra")
+        state = process.interposer_state["zpoline"]
+        assert len(state["bitmap"]) == len(state["rewritten"]) > 0
+
+    def test_ultra_charges_bitmap_check(self):
+        kernel, zp, process = run_under(ZpolineInterposer, variant="ultra")
+        assert kernel.cycles.counts[Event.BITMAP_CHECK] > 0
+
+    def test_default_skips_bitmap_check(self):
+        kernel, zp, process = run_under(ZpolineInterposer, variant="default")
+        assert kernel.cycles.counts[Event.BITMAP_CHECK] == 0
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            ZpolineInterposer(Kernel(), variant="turbo")
+
+
+class TestLazypoline:
+    def test_output_preserved(self):
+        kernel, lp, process = run_under(LazypolineInterposer)
+        assert process.exit_status == 0
+        assert bytes(process.output) == b"hello\n"
+
+    def test_first_call_sud_then_rewrite(self):
+        kernel, lp, process = run_under(LazypolineInterposer,
+                                        builder_fn=getpid_twice)
+        getpids = [via for nr, via in lp.handled[process.pid]
+                   if nr == Nr.getpid]
+        assert getpids == ["sud", "rewrite"]
+
+    def test_site_rewritten_after_first_execution(self):
+        kernel, lp, process = run_under(LazypolineInterposer,
+                                        builder_fn=getpid_twice)
+        state = process.interposer_state["lazypoline"]
+        assert state["rewritten"]
+        site = state["rewritten"][0]
+        assert process.address_space.read_kernel(site, 2) == b"\xff\xd0"
+
+    def test_no_syscall_escapes_after_init(self):
+        """lazypoline is exhaustive post-init (P2a fixed vs zpoline)."""
+        kernel, lp, process = run_under(LazypolineInterposer)
+        post_init_missed = [
+            r for r in kernel.uninterposed_syscalls(process.pid)
+        ]
+        # Everything that escaped is pre-main loader-stub traffic.
+        for record in post_init_missed:
+            region = process.address_space.region_at(record.site)
+            assert region is not None and region.name == "[ld.so]"
+
+    def test_sud_armed_slowpath_charged(self):
+        kernel, lp, process = run_under(LazypolineInterposer)
+        assert kernel.cycles.counts[Event.SUD_ARMED_SLOWPATH] > 0
+
+
+class TestSud:
+    def test_all_main_syscalls_via_sud(self):
+        kernel, sud, process = run_under(SudInterposer,
+                                         builder_fn=getpid_twice)
+        vias = {via for _nr, via in sud.handled[process.pid]}
+        assert vias == {"sud"}
+
+    def test_signal_costs_dominate(self):
+        kernel, sud, process = run_under(SudInterposer)
+        assert kernel.cycles.counts[Event.SIGNAL_DELIVERY] >= 2
+
+    def test_no_interposition_variant_sees_nothing(self):
+        kernel, sud, process = run_under(SudInterposer, interpose=False)
+        assert process.exit_status == 0
+        assert sud.handled_count(process.pid) == 0
+        # ... but the armed slow path is still paid (Table 5's key insight).
+        assert kernel.cycles.counts[Event.SUD_ARMED_SLOWPATH] > 0
+
+
+class TestPtrace:
+    def test_sees_premain_syscalls(self):
+        """ptrace interposes from the first instruction (P2b fixed)."""
+        kernel, pt, process = run_under(PtraceInterposer)
+        assert pt.handled_count(process.pid) > 10
+        # Nothing the app requested escaped.
+        assert not kernel.uninterposed_syscalls(process.pid)
+
+    def test_disables_vdso(self):
+        kernel, pt, process = run_under(PtraceInterposer)
+        assert not process.vdso_enabled
+        assert "[vdso]" not in process.loaded_images
+
+    def test_ptrace_stop_costs_charged(self):
+        kernel, pt, process = run_under(PtraceInterposer)
+        assert kernel.cycles.counts[Event.PTRACE_STOP] >= \
+            2 * pt.handled_count(process.pid) - 2
+
+
+class TestNative:
+    def test_everything_uninterposed(self):
+        kernel, native, process = run_under(NullInterposer)
+        assert not native.handled
+        app = kernel.app_requested_syscalls(process.pid)
+        assert all(r.origin == "app" for r in app)
+
+
+class TestBlockingUnderInterposers:
+    """The restart protocol must work through every delivery path."""
+
+    @pytest.mark.parametrize("interposer_cls", [
+        NullInterposer, SudInterposer, ZpolineInterposer,
+        LazypolineInterposer, PtraceInterposer,
+    ])
+    def test_echo_server_roundtrip(self, interposer_cls):
+        from tests.kernel.test_net import echo_server
+
+        kernel = Kernel(seed=7)
+        echo_server(kernel, port=8080, requests=1)
+        interposer = interposer_cls(kernel).install()
+        process = kernel.spawn_process("/bin/echo1")
+        kernel.run_process(process, max_steps=300_000)
+        assert not process.exited, "server should be parked in accept"
+        conn = kernel.net.connect(8080)
+        conn.client_send(b"ping")
+        kernel.run_process(process, max_steps=300_000)
+        assert conn.client_recv_all() == b"ping"
+        assert process.exited and process.exit_status == 0

@@ -1,0 +1,81 @@
+"""Ground-truth accounting tests: SyscallRecord origins are the evidence
+base for every exhaustiveness claim, so their semantics get pinned here."""
+
+import pytest
+
+from repro.interposers import SudInterposer, ZpolineInterposer
+from repro.kernel import Kernel
+from repro.kernel.kernel import SyscallRecord
+from repro.kernel.syscalls import Nr
+from tests.simutil import make_hello, spawn_and_run
+
+
+class TestSyscallRecord:
+    def test_app_origin_is_requested_and_uninterposed(self):
+        record = SyscallRecord(1, int(Nr.write), 0x1000, "app")
+        assert record.app_requested and not record.interposed
+
+    @pytest.mark.parametrize("origin", ["ptrace", "sud-handler",
+                                        "rewrite-handler"])
+    def test_interposed_origins(self, origin):
+        record = SyscallRecord(1, int(Nr.write), 0x1000, origin)
+        assert record.app_requested and record.interposed
+
+    def test_internal_origin_not_app_requested(self):
+        record = SyscallRecord(1, int(Nr.openat), 0, "interposer-internal")
+        assert not record.app_requested
+
+
+class TestLogConsistency:
+    def test_native_run_is_all_app_origin(self, kernel):
+        make_hello().register(kernel)
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        records = [r for r in kernel.syscall_log if r.pid == process.pid]
+        assert records
+        assert all(r.origin == "app" for r in records)
+
+    def test_sud_run_splits_trap_and_handler(self, kernel):
+        make_hello().register(kernel)
+        SudInterposer(kernel).install()
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        origins = {r.origin for r in kernel.syscall_log
+                   if r.pid == process.pid}
+        assert "sud-handler" in origins   # main-phase, via the handler
+        assert "app" in origins           # pre-main loader storm
+        assert "rewrite-handler" not in origins
+
+    def test_rewrite_run_uses_rewrite_origin(self, kernel):
+        make_hello().register(kernel)
+        ZpolineInterposer(kernel).install()
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        main_phase = [r for r in kernel.syscall_log
+                      if r.pid == process.pid and r.nr == Nr.write]
+        assert [r.origin for r in main_phase] == ["rewrite-handler"]
+
+    def test_sites_recorded_for_trap_paths(self, kernel):
+        make_hello().register(kernel)
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        for record in kernel.app_requested_syscalls(process.pid):
+            assert record.site != 0
+            raw = process.address_space.read_kernel(record.site, 2)
+            assert raw in (b"\x0f\x05", b"\x0f\x34")
+
+    def test_uninterposed_filter_scoped_by_pid(self, kernel):
+        make_hello().register(kernel)
+        first = spawn_and_run(kernel, "/usr/bin/hello")
+        second = spawn_and_run(kernel, "/usr/bin/hello")
+        all_missed = kernel.uninterposed_syscalls()
+        first_missed = kernel.uninterposed_syscalls(first.pid)
+        second_missed = kernel.uninterposed_syscalls(second.pid)
+        assert len(all_missed) == len(first_missed) + len(second_missed)
+
+    def test_handler_counts_match_kernel_counts(self, kernel):
+        """The interposer's own ledger and the kernel's ground truth must
+        agree on what was interposed."""
+        make_hello().register(kernel)
+        interposer = ZpolineInterposer(kernel).install()
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        kernel_view = [r for r in kernel.syscall_log
+                       if r.pid == process.pid
+                       and r.origin == "rewrite-handler"]
+        assert len(kernel_view) == interposer.handled_count(process.pid)

@@ -1,0 +1,212 @@
+"""Kernel edge-case tests: fd semantics, lseek whence modes, dup sharing,
+epoll removal, uname/getrandom, heap growth, thread scheduling fairness."""
+
+import pytest
+
+from repro.arch.registers import Reg
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Errno, Nr
+from repro.workloads.programs import ProgramBuilder, RESULT, data_ref
+from tests.simutil import spawn_and_run
+
+
+def run(kernel, builder):
+    builder.register(kernel)
+    return spawn_and_run(kernel, builder.image.name)
+
+
+class TestFileDescriptors:
+    def test_dup_shares_offset(self, kernel):
+        kernel.vfs.create("/data/f", b"abcdef")
+        builder = ProgramBuilder("/bin/dup1")
+        builder.string("p", "/data/f")
+        builder.buffer("buf", 8)
+        builder.start()
+        builder.libc("openat", (1 << 64) - 100, data_ref("p"), 0)
+        builder.asm.mov_rr(Reg.RBX, Reg.RAX)
+        builder.libc("read", Reg.RBX, data_ref("buf"), 2)   # offset -> 2
+        builder.libc("dup", Reg.RBX)
+        builder.libc("read", RESULT, data_ref("buf"), 2)    # continues at 2
+        builder.libc("write", 1, data_ref("buf"), 2)
+        builder.exit(0)
+        process = run(kernel, builder)
+        assert bytes(process.output) == b"cd"
+
+    def test_close_invalidates_fd(self, kernel):
+        kernel.vfs.create("/data/f", b"x")
+        builder = ProgramBuilder("/bin/close1")
+        builder.string("p", "/data/f")
+        builder.start()
+        builder.libc("openat", (1 << 64) - 100, data_ref("p"), 0)
+        builder.asm.mov_rr(Reg.RBX, Reg.RAX)
+        builder.libc("close", Reg.RBX)
+        builder.libc("close", Reg.RBX)  # double close → EBADF
+        builder.libc("exit", RESULT)
+        process = run(kernel, builder)
+        assert process.exit_status == (-Errno.EBADF) & 0xFF
+
+    def test_lseek_end_whence(self, kernel):
+        kernel.vfs.create("/data/f", b"0123456789")
+        builder = ProgramBuilder("/bin/seek1")
+        builder.string("p", "/data/f")
+        builder.start()
+        builder.libc("openat", (1 << 64) - 100, data_ref("p"), 0)
+        builder.asm.mov_rr(Reg.RBX, Reg.RAX)
+        builder.libc("lseek", Reg.RBX, (1 << 64) - 3, 2)  # SEEK_END - 3
+        builder.libc("exit", RESULT)
+        process = run(kernel, builder)
+        assert process.exit_status == 7
+
+    def test_write_extends_file(self, kernel):
+        builder = ProgramBuilder("/bin/grow1")
+        builder.string("p", "/tmp/grow")
+        builder.string("payload", "ABCD")
+        builder.start()
+        builder.libc("openat", (1 << 64) - 100, data_ref("p"), 0o102)
+        builder.asm.mov_rr(Reg.RBX, Reg.RAX)
+        builder.libc("lseek", Reg.RBX, 4, 0)
+        builder.libc("write", Reg.RBX, data_ref("payload"), 4)
+        builder.exit(0)
+        run(kernel, builder)
+        assert kernel.vfs.read("/tmp/grow") == b"\x00\x00\x00\x00ABCD"
+
+
+class TestMiscSyscalls:
+    def test_uname_writes_release(self, kernel):
+        builder = ProgramBuilder("/bin/uname1")
+        builder.buffer("buf", 64)
+        builder.start()
+        builder.libc("uname", data_ref("buf"))
+        builder.libc("write", 1, data_ref("buf"), 32)
+        builder.exit(0)
+        process = run(kernel, builder)
+        assert b"Linux" in bytes(process.output)
+
+    def test_getrandom_fills_buffer(self, kernel):
+        builder = ProgramBuilder("/bin/rand1")
+        builder.buffer("buf", 16)
+        builder.start()
+        builder.libc("getrandom", data_ref("buf"), 16, 0)
+        builder.libc("write", 1, data_ref("buf"), 16)
+        builder.exit(0)
+        process = run(kernel, builder)
+        assert len(process.output) == 16
+        assert bytes(process.output) != b"\x00" * 16
+
+    def test_brk_growth_is_persistent(self, kernel):
+        builder = ProgramBuilder("/bin/brk2")
+        builder.start()
+        builder.libc("brk", 0)
+        from repro.kernel.syscalls import Nr as _Nr
+
+        builder.asm.mov_rr(Reg.RBX, Reg.RAX)
+        builder.asm.add_ri(Reg.RBX, 8192)
+        builder.libc("brk", Reg.RBX)
+        # The grown heap must be writable.
+        builder.asm.sub_ri(Reg.RBX, 16)
+        builder.asm.mov_ri(Reg.RAX, 0x42)
+        builder.asm.store(Reg.RBX, Reg.RAX)
+        builder.exit(0)
+        process = run(kernel, builder)
+        assert process.exit_status == 0
+
+    def test_getppid(self, kernel):
+        builder = ProgramBuilder("/bin/ppid1")
+        builder.start()
+        builder.libc("fork")
+        builder.asm.test_rr(Reg.RAX, Reg.RAX)
+        builder.asm.jne(".parent")
+        builder.libc("getppid")
+        builder.libc("exit", RESULT)
+        builder.label(".parent")
+        builder.libc("wait4", 0, 0, 0, 0)
+        builder.exit(0)
+        builder.register(kernel)
+        parent = kernel.spawn_process("/bin/ppid1")
+        kernel.run()
+        child = next(p for p in kernel.processes.values()
+                     if p.parent is parent)
+        assert child.exit_status == parent.pid & 0xFF
+
+
+class TestEpollEdges:
+    def test_ctl_del_removes_watch(self, kernel):
+        builder = ProgramBuilder("/bin/ep2")
+        builder.buffer("ev", 32)
+        builder.start()
+        builder.libc("socket", 2, 1, 0)
+        builder.asm.mov_rr(Reg.R14, Reg.RAX)
+        builder.libc("bind", Reg.R14, 9300, 0)
+        builder.libc("listen", Reg.R14, 8)
+        builder.libc("epoll_create", 1)
+        builder.asm.mov_rr(Reg.R12, Reg.RAX)
+        builder.libc("epoll_ctl", Reg.R12, 1, Reg.R14, 0)  # ADD
+        builder.libc("epoll_ctl", Reg.R12, 2, Reg.R14, 0)  # DEL
+        builder.libc("epoll_wait", Reg.R12, data_ref("ev"), 8, 0)
+        builder.exit(0)  # unreachable: the wait blocks forever
+        builder.register(kernel)
+        process = kernel.spawn_process("/bin/ep2")
+        kernel.run_process(process, max_steps=100_000)
+        kernel.net.connect(9300)
+        kernel.run_process(process, max_steps=100_000)
+        assert not process.exited  # the deleted watch never fires
+
+    def test_epoll_on_connection_data(self, kernel):
+        builder = ProgramBuilder("/bin/ep3")
+        builder.buffer("ev", 32)
+        builder.buffer("buf", 64)
+        builder.start()
+        builder.libc("socket", 2, 1, 0)
+        builder.asm.mov_rr(Reg.R14, Reg.RAX)
+        builder.libc("bind", Reg.R14, 9400, 0)
+        builder.libc("listen", Reg.R14, 8)
+        builder.libc("accept", Reg.R14, 0, 0)
+        builder.asm.mov_rr(Reg.R13, Reg.RAX)
+        builder.libc("epoll_create", 1)
+        builder.asm.mov_rr(Reg.R12, Reg.RAX)
+        builder.libc("epoll_ctl", Reg.R12, 1, Reg.R13, 0)
+        builder.libc("epoll_wait", Reg.R12, data_ref("ev"), 8, 0)
+        builder.libc("exit", RESULT)
+        builder.register(kernel)
+        process = kernel.spawn_process("/bin/ep3")
+        kernel.run_process(process, max_steps=100_000)
+        conn = kernel.net.connect(9400)
+        kernel.run_process(process, max_steps=100_000)
+        assert not process.exited  # accepted; waiting for data
+        conn.client_send(b"ready")
+        kernel.run_process(process, max_steps=100_000)
+        assert process.exit_status == 1
+
+
+class TestThreadScheduling:
+    def test_threads_interleave_fairly(self, kernel):
+        """Two spinner threads both make progress under round-robin."""
+        builder = ProgramBuilder("/bin/threads1")
+        builder.buffer("a", 8)
+        builder.buffer("b", 8)
+        builder.start()
+        builder.asm.lea_rip_label(Reg.RDI, "side")
+        builder.libc("pthread_create", Reg.RDI)
+        builder.libc("getpid")
+        # Join-by-flag: wait until the side thread announces completion.
+        builder.label(".join")
+        builder.asm.lea_rip_label(Reg.RBX, "a")
+        builder.asm.load8(Reg.RAX, Reg.RBX)
+        builder.asm.test_rr(Reg.RAX, Reg.RAX)
+        builder.asm.je(".join")
+        builder.exit(0)
+        builder.label("side")
+        builder.asm.endbr64()
+        builder.loop(50, counter=Reg.R14)
+        builder.asm.nop()
+        builder.end_loop()
+        builder.libc("gettid")
+        builder.asm.lea_rip_label(Reg.RBX, "a")
+        builder.asm.mov_ri(Reg.RAX, 1)
+        builder.asm.store8(Reg.RBX, Reg.RAX)
+        builder.libc("pthread_exit")
+        builder.register(kernel)
+        process = spawn_and_run(kernel, "/bin/threads1")
+        assert process.exit_status == 0
+        names = {r.nr for r in kernel.app_requested_syscalls(process.pid)}
+        assert Nr.getpid in names and Nr.gettid in names

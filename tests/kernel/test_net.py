@@ -1,0 +1,114 @@
+"""Socket syscalls: a simulated echo server driven by a host-level client,
+including the restartable blocking (accept/recvfrom) machinery."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.workloads.programs import ProgramBuilder, RESULT, data_ref
+
+
+def echo_server(kernel, port=8080, requests=2):
+    """socket/bind/listen, then accept+recv+send+close per request."""
+    builder = ProgramBuilder("/bin/echo1")
+    builder.buffer("buf", 256)
+    builder.start()
+    builder.libc("socket", 2, 1, 0)
+    from repro.arch.registers import Reg
+
+    builder.asm.mov_rr(Reg.R14, Reg.RAX)  # listen fd
+    builder.libc("bind", Reg.R14, port, 0)
+    builder.libc("listen", Reg.R14, 128)
+    builder.loop(requests)
+    builder.libc("accept", Reg.R14, 0, 0)
+    builder.asm.mov_rr(Reg.R13, Reg.RAX)  # conn fd
+    builder.libc("recvfrom", Reg.R13, data_ref("buf"), 256, 0, 0, 0)
+    builder.libc("sendto", Reg.R13, data_ref("buf"), RESULT, 0, 0, 0)
+    builder.libc("close", Reg.R13)
+    builder.end_loop()
+    builder.exit(0)
+    builder.register(kernel)
+
+
+def test_echo_roundtrip(kernel):
+    echo_server(kernel)
+    process = kernel.spawn_process("/bin/echo1")
+    # Run until the server blocks in accept.
+    kernel.run_process(process, max_steps=50_000)
+    assert not process.exited
+
+    conn = kernel.net.connect(8080)
+    conn.client_send(b"ping-1")
+    kernel.run_process(process, max_steps=50_000)
+    assert conn.client_recv_all() == b"ping-1"
+
+    conn2 = kernel.net.connect(8080)
+    conn2.client_send(b"ping-2")
+    kernel.run_process(process, max_steps=50_000)
+    assert conn2.client_recv_all() == b"ping-2"
+    assert process.exited and process.exit_status == 0
+
+
+def test_blocked_accept_logs_syscall_once(kernel):
+    """The restart protocol must not double-count ground-truth records."""
+    echo_server(kernel, requests=1)
+    process = kernel.spawn_process("/bin/echo1")
+    kernel.run_process(process, max_steps=50_000)
+    conn = kernel.net.connect(8080)
+    conn.client_send(b"x")
+    kernel.run_process(process, max_steps=50_000)
+    accepts = [r for r in kernel.app_requested_syscalls(process.pid)
+               if r.nr == 43]  # accept
+    assert len(accepts) == 1
+
+
+def test_recv_eof_after_client_close(kernel):
+    builder = ProgramBuilder("/bin/eof1")
+    builder.buffer("buf", 64)
+    builder.start()
+    builder.libc("socket", 2, 1, 0)
+    from repro.arch.registers import Reg
+
+    builder.asm.mov_rr(Reg.R14, Reg.RAX)
+    builder.libc("bind", Reg.R14, 9000, 0)
+    builder.libc("listen", Reg.R14, 8)
+    builder.libc("accept", Reg.R14, 0, 0)
+    builder.asm.mov_rr(Reg.R13, Reg.RAX)
+    builder.libc("recvfrom", Reg.R13, data_ref("buf"), 64, 0, 0, 0)
+    builder.libc("exit", RESULT)  # exit(recv length)
+    builder.register(kernel)
+    process = kernel.spawn_process("/bin/eof1")
+    kernel.run_process(process, max_steps=50_000)
+    conn = kernel.net.connect(9000)
+    conn.client_close()
+    kernel.run_process(process, max_steps=50_000)
+    assert process.exited and process.exit_status == 0  # recv returned 0
+
+
+def test_connect_refused_without_listener(kernel):
+    with pytest.raises(Exception):
+        kernel.net.connect(4444)
+
+
+def test_epoll_readiness(kernel):
+    """epoll_create/ctl/wait over a listener."""
+    builder = ProgramBuilder("/bin/ep1")
+    builder.buffer("events", 64)
+    builder.start()
+    builder.libc("socket", 2, 1, 0)
+    from repro.arch.registers import Reg
+
+    builder.asm.mov_rr(Reg.R14, Reg.RAX)
+    builder.libc("bind", Reg.R14, 9100, 0)
+    builder.libc("listen", Reg.R14, 8)
+    builder.libc("epoll_create", 1)
+    builder.asm.mov_rr(Reg.R12, Reg.RAX)
+    builder.libc("epoll_ctl", Reg.R12, 1, Reg.R14, 0)  # EPOLL_CTL_ADD
+    builder.libc("epoll_wait", Reg.R12, data_ref("events"), 8, 0)
+    builder.libc("exit", RESULT)  # exit(ready count)
+    builder.register(kernel)
+    process = kernel.spawn_process("/bin/ep1")
+    kernel.run_process(process, max_steps=50_000)
+    assert not process.exited  # parked in epoll_wait
+    kernel.net.connect(9100)
+    kernel.run_process(process, max_steps=50_000)
+    assert process.exited and process.exit_status == 1

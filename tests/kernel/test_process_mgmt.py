@@ -1,0 +1,154 @@
+"""fork / execve / wait4 / signals / kill semantics."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Nr, SIGSEGV
+from repro.workloads.programs import ProgramBuilder, RESULT, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+def fork_program(kernel):
+    """Parent forks; child writes 'C' and exits 7; parent waits, writes 'P'."""
+    builder = ProgramBuilder("/bin/fork1")
+    builder.string("c", "C")
+    builder.string("p", "P")
+    builder.start()
+    builder.libc("fork")
+    from repro.arch.registers import Reg
+
+    builder.asm.test_rr(Reg.RAX, Reg.RAX)
+    builder.asm.jne("parent")
+    builder.libc("write", 1, data_ref("c"), 1)
+    builder.exit(7)
+    builder.label("parent")
+    builder.libc("wait4", 0, 0, 0, 0)
+    builder.libc("write", 1, data_ref("p"), 1)
+    builder.exit(0)
+    builder.register(kernel)
+
+
+def test_fork_creates_child_and_wait_reaps(kernel):
+    fork_program(kernel)
+    parent = kernel.spawn_process("/bin/fork1")
+    kernel.run()
+    assert parent.exited and parent.exit_status == 0
+    assert bytes(parent.output) == b"P"
+    children = [p for p in kernel.processes.values() if p.parent is parent]
+    assert len(children) == 1
+    child = children[0]
+    assert child.exited and child.exit_status == 7
+    assert bytes(child.output) == b"C"
+
+
+def test_fork_copies_address_space(kernel):
+    fork_program(kernel)
+    parent = kernel.spawn_process("/bin/fork1")
+    kernel.run()
+    child = next(p for p in kernel.processes.values() if p.parent is parent)
+    assert child.address_space is not parent.address_space
+
+
+def execve_program(kernel, empty_env: bool):
+    """A program that execs /usr/bin/hello, optionally with an empty
+    environment (the Listing 1 / P1a pattern)."""
+    make_hello().register(kernel)
+    builder = ProgramBuilder("/bin/execer")
+    builder.string("target", "/usr/bin/hello")
+    builder.string("arg0", "/usr/bin/hello")
+    builder.string("env0", "LD_PRELOAD=/opt/libfake.so")
+    builder.words("argv", [0, 0])   # patched below via lea trick
+    builder.words("envp", [0, 0])
+    builder.start()
+    from repro.arch.registers import Reg
+
+    asm = builder.asm
+    # argv[0] = &arg0; argv[1] = NULL
+    asm.lea_rip_label(Reg.RBX, "argv")
+    asm.lea_rip_label(Reg.RAX, "arg0")
+    asm.store(Reg.RBX, Reg.RAX)
+    if not empty_env:
+        asm.lea_rip_label(Reg.RBX, "envp")
+        asm.lea_rip_label(Reg.RAX, "env0")
+        asm.store(Reg.RBX, Reg.RAX)
+    builder.libc("execve", data_ref("target"), data_ref("argv"),
+                 data_ref("envp"))
+    builder.exit(111)  # reached only if execve failed
+    builder.register(kernel)
+
+
+def test_execve_replaces_image(kernel):
+    execve_program(kernel, empty_env=True)
+    process = spawn_and_run(kernel, "/bin/execer")
+    assert process.exited and process.exit_status == 0
+    assert bytes(process.output) == b"hello\n"
+    assert process.path == "/usr/bin/hello"
+
+
+def test_execve_with_empty_env_clears_environment(kernel):
+    """Listing 1: an empty envp really does wipe LD_PRELOAD (P1a)."""
+    execve_program(kernel, empty_env=True)
+    process = spawn_and_run(kernel, "/bin/execer",
+                            env={"LD_PRELOAD": "/opt/libfake.so"})
+    assert process.env == {}
+
+
+def test_execve_env_passes_through(kernel):
+    kernel.vfs.create("/opt/libfake.so", b"")  # unused, path only
+    execve_program(kernel, empty_env=False)
+    process = spawn_and_run(kernel, "/bin/execer")
+    # The env the exec'ing code provided survives into the new image...
+    assert process.env.get("LD_PRELOAD") == "/opt/libfake.so"
+
+
+def test_execve_missing_target_returns_enoent(kernel):
+    builder = ProgramBuilder("/bin/execbad")
+    builder.string("target", "/no/such/bin")
+    builder.start()
+    builder.libc("execve", data_ref("target"), 0, 0)
+    builder.exit(42)
+    builder.register(kernel)
+    process = spawn_and_run(kernel, "/bin/execbad")
+    assert process.exit_status == 42  # fell through to exit
+
+
+def test_segfault_kills_process(kernel):
+    builder = ProgramBuilder("/bin/crash1")
+    builder.start()
+    from repro.arch.registers import Reg
+
+    builder.asm.mov_ri(Reg.RDI, 0)  # NULL
+    builder.asm.load(Reg.RAX, Reg.RDI)
+    builder.exit(0)
+    builder.register(kernel)
+    process = spawn_and_run(kernel, "/bin/crash1")
+    assert process.exited
+    assert process.exit_status == 128 + SIGSEGV
+
+
+def test_null_jump_faults_natively(kernel):
+    """Without any trampoline at 0, a NULL code pointer crashes (the
+    baseline behaviour pitfall P4a destroys)."""
+    builder = ProgramBuilder("/bin/crash2")
+    builder.start()
+    from repro.arch.registers import Reg
+
+    builder.asm.xor_rr(Reg.RAX, Reg.RAX)
+    builder.asm.jmp_reg(Reg.RAX)
+    builder.register(kernel)
+    process = spawn_and_run(kernel, "/bin/crash2")
+    assert process.exit_status == 128 + SIGSEGV
+
+
+def test_kill_terminates_target(kernel):
+    make_hello().register(kernel)
+    victim = kernel.spawn_process("/usr/bin/hello")
+    builder = ProgramBuilder("/bin/killer")
+    builder.start()
+    builder.libc("kill", victim.pid, 9)
+    builder.exit(0)
+    builder.register(kernel)
+    killer = kernel.spawn_process("/bin/killer")
+    # Run only the killer (victim never scheduled).
+    kernel.run_process(killer)
+    assert victim.exited

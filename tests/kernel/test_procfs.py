@@ -1,0 +1,87 @@
+"""procfs tests: /proc/$PID/maps synthesis, parsing, and in-program reads."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.procfs import entry_for, parse_maps, render_maps
+from repro.workloads.programs import ProgramBuilder, RESULT, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+def test_render_and_parse_roundtrip(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    entries = parse_maps(render_maps(process).decode())
+    assert entries
+    names = {entry.path for entry in entries}
+    assert "/usr/bin/hello" in names
+    assert "[stack]" in names
+
+
+def test_entries_carry_permissions(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    entries = parse_maps(render_maps(process).decode())
+    binary = next(e for e in entries if e.path == "/usr/bin/hello")
+    assert binary.executable
+    stack = next(e for e in entries if e.path == "[stack]")
+    assert stack.writable and not stack.executable
+
+
+def test_entry_for_resolves_addresses(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    entries = parse_maps(render_maps(process).decode())
+    base, image, _ns = process.loaded_images["/usr/bin/hello"]
+    entry = entry_for(entries, base + 10)
+    assert entry is not None and entry.path == "/usr/bin/hello"
+    assert entry_for(entries, 0xDEAD_0000_0000) is None
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_maps("not a maps line\n")
+
+
+def test_program_can_read_proc_self_maps(kernel):
+    """A simulated program opens and reads its own maps file."""
+    builder = ProgramBuilder("/bin/mapsreader")
+    builder.string("path", "/proc/self/maps")
+    builder.buffer("buf", 4096)
+    builder.start()
+    builder.libc("openat", (1 << 64) - 100, data_ref("path"), 0)
+    builder.libc("read", RESULT, data_ref("buf"), 4096)
+    builder.libc("write", 1, data_ref("buf"), RESULT)
+    builder.exit(0)
+    builder.register(kernel)
+    process = spawn_and_run(kernel, "/bin/mapsreader")
+    assert process.exit_status == 0
+    text = bytes(process.output).decode()
+    assert "libc.so.6" in text
+    parse_maps(text.rstrip("\x00"))  # well-formed as far as it was read
+
+
+def test_proc_pid_maps_of_other_process(kernel):
+    make_hello().register(kernel)
+    victim = kernel.spawn_process("/usr/bin/hello")
+    builder = ProgramBuilder("/bin/peeker")
+    builder.string("path", f"/proc/{victim.pid}/maps")
+    builder.buffer("buf", 256)
+    builder.start()
+    builder.libc("openat", (1 << 64) - 100, data_ref("path"), 0)
+    builder.libc("exit", RESULT)  # exit(fd): >= 3 on success
+    builder.register(kernel)
+    peeker = kernel.spawn_process("/bin/peeker")
+    kernel.run_process(peeker)
+    assert peeker.exit_status >= 3
+
+
+def test_proc_missing_pid_enoent(kernel):
+    builder = ProgramBuilder("/bin/peeker2")
+    builder.string("path", "/proc/99999/maps")
+    builder.start()
+    builder.libc("openat", (1 << 64) - 100, data_ref("path"), 0)
+    builder.libc("exit", RESULT)
+    builder.register(kernel)
+    process = spawn_and_run(kernel, "/bin/peeker2")
+    assert process.exit_status == (-2) & 0xFF  # ENOENT

@@ -1,0 +1,108 @@
+"""Scheduler unit tests: quanta, step caps, blocking, preemption windows."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.workloads.programs import ProgramBuilder
+from tests.simutil import make_hello, spawn_and_run
+
+
+def spinner(path="/bin/spin"):
+    builder = ProgramBuilder(path)
+    builder.start()
+    builder.label(".forever")
+    builder.asm.nop()
+    builder.asm.jmp(".forever")
+    return builder
+
+
+def test_max_steps_caps_runaway_programs(kernel):
+    spinner().register(kernel)
+    process = kernel.spawn_process("/bin/spin")
+    retired = kernel.run(max_steps=5_000)
+    assert retired == 5_000
+    assert not process.exited
+
+
+def test_run_returns_zero_when_everyone_blocked(kernel):
+    from tests.kernel.test_net import echo_server
+
+    echo_server(kernel, port=8500, requests=1)
+    process = kernel.spawn_process("/bin/echo1")
+    kernel.run(max_steps=500_000)  # parks in accept
+    assert kernel.run(max_steps=500_000) == 0  # nothing runnable
+
+
+def test_run_process_stops_at_exit(kernel):
+    make_hello().register(kernel)
+    spinner().register(kernel)
+    target = kernel.spawn_process("/usr/bin/hello")
+    kernel.spawn_process("/bin/spin")  # a competitor that never exits
+    kernel.run_process(target, max_steps=2_000_000)
+    assert target.exited
+
+
+def test_runnable_excludes_exited_and_blocked(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    assert process.exited
+    assert kernel.runnable_threads() == []
+
+
+def test_quantum_interleaves_two_processes(kernel):
+    kernel.quantum = 10
+    spinner("/bin/spin_a").register(kernel)
+    spinner("/bin/spin_b").register(kernel)
+    a = kernel.spawn_process("/bin/spin_a")
+    b = kernel.spawn_process("/bin/spin_b")
+    kernel.run(max_steps=2_000)
+    # Both made progress (RIP far from their entry stubs).
+    assert a.main_thread.context.rip != 0
+    assert b.main_thread.context.rip != 0
+
+
+class TestPreemptionWindow:
+    def test_noop_when_no_siblings(self, kernel):
+        make_hello().register(kernel)
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        kernel.preemption_window(process.main_thread)  # must not blow up
+
+    def test_probability_zero_disables_window(self, kernel):
+        spinner().register(kernel)
+        process = kernel.spawn_process("/bin/spin")
+        sibling = process.spawn_thread()
+        sibling.context.restore(process.main_thread.context.save())
+        kernel.torn_window_probability = 0.0
+        rip_before = sibling.context.rip
+        kernel.preemption_window(process.main_thread, steps=50)
+        assert sibling.context.rip == rip_before
+
+    def test_window_runs_siblings(self, kernel):
+        from repro.arch.registers import Reg
+
+        counter = ProgramBuilder("/bin/counter")
+        counter.start()
+        counter.label(".forever")
+        counter.asm.inc(Reg.RBX)
+        counter.asm.jmp(".forever")
+        counter.register(kernel)
+        process = kernel.spawn_process("/bin/counter")
+        kernel.run(max_steps=500)  # past the loader stub
+        sibling = process.spawn_thread()
+        sibling.context.restore(process.main_thread.context.save())
+        rbx_before = sibling.context.get(Reg.RBX)
+        kernel.preemption_window(process.main_thread, steps=50)
+        assert sibling.context.get(Reg.RBX) > rbx_before
+
+    def test_reentrancy_guard(self, kernel):
+        spinner().register(kernel)
+        process = kernel.spawn_process("/bin/spin")
+        kernel._preempting = True
+        try:
+            sibling = process.spawn_thread()
+            sibling.context.restore(process.main_thread.context.save())
+            rip_before = sibling.context.rip
+            kernel.preemption_window(process.main_thread, steps=50)
+            assert sibling.context.rip == rip_before
+        finally:
+            kernel._preempting = False

@@ -1,0 +1,133 @@
+"""Signal machinery tests: simulated-address handlers + rt_sigreturn, the
+host-handler frame protocol, and default dispositions."""
+
+import pytest
+
+from repro.arch.registers import Reg
+from repro.errors import ProcessKilled
+from repro.kernel import Kernel
+from repro.kernel.signals import SignalContext, SignalDispositions, default_action
+from repro.kernel.syscalls import Nr, SIGCHLD, SIGSEGV, SIGTERM
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import spawn_and_run
+
+
+class TestDispositions:
+    def test_set_get_clear(self):
+        table = SignalDispositions()
+        table.set_action(SIGSEGV, 0x1000)
+        assert table.get_action(SIGSEGV) == 0x1000
+        table.set_action(SIGSEGV, None)
+        assert table.get_action(SIGSEGV) is None
+
+    def test_copy_is_independent(self):
+        table = SignalDispositions()
+        table.set_action(SIGTERM, 0x2000)
+        clone = table.copy()
+        clone.set_action(SIGTERM, None)
+        assert table.get_action(SIGTERM) == 0x2000
+
+    def test_default_actions(self):
+        with pytest.raises(ProcessKilled) as exc:
+            default_action(SIGSEGV)
+        assert exc.value.signal == SIGSEGV
+        default_action(SIGCHLD)  # ignored, no raise
+
+
+class TestSimulatedHandlers:
+    def test_app_handler_runs_and_sigreturn_resumes(self, kernel):
+        """A simulated-code SIGSEGV handler registered via rt_sigaction:
+        the kernel pushes a frame, the handler runs app instructions,
+        rt_sigreturn restores the (patched) context."""
+        builder = ProgramBuilder("/bin/sighandler")
+        builder.string("msg", "handled\n")
+        builder.start()
+        asm = builder.asm
+        # rt_sigaction(SIGSEGV, handler_address, ...)
+        asm.lea_rip_label(Reg.RSI, "handler")
+        builder.libc("rt_sigaction", SIGSEGV, Reg.RSI, 0, 8)
+        # Fault: load from NULL.
+        asm.xor_rr(Reg.RBX, Reg.RBX)
+        asm.mark("fault_site")
+        asm.load(Reg.RAX, Reg.RBX)
+        # The handler patches the saved RIP to land here:
+        builder.label("recovered")
+        builder.libc("write", 1, data_ref("msg"), 8)
+        builder.exit(0)
+        # Handler (simulated code): fix the frame and sigreturn.  Our frame
+        # model restores the *saved* context, so redirect by rewriting the
+        # frame is host-side; the simulated handler here simply jumps to
+        # the recovery label directly after discarding the frame.
+        builder.label("handler")
+        asm.endbr64()
+        # The __restore_rt idiom: an inlined rt_sigreturn (libc does not
+        # export a wrapper for it).
+        builder.direct_syscall(Nr.rt_sigreturn, mark="restore_rt")
+        builder.register(kernel)
+        process = kernel.spawn_process("/bin/sighandler")
+        kernel.run_process(process, max_steps=100_000)
+        # Frame semantics: RIP advances before execution, so the saved
+        # context already points past the faulting load; rt_sigreturn
+        # resumes at `recovered` and the program completes.
+        assert process.exited and process.exit_status == 0
+        assert bytes(process.output) == b"handled\n"
+        assert process.main_thread.signal_frames == []  # frame popped
+
+    def test_app_handler_with_host_frame_fixup(self, kernel):
+        """The productive pattern: a host SIGSEGV handler fixes the saved
+        RIP (SignalContext.set_resume_rip) so execution recovers."""
+        builder = ProgramBuilder("/bin/recover")
+        builder.string("msg", "recovered\n")
+        builder.start()
+        asm = builder.asm
+        asm.xor_rr(Reg.RBX, Reg.RBX)
+        asm.load(Reg.RAX, Reg.RBX)  # faults
+        builder.label("after_fault")
+        builder.libc("write", 1, data_ref("msg"), 10)
+        builder.exit(0)
+        builder.register(kernel)
+        process = kernel.spawn_process("/bin/recover")
+        base, image, _ns = process.loaded_images["/bin/recover"]
+        recovery = base + image.symbol("after_fault")
+
+        def handler(sigctx: SignalContext) -> None:
+            sigctx.set_resume_rip(recovery)
+
+        process.dispositions.set_action(SIGSEGV, handler)
+        kernel.run_process(process)
+        assert process.exit_status == 0
+        assert bytes(process.output) == b"recovered\n"
+
+    def test_fault_info_reaches_handler(self, kernel):
+        builder = ProgramBuilder("/bin/faultinfo")
+        builder.start()
+        asm = builder.asm
+        asm.mov_ri(Reg.RBX, 0xDEAD000)
+        asm.load(Reg.RAX, Reg.RBX)
+        builder.exit(0)
+        builder.register(kernel)
+        process = kernel.spawn_process("/bin/faultinfo")
+        seen = {}
+
+        def handler(sigctx: SignalContext) -> None:
+            seen.update(sigctx.info)
+            base, image, _ns = process.loaded_images["/bin/faultinfo"]
+            sigctx.set_resume_rip(base + image.symbol("_start"))
+            # Avoid refaulting forever: neuter the pointer.
+            sigctx.saved["regs"][Reg.RBX] = 0xDEAD000
+            sigctx.set_resume_rip(sigctx.saved["rip"])  # skip the load
+            process.dispositions.set_action(SIGSEGV, None)
+
+        process.dispositions.set_action(SIGSEGV, handler)
+        kernel.run_process(process, max_steps=50_000)
+        assert seen.get("addr") == 0xDEAD000
+        assert seen.get("access") == "read"
+        assert seen.get("reason") == "unmapped"
+
+    def test_set_return_value_updates_saved_rax(self):
+        from repro.cpu.state import CpuContext
+
+        ctx = CpuContext()
+        sigctx = SignalContext(31, None, ctx.save(), 0)
+        sigctx.set_return_value(-38)
+        assert sigctx.saved["regs"][Reg.RAX] == (-38) & (1 << 64) - 1

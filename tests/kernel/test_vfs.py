@@ -1,0 +1,104 @@
+"""VFS unit tests, including the immutability bit K23's log hardening uses."""
+
+import pytest
+
+from repro.errors import VFSError
+from repro.kernel.vfs import VFS
+
+
+@pytest.fixture
+def vfs():
+    return VFS()
+
+
+def test_create_and_read(vfs):
+    vfs.create("/tmp/a.txt", b"hello")
+    assert vfs.read("/tmp/a.txt") == b"hello"
+
+
+def test_parents_created(vfs):
+    vfs.create("/deep/nested/dir/file", b"x")
+    assert vfs.is_dir("/deep/nested/dir")
+
+
+def test_lookup_missing_raises_enoent(vfs):
+    with pytest.raises(VFSError) as exc:
+        vfs.lookup("/nope")
+    assert exc.value.errno == 2  # ENOENT
+
+
+def test_relative_path_rejected(vfs):
+    with pytest.raises(VFSError):
+        vfs.create("relative.txt")
+
+
+def test_listdir(vfs):
+    vfs.create("/d/a", b"")
+    vfs.create("/d/b", b"")
+    vfs.create("/d/sub/c", b"")
+    assert vfs.listdir("/d") == ["a", "b", "sub"]
+
+
+def test_listdir_on_file_raises(vfs):
+    vfs.create("/f", b"")
+    with pytest.raises(VFSError):
+        vfs.listdir("/f")
+
+
+def test_append_and_truncate(vfs):
+    vfs.create("/log", b"a")
+    vfs.append("/log", b"b")
+    assert vfs.read("/log") == b"ab"
+    vfs.truncate("/log")
+    assert vfs.read("/log") == b""
+
+
+def test_unlink(vfs):
+    vfs.create("/x", b"")
+    vfs.unlink("/x")
+    assert not vfs.exists("/x")
+
+
+def test_mkdir_exist_ok(vfs):
+    vfs.mkdir("/d")
+    vfs.mkdir("/d", exist_ok=True)
+    with pytest.raises(VFSError):
+        vfs.mkdir("/d")
+
+
+def test_image_attachment(vfs):
+    marker = object()
+    vfs.create("/usr/bin/app", b"\x00", image=marker)
+    assert vfs.lookup("/usr/bin/app").image is marker
+
+
+class TestImmutability:
+    """§5.3: the offline log directory is sealed for the program lifetime."""
+
+    def test_immutable_file_rejects_writes(self, vfs):
+        vfs.create("/k23/logs/ls.log", b"entry")
+        vfs.set_immutable("/k23/logs/ls.log")
+        with pytest.raises(VFSError) as exc:
+            vfs.append("/k23/logs/ls.log", b"more")
+        assert exc.value.errno == 1  # EPERM
+        with pytest.raises(VFSError):
+            vfs.truncate("/k23/logs/ls.log")
+        with pytest.raises(VFSError):
+            vfs.unlink("/k23/logs/ls.log")
+
+    def test_immutable_dir_rejects_new_entries(self, vfs):
+        vfs.create("/k23/logs/a.log", b"")
+        vfs.set_immutable("/k23/logs")
+        with pytest.raises(VFSError):
+            vfs.create("/k23/logs/b.log", b"")
+
+    def test_recursive_seal_covers_children(self, vfs):
+        vfs.create("/k23/logs/a.log", b"")
+        vfs.set_immutable("/k23/logs")
+        with pytest.raises(VFSError):
+            vfs.append("/k23/logs/a.log", b"x")
+
+    def test_reads_still_allowed(self, vfs):
+        vfs.create("/k23/logs/a.log", b"data")
+        vfs.set_immutable("/k23/logs")
+        assert vfs.read("/k23/logs/a.log") == b"data"

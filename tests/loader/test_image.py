@@ -1,0 +1,87 @@
+"""SimImage unit tests: sections, symbols, GOT offsets, error paths."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.loader.image import DATA_START_LABEL, GOT_PREFIX, SimImage
+from repro.memory.pages import PAGE_SIZE
+
+
+def minimal_image(name="/opt/x.so", imports=()):
+    image = SimImage(name=name, entry="", imports=list(imports))
+    image.asm.label("fn")
+    image.asm.endbr64()
+    image.asm.ret()
+    return image
+
+
+def test_begin_data_emits_got_slots():
+    image = minimal_image(imports=["write", "exit"])
+    image.begin_data()
+    assert image.got_offset("write") == image.asm.labels[GOT_PREFIX + "write"]
+    assert image.got_offset("exit") == image.got_offset("write") + 8
+
+
+def test_begin_data_twice_rejected():
+    image = minimal_image()
+    image.begin_data()
+    with pytest.raises(LoaderError):
+        image.begin_data()
+
+
+def test_finalize_auto_creates_data_section():
+    image = minimal_image()
+    image.finalize()
+    assert DATA_START_LABEL in image.asm.labels
+    assert image.code_size % PAGE_SIZE == 0
+
+
+def test_missing_entry_rejected():
+    image = SimImage(name="/bin/broken", entry="_start")
+    image.asm.ret()
+    with pytest.raises(LoaderError):
+        image.finalize()
+
+
+def test_unknown_symbol_rejected():
+    image = minimal_image()
+    with pytest.raises(LoaderError):
+        image.symbol("nope")
+    assert not image.has_symbol("nope")
+    assert image.has_symbol("fn")
+
+
+def test_code_size_excludes_data():
+    image = minimal_image()
+    image.begin_data()
+    image.asm.dq(1, 2, 3)
+    image.finalize()
+    assert image.code_size < len(image.blob)
+    assert len(image.blob) - image.code_size == 24
+
+
+def test_syscall_sites_ground_truth():
+    image = SimImage(name="/opt/s.so", entry="")
+    image.asm.mark("a")
+    image.asm.syscall_()
+    image.asm.mark("b")
+    image.asm.sysenter_()
+    image.finalize()
+    assert image.syscall_sites == {"a": 0, "b": 2}
+
+
+def test_exported_symbols_hide_got():
+    image = minimal_image(imports=["write"])
+    image.begin_data()
+    image.finalize()
+    exported = image.exported_symbols()
+    assert "fn" in exported
+    assert all(not name.startswith(GOT_PREFIX) for name in exported)
+
+
+def test_finalize_idempotent():
+    image = minimal_image()
+    assert image.finalize() is image
+    blob = image.blob
+    image.finalize()
+    assert image.blob == blob

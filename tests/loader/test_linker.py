@@ -1,0 +1,169 @@
+"""Loader tests: ASLR stability, GOT patching, pre-main syscall storm,
+LD_PRELOAD ordering, dlopen."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.syscalls import Nr
+from repro.loader.libc import LIBC_PATH
+from repro.loader.linker import _addr_scan_safe
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+def test_addr_scan_safety_filter():
+    assert _addr_scan_safe(0x7F10_0000_0000)
+    assert not _addr_scan_safe(0x0000_0000_050F)  # LE bytes 0F 05 ...
+    assert not _addr_scan_safe(0x0000_0000_340F)
+
+
+def test_aslr_moves_bases_but_offsets_stay():
+    """The (region, offset) invariant the offline logs rely on (§5.1)."""
+    bases = []
+    offsets = []
+    for seed in (1, 2):
+        kernel = Kernel(seed=seed)
+        make_hello().register(kernel)
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        base, image, _ns = process.loaded_images[LIBC_PATH]
+        bases.append(base)
+        offsets.append(image.symbol("write"))
+    assert bases[0] != bases[1]
+    assert offsets[0] == offsets[1]
+
+
+def test_no_aslr_is_deterministic():
+    results = []
+    for _ in range(2):
+        kernel = Kernel(seed=5, aslr=False)
+        make_hello().register(kernel)
+        process = spawn_and_run(kernel, "/usr/bin/hello")
+        results.append(process.loaded_images[LIBC_PATH][0])
+    assert results[0] == results[1]
+
+
+def test_libc_mapped_with_canonical_name(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    assert any(r.name == LIBC_PATH for r in process.address_space.regions)
+
+
+def test_premain_syscall_storm(kernel):
+    """§6.1: even simple utilities issue large numbers of startup syscalls
+    before any interposition library can load."""
+    builder = make_hello()
+    builder.image.stub_profile = 90  # ls-sized startup
+    builder.register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    assert process.premain_syscalls > 100
+
+
+def test_premain_sites_live_in_ldso_region(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    premain = kernel.app_requested_syscalls(process.pid)[:5]
+    for record in premain:
+        region = process.address_space.region_at(record.site)
+        assert region is not None and region.name == "[ld.so]"
+
+
+def test_got_patching_resolves_cross_image_calls(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    assert bytes(process.output) == b"hello\n"  # write resolved through GOT
+
+
+def test_unresolved_import_raises(kernel):
+    builder = ProgramBuilder("/bin/badimport")
+    builder.start()
+    builder.libc("no_such_function")
+    builder.exit(0)
+    builder.register(kernel)
+    from repro.errors import LoaderError
+
+    with pytest.raises(LoaderError):
+        kernel.spawn_process("/bin/badimport")
+
+
+def test_ld_preload_library_constructor_runs(kernel):
+    ran = []
+
+    from repro.loader.image import SimImage
+
+    lib = SimImage(name="/opt/libhook.so", entry="")
+    lib.constructors.append(lambda thread, base: ran.append(base))
+    lib.finalize()
+    kernel.loader.register_image(lib)
+    make_hello().register(kernel)
+    spawn_and_run(kernel, "/usr/bin/hello",
+                  env={"LD_PRELOAD": "/opt/libhook.so"})
+    assert len(ran) == 1
+
+
+def test_preload_constructor_runs_before_main(kernel):
+    order = []
+
+    from repro.loader.image import SimImage
+
+    lib = SimImage(name="/opt/libhook.so", entry="")
+    lib.constructors.append(lambda thread, base: order.append("ctor"))
+    lib.finalize()
+    kernel.loader.register_image(lib)
+    make_hello().register(kernel)
+    process = kernel.spawn_process(
+        "/usr/bin/hello", env={"LD_PRELOAD": "/opt/libhook.so"})
+    kernel.run_process(process)
+    # The ctor ran before main's write syscall.
+    assert order == ["ctor"]
+    assert bytes(process.output) == b"hello\n"
+
+
+def test_missing_preload_is_ignored_with_warning(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello",
+                            env={"LD_PRELOAD": "/opt/absent.so"})
+    assert process.exit_status == 0
+    assert process.ld_preload_errors
+
+
+def test_dlopen_loads_library_at_runtime(kernel):
+    """dlopen maps new executable code after startup — the dynamic-code
+    blind spot of load-time rewriters (P2a)."""
+    from repro.loader.image import SimImage
+
+    plugin = SimImage(name="/opt/plugin.so", entry="")
+    plugin.asm.label("plugin_fn")
+    plugin.asm.endbr64()
+    plugin.asm.ret()
+    plugin.finalize()
+    kernel.loader.register_image(plugin)
+
+    builder = ProgramBuilder("/bin/dlopener")
+    builder.string("path", "/opt/plugin.so")
+    builder.start()
+    builder.libc("dlopen", data_ref("path"), 2)
+    builder.exit(0)
+    builder.register(kernel)
+    process = spawn_and_run(kernel, "/bin/dlopener")
+    assert process.exit_status == 0
+    assert "/opt/plugin.so" in process.loaded_images
+
+
+def test_stack_mapped_and_usable(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    assert any(r.name == "[stack]" for r in process.address_space.regions)
+
+
+def test_vdso_mapped_by_default(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    assert "[vdso]" in process.loaded_images
+
+
+def test_proc_maps_render(kernel):
+    make_hello().register(kernel)
+    process = spawn_and_run(kernel, "/usr/bin/hello")
+    lines = process.address_space.maps()
+    assert any(LIBC_PATH in line for line in lines)
+    assert any("[stack]" in line for line in lines)

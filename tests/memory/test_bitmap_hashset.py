@@ -1,0 +1,138 @@
+"""Bitmap and robin-hood set tests, including the P4b footprint contrast."""
+
+import pytest
+
+from repro.memory import AddressBitmap, RobinHoodSet
+from repro.memory.bitmap import CHUNK_BYTES
+from repro.memory.pages import USER_VA_SIZE
+
+
+class TestAddressBitmap:
+    def test_set_and_test(self):
+        bm = AddressBitmap()
+        assert not bm.test(0x1000)
+        bm.set(0x1000)
+        assert bm.test(0x1000)
+        assert 0x1000 in bm
+        assert not bm.test(0x1001)
+
+    def test_clear(self):
+        bm = AddressBitmap()
+        bm.set(42)
+        bm.clear(42)
+        assert not bm.test(42)
+        assert len(bm) == 0
+
+    def test_idempotent_set(self):
+        bm = AddressBitmap()
+        bm.set(7)
+        bm.set(7)
+        assert len(bm) == 1
+
+    def test_out_of_span(self):
+        bm = AddressBitmap(span=1 << 20)
+        with pytest.raises(ValueError):
+            bm.set(1 << 21)
+        assert not bm.test(1 << 21)
+
+    def test_reserved_footprint_is_huge(self):
+        """P4b: the reservation is span/8 regardless of contents — 16 TiB
+        for a 47-bit address space."""
+        bm = AddressBitmap()
+        assert bm.reserved_virtual_bytes == USER_VA_SIZE // 8
+        assert bm.reserved_virtual_bytes == 16 * (1 << 40)
+
+    def test_resident_grows_by_chunk(self):
+        bm = AddressBitmap()
+        assert bm.resident_bytes == 0
+        bm.set(0)
+        assert bm.resident_bytes == CHUNK_BYTES
+        bm.set(1)  # same chunk
+        assert bm.resident_bytes == CHUNK_BYTES
+        bm.set(1 << 30)  # far away → second chunk
+        assert bm.resident_bytes == 2 * CHUNK_BYTES
+
+    def test_adjacent_addresses_independent(self):
+        bm = AddressBitmap()
+        base = 0x7F12_3456_7000
+        bm.set(base)
+        bm.set(base + 2)
+        assert bm.test(base) and bm.test(base + 2)
+        assert not bm.test(base + 1)
+
+
+class TestRobinHoodSet:
+    def test_add_contains(self):
+        s = RobinHoodSet()
+        assert s.add(0x7F00_0000_1234)
+        assert 0x7F00_0000_1234 in s
+        assert 0x7F00_0000_1235 not in s
+
+    def test_duplicate_add(self):
+        s = RobinHoodSet()
+        assert s.add(5)
+        assert not s.add(5)
+        assert len(s) == 1
+
+    def test_discard(self):
+        s = RobinHoodSet()
+        s.add(10)
+        assert s.discard(10)
+        assert 10 not in s
+        assert not s.discard(10)
+
+    def test_grows_under_load(self):
+        s = RobinHoodSet(initial_capacity=4)
+        values = [i * 0x1000 + 7 for i in range(100)]
+        for v in values:
+            s.add(v)
+        assert len(s) == 100
+        assert all(v in s for v in values)
+        assert s.capacity >= 200  # max_load 0.5
+
+    def test_discard_preserves_others(self):
+        s = RobinHoodSet(initial_capacity=8)
+        values = list(range(0, 64, 2))
+        for v in values:
+            s.add(v)
+        for v in values[::2]:
+            assert s.discard(v)
+        for v in values[1::2]:
+            assert v in s
+        for v in values[::2]:
+            assert v not in s
+
+    def test_iteration(self):
+        s = RobinHoodSet()
+        for v in (1, 2, 3):
+            s.add(v)
+        assert sorted(s) == [1, 2, 3]
+
+    def test_probe_accounting(self):
+        s = RobinHoodSet()
+        s.add(1)
+        _ = 1 in s
+        _ = 2 in s
+        assert s.lookup_count == 2
+        assert s.average_probe_length >= 1.0
+
+    def test_robin_hood_bounds_probe_distance(self):
+        """Dense clustered keys: robin hood keeps displacement modest."""
+        s = RobinHoodSet(initial_capacity=256, max_load=0.9)
+        for i in range(200):
+            s.add(0x4000_0000 + i * 2)
+        assert s.max_probe_distance <= 16
+
+    def test_footprint_is_bounded_by_contents(self):
+        """P4b resolution: K23's structure grows with log size, not with the
+        address-space size.  Ninety-two redis sites (Table 2) stay tiny."""
+        s = RobinHoodSet()
+        for i in range(92):
+            s.add(0x7F00_0000_0000 + i * 0x40)
+        assert s.memory_bytes < 16 * 1024
+        bm = AddressBitmap()
+        assert s.memory_bytes < bm.reserved_virtual_bytes / 1_000_000
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RobinHoodSet(initial_capacity=0)

@@ -1,0 +1,70 @@
+"""PKRU register semantics (the hardware rules XOM rests on)."""
+
+import pytest
+
+from repro.memory.pku import PKEY_COUNT, Pkru, xom_pkru_for
+
+
+def test_default_permits_everything():
+    pkru = Pkru()
+    for key in range(PKEY_COUNT):
+        for access in ("read", "write", "exec"):
+            assert pkru.permits(key, access)
+
+
+def test_access_disable_blocks_reads_and_writes():
+    pkru = Pkru()
+    pkru.set_access_disabled(3, True)
+    assert not pkru.permits(3, "read")
+    assert not pkru.permits(3, "write")
+    assert pkru.permits(3, "exec")  # PKU never gates instruction fetch
+    assert pkru.permits(2, "read")  # other keys untouched
+
+
+def test_write_disable_blocks_writes_only():
+    pkru = Pkru()
+    pkru.set_write_disabled(5, True)
+    assert pkru.permits(5, "read")
+    assert not pkru.permits(5, "write")
+
+
+def test_bits_clear_again():
+    pkru = Pkru()
+    pkru.set_access_disabled(1, True)
+    pkru.set_access_disabled(1, False)
+    assert pkru.permits(1, "read")
+
+
+def test_bit_layout_matches_hardware():
+    """Key k owns bits 2k (AD) and 2k+1 (WD)."""
+    pkru = Pkru()
+    pkru.set_access_disabled(0, True)
+    assert pkru.value == 0b01
+    pkru.set_write_disabled(0, True)
+    assert pkru.value == 0b11
+    pkru = Pkru()
+    pkru.set_write_disabled(15, True)
+    assert pkru.value == 1 << 31
+
+
+def test_xom_helper_locks_exactly_one_key():
+    pkru = xom_pkru_for(7)
+    assert not pkru.permits(7, "read")
+    assert not pkru.permits(7, "write")
+    assert pkru.permits(7, "exec")
+    for key in range(PKEY_COUNT):
+        if key != 7:
+            assert pkru.permits(key, "read")
+
+
+def test_copy_is_independent():
+    pkru = xom_pkru_for(1)
+    clone = pkru.copy()
+    clone.set_access_disabled(1, False)
+    assert not pkru.permits(1, "read")
+    assert clone.permits(1, "read")
+
+
+def test_value_masked_to_32_bits():
+    pkru = Pkru(1 << 40 | 0b10)
+    assert pkru.value == 0b10

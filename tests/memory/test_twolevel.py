@@ -1,0 +1,74 @@
+"""Two-level validity table tests (the P4b alternative strategy)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.memory import AddressBitmap, TwoLevelTable
+from repro.memory.twolevel import LEAF_BYTES, LEAF_SPAN
+
+
+def test_set_test_clear():
+    table = TwoLevelTable()
+    table.set(0x7F00_1234)
+    assert table.test(0x7F00_1234)
+    assert not table.test(0x7F00_1235)
+    table.clear(0x7F00_1234)
+    assert not table.test(0x7F00_1234)
+    assert len(table) == 0
+
+
+def test_out_of_span():
+    table = TwoLevelTable(span=1 << 20)
+    with pytest.raises(ValueError):
+        table.set(1 << 21)
+    assert not table.test(1 << 21)
+
+
+def test_directory_reservation_is_tiny_vs_flat_bitmap():
+    table = TwoLevelTable()
+    bitmap = AddressBitmap()
+    assert table.reserved_virtual_bytes < bitmap.reserved_virtual_bytes / 100_000
+    assert table.reserved_virtual_bytes == 32 * (1 << 20)  # 32 MiB
+
+
+def test_resident_grows_per_leaf():
+    table = TwoLevelTable()
+    base = table.reserved_virtual_bytes
+    table.set(0)
+    assert table.resident_bytes == base + LEAF_BYTES
+    table.set(LEAF_SPAN - 1)       # same leaf
+    assert table.resident_bytes == base + LEAF_BYTES
+    table.set(10 * LEAF_SPAN)      # new leaf
+    assert table.resident_bytes == base + 2 * LEAF_BYTES
+
+
+@given(st.lists(st.tuples(st.sampled_from(["set", "clear", "test"]),
+                          st.integers(min_value=0,
+                                      max_value=(1 << 40) - 1)),
+                max_size=120))
+@settings(max_examples=100)
+def test_against_model(ops):
+    table = TwoLevelTable()
+    model = set()
+    for op, address in ops:
+        if op == "set":
+            table.set(address)
+            model.add(address)
+        elif op == "clear":
+            table.clear(address)
+            model.discard(address)
+        else:
+            assert table.test(address) == (address in model)
+    assert len(table) == len(model)
+
+
+def test_agrees_with_flat_bitmap():
+    table = TwoLevelTable()
+    bitmap = AddressBitmap()
+    sites = [0x5555_0000 + i * 0x39 for i in range(64)]
+    for site in sites:
+        table.set(site)
+        bitmap.set(site)
+    for probe in range(0x5555_0000, 0x5555_0000 + 64 * 0x39):
+        assert table.test(probe) == bitmap.test(probe)

@@ -1,0 +1,134 @@
+"""Property-based tests on the SimX86 encoding layer (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch import Asm, decode, linear_sweep
+from repro.arch.disassembler import find_syscall_sites_bytescan
+from repro.arch.isa import Mnemonic
+from repro.arch.registers import Reg
+from repro.errors import DecodeError
+
+REGS = st.sampled_from(list(Reg))
+LOW_REGS = st.sampled_from([Reg.RAX, Reg.RCX, Reg.RDX, Reg.RBX])
+BASE_REGS = st.sampled_from([r for r in Reg
+                             if r.low3 not in (0b100, 0b101)])
+IMM64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+IMM32S = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+@st.composite
+def instruction_builders(draw):
+    """One (emit, expected-mnemonic) pair drawn from the full ISA."""
+    choice = draw(st.sampled_from([
+        "nop", "ret", "syscall", "sysenter", "call_reg", "jmp_reg",
+        "push", "pop", "mov_ri", "mov_rr", "load", "store", "add_rr",
+        "sub_rr", "cmp_rr", "xor_rr", "test_rr", "add_ri", "sub_ri",
+        "cmp_ri", "inc", "dec", "hostcall", "endbr64", "cpuid", "mfence",
+    ]))
+    reg = draw(REGS)
+    reg2 = draw(REGS)
+    base = draw(BASE_REGS)
+    imm = draw(IMM64)
+    imm32 = draw(IMM32S)
+    idx = draw(st.integers(min_value=0, max_value=0xFFFF))
+
+    table = {
+        "nop": (lambda a: a.nop(), Mnemonic.NOP),
+        "ret": (lambda a: a.ret(), Mnemonic.RET),
+        "syscall": (lambda a: a.syscall_(), Mnemonic.SYSCALL),
+        "sysenter": (lambda a: a.sysenter_(), Mnemonic.SYSENTER),
+        "call_reg": (lambda a: a.call_reg(reg), Mnemonic.CALL_REG),
+        "jmp_reg": (lambda a: a.jmp_reg(reg), Mnemonic.JMP_REG),
+        "push": (lambda a: a.push(reg), Mnemonic.PUSH),
+        "pop": (lambda a: a.pop(reg), Mnemonic.POP),
+        "mov_ri": (lambda a: a.mov_ri(reg, imm), Mnemonic.MOV_RI),
+        "mov_rr": (lambda a: a.mov_rr(reg, reg2), Mnemonic.MOV_RR),
+        "load": (lambda a: a.load(reg, base), Mnemonic.MOV_LOAD),
+        "store": (lambda a: a.store(base, reg), Mnemonic.MOV_STORE),
+        "add_rr": (lambda a: a.add_rr(reg, reg2), Mnemonic.ADD_RR),
+        "sub_rr": (lambda a: a.sub_rr(reg, reg2), Mnemonic.SUB_RR),
+        "cmp_rr": (lambda a: a.cmp_rr(reg, reg2), Mnemonic.CMP_RR),
+        "xor_rr": (lambda a: a.xor_rr(reg, reg2), Mnemonic.XOR_RR),
+        "test_rr": (lambda a: a.test_rr(reg, reg2), Mnemonic.TEST_RR),
+        "add_ri": (lambda a: a.add_ri(reg, imm32), Mnemonic.ADD_RI),
+        "sub_ri": (lambda a: a.sub_ri(reg, imm32), Mnemonic.SUB_RI),
+        "cmp_ri": (lambda a: a.cmp_ri(reg, imm32), Mnemonic.CMP_RI),
+        "inc": (lambda a: a.inc(reg), Mnemonic.INC),
+        "dec": (lambda a: a.dec(reg), Mnemonic.DEC),
+        "hostcall": (lambda a: a.hostcall(idx), Mnemonic.HOSTCALL),
+        "endbr64": (lambda a: a.endbr64(), Mnemonic.ENDBR64),
+        "cpuid": (lambda a: a.cpuid(), Mnemonic.CPUID),
+        "mfence": (lambda a: a.mfence(), Mnemonic.MFENCE),
+    }
+    return table[choice]
+
+
+@given(instruction_builders())
+@settings(max_examples=300)
+def test_single_instruction_roundtrip(builder):
+    """assemble → decode recovers the mnemonic and consumes every byte."""
+    emit, expected = builder
+    asm = Asm()
+    emit(asm)
+    code = asm.assemble()
+    insn = decode(code)
+    assert insn.mnemonic is expected
+    assert insn.length == len(code)
+    assert insn.raw == code
+
+
+@given(st.lists(instruction_builders(), min_size=1, max_size=20))
+@settings(max_examples=150)
+def test_sequence_sweeps_cleanly(builders):
+    """A pure instruction stream linear-sweeps with no desync and the sweep
+    partitions the bytes exactly."""
+    asm = Asm()
+    boundaries = []
+    for emit, _expected in builders:
+        boundaries.append(asm.offset)
+        emit(asm)
+    code = asm.assemble()
+    items = list(linear_sweep(code))
+    assert all(not item.is_desync for item in items)
+    assert [item.offset for item in items] == boundaries
+    assert sum(item.instruction.length for item in items) == len(code)
+
+
+@given(st.lists(instruction_builders(), min_size=1, max_size=15))
+@settings(max_examples=150)
+def test_bytescan_superset_of_true_sites(builders):
+    """The byte scan never misses a genuine syscall/sysenter boundary."""
+    asm = Asm()
+    true_sites = []
+    for emit, expected in builders:
+        if expected in (Mnemonic.SYSCALL, Mnemonic.SYSENTER):
+            true_sites.append(asm.offset)
+        emit(asm)
+    code = asm.assemble()
+    scan = set(find_syscall_sites_bytescan(code))
+    assert set(true_sites) <= scan
+
+
+@given(st.binary(min_size=0, max_size=64))
+@settings(max_examples=300)
+def test_decoder_total_on_arbitrary_bytes(blob):
+    """decode() either returns a well-formed instruction or raises
+    DecodeError — never crashes, never returns nonsense lengths."""
+    try:
+        insn = decode(blob)
+    except DecodeError:
+        return
+    assert 1 <= insn.length <= len(blob)
+    assert insn.raw == blob[:insn.length]
+    assert insn.text()  # renders
+
+
+@given(st.binary(min_size=0, max_size=128))
+@settings(max_examples=200)
+def test_sweep_covers_every_byte(blob):
+    """Sweep items (instructions + desync skips) partition any buffer."""
+    covered = 0
+    for item in linear_sweep(blob):
+        covered += 1 if item.is_desync else item.instruction.length
+    assert covered == len(blob)

@@ -1,0 +1,62 @@
+"""Property-based tests on the offline-log format and VFS paths."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.logs import SiteLog
+from repro.kernel.vfs import VFS
+
+REGION_PATHS = st.from_regex(r"/[a-z][a-z0-9_.\-]{0,12}(/[a-z0-9_.\-]{1,12}){0,3}",
+                             fullmatch=True)
+OFFSETS = st.integers(min_value=0, max_value=(1 << 32) - 1)
+ENTRIES = st.lists(st.tuples(REGION_PATHS, OFFSETS), max_size=60)
+
+
+@given(ENTRIES)
+@settings(max_examples=150)
+def test_render_parse_roundtrip(entries):
+    log = SiteLog("/usr/bin/app")
+    for region, offset in entries:
+        log.add(region, offset)
+    parsed = SiteLog.parse("/usr/bin/app", log.render())
+    assert list(parsed) == list(log)
+
+
+@given(ENTRIES)
+@settings(max_examples=100)
+def test_dedup_and_order_preserved(entries):
+    log = SiteLog("/usr/bin/app")
+    seen = []
+    for region, offset in entries:
+        expected_new = (region, offset) not in seen
+        assert log.add(region, offset) == expected_new
+        if expected_new:
+            seen.append((region, offset))
+    assert list(log) == seen
+    assert len(log) == len(seen)
+
+
+@given(ENTRIES, ENTRIES)
+@settings(max_examples=100)
+def test_merge_is_set_union_in_order(first, second):
+    a = SiteLog("/p")
+    for region, offset in first:
+        a.add(region, offset)
+    b = SiteLog("/p")
+    for region, offset in second:
+        b.add(region, offset)
+    union = {*a, *b}
+    a.merge(b)
+    assert set(a) == union
+    assert len(a) == len(union)
+
+
+@given(st.from_regex(r"/usr/bin/[a-z]{1,10}", fullmatch=True), ENTRIES)
+@settings(max_examples=60)
+def test_vfs_save_load_roundtrip(program, entries):
+    vfs = VFS()
+    log = SiteLog(program)
+    for region, offset in entries:
+        log.add(region, offset)
+    log.save(vfs)
+    assert list(SiteLog.load(vfs, program)) == list(log)

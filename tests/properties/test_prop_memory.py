@@ -1,0 +1,103 @@
+"""Property-based tests on the memory substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.memory import AddressBitmap, AddressSpace, PAGE_SIZE, Prot, RobinHoodSet
+
+ADDRESSES = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+class TestRobinHoodSetModel:
+    """The robin-hood set must behave exactly like a built-in set."""
+
+    @given(st.lists(st.tuples(st.sampled_from(["add", "discard", "query"]),
+                              st.integers(min_value=0, max_value=200)),
+                    max_size=200))
+    @settings(max_examples=200)
+    def test_against_model(self, ops):
+        real = RobinHoodSet(initial_capacity=4)
+        model = set()
+        for op, value in ops:
+            if op == "add":
+                assert real.add(value) == (value not in model)
+                model.add(value)
+            elif op == "discard":
+                assert real.discard(value) == (value in model)
+                model.discard(value)
+            else:
+                assert (value in real) == (value in model)
+            assert len(real) == len(model)
+        assert sorted(real) == sorted(model)
+
+    @given(st.sets(st.integers(min_value=0, max_value=(1 << 48) - 1),
+                   max_size=100))
+    @settings(max_examples=100)
+    def test_growth_preserves_membership(self, values):
+        real = RobinHoodSet(initial_capacity=2)
+        for value in values:
+            real.add(value)
+        assert all(value in real for value in values)
+        assert len(real) == len(values)
+
+
+class TestAddressBitmapModel:
+    @given(st.lists(st.tuples(st.sampled_from(["set", "clear", "test"]),
+                              ADDRESSES), max_size=150))
+    @settings(max_examples=150)
+    def test_against_model(self, ops):
+        bitmap = AddressBitmap()
+        model = set()
+        for op, address in ops:
+            if op == "set":
+                bitmap.set(address)
+                model.add(address)
+            elif op == "clear":
+                bitmap.clear(address)
+                model.discard(address)
+            else:
+                assert bitmap.test(address) == (address in model)
+        assert len(bitmap) == len(model)
+
+
+class TestAddressSpaceRoundtrip:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=4 * PAGE_SIZE - 1),
+        st.binary(min_size=1, max_size=64)), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_write_read_roundtrip(self, writes):
+        space = AddressSpace()
+        base = space.mmap(None, 5 * PAGE_SIZE, Prot.READ | Prot.WRITE)
+        shadow = bytearray(5 * PAGE_SIZE)
+        for offset, data in writes:
+            space.write(base + offset, data)
+            shadow[offset:offset + len(data)] = data
+        assert space.read(base, 5 * PAGE_SIZE) == bytes(shadow)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=6))
+    @settings(max_examples=60)
+    def test_mprotect_is_page_exact(self, pages, flip_page):
+        space = AddressSpace()
+        base = space.mmap(None, pages * PAGE_SIZE, Prot.READ | Prot.WRITE)
+        if flip_page < pages:
+            space.mprotect(base + flip_page * PAGE_SIZE, PAGE_SIZE,
+                           Prot.READ)
+        for page in range(pages):
+            prot = space.prot_at(base + page * PAGE_SIZE)
+            expected = (Prot.READ if page == flip_page and flip_page < pages
+                        else Prot.READ | Prot.WRITE)
+            assert prot == expected
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_fork_copy_divergence(self, data):
+        space = AddressSpace()
+        base = space.mmap(None, PAGE_SIZE, Prot.READ | Prot.WRITE)
+        initial = data.draw(st.binary(min_size=8, max_size=8))
+        space.write(base, initial)
+        child = space.fork_copy()
+        mutation = data.draw(st.binary(min_size=8, max_size=8))
+        child.write(base, mutation)
+        assert space.read(base, 8) == initial
+        assert child.read(base, 8) == mutation

@@ -1,0 +1,34 @@
+"""Shared helpers for building and running small simulated programs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kernel import Kernel
+from repro.workloads.programs import ProgramBuilder, data_ref
+
+
+def make_hello(path: str = "/usr/bin/hello", text: str = "hello\n") -> ProgramBuilder:
+    """A program that writes *text* to stdout and exits 0."""
+    builder = ProgramBuilder(path)
+    builder.string("msg", text)
+    builder.start()
+    builder.libc("write", 1, data_ref("msg"), len(text))
+    builder.exit(0)
+    return builder
+
+
+def spawn_and_run(kernel: Kernel, path: str,
+                  argv: Optional[List[str]] = None,
+                  env: Optional[Dict[str, str]] = None,
+                  max_steps: int = 2_000_000):
+    """Spawn *path* and run the machine until it exits."""
+    process = kernel.spawn_process(path, argv, env)
+    kernel.run_process(process, max_steps=max_steps)
+    return process
+
+
+def syscall_names(kernel: Kernel, pid: int) -> List[str]:
+    from repro.kernel.syscalls import Nr
+
+    return [Nr.name_of(r.nr) for r in kernel.app_requested_syscalls(pid)]

@@ -1,0 +1,121 @@
+"""ProgramBuilder unit tests: marshalling, loops, data, error paths."""
+
+import pytest
+
+from repro.arch.registers import Reg
+from repro.errors import AssemblerError
+from repro.kernel import Kernel
+from repro.workloads.programs import ProgramBuilder, RESULT, data_ref
+from tests.simutil import spawn_and_run
+
+
+def run_program(kernel, builder):
+    builder.register(kernel)
+    return spawn_and_run(kernel, builder.image.name)
+
+
+def test_result_sentinel_threads_return_value(kernel):
+    builder = ProgramBuilder("/bin/t1")
+    builder.start()
+    builder.libc("getpid")
+    builder.libc("exit", RESULT)
+    process = run_program(kernel, builder)
+    assert process.exit_status == process.pid & 0xFF
+
+
+def test_register_arguments_pass_through(kernel):
+    builder = ProgramBuilder("/bin/t2")
+    builder.start()
+    builder.asm.mov_ri(Reg.R13, 42)
+    builder.libc("exit", Reg.R13)
+    process = run_program(kernel, builder)
+    assert process.exit_status == 42
+
+
+def test_data_ref_materializes_address(kernel):
+    builder = ProgramBuilder("/bin/t3")
+    builder.string("s", "xyz\n")
+    builder.start()
+    builder.libc("write", 1, data_ref("s"), 4)
+    builder.exit(0)
+    process = run_program(kernel, builder)
+    assert bytes(process.output) == b"xyz\n"
+
+
+def test_nested_loops(kernel):
+    builder = ProgramBuilder("/bin/t4")
+    builder.start()
+    builder.loop(3, counter=Reg.R15)
+    builder.loop(4, counter=Reg.R14)
+    builder.libc("getpid")
+    builder.end_loop()
+    builder.end_loop()
+    builder.exit(0)
+    process = run_program(kernel, builder)
+    assert process.exit_status == 0
+    from repro.kernel.syscalls import Nr
+
+    pids = [r for r in kernel.app_requested_syscalls(process.pid)
+            if r.nr == Nr.getpid]
+    assert len(pids) == 12
+
+
+def test_unclosed_loop_rejected():
+    builder = ProgramBuilder("/bin/t5")
+    builder.start()
+    builder.loop(2)
+    with pytest.raises(AssemblerError):
+        builder.build()
+
+
+def test_too_many_arguments_rejected():
+    builder = ProgramBuilder("/bin/t6")
+    builder.start()
+    with pytest.raises(AssemblerError):
+        builder.libc("write", 1, 2, 3, 4, 5, 6, 7)
+
+
+def test_direct_syscall_site_lives_in_image(kernel):
+    builder = ProgramBuilder("/bin/t7")
+    builder.start()
+    builder.direct_syscall(39, mark="inlined")
+    builder.exit(0)
+    image = builder.build()
+    assert "inlined" in image.syscall_sites
+    kernel.loader.register_image(image)
+    process = spawn_and_run(kernel, "/bin/t7")
+    from repro.kernel.syscalls import Nr
+
+    record = next(r for r in kernel.app_requested_syscalls(process.pid)
+                  if r.nr == Nr.getpid)
+    region = process.address_space.region_at(record.site)
+    assert region.name == "/bin/t7"
+
+
+def test_imports_deduplicated():
+    builder = ProgramBuilder("/bin/t8")
+    builder.start()
+    builder.libc("getpid")
+    builder.libc("getpid")
+    builder.exit(0)
+    image = builder.build()
+    assert image.imports.count("getpid") == 1
+
+
+def test_buffers_and_words(kernel):
+    builder = ProgramBuilder("/bin/t9")
+    builder.buffer("buf", 32)
+    builder.words("tbl", [0x1111, 0x2222])
+    builder.start()
+    builder.asm.lea_rip_label(Reg.RBX, "tbl")
+    builder.asm.load(Reg.RAX, Reg.RBX)
+    builder.libc("exit", RESULT)
+    process = run_program(kernel, builder)
+    assert process.exit_status == 0x11  # low byte of 0x1111
+
+
+def test_build_idempotent():
+    builder = ProgramBuilder("/bin/t10")
+    builder.start()
+    builder.exit(0)
+    assert builder.build() is builder.build()

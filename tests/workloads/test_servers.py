@@ -1,0 +1,167 @@
+"""Server-workload correctness: request/response behaviour, worker models,
+and Table 2 site counts for the applications."""
+
+import pytest
+
+from repro.core import OfflinePhase
+from repro.kernel import Kernel
+from repro.workloads.clients import redis_benchmark, wrk
+from repro.workloads.lighttpd import (
+    LIGHTTPD_PORT,
+    LIGHTTPD_TABLE2_SITES,
+    install_lighttpd,
+)
+from repro.workloads.nginx import NGINX_PORT, NGINX_TABLE2_SITES, install_nginx
+from repro.workloads.redis import REDIS_PORT, REDIS_TABLE2_SITES, install_redis
+from repro.workloads.sqlite import SQLITE_TABLE2_SITES, install_sqlite
+from repro.workloads.stress import build_stress, install_stress
+
+
+def boot_server(installer, port, client_factory, connections=1, seed=33):
+    kernel = Kernel(seed=seed)
+    path = installer(kernel)
+    kernel.spawn_process(path)
+    kernel.run(max_steps=2_000_000)
+    generator = client_factory(kernel, port, connections)
+    return kernel, generator
+
+
+class TestNginx:
+    def test_serves_4k_body(self):
+        kernel, generator = boot_server(
+            lambda k: install_nginx(k, 1, 4), NGINX_PORT, wrk)
+        result = generator.drive(3)
+        assert result.failures == 0
+        # Each response: 128-byte header + 4096-byte body.
+        generator.connections[0].client_send(b"GET / HTTP/1.1\r\n\r\n")
+        kernel.run(max_steps=200_000)
+        assert len(generator.connections[0].client_recv_all()) == 128 + 4096
+
+    def test_serves_empty_body(self):
+        kernel, generator = boot_server(
+            lambda k: install_nginx(k, 1, 0), NGINX_PORT, wrk)
+        generator.connections[0].client_send(b"GET / HTTP/1.1\r\n\r\n")
+        kernel.run(max_steps=200_000)
+        assert len(generator.connections[0].client_recv_all()) == 128
+
+    def test_ten_workers_fork(self):
+        kernel, generator = boot_server(
+            lambda k: install_nginx(k, 10, 0), NGINX_PORT, wrk,
+            connections=10)
+        workers = [p for p in kernel.processes.values() if p.parent]
+        assert len(workers) == 10
+        result = generator.drive(30)
+        assert result.failures == 0
+
+    def test_master_parks_in_wait4(self):
+        kernel, generator = boot_server(
+            lambda k: install_nginx(k, 2, 0), NGINX_PORT, wrk)
+        master = next(p for p in kernel.processes.values()
+                      if p.parent is None)
+        assert not master.exited
+        assert master.main_thread.block_condition is not None
+
+
+class TestLighttpd:
+    def test_roundtrip(self):
+        kernel, generator = boot_server(
+            lambda k: install_lighttpd(k, 1, 0), LIGHTTPD_PORT, wrk)
+        result = generator.drive(8)
+        assert result.failures == 0
+
+    def test_cached_serving_uses_fewer_syscalls_than_nginx(self):
+        """lighttpd's file cache: fewer syscalls per request than nginx —
+        the structural reason its SUD row is visibly better (Table 6)."""
+        counts = {}
+        for name, installer, port in (
+                ("nginx", lambda k: install_nginx(k, 1, 0), NGINX_PORT),
+                ("lighttpd", lambda k: install_lighttpd(k, 1, 0),
+                 LIGHTTPD_PORT)):
+            kernel, generator = boot_server(installer, port, wrk)
+            generator.warmup(2)
+            before = len(kernel.syscall_log)
+            generator.drive(40)
+            counts[name] = (len(kernel.syscall_log) - before) / 40
+        assert counts["lighttpd"] < counts["nginx"]
+
+
+class TestRedis:
+    def test_get_roundtrip(self):
+        kernel, generator = boot_server(
+            lambda k: install_redis(k, 1), REDIS_PORT, redis_benchmark)
+        result = generator.drive(5)
+        assert result.failures == 0
+
+    def test_io_threads_spawned(self):
+        kernel, generator = boot_server(
+            lambda k: install_redis(k, 6), REDIS_PORT, redis_benchmark,
+            connections=6)
+        server = next(iter(kernel.processes.values()))
+        assert len(server.threads) == 6
+        result = generator.drive(18)
+        assert result.failures == 0
+
+
+class TestSqlite:
+    def test_speedtest_completes(self, kernel):
+        path = install_sqlite(kernel)
+        process = kernel.spawn_process(path)
+        kernel.run_process(process, max_steps=20_000_000)
+        assert process.exit_status == 0
+        # The WAL received frames and was synced.
+        assert len(kernel.vfs.read("/var/db/speedtest.db-wal")) > 0
+        from repro.kernel.syscalls import Nr
+
+        syncs = [r for r in kernel.app_requested_syscalls(process.pid)
+                 if r.nr == Nr.fdatasync]
+        assert len(syncs) >= 2  # periodic + final
+
+
+class TestStress:
+    def test_loop_issues_exact_count(self, kernel):
+        install_stress(kernel, iterations=25)
+        process = kernel.spawn_process("/usr/bin/syscall-stress")
+        kernel.run_process(process)
+        assert process.exit_status == 0
+        fakes = [r for r in kernel.app_requested_syscalls(process.pid)
+                 if r.nr == 500]
+        assert len(fakes) == 25
+
+    def test_iteration_count_does_not_change_layout(self):
+        """The differential-measurement prerequisite: images built with
+        different loop counts have identical code layout."""
+        small = build_stress(300).build()
+        large = build_stress(1500).build()
+        assert small.syscall_sites == large.syscall_sites
+        assert small.code_size == large.code_size
+
+
+class TestTable2Applications:
+    @pytest.mark.parametrize("installer,port,client,expected", [
+        (lambda k: install_nginx(k, 1, 0), NGINX_PORT, wrk,
+         NGINX_TABLE2_SITES),
+        (lambda k: install_lighttpd(k, 1, 0), LIGHTTPD_PORT, wrk,
+         LIGHTTPD_TABLE2_SITES),
+        (lambda k: install_redis(k, 1), REDIS_PORT, redis_benchmark,
+         REDIS_TABLE2_SITES),
+    ])
+    def test_server_site_counts(self, installer, port, client, expected):
+        kernel = Kernel(seed=34)
+        path = installer(kernel)
+        offline = OfflinePhase(kernel)
+
+        def driver(kern, proc):
+            kern.run(max_steps=600_000)
+            generator = client(kern, port, 1)
+            generator.drive(12)
+            generator.close()
+
+        _proc, log = offline.run(path, driver=driver, max_steps=20_000_000)
+        assert len(log) == expected
+
+    def test_sqlite_site_count(self):
+        kernel = Kernel(seed=35)
+        path = install_sqlite(kernel)
+        offline = OfflinePhase(kernel)
+        _proc, log = offline.run(path, max_steps=20_000_000)
+        assert len(log) == SQLITE_TABLE2_SITES
