@@ -3,39 +3,69 @@
 One benchmark per row; each regenerates the row's native figure and every
 mechanism's relative throughput (or relative runtime for sqlite), asserting
 the paper's shape: native within 2 %, binary-rewriting interposers ≥ 95 %,
-SUD within a few points of the published collapse.
+SUD within a few points of the published collapse.  All cells come from
+the parallel, memoized pipeline; under ``--smoke`` only the reduced rows
+and mechanisms run.
 """
 
 import pytest
 
-from repro.evaluation.runner import MACRO_BY_KEY, MACRO_CONFIGS, macro_results
+from repro.evaluation import pipeline as pipe
+from repro.evaluation.runner import MACRO_BY_KEY, MACRO_CONFIGS
 from repro.evaluation.tables import render_table6
 
 
+@pytest.fixture(scope="module")
+def bench_rows(smoke):
+    if smoke:
+        return list(pipe.SMOKE_MACRO_KEYS)
+    return [config.key for config in MACRO_CONFIGS]
+
+
+@pytest.fixture(scope="module")
+def table6_run(run_pipeline, bench_rows, bench_mechanisms):
+    return run_pipeline(pipe.macro_specs(bench_rows, bench_mechanisms))
+
+
 @pytest.mark.parametrize("key", [config.key for config in MACRO_CONFIGS])
-def test_table6_row(benchmark, key, save_artifact):
+def test_table6_row(benchmark, key, table6_run, bench_rows,
+                    bench_mechanisms, save_artifact):
+    if key not in bench_rows:
+        pytest.skip(f"{key} outside the --smoke row axis")
     config = MACRO_BY_KEY[key]
-    results = benchmark.pedantic(macro_results, args=(config,),
-                                 rounds=1, iterations=1)
-    if config.paper_native:
-        assert results["native"]["throughput"] == pytest.approx(
-            config.paper_native, rel=0.02)
+    row = benchmark.pedantic(
+        lambda: pipe.table6_rows(table6_run, [key], bench_mechanisms)[0],
+        rounds=1, iterations=1)
+    if config.paper_native and row["native"] is not None:
+        assert row["native"] == pytest.approx(config.paper_native, rel=0.02)
     for name, paper_pct in (config.paper_relative or {}).items():
-        measured = results[name]["relative_pct"]
+        if name not in row["relative"]:
+            continue  # outside the --smoke mechanism axis
+        measured = row["relative"][name]
         if paper_pct > 90:
             assert measured == pytest.approx(paper_pct, abs=2.5), name
         else:
             # The SUD collapse: reproduce within 8 points.
             assert measured == pytest.approx(paper_pct, abs=8.0), name
     lines = [f"{key}:"]
-    for name, result in results.items():
-        lines.append(f"  {name:24s} {result['relative_pct']:7.2f}%")
+    for name, pct in row["relative"].items():
+        lines.append(f"  {name:24s} {pct:7.2f}%")
     save_artifact(f"table6_{key}.txt", "\n".join(lines))
 
 
-def test_table6_full_render(benchmark, save_artifact):
-    from repro.evaluation.experiments import run_table6
-
-    text = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+@pytest.mark.full_matrix
+def test_table6_full_render(benchmark, table6_run, bench_rows,
+                            bench_mechanisms, save_artifact):
+    text = benchmark.pedantic(
+        lambda: render_table6(
+            pipe.table6_rows(table6_run, bench_rows, bench_mechanisms)),
+        rounds=1, iterations=1)
     save_artifact("table6.txt", text)
     assert "geomean" in text
+
+
+def test_table6_pipeline_accounting(table6_run, bench_rows,
+                                    bench_mechanisms):
+    stats = table6_run.stats
+    assert stats.cells == len(bench_rows) * len(bench_mechanisms)
+    assert not table6_run.failures()

@@ -5,16 +5,91 @@ regeneration with pytest-benchmark, sanity-checks the result against the
 paper's reference values, and writes the rendered artifact to
 ``benchmarks/output/`` for inspection (the files EXPERIMENTS.md quotes).
 
-Run with::
+The measurement matrices (Table 5/6) run through the parallel, memoized
+evaluation pipeline (:mod:`repro.evaluation.pipeline`).  Knobs::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only                 # full matrix
+    pytest benchmarks/ --smoke                          # 2 mechanisms, tiny
+    pytest benchmarks/ --eval-jobs 8                    # pool width
+    pytest benchmarks/ --no-eval-cache                  # recompute all cells
+
+``--smoke`` skips everything marked ``full_matrix`` and shrinks the
+mechanism axis to :data:`repro.evaluation.pipeline.SMOKE_MECHANISMS`, so a
+smoke pass finishes in seconds while the complete matrix stays opt-in.
 """
 
+import os
 import pathlib
 
 import pytest
 
+from repro.evaluation import pipeline as pipe
+from repro.evaluation.cache import ResultCache
+from repro.evaluation.runner import MECHANISMS
+
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("evaluation pipeline")
+    group.addoption("--smoke", action="store_true", default=False,
+                    help="reduced matrix: 2 mechanisms, tiny iteration "
+                         "counts; skips full_matrix benchmarks")
+    group.addoption("--eval-jobs", type=int,
+                    default=int(os.environ.get("REPRO_EVAL_JOBS",
+                                               os.cpu_count() or 1)),
+                    help="worker processes for evaluation cells")
+    group.addoption("--no-eval-cache", action="store_true", default=False,
+                    help="disable the content-addressed result cache")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "full_matrix: runs the complete mechanism/workload matrix "
+        "(skipped under --smoke)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--smoke"):
+        return
+    skip = pytest.mark.skip(reason="full-matrix benchmark skipped by --smoke")
+    for item in items:
+        if "full_matrix" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture(scope="session")
+def smoke(pytestconfig) -> bool:
+    return pytestconfig.getoption("--smoke")
+
+
+@pytest.fixture(scope="session")
+def eval_jobs(pytestconfig) -> int:
+    return max(1, pytestconfig.getoption("--eval-jobs"))
+
+
+@pytest.fixture(scope="session")
+def eval_cache(pytestconfig):
+    if pytestconfig.getoption("--no-eval-cache"):
+        return None
+    return ResultCache()
+
+
+@pytest.fixture(scope="session")
+def bench_mechanisms(smoke):
+    """The mechanism axis benchmarks measure this session."""
+    return pipe.SMOKE_MECHANISMS if smoke else MECHANISMS
+
+
+@pytest.fixture(scope="session")
+def run_pipeline(eval_jobs, eval_cache):
+    """Run a spec list through the pool with the session's jobs/cache."""
+
+    def _run(specs):
+        return pipe.run_cells(specs, jobs=eval_jobs, cache=eval_cache)
+
+    return _run
 
 
 @pytest.fixture(scope="session")
@@ -24,8 +99,14 @@ def artifact_dir() -> pathlib.Path:
 
 
 @pytest.fixture
-def save_artifact(artifact_dir):
+def save_artifact(artifact_dir, smoke):
+    """Write a rendered artifact; smoke runs go to ``*.smoke.txt`` so a
+    reduced matrix never overwrites the committed full-matrix files."""
+
     def _save(name: str, text: str) -> pathlib.Path:
+        if smoke:
+            stem, dot, suffix = name.rpartition(".")
+            name = f"{stem}.smoke.{suffix}" if dot else f"{name}.smoke"
         path = artifact_dir / name
         path.write_text(text)
         return path

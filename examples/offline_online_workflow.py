@@ -12,9 +12,10 @@ offline run never saw — plus the performance cost relative to native.
 Run:  python examples/offline_online_workflow.py
 """
 
-from repro.core import K23Interposer, OfflinePhase
+from repro.core import OfflinePhase
 from repro.core.logs import LOG_ROOT
 from repro.core.offline import import_logs
+from repro.interposers import REGISTRY
 from repro.kernel import Kernel
 from repro.kernel.syscalls import Nr
 from repro.workloads.clients import wrk
@@ -63,7 +64,7 @@ def main() -> None:
         install_nginx(kernel, workers=1, file_size_kb=0)
         if with_k23:
             import_logs(kernel, offline.export())
-            k23 = K23Interposer(kernel, variant="ultra").install()
+            k23 = REGISTRY.create("K23-ultra", kernel)
         server = kernel.spawn_process(path)
         result = drive(kernel)
         cpr = result.cycles_per_request

@@ -13,8 +13,9 @@ Demonstrates the core public API in ~60 lines:
 Run:  python examples/quickstart.py
 """
 
-from repro.core import K23Interposer, OfflinePhase
+from repro.core import OfflinePhase
 from repro.core.offline import import_logs
+from repro.interposers import REGISTRY
 from repro.kernel import Kernel
 from repro.kernel.syscalls import Nr
 from repro.workloads.programs import ProgramBuilder, data_ref
@@ -57,7 +58,7 @@ def main() -> None:
     online = Kernel(seed=3)
     build_greeter(online)
     import_logs(online, offline.export())
-    k23 = K23Interposer(online, variant="ultra").install()
+    k23 = REGISTRY.create("K23-ultra", online)
     process = online.spawn_process(path)
     online.run_process(process)
     print("\nK23 run:")

@@ -12,13 +12,9 @@ Run:  python examples/strace_tool.py
 """
 
 from repro.arch.registers import Reg
-from repro.core import K23Interposer, OfflinePhase
+from repro.core import OfflinePhase
 from repro.core.offline import import_logs
-from repro.interposers import (
-    LazypolineInterposer,
-    PtraceInterposer,
-    ZpolineInterposer,
-)
+from repro.interposers import REGISTRY, PtraceInterposer
 from repro.kernel import Kernel
 from repro.kernel.syscalls import Nr
 from repro.loader.image import SimImage
@@ -101,12 +97,17 @@ def main() -> None:
         offline = OfflinePhase(offline_kernel)
         offline.run(TARGET)
         import_logs(kernel, offline.export())
-        return K23Interposer(kernel, hook=strace_hook(events))
+        return REGISTRY.create("K23-ultra", kernel,
+                               hook=strace_hook(events), install=False)
+
+    def registered(name):
+        return lambda k, ev: REGISTRY.create(name, k, hook=strace_hook(ev),
+                                             install=False)
 
     mechanisms = [
-        ("zpoline", lambda k, ev: ZpolineInterposer(k, hook=strace_hook(ev))),
-        ("lazypoline",
-         lambda k, ev: LazypolineInterposer(k, hook=strace_hook(ev))),
+        ("zpoline", registered("zpoline-default")),
+        ("lazypoline", registered("lazypoline")),
+        # ptrace is outside the evaluated (registry) set — built directly.
         ("ptrace", lambda k, ev: PtraceInterposer(k, hook=strace_hook(ev))),
         ("K23", k23_factory),
     ]

@@ -5,19 +5,29 @@ Usage::
     python -m repro.evaluation.experiments table2
     python -m repro.evaluation.experiments table3
     python -m repro.evaluation.experiments table4
-    python -m repro.evaluation.experiments table5
-    python -m repro.evaluation.experiments table6 [row-key]
+    python -m repro.evaluation.experiments table5 [--jobs N] [--no-cache]
+    python -m repro.evaluation.experiments table6 [row-key ...] [--jobs N]
     python -m repro.evaluation.experiments figure1|figure2|figure3|figure4
-    python -m repro.evaluation.experiments all
+    python -m repro.evaluation.experiments all [--jobs N] [--smoke]
+
+The measurement matrices (table5/table6) run on the parallel, memoized
+pipeline (:mod:`repro.evaluation.pipeline`): ``--jobs N`` fans cells out
+over N worker processes, results are memoized content-addressed under
+``~/.cache/repro-eval`` (``--no-cache`` disables, ``$REPRO_EVAL_CACHE``
+relocates), and ``--smoke`` shrinks the matrix to two mechanisms with tiny
+iteration counts.  Output is byte-identical to a serial, uncached run;
+cache hit/miss accounting goes to stderr.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core import OfflinePhase
 from repro.evaluation import figures
+from repro.evaluation import pipeline as pipe
+from repro.evaluation.cache import ResultCache
 from repro.evaluation.runner import (
     MACRO_BY_KEY,
     MACRO_CONFIGS,
@@ -90,11 +100,40 @@ def run_table4() -> str:
     return render_table4()
 
 
-def run_table5() -> str:
-    return render_table5(micro_overheads())
+def run_table5(jobs: int = 1, cache: Optional[ResultCache] = None,
+               smoke: bool = False, echo_stats: bool = False) -> str:
+    """Table 5 through the pipeline — byte-identical to the serial path."""
+    if smoke:
+        low, high = pipe.SMOKE_MICRO_ITERATIONS
+        mechanisms = pipe.SMOKE_MECHANISMS
+        specs = pipe.micro_specs(mechanisms, iterations_low=low,
+                                 iterations_high=high)
+    else:
+        mechanisms = MECHANISMS
+        specs = pipe.micro_specs(mechanisms)
+    run = pipe.run_cells(specs, jobs=jobs, cache=cache)
+    if echo_stats:
+        print(f"table5 pipeline: {run.stats.summary()}", file=sys.stderr)
+    return render_table5(pipe.table5_overheads(run, mechanisms[1:]))
 
 
-def run_table6(keys: "List[str] | None" = None) -> str:
+def run_table6(keys: "List[str] | None" = None, jobs: int = 1,
+               cache: Optional[ResultCache] = None, smoke: bool = False,
+               echo_stats: bool = False) -> str:
+    """Table 6 through the pipeline — byte-identical to the serial path."""
+    mechanisms = pipe.SMOKE_MECHANISMS if smoke else MECHANISMS
+    if keys is None and smoke:
+        keys = list(pipe.SMOKE_MACRO_KEYS)
+    specs = pipe.macro_specs(keys, mechanisms)
+    run = pipe.run_cells(specs, jobs=jobs, cache=cache)
+    if echo_stats:
+        print(f"table6 pipeline: {run.stats.summary()}", file=sys.stderr)
+    return render_table6(pipe.table6_rows(run, keys, mechanisms))
+
+
+def run_table6_serial(keys: "List[str] | None" = None) -> str:
+    """The original in-process serial path (kept as the equivalence
+    oracle for the pipeline tests)."""
     rows = []
     for config in MACRO_CONFIGS:
         if keys and config.key not in keys:
@@ -128,7 +167,7 @@ def run_figure4() -> str:
     return figures.figure4()
 
 
-def run_report() -> str:
+def run_report(jobs: int = 1, cache: Optional[ResultCache] = None) -> str:
     """Regenerate everything into one markdown report (also written to
     benchmarks/output/report.md when that directory exists)."""
     import pathlib
@@ -136,7 +175,7 @@ def run_report() -> str:
 
     from repro.evaluation.report import generate_report
 
-    text = generate_report(out=sys.stdout)
+    text = generate_report(out=sys.stdout, jobs=jobs, cache=cache)
     out_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "output"
     if out_dir.parent.exists():
         out_dir.mkdir(exist_ok=True)
@@ -158,16 +197,58 @@ _EXPERIMENTS = {
 }
 
 
+def parse_pipeline_args(args: List[str]) -> Dict[str, object]:
+    """Strip ``--jobs N``/``--no-cache``/``--smoke``/``--cache-dir D`` out
+    of *args* (mutated in place); returns the pipeline option dict."""
+    options: Dict[str, object] = {"jobs": 1, "cache": ResultCache(),
+                                  "smoke": False}
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--jobs" and index + 1 < len(args):
+            options["jobs"] = max(1, int(args[index + 1]))
+            del args[index:index + 2]
+        elif arg.startswith("--jobs="):
+            options["jobs"] = max(1, int(arg.split("=", 1)[1]))
+            del args[index]
+        elif arg == "--no-cache":
+            options["cache"] = None
+            del args[index]
+        elif arg == "--smoke":
+            options["smoke"] = True
+            del args[index]
+        elif arg == "--cache-dir" and index + 1 < len(args):
+            options["cache"] = ResultCache(args[index + 1])
+            del args[index:index + 2]
+        elif arg.startswith("--cache-dir="):
+            options["cache"] = ResultCache(arg.split("=", 1)[1])
+            del args[index]
+        else:
+            index += 1
+    return options
+
+
 def main(argv: "List[str] | None" = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    options = parse_pipeline_args(args)
     if not args or args[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    jobs = options["jobs"]
+    cache = options["cache"]
+    smoke = options["smoke"]
+    pipelined = {
+        "table5": lambda: run_table5(jobs=jobs, cache=cache, smoke=smoke,
+                                     echo_stats=True),
+        "table6": lambda: run_table6(jobs=jobs, cache=cache, smoke=smoke,
+                                     echo_stats=True),
+        "report": lambda: run_report(jobs=jobs, cache=cache),
+    }
     target = args[0]
     if target == "all":
         for name, runner in _EXPERIMENTS.items():
             print(f"\n=== {name} " + "=" * (66 - len(name)))
-            print(runner())
+            print(pipelined.get(name, runner)())
         return 0
     runner = _EXPERIMENTS.get(target)
     if runner is None:
@@ -180,9 +261,10 @@ def main(argv: "List[str] | None" = None) -> int:
                 print(f"unknown table6 row {key!r}; "
                       f"rows: {', '.join(MACRO_BY_KEY)}")
                 return 2
-        print(run_table6(args[1:]))
+        print(run_table6(args[1:], jobs=jobs, cache=cache,
+                         echo_stats=True))
         return 0
-    print(runner())
+    print(pipelined.get(target, runner)())
     return 0
 
 

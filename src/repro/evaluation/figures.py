@@ -25,8 +25,9 @@ from repro.arch import (
     find_syscall_sites_linear,
 )
 from repro.arch.registers import Reg
-from repro.core import K23Interposer, OfflinePhase
+from repro.core import OfflinePhase
 from repro.core.offline import import_logs
+from repro.interposers.registry import REGISTRY
 from repro.kernel import Kernel
 from repro.kernel.syscalls import Nr
 from repro.workloads.coreutils import install_coreutils
@@ -155,7 +156,7 @@ def figure4(seed: int = 8) -> str:
     kernel = Kernel(seed=seed + 1)
     install_coreutils(kernel, names=["/usr/bin/ls"])
     import_logs(kernel, offline.export())
-    k23 = K23Interposer(kernel, variant="ultra").install()
+    k23 = REGISTRY.create("K23-ultra", kernel)
     process = kernel.spawn_process("/usr/bin/ls")
     kernel.run_process(process)
 

@@ -30,15 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.core import K23Interposer, OfflinePhase
+from repro.core import OfflinePhase
 from repro.core.offline import import_logs
 from repro.cpu.cycles import CLOCK_HZ
-from repro.interposers import (
-    LazypolineInterposer,
-    NullInterposer,
-    SudInterposer,
-    ZpolineInterposer,
-)
+from repro.interposers import REGISTRY
 from repro.kernel import Kernel
 from repro.workloads.clients import redis_benchmark, wrk
 from repro.workloads.lighttpd import LIGHTTPD_PORT, install_lighttpd
@@ -47,47 +42,17 @@ from repro.workloads.redis import REDIS_PORT, install_redis
 from repro.workloads.sqlite import build_speedtest1, install_sqlite
 from repro.workloads.stress import build_stress, STRESS_PATH
 
-#: Evaluation order, matching Table 5.
-MECHANISMS = (
-    "native",
-    "zpoline-default",
-    "zpoline-ultra",
-    "lazypoline",
-    "K23-default",
-    "K23-ultra",
-    "K23-ultra+",
-    "SUD-no-interposition",
-    "SUD",
-)
+#: Evaluation order, matching Table 5 — derived from the registry.
+MECHANISMS = REGISTRY.names()
 
 
 def make_interposer(name: str, kernel: Kernel):
-    """Instantiate (and install) one evaluated mechanism."""
-    if name == "native":
-        interposer = NullInterposer(kernel)
-    elif name == "zpoline-default":
-        interposer = ZpolineInterposer(kernel, variant="default")
-    elif name == "zpoline-ultra":
-        interposer = ZpolineInterposer(kernel, variant="ultra")
-    elif name == "lazypoline":
-        interposer = LazypolineInterposer(kernel)
-    elif name == "K23-default":
-        interposer = K23Interposer(kernel, variant="default")
-    elif name == "K23-ultra":
-        interposer = K23Interposer(kernel, variant="ultra")
-    elif name == "K23-ultra+":
-        interposer = K23Interposer(kernel, variant="ultra+")
-    elif name == "SUD-no-interposition":
-        interposer = SudInterposer(kernel, interpose=False)
-    elif name == "SUD":
-        interposer = SudInterposer(kernel, interpose=True)
-    else:
-        raise ValueError(f"unknown mechanism {name!r}")
-    return interposer.install()
+    """Instantiate (and install) one evaluated mechanism by registry name."""
+    return REGISTRY.create(name, kernel)
 
 
 def needs_offline(name: str) -> bool:
-    return name.startswith("K23")
+    return REGISTRY.needs_offline(name)
 
 
 # ============================================================ microbenchmark

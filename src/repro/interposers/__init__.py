@@ -27,6 +27,12 @@ Members:
 """
 
 from repro.interposers.base import EMPTY_HOOK, Interposer, SyscallHook
+from repro.interposers.registry import (
+    REGISTRY,
+    MechanismRegistry,
+    MechanismSpec,
+    UnknownMechanismError,
+)
 from repro.interposers.hooks import (
     CountingHook,
     RedirectHook,
@@ -45,6 +51,10 @@ __all__ = [
     "EMPTY_HOOK",
     "Interposer",
     "SyscallHook",
+    "REGISTRY",
+    "MechanismRegistry",
+    "MechanismSpec",
+    "UnknownMechanismError",
     "NullInterposer",
     "SudInterposer",
     "PtraceInterposer",

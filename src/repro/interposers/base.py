@@ -47,6 +47,14 @@ SLED_SIZE = PAGE_SIZE - TRAMPOLINE_TAIL_BYTES
 #: The protection key the trampoline page is tagged with.
 TRAMPOLINE_PKEY = 1
 
+#: The user-facing interposition function.  Called as
+#: ``hook(thread, nr, args, forward)`` where *thread* is the trapping
+#: simulated thread, *nr* the syscall number, *args* the six argument
+#: registers, and *forward* a zero-argument closure that executes the
+#: original call (returning its result, or ``BLOCKED`` when the call
+#: parked for a restart).  The hook returns the value the application
+#: sees — usually ``forward()``'s result, a substitute, or ``BLOCKED``
+#: propagated unchanged.
 SyscallHook = Callable[[object, int, List[int], Callable[[], int]], int]
 
 
@@ -123,7 +131,6 @@ class Interposer:
     def run_hook(self, thread, nr: int, args: List[int], via: str):
         """Invoke the user hook with a forward closure; returns result or
         BLOCKED."""
-        state: Dict[str, object] = {}
 
         def do_forward():
             return self.forward(thread, nr, args, via)

@@ -1,0 +1,261 @@
+"""Declarative mechanism registry — the evaluated configurations.
+
+Every interposition mechanism the evaluation (§6.2) exercises is described
+by a :class:`MechanismSpec` and registered, in Table 5 order, with the
+module-level :data:`REGISTRY`.  Construction sites (the evaluation runner,
+the benchmarks, the CLI tools, the examples) go through
+:meth:`MechanismRegistry.create` instead of hard-coding class names, so new
+mechanisms — an Arm variant riding on :mod:`repro.arch.arm64`, a seccomp
+tracer, an eBPF sketch — plug in with one ``register`` call and immediately
+appear in every table, figure, and tool.
+
+Specs are metadata-rich on purpose: they carry the factory (as a lazy
+``"module:attr"`` reference, so registering K23 does not import
+:mod:`repro.core` at import time), the Table 4 variant name, whether the
+mechanism needs the K23 offline phase, whether it arms Syscall User
+Dispatch, and — crucially for the memoized evaluation pipeline
+(:mod:`repro.evaluation.cache`) — the set of cycle-model events its
+steady-state path exercises.  That event set is what lets the result cache
+invalidate *exactly* the cells a cycle-constant change affects.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.interposers.base import Interposer, SyscallHook
+
+#: Cycle-model events every mechanism's measurement depends on, regardless
+#: of design (baseline execution, kernel entry, scheduling, loading).
+BASELINE_EVENTS: Tuple[str, ...] = (
+    "INSTRUCTION",
+    "KERNEL_SYSCALL",
+    "KERNEL_SYSCALL_WORK",
+    "CONTEXT_SWITCH",
+    "DLOPEN",
+)
+
+
+class UnknownMechanismError(ValueError):
+    """Raised for a name the registry has never seen; lists valid names."""
+
+    def __init__(self, name: str, valid: Tuple[str, ...]):
+        super().__init__(
+            f"unknown mechanism {name!r}; valid mechanisms: "
+            + ", ".join(valid))
+        self.name = name
+        self.valid = valid
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """One evaluated mechanism configuration.
+
+    Attributes:
+        name: identifier as printed in Tables 4/5/6 (e.g. ``"K23-ultra"``).
+        factory: lazy ``"module:attr"`` reference to the interposer class
+            (or any callable accepting ``(kernel, hook=..., **kwargs)``).
+        kwargs: extra keyword arguments the factory is called with
+            (``variant=...``, ``interpose=...``).
+        family: mechanism family (``"zpoline"``, ``"K23"``, ``"SUD"``, ...).
+        variant: Table 4 variant name within the family, if any.
+        needs_offline: True when the mechanism requires K23's offline logs
+            to be imported before install.
+        arms_sud: True when the mechanism initializes Syscall User Dispatch
+            (and therefore pays the armed slow path and, multi-threaded,
+            the signal-contention model).
+        cost_events: names of :class:`repro.cpu.cycles.Event` members whose
+            calibrated costs this mechanism's measured path depends on,
+            beyond :data:`BASELINE_EVENTS`.
+        description: one line for ``--list`` style output.
+    """
+
+    name: str
+    factory: str
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    family: str = ""
+    variant: Optional[str] = None
+    needs_offline: bool = False
+    arms_sud: bool = False
+    cost_events: Tuple[str, ...] = ()
+    description: str = ""
+
+    def resolve_factory(self) -> Callable[..., Interposer]:
+        module_name, _, attr = self.factory.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+
+    @property
+    def relevant_events(self) -> Tuple[str, ...]:
+        """Baseline events plus this mechanism's own, deduplicated,
+        in :class:`Event` declaration order (stable for cache keys)."""
+        wanted = set(BASELINE_EVENTS) | set(self.cost_events)
+        from repro.cpu.cycles import Event
+
+        return tuple(event.name for event in Event if event.name in wanted)
+
+
+class MechanismRegistry:
+    """Ordered name → :class:`MechanismSpec` mapping with construction."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, MechanismSpec] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, spec: MechanismSpec, replace: bool = False) -> MechanismSpec:
+        if spec.name in self._specs and not replace:
+            raise ValueError(f"mechanism {spec.name!r} already registered")
+        existing = spec.name in self._specs
+        if existing and replace:
+            # Preserve evaluation order on re-registration.
+            items = [(name, (spec if name == spec.name else value))
+                     for name, value in self._specs.items()]
+            self._specs = dict(items)
+        else:
+            self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        self._specs.pop(name, None)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, name: str) -> MechanismSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownMechanismError(name, self.names()) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registration (= Table 5 evaluation) order."""
+        return tuple(self._specs)
+
+    def specs(self) -> Tuple[MechanismSpec, ...]:
+        return tuple(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[MechanismSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def needs_offline(self, name: str) -> bool:
+        return self.get(name).needs_offline
+
+    # -- construction ---------------------------------------------------------
+
+    def create(self, name: str, kernel, hook: Optional[SyscallHook] = None,
+               install: bool = True) -> Interposer:
+        """Instantiate mechanism *name* on *kernel*.
+
+        With *install* (the default) the interposer governs subsequently
+        spawned processes, mirroring how each real mechanism injects
+        itself.  Unknown names raise :class:`UnknownMechanismError` naming
+        every valid mechanism.
+        """
+        spec = self.get(name)
+        factory = spec.resolve_factory()
+        interposer = factory(kernel, hook=hook, **dict(spec.kwargs))
+        return interposer.install() if install else interposer
+
+    def describe(self) -> str:
+        """Human-readable catalogue (for CLI ``--list`` output)."""
+        lines = []
+        for spec in self:
+            flags = []
+            if spec.needs_offline:
+                flags.append("offline-phase")
+            if spec.arms_sud:
+                flags.append("SUD-armed")
+            suffix = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(f"{spec.name:<22} {spec.description}{suffix}")
+        return "\n".join(lines)
+
+
+#: The process-wide registry, pre-populated with the paper's comparison set.
+REGISTRY = MechanismRegistry()
+
+
+_SUD_ENTRY_EVENTS = ("SUD_ARMED_SLOWPATH", "SUD_SELECTOR_WRITE")
+_SIGNAL_EVENTS = ("SIGNAL_DELIVERY", "SIGRETURN")
+_REWRITE_EVENTS = ("REWRITE_SITE", "MPROTECT", "ICACHE_FLUSH",
+                   "TRAMPOLINE_SLED")
+
+
+def _register_defaults() -> None:
+    register = REGISTRY.register
+    register(MechanismSpec(
+        name="native",
+        factory="repro.interposers.null_interposer:NullInterposer",
+        family="native",
+        description="no interposition — the baseline every table divides by"))
+    register(MechanismSpec(
+        name="zpoline-default",
+        factory="repro.interposers.zpoline:ZpolineInterposer",
+        kwargs=(("variant", "default"),),
+        family="zpoline", variant="default",
+        cost_events=_REWRITE_EVENTS + ("ZPOLINE_HANDLER",),
+        description="load-time static rewriting, no hardening"))
+    register(MechanismSpec(
+        name="zpoline-ultra",
+        factory="repro.interposers.zpoline:ZpolineInterposer",
+        kwargs=(("variant", "ultra"),),
+        family="zpoline", variant="ultra",
+        cost_events=_REWRITE_EVENTS + ("ZPOLINE_HANDLER", "BITMAP_CHECK"),
+        description="zpoline plus the bitmap NULL-execution check"))
+    register(MechanismSpec(
+        name="lazypoline",
+        factory="repro.interposers.lazypoline:LazypolineInterposer",
+        family="lazypoline", arms_sud=True,
+        cost_events=(_REWRITE_EVENTS + _SUD_ENTRY_EVENTS + _SIGNAL_EVENTS
+                     + ("LAZYPOLINE_HANDLER",)),
+        description="SUD-discovery runtime rewriting"))
+    register(MechanismSpec(
+        name="K23-default",
+        factory="repro.core.k23:K23Interposer",
+        kwargs=(("variant", "default"),),
+        family="K23", variant="default", needs_offline=True, arms_sud=True,
+        cost_events=(_REWRITE_EVENTS + _SUD_ENTRY_EVENTS + _SIGNAL_EVENTS
+                     + ("K23_HANDLER", "PTRACE_STOP", "PTRACE_TRACER_WORK")),
+        description="offline-validated selective rewrite + SUD fallback"))
+    register(MechanismSpec(
+        name="K23-ultra",
+        factory="repro.core.k23:K23Interposer",
+        kwargs=(("variant", "ultra"),),
+        family="K23", variant="ultra", needs_offline=True, arms_sud=True,
+        cost_events=(_REWRITE_EVENTS + _SUD_ENTRY_EVENTS + _SIGNAL_EVENTS
+                     + ("K23_HANDLER", "PTRACE_STOP", "PTRACE_TRACER_WORK",
+                        "HASHSET_CHECK")),
+        description="K23 plus the hash-set NULL-execution check"))
+    register(MechanismSpec(
+        name="K23-ultra+",
+        factory="repro.core.k23:K23Interposer",
+        kwargs=(("variant", "ultra+"),),
+        family="K23", variant="ultra+", needs_offline=True, arms_sud=True,
+        cost_events=(_REWRITE_EVENTS + _SUD_ENTRY_EVENTS + _SIGNAL_EVENTS
+                     + ("K23_HANDLER", "PTRACE_STOP", "PTRACE_TRACER_WORK",
+                        "HASHSET_CHECK", "STACK_SWITCH")),
+        description="K23-ultra plus the dedicated-stack switch"))
+    register(MechanismSpec(
+        name="SUD-no-interposition",
+        factory="repro.interposers.sud_interposer:SudInterposer",
+        kwargs=(("interpose", False),),
+        family="SUD", variant="no-interposition", arms_sud=True,
+        cost_events=_SUD_ENTRY_EVENTS,
+        description="SUD armed with an ALLOW selector — the slow-path floor"))
+    register(MechanismSpec(
+        name="SUD",
+        factory="repro.interposers.sud_interposer:SudInterposer",
+        kwargs=(("interpose", True),),
+        family="SUD", variant=None, arms_sud=True,
+        cost_events=_SUD_ENTRY_EVENTS + _SIGNAL_EVENTS,
+        description="pure SUD interposition via SIGSYS"))
+
+
+_register_defaults()

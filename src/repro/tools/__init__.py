@@ -5,4 +5,7 @@
   per-syscall histogram, and the coverage report.
 - ``python -m repro.tools.pitfallcheck`` — grade any single interposer
   column against the pitfall PoCs (CI-style exit status).
+- ``python -m repro.tools.evalrun`` — run the Table 5/6 evaluation matrix
+  through the parallel, memoized pipeline (``--jobs``, ``--no-cache``,
+  ``--smoke``, ``--list``).
 """

@@ -1,0 +1,133 @@
+"""evalrun — drive the parallel, memoized evaluation pipeline.
+
+Usage::
+
+    python -m repro.tools.evalrun [table5|table6|matrix] [options]
+
+    --jobs N        worker processes (default: os.cpu_count())
+    --no-cache      recompute every cell, write nothing
+    --cache-dir D   cache location (default ~/.cache/repro-eval or
+                    $REPRO_EVAL_CACHE)
+    --smoke         reduced matrix: 2 mechanisms, tiny iteration counts
+    --rows K [K..]  restrict table6 to the given row keys
+    --mechanisms M [M..]  restrict the mechanism axis
+    --list          print the mechanism registry and exit
+    --clear-cache   drop every cached cell and exit
+    --verbose       per-cell hit/miss/fail lines on stderr
+
+``matrix`` (the default) runs every Table 5 + Table 6 cell.  Tables are
+printed to stdout exactly as the serial harness renders them; pipeline
+accounting (cache hits, misses, failures, pool fallback) goes to stderr so
+redirected table output stays byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.evaluation import pipeline as pipe
+from repro.evaluation.cache import ResultCache
+from repro.evaluation.runner import MACRO_BY_KEY, MECHANISMS
+from repro.evaluation.tables import render_table5, render_table6
+from repro.interposers.registry import REGISTRY
+
+
+def _echo(run: pipe.PipelineRun, label: str, verbose: bool) -> None:
+    print(f"{label}: {run.stats.summary()}", file=sys.stderr)
+    if verbose:
+        for result in run.results.values():
+            state = "fail" if not result.ok else result.source
+            print(f"  [{state:>8}] {result.spec.label} "
+                  f"({result.duration:.2f}s)", file=sys.stderr)
+    for failure in run.failures():
+        print(f"FAILED {failure.spec.label}:\n{failure.error}",
+              file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="evalrun", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("target", nargs="?", default="matrix",
+                        choices=["table5", "table6", "matrix"])
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--rows", nargs="+", default=None,
+                        metavar="KEY", help="table6 row keys")
+    parser.add_argument("--mechanisms", nargs="+", default=None,
+                        metavar="MECH")
+    parser.add_argument("--list", action="store_true",
+                        help="print the mechanism registry and exit")
+    parser.add_argument("--clear-cache", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(REGISTRY.describe())
+        return 0
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.clear_cache:
+        removed = (cache or ResultCache(args.cache_dir)).clear()
+        print(f"cleared {removed} cached cells", file=sys.stderr)
+        return 0
+
+    mechanisms = args.mechanisms
+    if mechanisms:
+        for name in mechanisms:
+            if name not in REGISTRY:
+                parser.error(f"unknown mechanism {name!r}; "
+                             f"valid: {', '.join(REGISTRY.names())}")
+        if "native" not in mechanisms:
+            mechanisms = ["native"] + list(mechanisms)
+    elif args.smoke:
+        mechanisms = list(pipe.SMOKE_MECHANISMS)
+    else:
+        mechanisms = list(MECHANISMS)
+
+    rows = args.rows
+    if rows:
+        for key in rows:
+            if key not in MACRO_BY_KEY:
+                parser.error(f"unknown table6 row {key!r}; "
+                             f"rows: {', '.join(MACRO_BY_KEY)}")
+    elif args.smoke:
+        rows = list(pipe.SMOKE_MACRO_KEYS)
+
+    jobs = max(1, args.jobs)
+    status = 0
+
+    if args.target in ("table5", "matrix"):
+        if args.smoke:
+            low, high = pipe.SMOKE_MICRO_ITERATIONS
+            specs = pipe.micro_specs(mechanisms, iterations_low=low,
+                                     iterations_high=high)
+        else:
+            specs = pipe.micro_specs(mechanisms)
+        run = pipe.run_cells(specs, jobs=jobs, cache=cache)
+        _echo(run, "table5", args.verbose)
+        if run.failures():
+            status = 1
+        else:
+            print(render_table5(
+                pipe.table5_overheads(run, mechanisms[1:])))
+
+    if args.target in ("table6", "matrix"):
+        specs = pipe.macro_specs(rows, mechanisms)
+        run = pipe.run_cells(specs, jobs=jobs, cache=cache)
+        _echo(run, "table6", args.verbose)
+        if run.failures():
+            status = 1
+        else:
+            print(render_table6(pipe.table6_rows(run, rows, mechanisms)))
+
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,246 @@
+"""Pipeline tests: parallel-vs-serial equivalence, cache-key semantics,
+memoization hit accounting, and graceful degradation of failing cells.
+
+The full Table 5/6 matrix is benchmark territory; here every matrix is
+reduced (two or three mechanisms, tiny iteration counts, one macro row) so
+tier-1 stays fast while still exercising the pool, the cache, and the
+deterministic merge end to end.
+"""
+
+import pytest
+
+from repro.cpu.cycles import DEFAULT_COSTS, Event
+from repro.evaluation import experiments
+from repro.evaluation import pipeline as pipe
+from repro.evaluation.cache import (
+    MISS,
+    NullCache,
+    ResultCache,
+    cell_key,
+    module_source_digest,
+    source_digest,
+)
+from repro.evaluation.tables import render_table5
+
+MECHS = ("native", "zpoline-default", "SUD-no-interposition")
+MICRO = dict(iterations_low=60, iterations_high=240)
+
+
+def reduced_micro_specs(mechanisms=MECHS):
+    return pipe.micro_specs(mechanisms, **MICRO)
+
+
+# ----------------------------------------------------------- equivalence
+
+
+class TestEquivalence:
+    def test_parallel_and_serial_micro_text_identical(self):
+        specs = reduced_micro_specs()
+        serial = pipe.run_cells(specs, jobs=1, cache=None)
+        parallel = pipe.run_cells(specs, jobs=3, cache=None)
+        text_serial = render_table5(pipe.table5_overheads(serial, MECHS[1:]))
+        text_parallel = render_table5(
+            pipe.table5_overheads(parallel, MECHS[1:]))
+        assert text_serial == text_parallel
+
+    def test_pipeline_matches_legacy_serial_table6(self):
+        """The pipeline's Table 6 text is byte-identical to the original
+        in-process serial path for the same row."""
+        legacy = experiments.run_table6_serial(["redis-1t"])
+        piped = experiments.run_table6(["redis-1t"], jobs=2)
+        assert piped == legacy
+
+    def test_merge_is_order_independent(self):
+        specs = reduced_micro_specs()
+        forward = pipe.run_cells(specs, jobs=1, cache=None)
+        backward = pipe.run_cells(list(reversed(specs)), jobs=1, cache=None)
+        assert (pipe.table5_overheads(forward, MECHS[1:])
+                == pipe.table5_overheads(backward, MECHS[1:]))
+
+    def test_micro_cell_matches_direct_measurement(self):
+        from repro.evaluation.runner import measure_micro_cycles
+
+        spec = reduced_micro_specs(("zpoline-default",))[0]
+        value = pipe.execute_cell(spec)
+        direct = measure_micro_cycles("zpoline-default", seed=20, **MICRO)
+        assert value["cycles_per_call"] == direct
+
+
+# ----------------------------------------------------------------- caching
+
+
+class TestMemoization:
+    def test_second_run_hits_cache_for_every_cell(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = reduced_micro_specs()
+        first = pipe.run_cells(specs, jobs=2, cache=cache)
+        assert first.stats.misses == len(specs)
+        assert first.stats.hits == 0
+        second = pipe.run_cells(specs, jobs=2, cache=cache)
+        assert second.stats.hits == len(specs)
+        assert second.stats.misses == 0
+        assert (pipe.table5_overheads(first, MECHS[1:])
+                == pipe.table5_overheads(second, MECHS[1:]))
+        assert "cache hits" in second.stats.summary()
+
+    def test_cached_values_survive_json_roundtrip_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = reduced_micro_specs(("native",))[0]
+        uncached = pipe.run_cells([spec], cache=cache)
+        cached = pipe.run_cells([spec], cache=cache)
+        assert cached.results[spec].source == "cache"
+        assert (cached.results[spec].value["cycles_per_call"]
+                == uncached.results[spec].value["cycles_per_call"])
+
+    def test_null_cache_never_hits(self):
+        cache = NullCache()
+        cache.put("k", {"v": 1})
+        assert cache.get("k") is MISS
+        assert len(cache) == 0
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("abc", {"v": 1})
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert cache.get("abc") is MISS
+
+
+class TestCacheKeys:
+    def test_constant_change_invalidates_exactly_affected_cells(
+            self, monkeypatch):
+        """Bumping HASHSET_CHECK must re-key the K23-ultra cells (their
+        entry check performs the probe) and nothing else."""
+        before = {name: cell_key("micro", name, "syscall-stress", 20)
+                  for name in ("zpoline-default", "K23-default",
+                               "K23-ultra", "K23-ultra+")}
+        monkeypatch.setitem(DEFAULT_COSTS, Event.HASHSET_CHECK,
+                            DEFAULT_COSTS[Event.HASHSET_CHECK] + 1)
+        after = {name: cell_key("micro", name, "syscall-stress", 20)
+                 for name in before}
+        assert after["K23-ultra"] != before["K23-ultra"]
+        assert after["K23-ultra+"] != before["K23-ultra+"]
+        assert after["zpoline-default"] == before["zpoline-default"]
+        assert after["K23-default"] == before["K23-default"]
+
+    def test_baseline_constant_change_invalidates_every_cell(
+            self, monkeypatch):
+        names = ("native", "zpoline-default", "SUD")
+        before = {name: cell_key("micro", name, "syscall-stress", 20)
+                  for name in names}
+        monkeypatch.setitem(DEFAULT_COSTS, Event.KERNEL_SYSCALL,
+                            DEFAULT_COSTS[Event.KERNEL_SYSCALL] + 1)
+        after = {name: cell_key("micro", name, "syscall-stress", 20)
+                 for name in names}
+        for name in names:
+            assert after[name] != before[name]
+
+    def test_comment_only_edit_does_not_change_source_digest(self):
+        base = "def f(x):\n    return x + 1\n"
+        commented = ("# a new comment explaining f\n"
+                     "def f(x):\n"
+                     "    return x + 1  # trailing note\n")
+        semantic = "def f(x):\n    return x + 2\n"
+        assert source_digest(base) == source_digest(commented)
+        assert source_digest(base) != source_digest(semantic)
+
+    def test_module_digest_is_stable_and_real(self):
+        first = module_source_digest("repro.workloads.stress")
+        second = module_source_digest("repro.workloads.stress")
+        assert first == second
+        assert len(first) == 64
+
+    def test_distinct_cells_get_distinct_keys(self):
+        micro = cell_key("micro", "SUD", "syscall-stress", 20)
+        macro = cell_key("macro", "SUD", "redis-1t", 30)
+        other_seed = cell_key("micro", "SUD", "syscall-stress", 21)
+        assert len({micro, macro, other_seed}) == 3
+
+    def test_unknown_mechanism_rejected(self):
+        from repro.interposers import UnknownMechanismError
+
+        with pytest.raises(UnknownMechanismError):
+            cell_key("micro", "frobnicator", "syscall-stress", 20)
+
+
+# ------------------------------------------------------------- degradation
+
+
+class TestFailureHandling:
+    def test_failed_cell_captures_traceback_and_rest_complete(self):
+        good = reduced_micro_specs(("native", "zpoline-default"))
+        bad = pipe.ScenarioSpec("macro", "zpoline-default", "no-such-row", 30)
+        run = pipe.run_cells(good + [bad], jobs=2, cache=None)
+        assert run.stats.failures == 1
+        failed = run.results[bad]
+        assert not failed.ok
+        assert "unknown macro workload" in failed.error
+        assert "Traceback" in failed.error
+        for spec in good:
+            assert run.results[spec].ok
+
+    def test_unknown_mechanism_cell_fails_gracefully(self):
+        good = reduced_micro_specs(("native",))
+        bad = pipe.ScenarioSpec("micro", "frobnicator", "syscall-stress", 20,
+                                (("iterations_high", 240),
+                                 ("iterations_low", 60)))
+        run = pipe.run_cells(good + [bad], jobs=2, cache=None)
+        assert run.results[good[0]].ok
+        assert not run.results[bad].ok
+        assert "frobnicator" in run.results[bad].error
+
+    def test_consuming_failed_cell_raises_cell_failure(self):
+        bad = pipe.ScenarioSpec("nonsense", "native", "x", 1)
+        run = pipe.run_cells([bad], jobs=1, cache=None)
+        with pytest.raises(pipe.CellFailure) as excinfo:
+            run.value(bad)
+        assert "nonsense" in str(excinfo.value)
+
+    def test_serial_fallback_still_completes(self, monkeypatch):
+        """A pool that cannot even be created degrades to serial."""
+
+        def broken_pool(*args, **kwargs):
+            raise PermissionError("no semaphores in this sandbox")
+
+        import concurrent.futures
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            broken_pool)
+        specs = reduced_micro_specs(("native", "zpoline-default"))
+        run = pipe.run_cells(specs, jobs=4, cache=None)
+        assert run.stats.mode == "serial"
+        assert run.stats.fallback_reason is not None
+        assert all(result.ok for result in run.results.values())
+
+
+# ------------------------------------------------------------- enumeration
+
+
+class TestEnumeration:
+    def test_full_matrix_dimensions(self):
+        from repro.evaluation.runner import MACRO_CONFIGS, MECHANISMS
+
+        specs = pipe.full_matrix_specs()
+        micro = [s for s in specs if s.kind == "micro"]
+        macro = [s for s in specs if s.kind == "macro"]
+        assert len(micro) == len(MECHANISMS)
+        assert len(macro) == len(MECHANISMS) * len(MACRO_CONFIGS)
+
+    def test_smoke_matrix_is_tiny(self):
+        specs = pipe.full_matrix_specs(smoke=True)
+        assert {s.mechanism for s in specs} == set(pipe.SMOKE_MECHANISMS)
+        assert len(specs) == (len(pipe.SMOKE_MECHANISMS)
+                              * (1 + len(pipe.SMOKE_MACRO_KEYS)))
+
+    def test_specs_are_picklable_and_hashable(self):
+        import pickle
+
+        specs = pipe.full_matrix_specs(smoke=True)
+        assert pickle.loads(pickle.dumps(specs)) == specs
+        assert len(set(specs)) == len(specs)
+
+    def test_duplicate_specs_run_once(self):
+        spec = reduced_micro_specs(("native",))[0]
+        run = pipe.run_cells([spec, spec, spec], jobs=1, cache=None)
+        assert len(run.results) == 1
+        assert run.stats.cells == 1

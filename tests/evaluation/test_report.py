@@ -14,15 +14,18 @@ def test_generate_report_structure(monkeypatch):
     from repro.pitfalls.poc import PitfallOutcome
 
     monkeypatch.setattr(experiments, "run_table2", lambda: "TABLE2-STUB")
-    monkeypatch.setattr(experiments, "run_table6", lambda: "TABLE6-STUB")
+    monkeypatch.setattr(experiments, "run_table6",
+                        lambda **kwargs: "TABLE6-STUB")
     for number in (1, 2, 3, 4):
         monkeypatch.setattr(experiments, f"run_figure{number}",
                             lambda n=number: f"FIGURE{n}-STUB")
     outcomes = [PitfallOutcome(p, name, expected, "stub")
                 for p, row in matrix_mod.PAPER_TABLE3.items()
                 for name, expected in row.items()]
-    monkeypatch.setattr(report_mod, "micro_overheads",
-                        lambda: dict(PAPER_TABLE5))
+    monkeypatch.setattr(report_mod.pipe, "run_cells",
+                        lambda specs, jobs=1, cache=None: "RUN-STUB")
+    monkeypatch.setattr(report_mod.pipe, "table5_overheads",
+                        lambda run, mechanisms: dict(PAPER_TABLE5))
     import repro.pitfalls as pitfalls_pkg
 
     monkeypatch.setattr(pitfalls_pkg, "pitfall_matrix", lambda: outcomes)
