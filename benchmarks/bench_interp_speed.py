@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Interpreter throughput: block cache on vs off.
+
+Standalone (not a pytest benchmark — wall-clock timing wants a quiet
+process):
+
+    PYTHONPATH=src python benchmarks/bench_interp_speed.py [--quick]
+
+Runs two workloads under the block-cache interpreter and again under
+``REPRO_NO_BLOCK_CACHE=1`` single-stepping, timing host wall-clock per
+simulated instruction:
+
+- ``syscall-stress`` — the Table 5 microbenchmark loop (syscall-dense,
+  short blocks, replay-heavy);
+- ``sqlite speedtest1`` — the Table 6 runtime macro workload (longer
+  straight-line runs, more memory traffic).
+
+Each (workload, mode) cell reports best-of-N wall time, insns/sec, and the
+final simulated cycle counter — which must be *identical* across modes
+(the cache is a pure interpreter optimization; see
+tests/integration/test_block_equivalence.py).  Results land in
+``benchmarks/output/BENCH_interp.json``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+OUTPUT = Path(__file__).resolve().parent / "output" / "BENCH_interp.json"
+
+#: Seed-interpreter throughput on syscall-stress, measured on this host at
+#: the PR 1 tip (commit 28346ac, before the dispatch-table refactor), with
+#: the same best-of-3 protocol.  Kept for the acceptance-criterion ratio.
+SEED_BASELINE_STRESS_IPS = 225_297
+
+
+def _run_stress(iterations):
+    from repro.kernel.kernel import Kernel
+    from repro.workloads.stress import STRESS_PATH, install_stress
+
+    kernel = Kernel(seed=42)
+    install_stress(kernel, iterations=iterations)
+    process = kernel.spawn_process(STRESS_PATH)
+    started = time.perf_counter()
+    kernel.run_process(process, max_steps=20_000_000)
+    elapsed = time.perf_counter() - started
+    stats = kernel.interp_stats()
+    return stats["instructions"], elapsed, kernel.cycles.cycles, stats
+
+
+def _run_sqlite(transactions):
+    from repro.evaluation.runner import build_speedtest1_with
+    from repro.kernel.kernel import Kernel
+    from repro.workloads.sqlite import install_sqlite
+
+    kernel = Kernel(seed=30)
+    kernel.torn_window_probability = 0.0
+    install_sqlite(kernel)
+    build_speedtest1_with(transactions).register(kernel)
+    process = kernel.spawn_process("/usr/bin/speedtest1")
+    started = time.perf_counter()
+    kernel.run_process(process, max_steps=20_000_000)
+    elapsed = time.perf_counter() - started
+    if not process.exited or process.exit_status != 0:
+        raise RuntimeError(f"sqlite exited {process.exit_status}")
+    stats = kernel.interp_stats()
+    return stats["instructions"], elapsed, kernel.cycles.cycles, stats
+
+
+def _measure(fn, arg, mode, rounds):
+    saved = os.environ.get("REPRO_NO_BLOCK_CACHE")
+    os.environ.pop("REPRO_NO_BLOCK_CACHE", None)
+    if mode == "single-step":
+        os.environ["REPRO_NO_BLOCK_CACHE"] = "1"
+    try:
+        best = None
+        for _ in range(rounds):
+            insns, elapsed, cycles, stats = fn(arg)
+            if best is None or elapsed < best[1]:
+                best = (insns, elapsed, cycles, stats)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_BLOCK_CACHE", None)
+        else:
+            os.environ["REPRO_NO_BLOCK_CACHE"] = saved
+    insns, elapsed, cycles, stats = best
+    fetches = stats["icache_hits"] + stats["icache_misses"]
+    units = stats["block_hits"] + stats["block_installs"]
+    return {
+        "instructions": insns,
+        "wall_seconds": round(elapsed, 4),
+        "insns_per_sec": round(insns / elapsed),
+        "sim_cycles": cycles,
+        "icache_hit_rate": round(stats["icache_hits"] / fetches, 4)
+        if fetches else None,
+        "block_hit_rate": round(stats["block_hits"] / units, 4)
+        if units else None,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads, single round")
+    args = parser.parse_args(argv)
+    rounds = 1 if args.quick else 3
+    stress_iters = 500 if args.quick else 4000
+    sqlite_txns = 20 if args.quick else 120
+
+    workloads = {
+        "syscall-stress": (_run_stress, stress_iters),
+        "sqlite-speedtest1": (_run_sqlite, sqlite_txns),
+    }
+    report = {
+        "protocol": f"best of {rounds} rounds, host wall clock",
+        "seed_baseline": {
+            "workload": "syscall-stress",
+            "insns_per_sec": SEED_BASELINE_STRESS_IPS,
+            "commit": "28346ac (PR 1 tip, pre-dispatch-table interpreter)",
+        },
+        "workloads": {},
+    }
+    for name, (fn, arg) in workloads.items():
+        cells = {}
+        for mode in ("block-cache", "single-step"):
+            print(f"{name} [{mode}] ...", file=sys.stderr)
+            cells[mode] = _measure(fn, arg, mode, rounds)
+        if cells["block-cache"]["sim_cycles"] != \
+                cells["single-step"]["sim_cycles"]:
+            raise SystemExit(f"{name}: sim cycles diverged between modes")
+        cells["speedup_block_vs_single_step"] = round(
+            cells["block-cache"]["insns_per_sec"]
+            / cells["single-step"]["insns_per_sec"], 3)
+        if name == "syscall-stress":
+            cells["speedup_block_vs_seed"] = round(
+                cells["block-cache"]["insns_per_sec"]
+                / SEED_BASELINE_STRESS_IPS, 3)
+        report["workloads"][name] = cells
+
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

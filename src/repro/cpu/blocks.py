@@ -1,0 +1,142 @@
+"""Basic-block translation cache: record-and-replay execution units.
+
+:func:`run_unit` is the block-mode counterpart of
+:func:`repro.cpu.core.step`: it executes *up to* ``budget`` instructions for
+an execution environment and returns how many retired.  The first visit to
+an address **records** — it executes instruction-by-instruction through the
+normal ICache fetch path while tracing the straight-line run into a
+:class:`repro.cpu.icache.Block` of pre-bound closures.  Later visits
+**replay** the block without re-fetching or re-decoding.
+
+Equivalence with single-stepping is the design invariant (the evaluation
+pipeline's numbers must be byte-identical with the cache on or off):
+
+- **Recording is a trace, not a disassembly.**  Only instructions the unit
+  actually executed — fetched through the same ICache the single-step path
+  uses — enter a block, so a block can never contain a decode single-step
+  would not have produced (this is what preserves pitfall P5's stale-decode
+  and torn-patch behaviour bit-for-bit).
+- **Blocks end where single-step behaviour could diverge**: at control
+  transfers, ``syscall``/``sysenter``, ``HOSTCALL``, serializing
+  instructions, the faulting trio (``int3``/``ud2``/``hlt``), the budget
+  (scheduler-quantum) boundary, :data:`BLOCK_MAX`, and before any
+  single-byte ``nop`` (whose run-slide consumes a memory-dependent number
+  of bytes and is therefore executed via the uncached path in both modes).
+- **Cycle charges are batched but observationally identical.**  Replay
+  pre-charges ``INSTRUCTION × n`` up front; any early exit un-charges the
+  overshoot *before* control leaves the unit, so every point where
+  simulated code can observe the clock — the terminal syscall/hostcall of a
+  block, or a fault's signal delivery — sees exactly the cycle count the
+  single-step interpreter would have accumulated.
+- **Retire accounting** uses ``env.unit_retired``: set to ``k + 1`` before
+  instruction *k* is fetched, so the scheduler attributes a faulting
+  instruction to the unit exactly as the per-step loop did (a fetch fault
+  retires uncharged; an execution fault retires charged; a process exit
+  leaves the final instruction uncounted).
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import Mnemonic
+from repro.cpu.cycles import Event
+from repro.cpu.dispatch import BLOCK_TERMINATORS
+from repro.cpu.icache import Block
+from repro.errors import DecodeError, InvalidOpcode
+
+_MASK64 = (1 << 64) - 1
+
+#: Maximum instructions per recorded block (well under the default
+#: scheduler quantum of 100, so loops still re-enter their block).
+BLOCK_MAX = 64
+
+
+def run_unit(env, budget: int) -> int:
+    """Execute up to *budget* instructions starting at ``env.context.rip``.
+
+    Returns the number of instructions retired (>= 1 unless an exception is
+    raised).  Exceptions propagate exactly as from single-stepping, with
+    ``env.unit_retired`` naming the in-unit index of the culprit.
+    """
+    ctx = env.context
+    icache = env.icache
+    block = icache.block_at(ctx.rip)
+    if block is not None:
+        return _replay(env, ctx, block, budget)
+    return _record(env, ctx, icache, budget)
+
+
+def _replay(env, ctx, block: Block, budget: int) -> int:
+    steps = block.steps
+    n = len(steps)
+    if budget < n:
+        n = budget
+    # Batch the whole unit's instruction charge up front; see module
+    # docstring for why every observation point still matches single-step.
+    env.charge(Event.INSTRUCTION, n)
+    i = 0
+    try:
+        while i < n:
+            step = steps[i]
+            ctx.rip = step[0]
+            step[1](env, ctx)
+            i += 1
+            if not block.valid:
+                # Own store hit the block span: stop where single-step
+                # would have re-fetched (possibly modified) bytes.
+                break
+    except BaseException:
+        # Instruction i faulted mid-execution — it *was* charged by the
+        # single-step path (charge precedes execution); un-charge only the
+        # never-executed tail before the fault becomes observable, and
+        # mark the culprit's in-unit index for the scheduler.
+        env.unit_retired = i + 1
+        overshoot = n - i - 1
+        if overshoot > 0:
+            env.charge(Event.INSTRUCTION, -overshoot)
+        raise
+    if i < n:
+        env.charge(Event.INSTRUCTION, -(n - i))
+    return i
+
+
+def _record(env, ctx, icache, budget: int) -> int:
+    entry = ctx.rip
+    icache.begin_record(entry)
+    steps = []
+    executed = 0
+    try:
+        while True:
+            env.unit_retired = executed + 1
+            fetch_addr = ctx.rip
+            try:
+                _raw, insn, fn = icache.fetch_entry(fetch_addr, env.mem_fetch)
+            except DecodeError as exc:
+                raise InvalidOpcode(fetch_addr, str(exc)) from exc
+            single_nop = insn.mnemonic is Mnemonic.NOP and insn.length == 1
+            if single_nop and steps:
+                # The nop run-slide re-reads memory each execution; end the
+                # block here and let the next unit single-step it.
+                break
+            next_rip = (fetch_addr + insn.length) & _MASK64
+            icache.extend_record(next_rip)
+            ctx.rip = next_rip
+            env.charge(Event.INSTRUCTION)
+            fn(env, ctx)
+            executed += 1
+            if single_nop:
+                # Executed as its own one-instruction unit, never recorded.
+                return executed
+            steps.append((next_rip, fn, insn))
+            if insn.mnemonic in BLOCK_TERMINATORS:
+                break
+            if executed >= budget or len(steps) >= BLOCK_MAX:
+                break
+    except BaseException:
+        icache.end_record()
+        raise
+    if icache.end_record() and steps:
+        # The traced span survived un-invalidated: cache it.  A doomed
+        # recording (own store into the span, serializing flush, execve)
+        # still *executed* correctly — it just isn't worth caching.
+        icache.install_block(Block(entry, steps[-1][0], steps))
+    return executed

@@ -16,19 +16,23 @@ return address in RCX on ``syscall``, and a trampoline entered by
 ``callq *%rax`` finds the address of the instruction after the rewritten
 site on the stack — the exact property zpoline-style handlers rely on.
 
+Instruction semantics live in :mod:`repro.cpu.dispatch` as per-mnemonic
+compiled closures; this function and the basic-block replay path
+(:mod:`repro.cpu.blocks`) execute the *same* closures, cached per ICache
+line, so the two execution modes share one source of truth.
+
 Condition codes model ZF/SF only (no OF/CF); signed comparisons in SimX86
 programs must keep operands within ±2^62, which all generated workloads do.
 """
 
 from __future__ import annotations
 
-import struct
 from typing import Callable, Dict, List
 
-from repro.arch.isa import Cond, Instruction, Mnemonic
-from repro.arch.registers import Reg
+from repro.arch.isa import Instruction
 from repro.cpu.cycles import Event
-from repro.errors import Breakpoint, DecodeError, Halt, InvalidOpcode
+from repro.cpu.dispatch import cond_met as _cond_met  # noqa: F401 (back-compat)
+from repro.errors import DecodeError, InvalidOpcode
 
 _MASK64 = (1 << 64) - 1
 
@@ -76,200 +80,16 @@ class HostcallRegistry:
         return len(self._handlers)
 
 
-def _cond_met(cond: Cond, flags) -> bool:
-    if cond is Cond.E:
-        return flags.zf
-    if cond is Cond.NE:
-        return not flags.zf
-    if cond is Cond.L:
-        return flags.sf
-    if cond is Cond.GE:
-        return not flags.sf
-    if cond is Cond.LE:
-        return flags.zf or flags.sf
-    if cond is Cond.G:
-        return not (flags.zf or flags.sf)
-    if cond is Cond.S:
-        return flags.sf
-    if cond is Cond.NS:
-        return not flags.sf
-    raise InvalidOpcode(0, f"unsupported condition {cond.name}")
-
-
 def step(env) -> Instruction:
     """Execute one instruction; returns it (for tracing)."""
     ctx = env.context
     fetch_addr = ctx.rip
     try:
-        insn = env.icache.fetch(fetch_addr, env.mem_fetch)
+        _raw, insn, fn = env.icache.fetch_entry(fetch_addr, env.mem_fetch)
     except DecodeError as exc:
         raise InvalidOpcode(fetch_addr, str(exc)) from exc
 
-    ctx.rip = (ctx.rip + insn.length) & _MASK64
+    ctx.rip = (fetch_addr + insn.length) & _MASK64
     env.charge(Event.INSTRUCTION)
-    m = insn.mnemonic
-
-    if m in (Mnemonic.NOP, Mnemonic.ENDBR64):
-        # Interpreter optimization: consume runs of single-byte nops in one
-        # step (the trampoline sled at address 0 is up to 512 of them).
-        # Semantics are identical — nops have no side effects.  The run is
-        # charged as a single retired instruction: nop-sled traversal cost
-        # is modelled by the TRAMPOLINE_SLED event the interposer handlers
-        # charge (matching zpoline's jump-optimized trampoline, whose
-        # traversal cost is near-constant in the landing offset).
-        if insn.length == 1:
-            while True:
-                lookahead = b""
-                for span in (64, 16, 4, 1):  # degrade at page boundaries
-                    try:
-                        lookahead = env.mem_fetch(ctx.rip, span)
-                        break
-                    except Exception:
-                        continue
-                run = 0
-                while run < len(lookahead) and lookahead[run] == 0x90:
-                    run += 1
-                if run == 0:
-                    break
-                ctx.rip = (ctx.rip + run) & _MASK64
-                if run < len(lookahead):
-                    break
-
-    elif m is Mnemonic.MOV_RI:
-        ctx.set(insn.reg, insn.imm)
-
-    elif m is Mnemonic.MOV_RR:
-        ctx.set(insn.reg, ctx.get(insn.rm))
-
-    elif m is Mnemonic.MOV_LOAD:
-        raw = env.mem_read(ctx.get(insn.rm), 8)
-        ctx.set(insn.reg, struct.unpack("<Q", raw)[0])
-
-    elif m is Mnemonic.MOV_STORE:
-        _store(env, ctx.get(insn.rm), struct.pack("<Q", ctx.get(insn.reg)))
-
-    elif m is Mnemonic.MOV_LOAD8:
-        raw = env.mem_read(ctx.get(insn.rm), 1)
-        ctx.set(insn.reg, raw[0])
-
-    elif m is Mnemonic.MOV_STORE8:
-        _store(env, ctx.get(insn.rm), bytes([ctx.get(insn.reg) & 0xFF]))
-
-    elif m is Mnemonic.LEA_RIP:
-        ctx.set(insn.reg, (ctx.rip + insn.rel) & _MASK64)
-
-    elif m is Mnemonic.ADD_RR:
-        result = ctx.get(insn.reg) + ctx.get(insn.rm)
-        ctx.set(insn.reg, result)
-        ctx.flags.set_from_result(result)
-
-    elif m is Mnemonic.SUB_RR:
-        result = ctx.get(insn.reg) - ctx.get(insn.rm)
-        ctx.set(insn.reg, result)
-        ctx.flags.set_from_result(result)
-
-    elif m is Mnemonic.CMP_RR:
-        ctx.flags.set_from_result(ctx.get(insn.reg) - ctx.get(insn.rm))
-
-    elif m is Mnemonic.XOR_RR:
-        result = ctx.get(insn.reg) ^ ctx.get(insn.rm)
-        ctx.set(insn.reg, result)
-        ctx.flags.set_from_result(result)
-
-    elif m is Mnemonic.TEST_RR:
-        ctx.flags.set_from_result(ctx.get(insn.reg) & ctx.get(insn.rm))
-
-    elif m is Mnemonic.ADD_RI:
-        result = ctx.get(insn.reg) + insn.imm
-        ctx.set(insn.reg, result)
-        ctx.flags.set_from_result(result)
-
-    elif m is Mnemonic.SUB_RI:
-        result = ctx.get(insn.reg) - insn.imm
-        ctx.set(insn.reg, result)
-        ctx.flags.set_from_result(result)
-
-    elif m is Mnemonic.CMP_RI:
-        ctx.flags.set_from_result(ctx.get(insn.reg) - insn.imm)
-
-    elif m is Mnemonic.INC:
-        result = ctx.get(insn.reg) + 1
-        ctx.set(insn.reg, result)
-        ctx.flags.set_from_result(result)
-
-    elif m is Mnemonic.DEC:
-        result = ctx.get(insn.reg) - 1
-        ctx.set(insn.reg, result)
-        ctx.flags.set_from_result(result)
-
-    elif m is Mnemonic.PUSH:
-        _push(env, ctx.get(insn.reg))
-
-    elif m is Mnemonic.POP:
-        ctx.set(insn.reg, _pop(env))
-
-    elif m is Mnemonic.JMP_REL:
-        ctx.rip = (ctx.rip + insn.rel) & _MASK64
-
-    elif m is Mnemonic.JCC_REL:
-        if _cond_met(insn.cond, ctx.flags):
-            ctx.rip = (ctx.rip + insn.rel) & _MASK64
-
-    elif m is Mnemonic.CALL_REL:
-        _push(env, ctx.rip)
-        ctx.rip = (ctx.rip + insn.rel) & _MASK64
-
-    elif m is Mnemonic.CALL_REG:
-        _push(env, ctx.rip)
-        ctx.rip = ctx.get(insn.reg)
-
-    elif m is Mnemonic.JMP_REG:
-        ctx.rip = ctx.get(insn.reg)
-
-    elif m is Mnemonic.RET:
-        ctx.rip = _pop(env)
-
-    elif m in (Mnemonic.SYSCALL, Mnemonic.SYSENTER):
-        env.on_syscall()
-
-    elif m is Mnemonic.HOSTCALL:
-        env.on_hostcall(insn.hostcall)
-
-    elif m in (Mnemonic.CPUID, Mnemonic.MFENCE):
-        # Serializing: this core discards any stale decoded lines.
-        env.icache.flush_all()
-
-    elif m is Mnemonic.INT3:
-        raise Breakpoint(fetch_addr)
-
-    elif m is Mnemonic.UD2:
-        raise InvalidOpcode(fetch_addr, "ud2")
-
-    elif m is Mnemonic.HLT:
-        raise Halt(f"hlt in user mode at {fetch_addr:#x}")
-
-    else:  # pragma: no cover - table is exhaustive
-        raise InvalidOpcode(fetch_addr, f"unimplemented {m}")
-
+    fn(env, ctx)
     return insn
-
-
-def _store(env, addr: int, data: bytes) -> None:
-    env.mem_write(addr, data)
-    # x86 local coherence: the storing core sees its own modification.
-    env.icache.invalidate_range(addr, len(data))
-
-
-def _push(env, value: int) -> None:
-    ctx = env.context
-    rsp = (ctx.get(Reg.RSP) - 8) & _MASK64
-    ctx.set(Reg.RSP, rsp)
-    env.mem_write(rsp, struct.pack("<Q", value & _MASK64))
-
-
-def _pop(env) -> int:
-    ctx = env.context
-    rsp = ctx.get(Reg.RSP)
-    value = struct.unpack("<Q", env.mem_read(rsp, 8))[0]
-    ctx.set(Reg.RSP, (rsp + 8) & _MASK64)
-    return value

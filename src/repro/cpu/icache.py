@@ -12,32 +12,93 @@ This cache models that hazard precisely:
 
 - each core caches decoded instructions by address;
 - stores by the *same* core invalidate its own lines (x86 local coherence);
-- stores by *other* cores leave the cache stale unless the writer calls
-  :meth:`ICache.flush_remote` on every core (the "icache flush / shootdown"
-  a correct rewriter performs) or the executing core runs a serializing
-  instruction (``cpuid``/``mfence`` in the SimX86 subset).
+- stores by *other* cores leave the cache stale unless the writer invalidates
+  every core's cache (the "icache flush / shootdown" a correct rewriter
+  performs) or the executing core runs a serializing instruction
+  (``cpuid``/``mfence`` in the SimX86 subset).
+
+The cache is also the home of the **basic-block translation cache**
+(:mod:`repro.cpu.blocks`).  A :class:`Block` is a straight-line run of
+already-executed instructions replayed as pre-bound closures.  The coherence
+invariant that keeps block execution byte-identical to single-stepping is:
+
+    *a live block implies every ICache line it was recorded from is live
+    and unchanged* —
+
+because blocks are recorded strictly from lines this cache served (never by
+decoding ahead), and every invalidation path (:meth:`invalidate_range`,
+:meth:`flush_all`) drops blocks overlapping the invalidated span in the same
+call that drops the lines.  A store that would leave a single-step core
+executing stale decodes leaves the block cache executing the *same* stale
+decodes; a store that invalidates lines kills the blocks too.
+
+Lines and blocks are indexed by page so per-store invalidation inspects only
+candidates on the written pages instead of scanning every cached entry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.arch.decoder import decode
 from repro.arch.isa import Instruction
-from repro.errors import DecodeError
+from repro.cpu.dispatch import Executor, compile_insn
+from repro.errors import ProtectionKeyFault, SegmentationFault
+from repro.memory.pages import page_index
 
 #: Maximum bytes one line caches (longest SimX86 instruction is 10 bytes).
 LINE_SPAN = 16
 
+#: A cached line: the raw bytes the decode consumed, the decoded
+#: instruction, and its compiled executor closure.
+Line = Tuple[bytes, Instruction, Executor]
+
+
+class Block:
+    """A cached straight-line run of compiled instructions.
+
+    ``steps[i]`` is ``(next_rip, fn, insn)`` — the post-advance RIP and the
+    executor for the *i*-th instruction of the run.  ``valid`` is flipped by
+    the owning cache's invalidation paths; replay checks it between
+    instructions so a block self-invalidated by its own store stops exactly
+    where single-stepping would have re-fetched.
+    """
+
+    __slots__ = ("entry", "end", "steps", "valid")
+
+    def __init__(self, entry: int, end: int,
+                 steps: List[Tuple[int, Executor, Instruction]]):
+        self.entry = entry
+        self.end = end          # exclusive: entry + sum of lengths
+        self.steps = steps
+        self.valid = True
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
 
 class ICache:
-    """Decoded-instruction cache for one core."""
+    """Decoded-instruction cache (and block cache) for one core."""
 
     def __init__(self, core_id: int = 0):
         self.core_id = core_id
-        self._lines: Dict[int, Tuple[bytes, Instruction]] = {}
+        self._lines: Dict[int, Line] = {}
+        self._line_pages: Dict[int, Set[int]] = {}
+        self._blocks: Dict[int, Block] = {}
+        self._blocks_by_page: Dict[int, Set[int]] = {}
+        # In-progress block recording span (see repro.cpu.blocks): a store
+        # or flush overlapping it dooms the recording so a block is never
+        # installed over bytes that changed while it was being traced.
+        self._rec_active = False
+        self._rec_lo = 0
+        self._rec_hi = 0
+        self._rec_doomed = False
         self.hits = 0
         self.misses = 0
+        self.block_hits = 0
+        self.block_installs = 0
+
+    # -- decoded-line interface ------------------------------------------------
 
     def fetch(self, address: int, read_bytes) -> Instruction:
         """Return the instruction at *address*.
@@ -46,10 +107,14 @@ class ICache:
         memory fetch on a miss.  On a hit the cached decode is returned
         without touching memory — stale bytes and all.
         """
+        return self.fetch_entry(address, read_bytes)[1]
+
+    def fetch_entry(self, address: int, read_bytes) -> Line:
+        """Like :meth:`fetch`, returning the whole ``(raw, insn, fn)`` line."""
         line = self._lines.get(address)
         if line is not None:
             self.hits += 1
-            return line[1]
+            return line
         self.misses += 1
         raw = None
         fault = None
@@ -60,30 +125,106 @@ class ICache:
             try:
                 raw = read_bytes(address, span)
                 break
-            except Exception as exc:  # SegmentationFault and kin
+            except (SegmentationFault, ProtectionKeyFault) as exc:
                 fault = exc
         if raw is None:
             raise fault
         insn = decode(raw, 0)
-        self._lines[address] = (raw[: insn.length], insn)
-        return insn
+        line = (raw[: insn.length], insn, compile_insn(insn))
+        self._lines[address] = line
+        for page in range(page_index(address),
+                          page_index(address + insn.length - 1) + 1):
+            self._line_pages.setdefault(page, set()).add(address)
+        return line
+
+    # -- block interface -------------------------------------------------------
+
+    def block_at(self, entry: int) -> Optional[Block]:
+        block = self._blocks.get(entry)
+        if block is not None:
+            self.block_hits += 1
+        return block
+
+    def install_block(self, block: Block) -> None:
+        old = self._blocks.get(block.entry)
+        if old is not None:
+            self._drop_block(old)
+        self._blocks[block.entry] = block
+        for page in range(page_index(block.entry),
+                          page_index(block.end - 1) + 1):
+            self._blocks_by_page.setdefault(page, set()).add(block.entry)
+        self.block_installs += 1
+
+    def _drop_block(self, block: Block) -> None:
+        block.valid = False
+        if self._blocks.get(block.entry) is block:
+            del self._blocks[block.entry]
+        for page in range(page_index(block.entry),
+                          page_index(block.end - 1) + 1):
+            entries = self._blocks_by_page.get(page)
+            if entries is not None:
+                entries.discard(block.entry)
+                if not entries:
+                    del self._blocks_by_page[page]
+
+    # Recording span: repro.cpu.blocks brackets first-execution tracing with
+    # begin/end so invalidations racing the trace doom the block-in-progress.
+
+    def begin_record(self, start: int) -> None:
+        self._rec_active = True
+        self._rec_lo = start
+        self._rec_hi = start
+        self._rec_doomed = False
+
+    def extend_record(self, hi: int) -> None:
+        self._rec_hi = hi
+
+    def end_record(self) -> bool:
+        """Stop recording; returns True if the span survived untouched."""
+        self._rec_active = False
+        return not self._rec_doomed
 
     # -- invalidation protocol -------------------------------------------------
 
     def invalidate_range(self, start: int, length: int) -> None:
-        """Drop lines overlapping ``[start, start+length)``.
+        """Drop lines and blocks overlapping ``[start, start+length)``.
 
         Called automatically for same-core stores, and by correct rewriters
         (zpoline, K23) for every core after patching.
         """
-        doomed = [addr for addr in self._lines
-                  if addr < start + length and start < addr + len(self._lines[addr][0])]
-        for addr in doomed:
-            del self._lines[addr]
+        end = start + length
+        if self._rec_active and start < self._rec_hi and self._rec_lo < end:
+            self._rec_doomed = True
+        for page in range(page_index(start), page_index(end - 1) + 1):
+            addrs = self._line_pages.get(page)
+            if addrs:
+                doomed = [addr for addr in addrs
+                          if addr < end and start < addr + len(self._lines[addr][0])]
+                for addr in doomed:
+                    raw = self._lines.pop(addr)[0]
+                    for p in range(page_index(addr),
+                                   page_index(addr + len(raw) - 1) + 1):
+                        lines = self._line_pages.get(p)
+                        if lines is not None:
+                            lines.discard(addr)
+                            if not lines:
+                                del self._line_pages[p]
+            entries = self._blocks_by_page.get(page)
+            if entries:
+                for entry in [e for e in entries
+                              if e < end and start < self._blocks[e].end]:
+                    self._drop_block(self._blocks[entry])
 
     def flush_all(self) -> None:
         """Serializing instruction executed on this core (cpuid/mfence)."""
         self._lines.clear()
+        self._line_pages.clear()
+        for block in self._blocks.values():
+            block.valid = False
+        self._blocks.clear()
+        self._blocks_by_page.clear()
+        if self._rec_active:
+            self._rec_doomed = True
 
     def __len__(self) -> int:
         return len(self._lines)

@@ -11,7 +11,7 @@ from repro.memory.pku import Pkru
 _MASK64 = (1 << 64) - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Flags:
     """The two status flags the SimX86 subset observes."""
 
@@ -34,6 +34,8 @@ class CpuContext:
     GETREGS/SETREGS reads and writes, so interposers can manipulate it the
     same way their native counterparts do.
     """
+
+    __slots__ = ("_regs", "rip", "flags", "pkru")
 
     def __init__(self) -> None:
         self._regs: List[int] = [0] * 16

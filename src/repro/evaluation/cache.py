@@ -40,11 +40,19 @@ SCHEMA_VERSION = 1
 #: Sentinel distinguishing "no entry" from a cached falsy value.
 MISS = object()
 
-#: Modules every cell executes, whatever the mechanism or workload.
+#: Modules every cell executes, whatever the mechanism or workload.  The
+#: interpreter stack (dispatch semantics, block cache, icache, memory) is
+#: included so a change to execution machinery invalidates every cell —
+#: stale cached cells must never mask an interpreter behaviour change.
 COMMON_DEPENDENCIES: Tuple[str, ...] = (
     "repro.evaluation.runner",
     "repro.interposers.base",
     "repro.kernel.kernel",
+    "repro.cpu.core",
+    "repro.cpu.dispatch",
+    "repro.cpu.blocks",
+    "repro.cpu.icache",
+    "repro.memory.address_space",
 )
 
 #: Workload-key prefix → modules that cell's measurement exercises.

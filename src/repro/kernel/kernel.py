@@ -18,11 +18,13 @@ raw material for the exhaustiveness experiments (P2a/P2b).
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arch.registers import Reg
+from repro.cpu.blocks import run_unit
 from repro.cpu.core import HostcallRegistry, step as cpu_step
 from repro.cpu.cycles import CycleModel, Event
 from repro.errors import (
@@ -101,6 +103,13 @@ class Kernel:
         self.vdso_calls: List[tuple] = []
         self.quantum = DEFAULT_QUANTUM
         self._preempting = False
+        #: Basic-block translation cache (repro.cpu.blocks).  The
+        #: REPRO_NO_BLOCK_CACHE=1 escape hatch selects the reference
+        #: single-step path; results are byte-identical either way (the
+        #: equivalence the lockstep tests assert), the block path is just
+        #: faster.
+        self.block_cache_enabled = os.environ.get(
+            "REPRO_NO_BLOCK_CACHE", "") != "1"
         #: Probability that a mid-patch preemption window actually lets
         #: sibling threads run (pitfall P5).  The window is nanoseconds wide
         #: on hardware, so organic workloads rarely land in it; the default
@@ -360,6 +369,39 @@ class Kernel:
         if self.interposer is not None:
             self.interposer.on_process_exit(process)
 
+    def _step_unit(self, thread: Thread, budget: int) -> Tuple[int, bool]:
+        """Execute up to *budget* instructions as one unit.
+
+        Returns ``(retired, alive)``.  With the block cache disabled this
+        is exactly one :meth:`step_thread`; with it enabled, a recorded
+        block replays in one call.  Retire attribution on a fault matches
+        the per-step loop: the faulting instruction counts iff its signal
+        was delivered (``thread.unit_retired`` marks it within the unit).
+        """
+        if not self.block_cache_enabled:
+            alive = self.step_thread(thread)
+            return (1 if alive else 0), alive
+        thread.unit_retired = 0
+        try:
+            return run_unit(thread, budget), True
+        except ProcessExited as exc:
+            self._terminate(thread.process, exc)
+            return thread.unit_retired - 1, False
+        except SegmentationFault as exc:
+            ok = self._fault(thread, SIGSEGV, {"addr": exc.address,
+                                               "access": exc.access,
+                                               "reason": exc.reason})
+            return thread.unit_retired - (0 if ok else 1), ok
+        except InvalidOpcode as exc:
+            ok = self._fault(thread, SIGILL, {"addr": exc.address})
+            return thread.unit_retired - (0 if ok else 1), ok
+        except Breakpoint as exc:
+            ok = self._fault(thread, SIGTRAP, {"addr": exc.address})
+            return thread.unit_retired - (0 if ok else 1), ok
+        except Halt:
+            ok = self._fault(thread, SIGSEGV, {"reason": "hlt"})
+            return thread.unit_retired - (0 if ok else 1), ok
+
     def runnable_threads(self) -> List[Thread]:
         threads = []
         for process in self.processes.values():
@@ -374,7 +416,14 @@ class Kernel:
         return threads
 
     def run(self, max_steps: int = 5_000_000) -> int:
-        """Round-robin scheduler; returns instructions retired."""
+        """Round-robin scheduler; returns instructions retired.
+
+        Turns are executed in units (single instructions, or cached basic
+        blocks): per-unit budgets are capped by both the remaining quantum
+        and ``max_steps`` so the retire count — including the historical
+        one-extra-step-per-remaining-thread overshoot once the cap is hit
+        mid-round — is identical to the per-step loop this replaces.
+        """
         retired = 0
         while retired < max_steps:
             threads = self.runnable_threads()
@@ -382,14 +431,22 @@ class Kernel:
                 break
             progressed = False
             for thread in threads:
-                for _ in range(self.quantum):
+                done = 0
+                while done < self.quantum:
                     if not thread.runnable:
                         break
-                    if not self.step_thread(thread):
-                        break
-                    retired += 1
-                    progressed = True
-                    if retired >= max_steps:
+                    cap = self.quantum - done
+                    remaining = max_steps - retired
+                    if remaining < cap:
+                        # The per-step loop checked the cap *after* each
+                        # step, so every thread still gets >= 1 step.
+                        cap = remaining if remaining > 1 else 1
+                    n, alive = self._step_unit(thread, cap)
+                    retired += n
+                    done += n
+                    if n:
+                        progressed = True
+                    if not alive or retired >= max_steps:
                         break
             if not progressed:
                 break
@@ -404,12 +461,17 @@ class Kernel:
             if not threads:
                 break
             for thread in threads:
-                for _ in range(self.quantum):
+                done = 0
+                # NB: per the historical loop, a turn runs its full quantum
+                # even when it crosses max_steps (the cap is outer-loop only).
+                while done < self.quantum:
                     if not thread.runnable:
                         break
-                    if not self.step_thread(thread):
+                    n, alive = self._step_unit(thread, self.quantum - done)
+                    retired += n
+                    done += n
+                    if not alive:
                         break
-                    retired += 1
             if retired == before:
                 break
         return retired
@@ -440,6 +502,23 @@ class Kernel:
             self._preempting = False
 
     # ------------------------------------------------------------ introspection
+
+    def interp_stats(self) -> Dict[str, int]:
+        """Aggregate interpreter counters across every thread ever run:
+        decoded-line and basic-block cache activity plus instructions
+        retired (for insns/sec reporting in ``evalrun --verbose`` and the
+        interpreter benchmarks)."""
+        stats = {"instructions": self.cycles.counts[Event.INSTRUCTION],
+                 "icache_hits": 0, "icache_misses": 0,
+                 "block_hits": 0, "block_installs": 0}
+        for process in self.processes.values():
+            for thread in process.threads:
+                icache = thread.icache
+                stats["icache_hits"] += icache.hits
+                stats["icache_misses"] += icache.misses
+                stats["block_hits"] += icache.block_hits
+                stats["block_installs"] += icache.block_installs
+        return stats
 
     def app_requested_syscalls(self, pid: Optional[int] = None) -> List[SyscallRecord]:
         """Executed syscalls the application asked for (ground truth)."""

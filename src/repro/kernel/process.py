@@ -87,6 +87,11 @@ class Thread:
         #: Set while the thread is inside a host-level yield (re-entrancy
         #: guard for the preemption window modelling, P5).
         self.in_host_handler = False
+        #: In-unit retire index maintained by the block executor
+        #: (:mod:`repro.cpu.blocks`): the 1-based index of the instruction
+        #: currently executing, read by the scheduler to attribute a
+        #: faulting instruction when a multi-instruction unit raises.
+        self.unit_retired = 0
 
     # -- execution-environment protocol (repro.cpu.core.step) ------------------
 
@@ -106,8 +111,8 @@ class Thread:
     def on_hostcall(self, index: int) -> None:
         self.process.kernel.dispatch_hostcall(self, index)
 
-    def charge(self, event: Event) -> None:
-        self.process.kernel.cycles.charge(event)
+    def charge(self, event: Event, times: int = 1) -> None:
+        self.process.kernel.cycles.charge(event, times)
 
     # -- state -------------------------------------------------------------------
 

@@ -8,8 +8,9 @@ permission checks (including PKU) that produce segmentation faults.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import MapError, ProtectionKeyFault, SegmentationFault
 from repro.memory.pages import (
@@ -65,6 +66,16 @@ class AddressSpace:
         self._pkey: Dict[int, int] = {}
         self.regions: List[Region] = []
         self._mmap_cursor = MMAP_BASE
+        # Single-page access fast path: memoized (generation, page, prot,
+        # pkey) per page index.  Any mapping/protection change bumps the
+        # generation, lazily invalidating every memoized entry; the page
+        # bytearray is shared (not copied), so in-place writes through the
+        # slow path remain visible to fast-path readers.
+        self._fast: Dict[int, Tuple[int, bytearray, Prot, int]] = {}
+        self._fast_gen = 0
+        # region_at bisect index: region start addresses, kept in sync with
+        # the (sorted, non-overlapping) regions list.
+        self._region_starts: List[int] = []
 
     # ------------------------------------------------------------------ mapping
 
@@ -104,6 +115,8 @@ class AddressSpace:
         self._drop_region_overlap(addr, addr + length)
         self.regions.append(Region(addr, addr + length, name, file_offset))
         self.regions.sort(key=lambda r: r.start)
+        self._reindex_regions()
+        self._fast_gen += 1
         return addr
 
     def munmap(self, addr: int, length: int) -> None:
@@ -116,6 +129,7 @@ class AddressSpace:
             self._prot.pop(idx, None)
             self._pkey.pop(idx, None)
         self._drop_region_overlap(addr, addr + length)
+        self._fast_gen += 1
 
     def mprotect(self, addr: int, length: int, prot: Prot) -> None:
         """Change protection on whole mapped pages (EINVAL-style on gaps)."""
@@ -130,6 +144,7 @@ class AddressSpace:
                 )
         for idx in indices:
             self._prot[idx] = prot
+        self._fast_gen += 1
 
     def pkey_mprotect(self, addr: int, length: int, prot: Prot, pkey: int) -> None:
         """``pkey_mprotect``: mprotect + assign a protection key."""
@@ -138,6 +153,7 @@ class AddressSpace:
         self.mprotect(addr, length, prot)
         for idx in page_span(addr, round_up_pages(length)):
             self._pkey[idx] = pkey
+        self._fast_gen += 1
 
     def _find_free(self, length: int) -> int:
         addr = self._mmap_cursor
@@ -163,6 +179,10 @@ class AddressSpace:
                 kept.append(Region(end, region.end, region.name,
                                    region.file_offset + (end - region.start)))
         self.regions = sorted(kept, key=lambda r: r.start)
+        self._reindex_regions()
+
+    def _reindex_regions(self) -> None:
+        self._region_starts = [region.start for region in self.regions]
 
     # ------------------------------------------------------------------- access
 
@@ -187,19 +207,53 @@ class AddressSpace:
             if pkru is not None and not pkru.permits(self._pkey[idx], access):
                 raise ProtectionKeyFault(addr, access)
 
+    def _fast_entry(self, idx: int) -> "Optional[Tuple[int, bytearray, Prot, int]]":
+        """Memoized (generation, page, prot, pkey) for one page index."""
+        entry = self._fast.get(idx)
+        if entry is None or entry[0] != self._fast_gen:
+            page = self._pages.get(idx)
+            if page is None:
+                return None
+            entry = (self._fast_gen, page, self._prot[idx], self._pkey[idx])
+            self._fast[idx] = entry
+        return entry
+
     def read(self, addr: int, length: int, pkru: Optional[Pkru] = None) -> bytes:
         """Data read with permission + PKU checks."""
+        # Single-page fast path: the interpreter's loads are 1- or 8-byte
+        # and almost never straddle a page; skip the page_span generator
+        # and bytearray assembly.  Any miss or fault falls back to the
+        # slow path so exception types/fields stay identical.
+        off = addr & (PAGE_SIZE - 1)
+        if off + length <= PAGE_SIZE:
+            entry = self._fast_entry(addr // PAGE_SIZE)
+            if entry is not None and entry[2] & Prot.READ and (
+                    pkru is None or pkru.permits(entry[3], "read")):
+                return bytes(entry[1][off:off + length])
         self._check(addr, length, "read", pkru)
         return self._copy_out(addr, length)
 
     def fetch(self, addr: int, length: int) -> bytes:
         """Instruction fetch: requires EXEC; **not** subject to PKU."""
+        off = addr & (PAGE_SIZE - 1)
+        if off + length <= PAGE_SIZE:
+            entry = self._fast_entry(addr // PAGE_SIZE)
+            if entry is not None and entry[2] & Prot.EXEC:
+                return bytes(entry[1][off:off + length])
         self._check(addr, length, "exec", None)
         return self._copy_out(addr, length)
 
     def write(self, addr: int, data: bytes, pkru: Optional[Pkru] = None) -> None:
         """Data write with permission + PKU checks."""
-        self._check(addr, len(data), "write", pkru)
+        length = len(data)
+        off = addr & (PAGE_SIZE - 1)
+        if off + length <= PAGE_SIZE:
+            entry = self._fast_entry(addr // PAGE_SIZE)
+            if entry is not None and entry[2] & Prot.WRITE and (
+                    pkru is None or pkru.permits(entry[3], "write")):
+                entry[1][off:off + length] = data
+                return
+        self._check(addr, length, "write", pkru)
         self._copy_in(addr, data)
 
     def read_kernel(self, addr: int, length: int) -> bytes:
@@ -244,8 +298,12 @@ class AddressSpace:
     # -------------------------------------------------------------------- /proc
 
     def region_at(self, addr: int) -> Optional[Region]:
-        """The named region containing *addr*, if any."""
-        for region in self.regions:
+        """The named region containing *addr*, if any (bisect; regions are
+        sorted and non-overlapping, so only the rightmost start <= addr can
+        contain it)."""
+        i = bisect_right(self._region_starts, addr) - 1
+        if i >= 0:
+            region = self.regions[i]
             if region.contains(addr):
                 return region
         return None
@@ -277,5 +335,6 @@ class AddressSpace:
         child._pkey = dict(self._pkey)
         child.regions = [Region(r.start, r.end, r.name, r.file_offset)
                          for r in self.regions]
+        child._reindex_regions()
         child._mmap_cursor = self._mmap_cursor
         return child

@@ -35,6 +35,31 @@ from repro.evaluation.tables import render_table5, render_table6
 from repro.interposers.registry import REGISTRY
 
 
+def _interp_probe() -> str:
+    """One-line interpreter health probe (``--verbose``): insns/sec plus
+    icache / block-cache hit rates on a short native syscall-stress run."""
+    import time
+
+    from repro.kernel.kernel import Kernel
+    from repro.workloads.stress import STRESS_PATH, install_stress
+
+    kernel = Kernel(seed=42)
+    install_stress(kernel, iterations=500)
+    process = kernel.spawn_process(STRESS_PATH)
+    started = time.perf_counter()
+    retired = kernel.run_process(process, max_steps=2_000_000)
+    elapsed = time.perf_counter() - started
+    stats = kernel.interp_stats()
+    fetches = stats["icache_hits"] + stats["icache_misses"]
+    icache_rate = stats["icache_hits"] / fetches if fetches else 0.0
+    units = stats["block_hits"] + stats["block_installs"]
+    block_rate = stats["block_hits"] / units if units else 0.0
+    mode = "block-cache" if kernel.block_cache_enabled else "single-step"
+    return (f"interp[{mode}]: {retired / elapsed:,.0f} insns/sec "
+            f"(icache hit {icache_rate:.1%}, block hit {block_rate:.1%}, "
+            f"{retired} insns)")
+
+
 def _echo(run: pipe.PipelineRun, label: str, verbose: bool) -> None:
     print(f"{label}: {run.stats.summary()}", file=sys.stderr)
     if verbose:
@@ -101,6 +126,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     jobs = max(1, args.jobs)
     status = 0
+
+    if args.verbose:
+        print(_interp_probe(), file=sys.stderr)
 
     if args.target in ("table5", "matrix"):
         if args.smoke:

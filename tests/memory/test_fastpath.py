@@ -1,0 +1,187 @@
+"""Single-page fast path in :class:`AddressSpace`: equivalence and
+generation-based invalidation.
+
+The fast path memoizes (generation, page, prot, pkey) per page index and
+serves any access that stays inside one page; everything else — and every
+*fault* — falls through to the original ``_check`` + copy path.  These
+tests pin the contract: identical bytes, identical exception types and
+fields, and correct invalidation after every mapping mutation
+(``mprotect``/``pkey_mprotect``/``munmap``/``mmap``).
+"""
+
+import pytest
+
+from repro.errors import ProtectionKeyFault, SegmentationFault
+from repro.memory import PAGE_SIZE, Pkru, Prot
+from repro.memory.address_space import AddressSpace
+
+BASE = 0x40_0000
+
+
+def make_space(prot=Prot.READ | Prot.WRITE, pages=4) -> AddressSpace:
+    space = AddressSpace()
+    space.mmap(BASE, pages * PAGE_SIZE, prot, name="t", fixed=True)
+    return space
+
+
+# ------------------------------------------------------------- equivalence
+
+
+def test_in_page_read_write_roundtrip():
+    space = make_space()
+    payload = bytes(range(64))
+    space.write(BASE + 100, payload)
+    assert space.read(BASE + 100, 64) == payload
+    # Repeat (now served from the memoized entry) — identical.
+    assert space.read(BASE + 100, 64) == payload
+
+
+def test_cross_page_access_uses_slow_path_and_matches():
+    space = make_space()
+    straddle = BASE + PAGE_SIZE - 3
+    payload = b"ABCDEFGH"                 # 3 bytes in page 0, 5 in page 1
+    space.write(straddle, payload)
+    assert space.read(straddle, 8) == payload
+    # The same bytes are visible through two in-page (fast) reads.
+    assert space.read(straddle, 3) + space.read(straddle + 3, 5) == payload
+
+
+def test_fast_write_is_visible_to_kernel_copies():
+    # The fast path mutates the page bytearray in place; the slow copy
+    # paths must observe it (shared identity, not a snapshot).
+    space = make_space()
+    space.write(BASE + 8, b"\x5a" * 8)
+    assert space.read_kernel(BASE + 8, 8) == b"\x5a" * 8
+    space.write_kernel(BASE + 16, b"\xa5" * 8)
+    assert space.read(BASE + 16, 8) == b"\xa5" * 8
+
+
+def test_fetch_requires_exec_and_ignores_pku():
+    space = make_space(prot=Prot.READ | Prot.EXEC)
+    space.write_kernel(BASE, b"\x90" * 16)
+    pkru = Pkru()
+    pkru.set_access_disabled(3, True)
+    space.pkey_mprotect(BASE, PAGE_SIZE, Prot.READ | Prot.EXEC, pkey=3)
+    # Data reads through key 3 fault; instruction fetch does not (XOM).
+    with pytest.raises(ProtectionKeyFault):
+        space.read(BASE, 4, pkru=pkru)
+    assert space.fetch(BASE, 4) == b"\x90" * 4
+
+
+# ------------------------------------------------------------ fault parity
+
+
+def test_unmapped_fault_fields_match_slow_path():
+    space = make_space()
+    for length in (1, 8, PAGE_SIZE + 8):     # fast-sized and straddling
+        with pytest.raises(SegmentationFault) as err:
+            space.read(0x9999_0000, length)
+        assert err.value.address == 0x9999_0000
+        assert err.value.access == "read"
+        assert err.value.reason == "unmapped"
+
+
+def test_permission_fault_fields_match_slow_path():
+    space = make_space(prot=Prot.READ)
+    with pytest.raises(SegmentationFault) as err:
+        space.write(BASE + 5, b"x")
+    assert err.value.access == "write"
+    assert err.value.reason == "permission"
+    with pytest.raises(SegmentationFault) as err:
+        space.fetch(BASE, 1)
+    assert err.value.access == "exec"
+    assert err.value.reason == "permission"
+
+
+def test_pkey_fault_raised_for_in_page_access():
+    space = make_space()
+    space.pkey_mprotect(BASE, PAGE_SIZE, Prot.READ | Prot.WRITE, pkey=5)
+    pkru = Pkru()
+    pkru.set_write_disabled(5, True)
+    assert space.read(BASE, 8, pkru=pkru) == b"\x00" * 8   # reads still OK
+    with pytest.raises(ProtectionKeyFault) as err:
+        space.write(BASE, b"x", pkru=pkru)
+    assert err.value.access == "write"
+    assert err.value.reason == "pkey"
+
+
+# ----------------------------------------------------------- invalidation
+
+
+def test_mprotect_invalidates_memoized_entry():
+    space = make_space()
+    assert space.read(BASE, 8) == b"\x00" * 8        # memoize page 0
+    space.mprotect(BASE, PAGE_SIZE, Prot.NONE)
+    with pytest.raises(SegmentationFault):
+        space.read(BASE, 8)
+    space.mprotect(BASE, PAGE_SIZE, Prot.READ)
+    assert space.read(BASE, 8) == b"\x00" * 8
+
+
+def test_pkey_mprotect_invalidates_memoized_entry():
+    space = make_space()
+    pkru = Pkru()
+    pkru.set_access_disabled(7, True)
+    assert space.read(BASE, 8, pkru=pkru) == b"\x00" * 8   # memoized, key 0
+    space.pkey_mprotect(BASE, PAGE_SIZE, Prot.READ | Prot.WRITE, pkey=7)
+    with pytest.raises(ProtectionKeyFault):
+        space.read(BASE, 8, pkru=pkru)
+
+
+def test_munmap_invalidates_memoized_entry():
+    space = make_space()
+    space.write(BASE + PAGE_SIZE, b"live")           # memoize page 1
+    space.munmap(BASE + PAGE_SIZE, PAGE_SIZE)
+    with pytest.raises(SegmentationFault) as err:
+        space.read(BASE + PAGE_SIZE, 4)
+    assert err.value.reason == "unmapped"
+    # Neighbouring pages are untouched.
+    assert space.read(BASE, 4) == b"\x00" * 4
+    assert space.read(BASE + 2 * PAGE_SIZE, 4) == b"\x00" * 4
+
+
+def test_remap_after_munmap_serves_fresh_page():
+    space = make_space()
+    space.write(BASE, b"old!")
+    space.munmap(BASE, PAGE_SIZE)
+    space.mmap(BASE, PAGE_SIZE, Prot.READ | Prot.WRITE, name="new",
+               fixed=True)
+    assert space.read(BASE, 4) == b"\x00\x00\x00\x00"
+
+
+def test_fork_copy_does_not_share_fast_entries():
+    parent = make_space()
+    parent.write(BASE, b"parent!!")                  # memoize in parent
+    child = parent.fork_copy()
+    child.write(BASE, b"child!!!")
+    assert parent.read(BASE, 8) == b"parent!!"
+    assert child.read(BASE, 8) == b"child!!!"
+
+
+# ------------------------------------------------------------- region_at
+
+
+def test_region_at_bisect_with_gaps():
+    space = AddressSpace()
+    starts = [0x10_0000, 0x30_0000, 0x50_0000]
+    for start in starts:
+        space.mmap(start, PAGE_SIZE, Prot.READ, name=f"r{start:#x}",
+                   fixed=True)
+    for start in starts:
+        assert space.region_at(start).start == start
+        assert space.region_at(start + PAGE_SIZE - 1).start == start
+        assert space.region_at(start + PAGE_SIZE) is None   # gap after
+    assert space.region_at(0) is None
+    assert space.region_at(0x20_0000) is None                # gap between
+    assert space.region_at(0xFFFF_FFFF_0000) is None         # past the end
+
+
+def test_region_at_after_unmap_and_split():
+    space = AddressSpace()
+    space.mmap(BASE, 4 * PAGE_SIZE, Prot.READ | Prot.WRITE, name="big",
+               fixed=True)
+    # Punch a hole in the middle; region_at must track the split index.
+    space.munmap(BASE + PAGE_SIZE, PAGE_SIZE)
+    assert space.region_at(BASE) is not None
+    assert space.region_at(BASE + PAGE_SIZE) is None
+    assert space.region_at(BASE + 2 * PAGE_SIZE) is not None

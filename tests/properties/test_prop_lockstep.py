@@ -1,0 +1,253 @@
+"""Lockstep differential fuzz: block-mode vs single-step execution.
+
+Seeded random programs (assembled with :class:`repro.arch.assembler.Asm`)
+run twice — once through the basic-block translation cache
+(:func:`repro.cpu.blocks.run_unit`), once through the reference single-step
+interpreter (:func:`repro.cpu.core.step`) — with the full architectural
+state (rip, all 16 registers, flags, cycle counter, syscall/hostcall log,
+data memory) compared after every unit boundary.  Cross-core
+self-modifying-code scenarios (P5) patch the program mid-block from a
+"remote writer" and assert both interpreters exhibit the *identical*
+stale/torn behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.arch.assembler import Asm
+from repro.arch.registers import Reg
+from repro.cpu.blocks import run_unit
+from repro.cpu.core import step
+from repro.cpu.cycles import CycleModel, Event
+from repro.cpu.icache import ICache
+from repro.cpu.state import CpuContext
+from repro.errors import Breakpoint, ReproError
+from repro.memory import AddressSpace, PAGE_SIZE, Prot
+
+CODE_BASE = 0x40_0000
+DATA_BASE = 0x60_0000
+STACK_TOP = 0x80_0000
+
+#: Registers the fuzzer scrambles (stack/data pointers stay sane).
+SCRATCH = [Reg.RAX, Reg.RBX, Reg.RCX, Reg.RDX, Reg.RSI, Reg.R8, Reg.R9,
+           Reg.R10]
+
+
+class FuzzEnv:
+    """Kernel-less environment; syscalls/hostcalls just count."""
+
+    def __init__(self, code: bytes):
+        self.context = CpuContext()
+        self.icache = ICache()
+        self.space = AddressSpace()
+        self.cycles = CycleModel()
+        self.unit_retired = 0
+        self.space.mmap(CODE_BASE, max(len(code), 1), Prot.READ | Prot.EXEC,
+                        name="code", fixed=True)
+        self.space.write_kernel(CODE_BASE, code)
+        self.space.mmap(DATA_BASE, PAGE_SIZE, Prot.READ | Prot.WRITE,
+                        name="data", fixed=True)
+        self.space.mmap(STACK_TOP - 16 * PAGE_SIZE, 16 * PAGE_SIZE,
+                        Prot.READ | Prot.WRITE, name="stack", fixed=True)
+        self.context.rip = CODE_BASE
+        self.context.set(Reg.RSP, STACK_TOP - 64)
+        self.context.set(Reg.RDI, DATA_BASE)
+        self.syscalls = 0
+        self.hostcalls = 0
+
+    def mem_fetch(self, addr, n):
+        return self.space.fetch(addr, n)
+
+    def mem_read(self, addr, n):
+        return self.space.read(addr, n, pkru=self.context.pkru)
+
+    def mem_write(self, addr, data):
+        self.space.write(addr, data, pkru=self.context.pkru)
+
+    def on_syscall(self):
+        self.syscalls += 1
+
+    def on_hostcall(self, index):
+        self.hostcalls += 1
+
+    def state(self):
+        ctx = self.context
+        return (ctx.rip, tuple(ctx._regs), ctx.flags.zf, ctx.flags.sf,
+                self.cycles.cycles, self.syscalls, self.hostcalls,
+                bytes(self.space.read_kernel(DATA_BASE, 64)))
+
+    def charge(self, event, times=1):
+        self.cycles.charge(event, times)
+
+
+def random_program(rng: random.Random) -> bytes:
+    """A terminating random SimX86 program: a bounded counted loop whose
+    body mixes arithmetic, memory traffic, stack ops, forward branches,
+    syscalls, and nop sleds."""
+    asm = Asm()
+    asm.mov_ri(Reg.RCX, rng.randrange(2, 6))        # outer trip count
+    asm.label("loop")
+    body = rng.randrange(4, 14)
+    for i in range(body):
+        pick = rng.randrange(12)
+        reg = rng.choice(SCRATCH)
+        src = rng.choice(SCRATCH)
+        if pick == 0:
+            asm.mov_ri(reg, rng.randrange(0, 1 << 31))
+        elif pick == 1:
+            asm.add_rr(reg, src)
+        elif pick == 2:
+            asm.sub_ri(reg, rng.randrange(0, 1000))
+        elif pick == 3:
+            asm.xor_rr(reg, src)
+        elif pick == 4:
+            asm.store(Reg.RDI, reg)                  # 8-byte store
+        elif pick == 5:
+            asm.load(reg, Reg.RDI)
+        elif pick == 6:
+            asm.push(reg)
+            asm.pop(src)
+        elif pick == 7:
+            asm.nop(rng.randrange(1, 8))             # single-byte nop sled
+        elif pick == 8:
+            skip = f"skip_{i}_{rng.randrange(1 << 30)}"
+            asm.test_rr(reg, reg)
+            asm.je(skip)
+            asm.inc(src)
+            asm.label(skip)
+        elif pick == 9:
+            asm.mov_ri(Reg.RAX, rng.randrange(0, 300))
+            asm.syscall_()
+        elif pick == 10:
+            asm.inc(reg)
+        else:
+            asm.cmp_ri(reg, rng.randrange(0, 100))
+    asm.dec(Reg.RCX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.assemble()
+
+
+def lockstep(code: bytes, max_insns: int = 4000, quantum: int = 100,
+             patch=None):
+    """Run *code* through both interpreters, comparing state at every unit
+    boundary.  ``patch(space)`` (if given) fires once after ``quantum``
+    retired instructions, modelling a remote-core writer (no icache
+    shootdown — P5)."""
+    block_env = FuzzEnv(code)
+    step_env = FuzzEnv(code)
+    retired = 0
+    patched = False
+    block_err = None
+    while retired < max_insns:
+        try:
+            n = run_unit(block_env, quantum)
+        except ReproError as exc:
+            block_err = exc
+            n = block_env.unit_retired
+        # Mirror the exact retire count on the reference interpreter; if the
+        # block side faulted, its n-th instruction must fault identically.
+        for _ in range(n if block_err is None else n - 1):
+            step(step_env)
+        if block_err is not None:
+            with pytest.raises(type(block_err)):
+                step(step_env)
+        assert block_env.state() == step_env.state(), \
+            f"diverged after {retired}+{n} insns"
+        if block_err is not None:
+            break
+        retired += n
+        if patch is not None and not patched and retired >= quantum:
+            patch(block_env.space)
+            patch(step_env.space)
+            patched = True
+    return block_env, step_env
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_lockstep_random_programs(seed):
+    rng = random.Random(1000 + seed)
+    code = random_program(rng)
+    block_env, step_env = lockstep(code)
+    assert block_env.state() == step_env.state()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_lockstep_with_remote_patch_mid_block(seed):
+    """P5: a remote writer flips an imm byte inside already-recorded code
+    with no invalidation; both interpreters must stay (identically) stale."""
+    rng = random.Random(7000 + seed)
+    code = random_program(rng)
+
+    def patch(space):
+        # Flip the low imm byte of the trip-count mov at the entry: a
+        # single-byte store into a multi-byte instruction, no shootdown.
+        space.write_kernel(CODE_BASE + 1, b"\x01")
+
+    block_env, step_env = lockstep(code, patch=patch)
+    assert block_env.state() == step_env.state()
+
+
+def test_lockstep_torn_two_byte_patch():
+    """The lazypoline-style torn window: a remote writer replaces a 2-byte
+    ``syscall`` one byte at a time, with a serializing flush landing while
+    the patch is half-applied.  Both interpreters must stay stale through
+    the first byte, then decode the identical torn sequence after the
+    flush and fault at the same address."""
+    asm = Asm()
+    asm.mov_ri(Reg.RCX, 64)
+    asm.label("loop")
+    asm.mov_ri(Reg.RAX, 39)
+    asm.mark("site")
+    asm.syscall_()               # the 2-byte patch target: 0f 05
+    asm.inc(Reg.RBX)
+    asm.dec(Reg.RCX)
+    asm.jne("loop")
+    asm.hlt()
+    code = asm.assemble()
+    site = CODE_BASE + asm.marks["site"]
+
+    block_env = FuzzEnv(code)
+    step_env = FuzzEnv(code)
+
+    def mirror(budget):
+        n = run_unit(block_env, budget)
+        for _ in range(n):
+            step(step_env)
+        assert block_env.state() == step_env.state()
+        return n
+
+    # A few loop iterations so lines are decoded and blocks installed.
+    done = 0
+    while block_env.syscalls < 4:
+        done += mirror(10)
+    assert block_env.icache.block_hits > 0
+
+    # Remote writer lands byte one of the patch (0f 05 -> cc 05): the torn
+    # window.  No shootdown — both cores keep executing the stale syscall.
+    for env in (block_env, step_env):
+        env.space.write_kernel(site, b"\xcc")
+    stale_syscalls = block_env.syscalls
+    while block_env.syscalls < stale_syscalls + 3:
+        mirror(10)
+    assert step_env.syscalls == block_env.syscalls > stale_syscalls
+
+    # A serializing flush on both cores lands INSIDE the torn window: both
+    # now fetch the half-patched bytes and fault identically at the int3.
+    block_env.icache.flush_all()
+    step_env.icache.flush_all()
+    block_err = step_err = None
+    try:
+        for _ in range(64):
+            run_unit(block_env, 10)
+    except Breakpoint as exc:
+        block_err = exc
+    try:
+        for _ in range(640):
+            step(step_env)
+    except Breakpoint as exc:
+        step_err = exc
+    assert block_err is not None and step_err is not None
+    assert block_err.address == step_err.address == site
+    assert block_env.state() == step_env.state()
