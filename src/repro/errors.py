@@ -118,14 +118,18 @@ class ProcessKilled(ProcessExited):
 
     Attributes:
         signal: the terminating signal number.
+        core: whether the signal's default disposition dumps core
+            (wait-status bit 0x80 on real Linux).
     """
 
-    def __init__(self, signal: int, detail: str = ""):
+    def __init__(self, signal: int, detail: str = "", core: bool = False):
         ProcessExited.__init__(self, 128 + signal)
         self.signal = signal
         self.detail = detail
+        self.core = core
         self.args = (f"process killed by signal {signal}"
-                     f"{' (' + detail + ')' if detail else ''}",)
+                     f"{' (' + detail + ')' if detail else ''}"
+                     f"{' (core dumped)' if core else ''}",)
 
 
 class InterposerAbort(ProcessExited):

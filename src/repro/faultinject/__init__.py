@@ -1,0 +1,25 @@
+"""Deterministic fault injection & differential conformance (K23 repro).
+
+Three layers:
+
+- :mod:`repro.faultinject.schedule` — seeded, pre-drawn fault schedules
+  (same seed ⇒ byte-identical :meth:`FaultSchedule.encode`);
+- :mod:`repro.faultinject.engine` — :class:`FaultInjector`, which attaches
+  to a kernel's hook points and executes a schedule;
+- :mod:`repro.faultinject.conformance` — the differential oracle: run every
+  registered interposition mechanism and the ``native`` null-interposer
+  under identical fault schedules and diff the observable state.
+"""
+
+from repro.faultinject.schedule import (Fault, FaultConfig, FaultSchedule,
+                                        INJECTABLE_DEFAULT, build_schedule)
+from repro.faultinject.engine import FaultInjector
+
+__all__ = [
+    "Fault",
+    "FaultConfig",
+    "FaultSchedule",
+    "FaultInjector",
+    "INJECTABLE_DEFAULT",
+    "build_schedule",
+]

@@ -70,12 +70,16 @@ class SyscallRecord:
             forwarded the application's original call),
             ``"interposer-internal"`` (interposer bookkeeping, not
             application-requested).
+        result: the value returned to the caller (negated errno on
+            failure), or None when the handler fully managed the context
+            (execve) or the call parked on the BLOCKED sentinel.
     """
 
     pid: int
     nr: int
     site: int
     origin: str
+    result: Optional[int] = None
 
     @property
     def app_requested(self) -> bool:
@@ -121,6 +125,12 @@ class Kernel:
         #: The interposer harness currently governing new processes (set by
         #: repro.interposers machinery; None = native execution).
         self.interposer = None
+        #: Deterministic fault-injection engine (repro.faultinject).  Every
+        #: hook site below is a cheap attribute check while this stays None;
+        #: attaching an engine turns syscall entry/exit, unit and quantum
+        #: boundaries, signal delivery, icache shootdowns, protection
+        #: changes, and preemption windows into injection points.
+        self.fault_injector = None
         # Lazy import: the loader builds on kernel.process types.
         from repro.loader.linker import Loader
 
@@ -160,6 +170,13 @@ class Kernel:
         nr = ctx.syscall_number
         site = ctx.rip - 2
 
+        # 0. Fault-injection hook: a remote selector flip (or similar) may
+        # land here — after the application committed to the syscall but
+        # before SUD reads the selector, the race window of pitfall P4.
+        fi = self.fault_injector
+        if fi is not None:
+            fi.on_syscall_entry(thread, nr, site)
+
         # 1. Syscall User Dispatch.
         if thread.sud.should_dispatch(site, self._read_selector(process)):
             # A restarted blocking call (accept/recvfrom that parked inside
@@ -184,7 +201,7 @@ class Kernel:
                         int((armed - 1) * SUD_CONTENTION_FACTOR * base))
             self.deliver_signal(thread, SIGSYS, fault_rip=site,
                                 info={"nr": nr, "site": site},
-                                charge=not restart_credit)
+                                charge=not restart_credit, sync=True)
             return
 
         # 2. ptrace entry stop.
@@ -209,7 +226,7 @@ class Kernel:
                 self.deliver_signal(thread, SIGSYS, fault_rip=site,
                                     info={"nr": nr, "site": site,
                                           "seccomp": True},
-                                    charge=not restart_credit)
+                                    charge=not restart_credit, sync=True)
                 return
             if verdict.action == Action.ERRNO:
                 ctx.set_syscall_result(-verdict.errno)
@@ -246,6 +263,10 @@ class Kernel:
             ctx.set(Reg.R11, 0x202)
             if traced and not tracer.detached:
                 tracer.notify_exit(thread)
+        if proceed and fi is not None:
+            # Return-to-user is where async signals land on Linux; forwarded
+            # calls (sud-/rewrite-handler) fire this from direct_syscall.
+            fi.on_syscall_exit(thread, nr, "ptrace" if traced else "app")
 
     def _read_selector(self, process: Process) -> Callable[[int], int]:
         def read(addr: int) -> int:
@@ -259,17 +280,32 @@ class Kernel:
                    origin: str, site: int = 0) -> Optional[int]:
         """Execute one syscall against the tables; returns the result value
         (or None when the handler fully managed the context, e.g. execve)."""
-        self.syscall_log.append(SyscallRecord(thread.process.pid, nr, site,
-                                              origin))
+        record = SyscallRecord(thread.process.pid, nr, site, origin)
+        self.syscall_log.append(record)
+        fi = self.fault_injector
+        if fi is not None and record.app_requested:
+            # Transient-failure injection: the call "executes" but fails
+            # with EINTR/EAGAIN/ENOMEM before reaching its implementation,
+            # exactly as a signal- or memory-pressure-interrupted kernel
+            # path would.  Interposer-internal bookkeeping is never failed.
+            errno = fi.transient_errno(thread, nr, origin)
+            if errno is not None:
+                record.result = -errno
+                return -errno
         impl = self._table.get(nr)
         if impl is None:
-            return -Errno.ENOSYS
+            record.result = -Errno.ENOSYS
+            return record.result
         from repro.errors import VFSError
 
         try:
-            return impl(self, thread, args)
+            result = impl(self, thread, args)
         except VFSError as exc:
-            return -exc.errno
+            record.result = -exc.errno
+            return record.result
+        if result is not BLOCKED_SENTINEL and isinstance(result, int):
+            record.result = result
+        return result
 
     def direct_syscall(self, thread: Thread, nr: int, args: List[int],
                        origin: str = "interposer-internal",
@@ -289,7 +325,12 @@ class Kernel:
         self.cycles.charge(Event.KERNEL_SYSCALL)
         if thread.process.sud_armed_ever:
             self.cycles.charge(Event.SUD_ARMED_SLOWPATH)
-        return -Errno.ENOSYS if result is None else result
+        result = -Errno.ENOSYS if result is None else result
+        if origin != "interposer-internal" and self.fault_injector is not None:
+            # The forwarded application call completes here (the raw trap
+            # returned early from the SUD/rewrite dispatch path).
+            self.fault_injector.on_syscall_exit(thread, nr, origin)
+        return result
 
     def dispatch_hostcall(self, thread: Thread, index: int) -> None:
         self.hostcalls.get(index)(thread)
@@ -298,8 +339,29 @@ class Kernel:
 
     def deliver_signal(self, thread: Thread, signal: int, fault_rip: int = 0,
                        info: Optional[Dict] = None,
-                       charge: bool = True) -> None:
-        """Deliver *signal* to *thread* per the process dispositions."""
+                       charge: bool = True, sync: bool = False) -> None:
+        """Deliver *signal* to *thread* per the process dispositions.
+
+        A signal is masked while its own handler runs (host handlers until
+        they return, simulated handlers until ``rt_sigreturn``), so the
+        same signal never nests — in particular no nested SIGSYS while an
+        interposer's host handler is forwarding the original call.  An
+        async signal arriving masked is queued on ``thread.pending_signals``
+        and flushed after the handler completes; a *synchronous* fault
+        (``sync=True``: SIGSEGV/SIGILL/SIGTRAP/SIGSYS raised by the
+        faulting instruction itself) arriving masked force-kills with the
+        default disposition, as Linux's ``force_sig`` does — the
+        alternative is re-executing the faulting instruction forever.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.on_signal(thread, signal)
+        if signal in thread.blocked_signals:
+            detail = SIGNAL_NAMES.get(signal, str(signal))
+            if sync:
+                default_action(signal, detail + " (blocked, forced)")
+                return
+            thread.pending_signals.append((signal, fault_rip, info or {}))
+            return
         action = thread.process.dispositions.get_action(signal)
         if action is None:
             detail = SIGNAL_NAMES.get(signal, str(signal))
@@ -313,21 +375,59 @@ class Kernel:
             thread._just_execed = False
             sigctx = SignalContext(signal, thread, thread.context.save(),
                                    fault_rip, info or {})
-            action(sigctx)
+            thread.blocked_signals.add(signal)
+            try:
+                action(sigctx)
+            finally:
+                thread.blocked_signals.discard(signal)
             if charge:
                 self.cycles.charge(Event.SIGRETURN)
             if not thread._just_execed:
                 # rt_sigreturn semantics; skipped when the handler execve'd
                 # (the frame belongs to the torn-down image).
                 thread.context.restore(sigctx.saved)
+            self.flush_pending_signals(thread)
             return
-        # Simulated-address handler: push a frame, redirect RIP.
+        # Simulated-address handler: push a frame, mask the signal until
+        # rt_sigreturn, redirect RIP.
         self.cycles.charge(Event.SIGNAL_DELIVERY)
-        if not hasattr(thread, "signal_frames"):
-            thread.signal_frames = []
-        thread.signal_frames.append(thread.context.save())
+        thread.blocked_signals.add(signal)
+        thread.signal_frames.append((signal, thread.context.save()))
         thread.context.set(Reg.RDI, signal)
         thread.context.rip = action
+
+    def flush_pending_signals(self, thread: Thread) -> None:
+        """Deliver queued async signals whose mask has cleared (called when
+        a host handler returns and at ``rt_sigreturn``)."""
+        while thread.pending_signals:
+            for i, (signal, fault_rip, info) in enumerate(
+                    thread.pending_signals):
+                if signal not in thread.blocked_signals:
+                    del thread.pending_signals[i]
+                    self.deliver_signal(thread, signal, fault_rip=fault_rip,
+                                        info=info)
+                    break
+            else:
+                return
+
+    # ----------------------------------------------------- coherence / hooks
+
+    def icache_shootdown(self, process: Process, start: int,
+                         length: int) -> None:
+        """Invalidate every core's decoded lines and recorded blocks over
+        ``[start, start+length)`` — the IPI-based shootdown ``munmap`` and
+        ``mmap(MAP_FIXED)`` perform on real kernels (unlike plain stores
+        and ``mprotect``, which leave stale decodes in place — P5)."""
+        for thread in process.threads:
+            thread.icache.invalidate_range(start, length)
+        if self.fault_injector is not None:
+            self.fault_injector.on_icache_flush(process, start, length)
+
+    def notify_prot_change(self, thread: Thread, start: int, length: int,
+                           prot: int) -> None:
+        """Fault-injection hook site: a page-permission change landed."""
+        if self.fault_injector is not None:
+            self.fault_injector.on_prot_change(thread, start, length, prot)
 
     # -------------------------------------------------------------- scheduler
 
@@ -356,7 +456,7 @@ class Kernel:
     def _fault(self, thread: Thread, signal: int, info: Dict) -> bool:
         try:
             self.deliver_signal(thread, signal, fault_rip=thread.context.rip,
-                                info=info)
+                                info=info, sync=True)
             return True
         except ProcessExited as exc:
             self._terminate(thread.process, exc)
@@ -364,6 +464,7 @@ class Kernel:
 
     def _terminate(self, process: Process, exc: ProcessExited) -> None:
         process.terminate(exc.status)
+        process.core_dumped = bool(getattr(exc, "core", False))
         process.kill_detail = getattr(exc, "detail", "") or getattr(
             exc, "reason", "")
         if self.interposer is not None:
@@ -377,30 +478,47 @@ class Kernel:
         block replays in one call.  Retire attribution on a fault matches
         the per-step loop: the faulting instruction counts iff its signal
         was delivered (``thread.unit_retired`` marks it within the unit).
+
+        Fault injection: an attached engine clips the unit budget so unit
+        boundaries land *exactly* on instruction-count trigger points (a
+        replayed block is doomed to end at the trigger rather than run
+        past it), and its ``on_unit_boundary`` hook then fires triggers at
+        identical retire counts in both interpreter modes.
         """
+        fi = self.fault_injector
         if not self.block_cache_enabled:
             alive = self.step_thread(thread)
-            return (1 if alive else 0), alive
-        thread.unit_retired = 0
-        try:
-            return run_unit(thread, budget), True
-        except ProcessExited as exc:
-            self._terminate(thread.process, exc)
-            return thread.unit_retired - 1, False
-        except SegmentationFault as exc:
-            ok = self._fault(thread, SIGSEGV, {"addr": exc.address,
-                                               "access": exc.access,
-                                               "reason": exc.reason})
-            return thread.unit_retired - (0 if ok else 1), ok
-        except InvalidOpcode as exc:
-            ok = self._fault(thread, SIGILL, {"addr": exc.address})
-            return thread.unit_retired - (0 if ok else 1), ok
-        except Breakpoint as exc:
-            ok = self._fault(thread, SIGTRAP, {"addr": exc.address})
-            return thread.unit_retired - (0 if ok else 1), ok
-        except Halt:
-            ok = self._fault(thread, SIGSEGV, {"reason": "hlt"})
-            return thread.unit_retired - (0 if ok else 1), ok
+            n = 1 if alive else 0
+        else:
+            if fi is not None:
+                budget = fi.clip_budget(budget)
+            thread.unit_retired = 0
+            try:
+                n, alive = run_unit(thread, budget), True
+            except ProcessExited as exc:
+                self._terminate(thread.process, exc)
+                n, alive = thread.unit_retired - 1, False
+            except SegmentationFault as exc:
+                alive = self._fault(thread, SIGSEGV, {"addr": exc.address,
+                                                      "access": exc.access,
+                                                      "reason": exc.reason})
+                n = thread.unit_retired - (0 if alive else 1)
+            except InvalidOpcode as exc:
+                alive = self._fault(thread, SIGILL, {"addr": exc.address})
+                n = thread.unit_retired - (0 if alive else 1)
+            except Breakpoint as exc:
+                alive = self._fault(thread, SIGTRAP, {"addr": exc.address})
+                n = thread.unit_retired - (0 if alive else 1)
+            except Halt:
+                alive = self._fault(thread, SIGSEGV, {"reason": "hlt"})
+                n = thread.unit_retired - (0 if alive else 1)
+        if alive and fi is not None:
+            try:
+                fi.on_unit_boundary(thread)
+            except ProcessExited as exc:
+                self._terminate(thread.process, exc)
+                alive = False
+        return n, alive
 
     def runnable_threads(self) -> List[Thread]:
         threads = []
@@ -448,6 +566,7 @@ class Kernel:
                         progressed = True
                     if not alive or retired >= max_steps:
                         break
+                self._quantum_boundary(thread)
             if not progressed:
                 break
         return retired
@@ -472,9 +591,20 @@ class Kernel:
                     done += n
                     if not alive:
                         break
+                self._quantum_boundary(thread)
             if retired == before:
                 break
         return retired
+
+    def _quantum_boundary(self, thread: Thread) -> None:
+        """Fault-injection hook at the end of a thread's scheduler turn."""
+        fi = self.fault_injector
+        if fi is None or not thread.runnable:
+            return
+        try:
+            fi.on_quantum_boundary(thread)
+        except ProcessExited as exc:
+            self._terminate(thread.process, exc)
 
     def preemption_window(self, current: Thread, steps: int = 20) -> None:
         """Let *other* threads of the same process run briefly.
@@ -490,6 +620,10 @@ class Kernel:
             return
         self._preempting = True
         try:
+            if self.fault_injector is not None:
+                # The injection point for remote-thread munmap/mprotect/
+                # code-patch events inside interposer-critical windows.
+                self.fault_injector.on_preemption_window(current)
             for thread in list(current.process.threads):
                 if thread is current or not thread.runnable:
                     continue

@@ -79,8 +79,19 @@ class Thread:
         #: Set by execve/rt_sigreturn to suppress the dispatch layer's
         #: result/clobber writes into a context that was wholly replaced.
         self._just_execed = False
-        #: Saved contexts for simulated-address signal handlers.
-        self.signal_frames: List[dict] = []
+        #: (signal, saved context) frames for simulated-address signal
+        #: handlers; popped (and the signal unblocked) by rt_sigreturn.
+        self.signal_frames: List[tuple] = []
+        #: Signals masked from re-delivery: a signal joins this set while
+        #: its handler runs (host handlers until return, simulated handlers
+        #: until rt_sigreturn) so the same signal cannot nest.
+        self.blocked_signals: set = set()
+        #: Async signals that arrived while blocked, delivered in order at
+        #: the next sigreturn (each entry is ``(signal, fault_rip, info)``).
+        self.pending_signals: List[tuple] = []
+        #: One-shot credit granted by a SUD selector-flip restart so the
+        #: re-executed syscall is not double-charged (see kernel.handle_syscall).
+        self._sud_restart_credit = False
         #: When set, the scheduler skips this thread until the callable
         #: returns True (used for accept/recv/wait4 blocking).
         self.block_condition: Optional[Callable[[], bool]] = None
@@ -155,6 +166,9 @@ class Process:
         self.dispositions = SignalDispositions()
         self.exited = False
         self.exit_status: Optional[int] = None
+        #: True when the process died to a signal whose default disposition
+        #: dumps core (ProcessKilled.core) — signal(7)'s *Core* rows.
+        self.core_dumped = False
         self.parent: Optional["Process"] = None
         self.children: List["Process"] = []
         #: Once any thread arms SUD, every kernel entry of this process pays

@@ -11,8 +11,10 @@ Two kinds of handlers exist:
 - **simulated handlers** — a code address in the target; the kernel pushes a
   frame and redirects RIP (used by application-level handlers in tests).
 
-Default dispositions follow Linux: SIGSEGV/SIGILL/SIGTRAP/SIGSYS/SIGABRT
-terminate the process; SIGCHLD is ignored.
+Default dispositions follow Linux's signal(7) table: SIGSEGV/SIGILL/
+SIGTRAP/SIGSYS/SIGABRT/SIGBUS/SIGFPE/SIGQUIT dump core, the remaining
+fatal signals terminate without a core, and SIGCHLD/SIGURG/SIGWINCH are
+ignored.
 """
 
 from __future__ import annotations
@@ -21,10 +23,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Union
 
 from repro.errors import ProcessKilled
-from repro.kernel.syscalls import SIGCHLD, SIGNAL_NAMES
+from repro.kernel.syscalls import (SIGABRT, SIGBUS, SIGCHLD, SIGFPE, SIGILL,
+                                   SIGNAL_NAMES, SIGQUIT, SIGSEGV, SIGSYS,
+                                   SIGTRAP, SIGURG, SIGWINCH)
+
+#: Signals whose default action is *Ign* in signal(7).
+_IGNORED_BY_DEFAULT = frozenset({SIGCHLD, SIGURG, SIGWINCH})
+
+#: Signals whose default action is *Core* in signal(7); every other fatal
+#: default is plain *Term*.
+_CORE_BY_DEFAULT = frozenset({SIGQUIT, SIGILL, SIGTRAP, SIGABRT, SIGBUS,
+                              SIGFPE, SIGSEGV, SIGSYS})
 
 #: Signals whose default action terminates the process.
-_FATAL_BY_DEFAULT = frozenset(SIGNAL_NAMES) - {SIGCHLD}
+_FATAL_BY_DEFAULT = frozenset(SIGNAL_NAMES) - _IGNORED_BY_DEFAULT
 
 
 @dataclass
@@ -88,7 +100,14 @@ class SignalDispositions:
 
 
 def default_action(signal: int, detail: str = "") -> None:
-    """Apply the default disposition for *signal*."""
+    """Apply the default disposition for *signal*.
+
+    Fatal signals raise :class:`ProcessKilled`, with ``core=True`` for the
+    *Core* rows of signal(7) (SIGSEGV, SIGSYS, ...) and ``core=False`` for
+    the plain *Term* rows (SIGTERM, SIGPIPE, ...); *Ign* rows return.
+    """
     if signal in _FATAL_BY_DEFAULT:
-        raise ProcessKilled(signal, detail or SIGNAL_NAMES.get(signal, str(signal)))
-    # Ignored by default (SIGCHLD).
+        raise ProcessKilled(
+            signal, detail or SIGNAL_NAMES.get(signal, str(signal)),
+            core=signal in _CORE_BY_DEFAULT)
+    # Ignored by default (SIGCHLD, SIGURG, SIGWINCH).

@@ -32,6 +32,8 @@ from repro.kernel.process import (
     Thread,
 )
 from repro.kernel.syscalls import (
+    CLONE_THREAD,
+    CLONE_VM,
     Errno,
     Nr,
     PR_SET_SYSCALL_USER_DISPATCH,
@@ -49,6 +51,12 @@ class _Blocked:
 
 
 BLOCKED = _Blocked()
+
+#: Linux clamps every read/write to this (fs/read_write.c, rw_verify_area):
+#: INT_MAX rounded down to a page boundary.  The clamp is what keeps a
+#: negative return value fed back as a count — e.g. ``write(1, buf,
+#: read_result)`` after an injected EINTR — from becoming a 2^64-byte copy.
+MAX_RW_COUNT = 0x7FFF_F000
 
 # open(2) flag bits.
 O_WRONLY = 0o1
@@ -135,16 +143,33 @@ def _block(thread: Thread, condition: Callable[[], bool]):
 # ---------------------------------------------------------------------- file I/O
 
 
+def _user_buffer(process: Process, buf: int, count: int) -> Optional[bytes]:
+    """Fetch a user read/write buffer, or None for EFAULT.
+
+    *count* must already be clamped to :data:`MAX_RW_COUNT`; the mapping
+    check walks pages and short-circuits at the first hole, so even a
+    clamped-from-2^64 count terminates quickly.
+    """
+    if count == 0:
+        return b""
+    if not buf or not process.address_space.is_mapped(buf, count):
+        return None
+    return process.address_space.read_kernel(buf, count)
+
+
 def sys_read(kernel, thread: Thread, args) -> int:
-    fd, buf, count = args[0], args[1], args[2]
+    fd, buf, count = args[0], args[1], min(args[2], MAX_RW_COUNT)
     if fd == 0:
         return 0  # stdin: EOF
     descriptor = thread.process.get_fd(fd)
     if isinstance(descriptor, FileFD):
         data = bytes(descriptor.inode.data[descriptor.offset:
                                            descriptor.offset + count])
+        if data and (not buf or not thread.process.address_space.is_mapped(
+                buf, len(data))):
+            return -Errno.EFAULT
         descriptor.offset += len(data)
-        if data and buf:
+        if data:
             thread.process.address_space.write_kernel(buf, data)
         _charge_copy(kernel, len(data))
         return len(data)
@@ -154,8 +179,10 @@ def sys_read(kernel, thread: Thread, args) -> int:
 
 
 def sys_write(kernel, thread: Thread, args) -> int:
-    fd, buf, count = args[0], args[1], args[2]
-    data = thread.process.address_space.read_kernel(buf, count) if buf else b""
+    fd, buf, count = args[0], args[1], min(args[2], MAX_RW_COUNT)
+    data = _user_buffer(thread.process, buf, count)
+    if data is None:
+        return -Errno.EFAULT
     _charge_copy(kernel, len(data))
     if fd in (1, 2):
         thread.process.output.extend(data)
@@ -361,14 +388,26 @@ def sys_mmap(kernel, thread: Thread, args) -> int:
             fixed=bool(flags & MAP_FIXED))
     except MapError:
         return -Errno.EINVAL
+    if flags & MAP_FIXED:
+        # A fixed mapping replaces whatever lived there: like munmap, real
+        # kernels shoot down every core's stale decodes for the range.
+        kernel.icache_shootdown(thread.process, base,
+                                round_up_pages(length))
     return base
 
 
 def sys_munmap(kernel, thread: Thread, args) -> int:
+    start, length = args[0], args[1]
     try:
-        thread.process.address_space.munmap(args[0], args[1])
+        thread.process.address_space.munmap(start, length)
     except MapError:
         return -Errno.EINVAL
+    # Unmapping is an IPI-backed TLB/icache shootdown on every core: any
+    # recorded block or decoded line overlapping the (page-rounded) range
+    # must go, or stale code keeps executing from unmapped pages.  This
+    # covers partial-region unmaps that split a region, too — invalidation
+    # is by page range, not by region.
+    kernel.icache_shootdown(thread.process, start, round_up_pages(length))
     return 0
 
 
@@ -379,6 +418,9 @@ def sys_mprotect(kernel, thread: Thread, args) -> int:
                                               Prot(args[2] & 0x7))
     except MapError:
         return -Errno.EINVAL
+    # Deliberately NO icache shootdown: mprotect leaves already-decoded
+    # lines in place (the P5 stale-decode window interposers patch inside).
+    kernel.notify_prot_change(thread, args[0], args[1], args[2] & 0x7)
     return 0
 
 
@@ -389,6 +431,7 @@ def sys_pkey_mprotect(kernel, thread: Thread, args) -> int:
             args[0], args[1], Prot(args[2] & 0x7), args[3])
     except MapError:
         return -Errno.EINVAL
+    kernel.notify_prot_change(thread, args[0], args[1], args[2] & 0x7)
     return 0
 
 
@@ -526,12 +569,17 @@ def sys_rt_sigaction(kernel, thread: Thread, args) -> int:
 
 
 def sys_rt_sigreturn(kernel, thread: Thread, args) -> Optional[int]:
-    frames = getattr(thread, "signal_frames", None)
+    frames = thread.signal_frames
     if not frames:
         return -Errno.EINVAL
     kernel.cycles.charge(Event.SIGRETURN)
-    thread.context.restore(frames.pop())
+    signal, saved = frames.pop()
+    thread.blocked_signals.discard(signal)
+    thread.context.restore(saved)
     thread._just_execed = True  # suppress result/clobber writes
+    # The mask just cleared: deliver anything that queued while the
+    # handler ran (possibly pushing a fresh frame for the same signal).
+    kernel.flush_pending_signals(thread)
     return None
 
 
@@ -539,11 +587,24 @@ def sys_kill(kernel, thread: Thread, args) -> int:
     target = kernel.find_process(args[0])
     if target is None:
         return -Errno.ESRCH
+    signal = args[1]
     if target is thread.process:
-        from repro.errors import ProcessKilled
+        # Route through normal delivery so handlers, masking, and the
+        # core-dump/terminate classification all apply; an unhandled fatal
+        # signal raises ProcessKilled out of this frame exactly as before.
+        kernel.deliver_signal(thread, signal)
+        return 0
+    from repro.kernel.signals import default_action
 
-        raise ProcessKilled(args[1])
-    target.terminate(128 + args[1])
+    try:
+        # Cross-process: apply the target's disposition.  Handler-equipped
+        # targets would need a cross-thread delivery queue; the simulator's
+        # drivers only ever kill with default-disposition signals.
+        if target.dispositions.get_action(signal) is None:
+            default_action(signal)
+    except ProcessExited as exc:
+        target.terminate(exc.status)
+        target.core_dumped = bool(getattr(exc, "core", False))
     return 0
 
 
@@ -618,7 +679,7 @@ def sys_accept(kernel, thread: Thread, args):
 
 
 def sys_recvfrom(kernel, thread: Thread, args):
-    fd, buf, count = args[0], args[1], args[2]
+    fd, buf, count = args[0], args[1], min(args[2], MAX_RW_COUNT)
     descriptor = thread.process.get_fd(fd)
     if not isinstance(descriptor, SocketFD) or descriptor.connection is None:
         return -Errno.EINVAL
@@ -633,11 +694,13 @@ def sys_recvfrom(kernel, thread: Thread, args):
 
 
 def sys_sendto(kernel, thread: Thread, args) -> int:
-    fd, buf, count = args[0], args[1], args[2]
+    fd, buf, count = args[0], args[1], min(args[2], MAX_RW_COUNT)
     descriptor = thread.process.get_fd(fd)
     if not isinstance(descriptor, SocketFD) or descriptor.connection is None:
         return -Errno.EINVAL
-    data = thread.process.address_space.read_kernel(buf, count) if buf else b""
+    data = _user_buffer(thread.process, buf, count)
+    if data is None:
+        return -Errno.EFAULT
     _charge_copy(kernel, len(data))
     return descriptor.connection.server_send(data)
 
@@ -738,6 +801,33 @@ def sys_fork(kernel, thread: Thread, args) -> int:
     return child.pid
 
 
+def sys_clone(kernel, thread: Thread, args) -> int:
+    """``clone(2)``, raw-ABI argument order: (flags, stack, ptid, ctid, tls).
+
+    ``CLONE_VM|CLONE_THREAD`` creates a sibling thread in the calling
+    process; anything else degenerates to :func:`sys_fork`.  Per-thread SUD
+    state is *inherited* by the new thread (Linux copies the parent's
+    ``syscall_user_dispatch`` config in ``copy_thread``), and the
+    process-wide ``sud_armed_ever`` slow-path flag is untouched — it lives
+    on the process, so every thread created after any arm keeps paying the
+    armed slow path even if the arming thread has since disarmed.
+    """
+    flags, child_stack = args[0], args[1]
+    if flags & CLONE_VM and flags & CLONE_THREAD:
+        child = thread.process.spawn_thread()
+        child.context.restore(thread.context.save())
+        child.context.set_syscall_result(0)  # clone returns 0 in the child
+        # The child resumes past the syscall with the kernel's usual
+        # RCX/R11 clobber already applied (it never re-enters dispatch).
+        child.context.set(Reg.RCX, child.context.rip)
+        child.context.set(Reg.R11, 0x202)
+        if child_stack:
+            child.context.set(Reg.RSP, child_stack)
+        child.sud = thread.sud.copy()
+        return child.tid
+    return sys_fork(kernel, thread, args)
+
+
 def sys_wait4(kernel, thread: Thread, args):
     wanted, status_ptr = args[0], args[1]
     process = thread.process
@@ -815,7 +905,17 @@ def do_execve(kernel, thread: Thread, path: str, argv: List[str],
     process.vdso_enabled = not (tracer is not None and not tracer.detached
                                 and tracer.disable_vdso)
     process.threads = [thread]
+    # SUD does not survive exec (the kernel clears the config with the rest
+    # of the mm), and neither do signal frames, masks, or queued signals —
+    # they reference the torn-down image.
     thread.sud.disarm()
+    thread.sud.selector_addr = 0
+    thread.sud.allow_start = 0
+    thread.sud.allow_len = 0
+    thread.signal_frames.clear()
+    thread.blocked_signals.clear()
+    thread.pending_signals.clear()
+    thread._sud_restart_credit = False
     thread.icache.flush_all()
     fresh = thread.context.__class__()
     thread.context.restore(fresh.save())
@@ -891,6 +991,7 @@ SYSCALL_TABLE: Dict[int, Callable] = {
     Nr.epoll_wait: sys_epoll_wait,
     Nr.exit: sys_exit,
     Nr.exit_group: sys_exit_group,
+    Nr.clone: sys_clone,
     Nr.fork: sys_fork,
     Nr.wait4: sys_wait4,
     Nr.execve: sys_execve,

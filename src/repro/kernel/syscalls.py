@@ -41,6 +41,7 @@ class Nr(enum.IntEnum):
     shutdown = 48
     bind = 49
     listen = 50
+    clone = 56
     fork = 57
     execve = 59
     exit = 60
@@ -130,6 +131,17 @@ class Errno(enum.IntEnum):
     ECONNREFUSED = 111
 
 
+# -------------------------------------------------------------------- clone
+
+#: ``clone(2)`` flag subset (include/uapi/linux/sched.h) — enough to model
+#: thread creation (shared VM) vs. fork-style child processes.
+CLONE_VM = 0x0000_0100
+CLONE_FS = 0x0000_0200
+CLONE_FILES = 0x0000_0400
+CLONE_SIGHAND = 0x0000_0800
+CLONE_THREAD = 0x0001_0000
+
+
 # ---------------------------------------------------------------- prctl / SUD
 
 PR_SET_SYSCALL_USER_DISPATCH = 59
@@ -142,27 +154,47 @@ SYSCALL_DISPATCH_FILTER_BLOCK = 1
 
 # ------------------------------------------------------------------- signals
 
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
 SIGILL = 4
 SIGTRAP = 5
 SIGABRT = 6
+SIGBUS = 7
+SIGFPE = 8
 SIGKILL = 9
+SIGUSR1 = 10
 SIGSEGV = 11
+SIGUSR2 = 12
 SIGPIPE = 13
+SIGALRM = 14
 SIGTERM = 15
 SIGCHLD = 17
 SIGSTOP = 19
+SIGURG = 23
+SIGWINCH = 28
 SIGSYS = 31
 
 SIGNAL_NAMES = {
+    SIGHUP: "SIGHUP",
+    SIGINT: "SIGINT",
+    SIGQUIT: "SIGQUIT",
     SIGILL: "SIGILL",
     SIGTRAP: "SIGTRAP",
     SIGABRT: "SIGABRT",
+    SIGBUS: "SIGBUS",
+    SIGFPE: "SIGFPE",
     SIGKILL: "SIGKILL",
+    SIGUSR1: "SIGUSR1",
     SIGSEGV: "SIGSEGV",
+    SIGUSR2: "SIGUSR2",
     SIGPIPE: "SIGPIPE",
+    SIGALRM: "SIGALRM",
     SIGTERM: "SIGTERM",
     SIGCHLD: "SIGCHLD",
     SIGSTOP: "SIGSTOP",
+    SIGURG: "SIGURG",
+    SIGWINCH: "SIGWINCH",
     SIGSYS: "SIGSYS",
 }
 

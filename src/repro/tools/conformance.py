@@ -1,0 +1,75 @@
+"""``python -m repro.tools.conformance`` — the differential conformance CLI.
+
+Runs every registered interposition mechanism against the ``native``
+null-interposer oracle on the stress/coreutils workloads under N seeded
+fault schedules, prints the verdict matrix, writes the JSON artifact, and
+exits non-zero on any divergence.  ``--both-modes`` repeats the matrix
+with the block-translation cache disabled and additionally fails if any
+cell's verdict differs between the two interpreter modes (schedule
+determinism must hold across them).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.evaluation.conformance import (ARTIFACT_PATH, DEFAULT_SEEDS,
+                                          DEFAULT_WORKLOADS, run_matrix)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="conformance",
+        description="Differential conformance of every registered "
+                    "interposer vs the null-interposer oracle under "
+                    "seeded fault schedules.")
+    parser.add_argument("--seeds", type=int, default=len(DEFAULT_SEEDS),
+                        help="number of fault-schedule seeds (default: "
+                             f"{len(DEFAULT_SEEDS)}, i.e. seeds 1..N)")
+    parser.add_argument("--workloads", nargs="+",
+                        default=list(DEFAULT_WORKLOADS),
+                        help="workloads to run (default: "
+                             f"{' '.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--mechanisms", nargs="+", default=None,
+                        help="mechanisms to check (default: all registered)")
+    parser.add_argument("--both-modes", action="store_true",
+                        help="also run with the block cache disabled and "
+                             "require identical verdicts")
+    parser.add_argument("--out", default=str(ARTIFACT_PATH),
+                        help=f"JSON artifact path (default: {ARTIFACT_PATH})")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each cell verdict as it completes")
+    args = parser.parse_args(argv)
+
+    seeds = list(range(1, args.seeds + 1))
+    matrix = run_matrix(mechanisms=args.mechanisms,
+                        workloads=args.workloads, seeds=seeds,
+                        verbose=args.verbose)
+    print(matrix.render())
+    artifact = matrix.write_artifact(args.out)
+    print(f"\nartifact: {artifact}")
+    status = 0 if matrix.ok else 1
+
+    if args.both_modes:
+        print("\nre-running with block cache disabled...")
+        nocache = run_matrix(mechanisms=args.mechanisms,
+                             workloads=args.workloads, seeds=seeds,
+                             block_cache=False, verbose=args.verbose)
+        if not nocache.ok:
+            print(nocache.render())
+            status = 1
+        mismatches = [key for key, ok in matrix.verdict_map().items()
+                      if nocache.verdict_map()[key] != ok]
+        if mismatches:
+            print("verdicts differ across interpreter modes:")
+            for mech, wl, seed in mismatches:
+                print(f"  - {mech}/{wl}/seed={seed}")
+            status = 1
+        else:
+            print("block-cache-off verdicts identical: OK")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,8 +109,11 @@ def build_cat() -> ProgramBuilder:
     builder.libc("lseek", Reg.RBX, 0, 1)
     builder.label(".cat_loop")
     builder.libc("read", Reg.RBX, data_ref("buf"), 512)
+    # Exit on EOF *or* error (jle, signed): a read result of -EBADF/-EINTR
+    # must not be fed to write as a count — under fault injection a failed
+    # openat would otherwise spin this loop forever.
     builder.asm.test_rr(Reg.RAX, Reg.RAX)
-    builder.asm.je(".cat_done")
+    builder.asm.jle(".cat_done")
     builder.libc("write", 1, data_ref("buf"), RESULT)
     builder.asm.jmp(".cat_loop")
     builder.label(".cat_done")

@@ -1,0 +1,72 @@
+"""Schedule determinism: same seed ⇒ byte-identical plans."""
+
+from repro.faultinject.schedule import (Fault, FaultConfig, build_schedule,
+                                        INJECTABLE_DEFAULT)
+from repro.kernel.syscalls import Nr, SIGCHLD
+
+
+def busy_config() -> FaultConfig:
+    return FaultConfig(horizon=64, errno_rate=0.2, signal_count=3,
+                       insn_signal_count=2, quantum_signal_count=2,
+                       selector_flips=2)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        a = build_schedule(11, busy_config())
+        b = build_schedule(11, busy_config())
+        assert a.encode() == b.encode()
+        assert a.digest() == b.digest()
+
+    def test_different_seeds_differ(self):
+        a = build_schedule(11, busy_config())
+        b = build_schedule(12, busy_config())
+        assert a.encode() != b.encode()
+
+    def test_config_is_part_of_the_contract(self):
+        a = build_schedule(11, FaultConfig(horizon=64, errno_rate=0.2))
+        b = build_schedule(11, FaultConfig(horizon=64, errno_rate=0.3))
+        assert a.encode() != b.encode()
+
+    def test_digest_is_sha256_hex(self):
+        digest = build_schedule(1, busy_config()).digest()
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestStructure:
+    def test_draws_cover_the_horizon(self):
+        sched = build_schedule(5, busy_config())
+        assert len(sched.errno_draws) == 64
+        for uniform, errno in sched.errno_draws:
+            assert 0.0 <= uniform < 1.0
+            assert errno > 0
+
+    def test_fault_positions_respect_ranges(self):
+        config = busy_config()
+        sched = build_schedule(7, config)
+        for fault in sched.by_trigger("syscall-exit"):
+            assert 0 <= fault.at < config.horizon
+            assert fault.arg == SIGCHLD
+        lo, hi = config.insn_range
+        for fault in sched.by_trigger("insn"):
+            assert lo <= fault.at < hi
+        lo, hi = config.selector_flip_range
+        for fault in sched.by_trigger("syscall-entry"):
+            assert lo <= fault.at < hi
+            assert fault.action == "selector-flip"
+
+    def test_faults_sorted_for_budget_clipping(self):
+        sched = build_schedule(9, busy_config())
+        insn = sched.by_trigger("insn")
+        assert insn == sorted(insn, key=lambda f: f.at)
+
+    def test_extra_faults_pass_through(self):
+        extra = Fault("window", 2, "patch", addr=0x1000, data=b"\x90")
+        sched = build_schedule(1, FaultConfig(extra_faults=(extra,)))
+        assert extra in sched.faults
+        assert "window@2:patch" in extra.encode()
+
+    def test_timers_never_injectable(self):
+        assert Nr.clock_gettime not in INJECTABLE_DEFAULT
+        assert Nr.gettimeofday not in INJECTABLE_DEFAULT

@@ -1,0 +1,52 @@
+"""read/write count clamping and EFAULT guards (ISSUE satellite fix).
+
+Regression for the fault-injection finding: feeding a syscall's *error*
+result back into ``write(1, buf, result)`` — as naive read loops do —
+turned the negative count into a ~2^64-byte host-side copy loop.  Linux
+clamps I/O counts to ``MAX_RW_COUNT`` and faults on unmapped buffers;
+the simulated kernel now does both.
+"""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.syscall_impl import MAX_RW_COUNT
+from repro.kernel.syscalls import Errno, Nr
+from tests.simutil import make_hello
+
+
+@pytest.fixture
+def proc(kernel):
+    make_hello().register(kernel)
+    return kernel.spawn_process("/usr/bin/hello")
+
+
+def call(kernel, proc, nr, args):
+    return kernel.do_syscall(proc.main_thread, nr, args + [0] * (6 - len(args)),
+                             origin="interposer-internal")
+
+
+class TestWriteBounds:
+    def test_unmapped_buffer_faults(self, kernel, proc):
+        assert call(kernel, proc, Nr.write,
+                    [1, 0xdead_0000, 64]) == -Errno.EFAULT
+
+    def test_negative_count_reinterpreted_faults_fast(self, kernel, proc):
+        # write(1, buf, -4): the u64 count clamps to MAX_RW_COUNT and the
+        # mapped span check fails long before any host-side copy loop.
+        buf = proc.address_space.regions[0].start
+        assert call(kernel, proc, Nr.write,
+                    [1, buf, (1 << 64) - 4]) == -Errno.EFAULT
+
+    def test_huge_count_on_small_mapping_faults(self, kernel, proc):
+        buf = proc.address_space.regions[0].start
+        assert call(kernel, proc, Nr.write,
+                    [1, buf, MAX_RW_COUNT]) == -Errno.EFAULT
+
+    def test_normal_write_still_works(self, kernel, proc):
+        buf = proc.address_space.regions[0].start
+        assert call(kernel, proc, Nr.write, [1, buf, 4]) == 4
+        assert len(proc.output) == 4
+
+    def test_zero_count_is_a_nop(self, kernel, proc):
+        assert call(kernel, proc, Nr.write, [1, 0, 0]) == 0

@@ -1,0 +1,111 @@
+"""Same-signal masking during handler execution (ISSUE satellite).
+
+Linux blocks a signal while its own handler runs (unless SA_NODEFER):
+host handlers until they return, simulated-address handlers until
+``rt_sigreturn``.  An async same-signal arriving masked queues; a
+*synchronous* fault arriving masked force-kills with the default action
+(``force_sig``) — the nested-SIGSYS scenario interposers must never see.
+"""
+
+import pytest
+
+from repro.errors import ProcessKilled
+from repro.kernel import Kernel
+from repro.kernel.signals import default_action
+from repro.kernel.syscalls import (Nr, SIGCHLD, SIGQUIT, SIGSEGV, SIGSYS,
+                                   SIGTERM, SIGURG, SIGUSR1, SIGUSR2,
+                                   SIGWINCH)
+from repro.workloads.programs import ProgramBuilder
+from repro.arch.registers import Reg
+from tests.simutil import make_hello, spawn_and_run
+
+
+@pytest.fixture
+def proc(kernel):
+    make_hello().register(kernel)
+    return kernel.spawn_process("/usr/bin/hello")
+
+
+class TestHostHandlerMasking:
+    def test_async_same_signal_defers_until_handler_returns(self, kernel,
+                                                            proc):
+        thread = proc.main_thread
+        depths = []
+
+        def handler(ctx):
+            depths.append(len(depths))
+            assert SIGUSR1 in thread.blocked_signals
+            if len(depths) == 1:
+                # Re-raise while masked: must queue, not nest.
+                kernel.deliver_signal(thread, SIGUSR1)
+                assert len(depths) == 1  # no nested invocation happened
+                assert len(thread.pending_signals) == 1
+
+        proc.dispositions.set_action(SIGUSR1, handler)
+        kernel.deliver_signal(thread, SIGUSR1)
+        # The queued instance was flushed after the first return.
+        assert depths == [0, 1]
+        assert thread.pending_signals == []
+        assert SIGUSR1 not in thread.blocked_signals
+
+    def test_sync_fault_while_blocked_force_kills(self, kernel, proc):
+        thread = proc.main_thread
+        proc.dispositions.set_action(
+            SIGSYS, lambda ctx: kernel.deliver_signal(thread, SIGSYS,
+                                                      sync=True))
+        with pytest.raises(ProcessKilled) as exc:
+            kernel.deliver_signal(thread, SIGSYS)
+        assert exc.value.signal == SIGSYS
+        assert "forced" in str(exc.value)
+
+
+class TestSimulatedHandlerMasking:
+    def test_masked_until_rt_sigreturn(self, kernel, proc):
+        thread = proc.main_thread
+        proc.dispositions.set_action(SIGUSR2, 0x5000)  # simulated address
+        kernel.deliver_signal(thread, SIGUSR2)
+        assert len(thread.signal_frames) == 1
+        assert SIGUSR2 in thread.blocked_signals
+        assert thread.context.rip == 0x5000
+        # A second async instance while the handler "runs": queued.
+        kernel.deliver_signal(thread, SIGUSR2)
+        assert len(thread.signal_frames) == 1
+        assert len(thread.pending_signals) == 1
+        # sigreturn pops the frame, clears the mask, then flushes — the
+        # pending instance immediately pushes a fresh frame.
+        kernel.do_syscall(thread, Nr.rt_sigreturn, [0, 0, 0, 0, 0, 0],
+                          origin="interposer-internal")
+        assert len(thread.signal_frames) == 1
+        assert thread.pending_signals == []
+        assert SIGUSR2 in thread.blocked_signals
+
+
+class TestDefaultActions:
+    def test_core_vs_terminate_vs_ignore(self):
+        with pytest.raises(ProcessKilled) as segv:
+            default_action(SIGSEGV)
+        assert segv.value.core
+        with pytest.raises(ProcessKilled) as quit_:
+            default_action(SIGQUIT)
+        assert quit_.value.core
+        with pytest.raises(ProcessKilled) as term:
+            default_action(SIGTERM)
+        assert not term.value.core
+        for ignored in (SIGCHLD, SIGURG, SIGWINCH):
+            default_action(ignored)  # no raise
+
+    def test_core_dump_flag_reaches_the_process(self, kernel):
+        builder = ProgramBuilder("/bin/nullread")
+        builder.start()
+        builder.asm.xor_rr(Reg.RBX, Reg.RBX)
+        builder.asm.load(Reg.RAX, Reg.RBX)  # SIGSEGV
+        builder.exit(0)
+        builder.register(kernel)
+        process = spawn_and_run(kernel, "/bin/nullread", max_steps=100_000)
+        assert process.exited
+        assert process.core_dumped
+
+    def test_clean_exit_does_not_dump_core(self, kernel, proc):
+        kernel.run_process(proc, max_steps=500_000)
+        assert proc.exited and proc.exit_status == 0
+        assert not proc.core_dumped

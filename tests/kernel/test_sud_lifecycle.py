@@ -1,0 +1,123 @@
+"""SUD lifecycle across clone/execve/disarm (ISSUE satellite)."""
+
+from repro.arch.registers import Reg
+from repro.kernel import Kernel
+from repro.kernel.syscall_impl import do_execve
+from repro.kernel.syscalls import (
+    CLONE_THREAD,
+    CLONE_VM,
+    Nr,
+    PR_SET_SYSCALL_USER_DISPATCH,
+    PR_SYS_DISPATCH_OFF,
+    PR_SYS_DISPATCH_ON,
+)
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import make_hello, spawn_and_run
+
+
+def hello_kernel() -> Kernel:
+    kernel = Kernel(seed=42)
+    make_hello().register(kernel)
+    return kernel
+
+
+class TestCloneThread:
+    def test_clone_vm_thread_inherits_a_sud_copy(self):
+        kernel = hello_kernel()
+        process = kernel.spawn_process("/usr/bin/hello")
+        thread = process.main_thread
+        thread.sud.arm(allow_start=0x7000, allow_len=0x100,
+                       selector_addr=0x5000)
+        process.sud_armed_ever = True
+        tid = kernel.do_syscall(
+            thread, Nr.clone,
+            [CLONE_VM | CLONE_THREAD, 0x123000, 0, 0, 0, 0],
+            origin="interposer-internal")
+        child = next(t for t in process.threads if t.tid == tid)
+        assert child is not thread
+        # Linux semantics: the SUD config is per-thread and *copied* at
+        # clone — disarming the child must not disarm the parent.
+        assert child.sud.enabled
+        assert child.sud.selector_addr == 0x5000
+        assert child.sud.allow_start == 0x7000
+        assert child.sud is not thread.sud
+        child.sud.disarm()
+        assert thread.sud.enabled
+        # Child starts with RAX=0 (the "I am the child" return value) and
+        # the requested stack.
+        assert child.context.get(Reg.RAX) == 0
+        assert child.context.get(Reg.RSP) == 0x123000
+
+    def test_clone_without_thread_flags_degenerates_to_fork(self):
+        kernel = hello_kernel()
+        process = kernel.spawn_process("/usr/bin/hello")
+        process.sud_armed_ever = True
+        pid = kernel.do_syscall(process.main_thread, Nr.clone,
+                                [0, 0, 0, 0, 0, 0],
+                                origin="interposer-internal")
+        assert pid != process.pid
+        child = kernel.processes[pid]
+        # The process-wide slow-path flag is inherited across fork.
+        assert child.sud_armed_ever
+
+
+class TestExecve:
+    def test_execve_resets_sud_and_signal_state(self):
+        kernel = hello_kernel()
+        process = kernel.spawn_process("/usr/bin/hello")
+        thread = process.main_thread
+        thread.sud.arm(0x7000, 0x100, 0x5000)
+        process.sud_armed_ever = True
+        thread.blocked_signals.add(10)
+        thread.pending_signals.append((10, 0, {}))
+        thread.signal_frames.append((10, thread.context.save()))
+        do_execve(kernel, thread, "/usr/bin/hello", ["/usr/bin/hello"], [])
+        assert not thread.sud.enabled
+        assert thread.sud.selector_addr == 0
+        assert thread.sud.allow_start == 0 and thread.sud.allow_len == 0
+        assert not process.sud_armed_ever
+        assert thread.blocked_signals == set()
+        assert thread.pending_signals == []
+        assert thread.signal_frames == []
+        # The fresh image still runs to completion.
+        kernel.run_process(process, max_steps=500_000)
+        assert process.exited and process.exit_status == 0
+        assert bytes(process.output) == b"hello\n"
+
+    def test_program_that_arms_then_execs_comes_up_clean(self):
+        kernel = hello_kernel()
+        builder = ProgramBuilder("/bin/armexec")
+        builder.string("target", "/usr/bin/hello")
+        builder.buffer("selector", 1)
+        builder.start()
+        builder.libc("prctl", PR_SET_SYSCALL_USER_DISPATCH,
+                     PR_SYS_DISPATCH_ON, 0, 0, data_ref("selector"))
+        builder.libc("execve", data_ref("target"), 0, 0)
+        builder.exit(1)  # unreachable when execve succeeds
+        builder.register(kernel)
+        process = spawn_and_run(kernel, "/bin/armexec")
+        assert process.exited and process.exit_status == 0
+        assert bytes(process.output) == b"hello\n"
+        assert not process.main_thread.sud.enabled
+        assert not process.sud_armed_ever
+
+
+class TestDisarm:
+    def test_disarm_keeps_armed_ever_slow_path(self):
+        kernel = Kernel(seed=42)
+        builder = ProgramBuilder("/bin/armdisarm")
+        builder.buffer("selector", 1)
+        builder.start()
+        builder.libc("prctl", PR_SET_SYSCALL_USER_DISPATCH,
+                     PR_SYS_DISPATCH_ON, 0, 0, data_ref("selector"))
+        builder.libc("prctl", PR_SET_SYSCALL_USER_DISPATCH,
+                     PR_SYS_DISPATCH_OFF, 0, 0, 0)
+        builder.libc("getpid")
+        builder.exit(0)
+        builder.register(kernel)
+        process = spawn_and_run(kernel, "/bin/armdisarm")
+        assert process.exited and process.exit_status == 0
+        assert not process.main_thread.sud.enabled
+        # Once armed, always the slow kernel entry path (Table 5's
+        # SUD-no-interposition cost) — disarm does not undo it.
+        assert process.sud_armed_ever

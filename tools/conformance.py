@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Repo-root shim for the conformance CLI.
+
+Equivalent to ``PYTHONPATH=src python -m repro.tools.conformance``; exists
+so ``tools/conformance.py --seeds 5`` works from a fresh checkout.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.tools.conformance import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
