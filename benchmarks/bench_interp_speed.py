@@ -107,10 +107,27 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads, single round")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI alias for --quick")
+    parser.add_argument("--assert-within", type=float, default=None,
+                        metavar="PCT",
+                        help="fail unless syscall-stress block-cache "
+                             "throughput is within PCT%% of the recorded "
+                             "BENCH_interp.json baseline (the disabled-"
+                             "bus overhead budget)")
     args = parser.parse_args(argv)
-    rounds = 1 if args.quick else 3
-    stress_iters = 500 if args.quick else 4000
-    sqlite_txns = 20 if args.quick else 120
+    quick = args.quick or args.smoke
+    rounds = 1 if quick else 3
+    stress_iters = 500 if quick else 4000
+    sqlite_txns = 20 if quick else 120
+
+    baseline_ips = None
+    if args.assert_within is not None:
+        if not OUTPUT.exists():
+            raise SystemExit(f"--assert-within: no baseline at {OUTPUT}")
+        recorded = json.loads(OUTPUT.read_text())
+        baseline_ips = (recorded["workloads"]["syscall-stress"]
+                        ["block-cache"]["insns_per_sec"])
 
     workloads = {
         "syscall-stress": (_run_stress, stress_iters),
@@ -142,9 +159,31 @@ def main(argv=None):
                 / SEED_BASELINE_STRESS_IPS, 3)
         report["workloads"][name] = cells
 
-    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
-    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if not quick:
+        # Quick/smoke numbers are for gating, not for the record: only the
+        # full protocol may refresh the baseline artifact.
+        OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+        OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True)
+                          + "\n")
     print(json.dumps(report, indent=2, sort_keys=True))
+
+    if baseline_ips is not None:
+        if quick:
+            # Smoke-sized cells are not comparable to the recorded
+            # baseline (startup cost dominates short runs): re-measure
+            # the budget cell under the baseline's own protocol.
+            print("budget cell [full protocol] ...", file=sys.stderr)
+            cell = _measure(_run_stress, 4000, "block-cache", 3)
+        else:
+            cell = report["workloads"]["syscall-stress"]["block-cache"]
+        measured = cell["insns_per_sec"]
+        floor = baseline_ips * (1 - args.assert_within / 100.0)
+        verdict = "OK" if measured >= floor else "REGRESSED"
+        print(f"budget: {measured:,} insns/sec vs baseline "
+              f"{baseline_ips:,} (floor {floor:,.0f}, "
+              f"-{args.assert_within}%): {verdict}", file=sys.stderr)
+        if measured < floor:
+            return 1
     return 0
 
 

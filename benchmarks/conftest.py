@@ -25,7 +25,9 @@ import pytest
 
 from repro.evaluation import pipeline as pipe
 from repro.evaluation.cache import ResultCache
-from repro.evaluation.runner import MECHANISMS
+from repro.interposers.registry import REGISTRY
+
+MECHANISMS = REGISTRY.names()
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 

@@ -1,0 +1,67 @@
+"""``python -m repro`` — the unified CLI.
+
+One dispatcher over the four tools::
+
+    python -m repro simtrace <program> [--seed N] [--trace-out F] ...
+    python -m repro evalrun [table5|table6|matrix] [--jobs N] ...
+    python -m repro conformance [--smoke] [--jobs N] [--trace-out F] ...
+    python -m repro pitfallcheck [zpoline|lazypoline|K23|all] ...
+
+The shared flags — ``--seed``, ``--jobs``, ``--trace-out`` — mean the
+same thing everywhere they are accepted (determinism seed, process-pool
+width, Perfetto trace output); passing one to a subcommand that does not
+support it is an error here rather than an argparse surprise there.  The
+old module paths (``python -m repro.tools.simtrace`` etc.) keep working.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from typing import List, Optional
+
+#: subcommand → (implementation module, shared flags it supports).
+SUBCOMMANDS = {
+    "simtrace": ("repro.tools.simtrace", ("--seed", "--trace-out")),
+    "evalrun": ("repro.tools.evalrun", ("--jobs", "--trace-out")),
+    "conformance": ("repro.tools.conformance", ("--jobs", "--trace-out")),
+    "pitfallcheck": ("repro.tools.pitfallcheck", ()),
+}
+
+SHARED_FLAGS = ("--seed", "--jobs", "--trace-out")
+
+
+def _usage() -> str:
+    lines = ["usage: python -m repro <subcommand> [options]", "",
+             "subcommands:"]
+    for name, (module, shared) in SUBCOMMANDS.items():
+        extra = f"  (shared: {', '.join(shared)})" if shared else ""
+        lines.append(f"  {name:<14}{module}{extra}")
+    lines += ["",
+              "Run `python -m repro <subcommand> --help` for the full "
+              "option list."]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_usage())
+        return 0 if argv else 2
+    name, rest = argv[0], argv[1:]
+    if name not in SUBCOMMANDS:
+        print(f"unknown subcommand {name!r}\n\n{_usage()}", file=sys.stderr)
+        return 2
+    module_name, supported = SUBCOMMANDS[name]
+    for flag in SHARED_FLAGS:
+        if flag in supported:
+            continue
+        if any(arg == flag or arg.startswith(flag + "=") for arg in rest):
+            print(f"{name} does not support {flag}", file=sys.stderr)
+            return 2
+    module = importlib.import_module(module_name)
+    return module.main(rest)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""The stable public API surface.
+
+Downstream code (notebooks, external harnesses, the CLI tools) should
+import from here rather than from internal modules — internal layouts may
+shift between releases, this module does not.  Three facets:
+
+**Observability** — the typed instrumentation bus
+(:class:`~repro.observability.bus.Bus`), its sinks (counters, ring-buffer
+flight recorder, streaming JSONL, Perfetto export), and the trace-event
+schema validator.  Attach sinks to ``kernel.bus``; a bus with no sinks
+costs one predicate per emit site.
+
+**Interposition** — the mechanism registry
+(:data:`~repro.interposers.registry.REGISTRY`), the base
+:class:`~repro.interposers.base.Interposer`, and the hook protocol: every
+interposition function has the signature
+``hook(thread, nr, args, forward) -> result`` where ``forward()`` invokes
+the next hook (or the real syscall) and the return value is the
+(negative-errno) result the application sees.  :func:`chain` composes
+hooks; :data:`EMPTY_HOOK` is the identity.
+
+**Simulation** — the :class:`~repro.kernel.kernel.Kernel` itself.
+
+The historical ``repro.evaluation.runner.MECHANISMS`` /
+``make_interposer`` entry points are deprecated shims over
+:data:`REGISTRY` and warn on import.
+"""
+
+from __future__ import annotations
+
+from repro.interposers.base import EMPTY_HOOK, Interposer
+from repro.interposers.hooks import (CountingHook, LatencyHook, RedirectHook,
+                                     SandboxHook, TracingHook, chain)
+from repro.interposers.registry import (REGISTRY, MechanismRegistry,
+                                        MechanismSpec, UnknownMechanismError)
+from repro.kernel import Kernel
+from repro.observability import (Bus, BusEvent, CounterSink, NullSink,
+                                 RingBufferSink, Sink, StreamingJSONLSink,
+                                 TraceSink, validate_chrome_trace,
+                                 write_chrome_trace)
+
+__all__ = [
+    # observability
+    "Bus",
+    "BusEvent",
+    "Sink",
+    "NullSink",
+    "CounterSink",
+    "RingBufferSink",
+    "StreamingJSONLSink",
+    "TraceSink",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    # interposition
+    "Interposer",
+    "EMPTY_HOOK",
+    "chain",
+    "TracingHook",
+    "CountingHook",
+    "SandboxHook",
+    "RedirectHook",
+    "LatencyHook",
+    "REGISTRY",
+    "MechanismRegistry",
+    "MechanismSpec",
+    "UnknownMechanismError",
+    # simulation
+    "Kernel",
+]

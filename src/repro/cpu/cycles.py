@@ -32,6 +32,9 @@ from __future__ import annotations
 import enum
 from typing import Dict
 
+from repro.observability.bus import Bus
+from repro.observability.events import CycleCharge, RawCycles
+
 
 class Event(enum.Enum):
     """Chargeable machine events."""
@@ -120,18 +123,38 @@ class CycleModel:
             self.costs.update(costs)
         self.cycles = 0
         self.counts: Dict[Event, int] = {event: 0 for event in Event}
+        #: Raw (data-dependent) cycles by charge-site label; together with
+        #: ``counts × costs`` these account for every cycle in ``cycles``
+        #: — the decomposition invariant the breakdown tests assert.
+        self.raw_cycles: Dict[str, int] = {}
+        #: Instrumentation bus (replaced by the owning kernel with its
+        #: own).  Always a Bus — never None — so the two charge paths
+        #: below pay exactly one predicate each while no sink is
+        #: attached: the null-sink fast path.
+        self.bus = Bus()
 
     def charge(self, event: Event, times: int = 1) -> int:
         """Charge *event* *times* times; returns the cycles added."""
         added = self.costs[event] * times
         self.cycles += added
         self.counts[event] += times
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(CycleCharge(ts=self.cycles, pid=0, tid=0,
+                                 event=event.value, times=times,
+                                 cycles=added))
         return added
 
-    def charge_cycles(self, cycles: int) -> None:
+    def charge_cycles(self, cycles: int, label: str = "unattributed") -> None:
         """Charge a raw cycle amount (used for data-dependent costs such as
-        per-probe hash-set accounting)."""
+        per-probe hash-set accounting).  *label* names the charge site so
+        the cycle decomposition can attribute these too."""
         self.cycles += cycles
+        self.raw_cycles[label] = self.raw_cycles.get(label, 0) + cycles
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(RawCycles(ts=self.cycles, pid=0, tid=0,
+                               label=label, cycles=cycles))
 
     @property
     def seconds(self) -> float:
@@ -142,6 +165,11 @@ class CycleModel:
         """Copy of the per-event counters."""
         return dict(self.counts)
 
+    def raw_snapshot(self) -> Dict[str, int]:
+        """Copy of the per-label raw cycle charges."""
+        return dict(self.raw_cycles)
+
     def reset(self) -> None:
         self.cycles = 0
         self.counts = {event: 0 for event in Event}
+        self.raw_cycles = {}

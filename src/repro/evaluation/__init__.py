@@ -19,7 +19,6 @@
 
 from repro.evaluation.stats import RepeatedMeasurement, geomean
 from repro.evaluation.runner import (
-    MECHANISMS,
     measure_micro_cycles,
     micro_overheads,
     MacroConfig,
@@ -27,6 +26,17 @@ from repro.evaluation.runner import (
     measure_macro,
     macro_results,
 )
+
+
+def __getattr__(name: str):
+    # Back-compat: ``repro.evaluation.MECHANISMS`` resolves through the
+    # runner's deprecation shim (DeprecationWarning; use
+    # repro.interposers.registry.REGISTRY.names() instead).
+    if name == "MECHANISMS":
+        from repro.evaluation import runner
+
+        return runner.MECHANISMS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.evaluation.cache import ResultCache
 from repro.evaluation.pipeline import (
     CellResult,

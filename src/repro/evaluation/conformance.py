@@ -42,6 +42,8 @@ class CellVerdict:
     divergences: List[str] = field(default_factory=list)
     injections: Tuple[str, ...] = ()
     schedule_sha: str = ""
+    #: CounterSink snapshot of the cell run — diagnostic, never compared.
+    counters: Dict = field(default_factory=dict)
 
 
 @dataclass
@@ -111,6 +113,7 @@ class ConformanceMatrix:
                     "divergences": v.divergences,
                     "injections": list(v.injections),
                     "schedule_sha": v.schedule_sha,
+                    "counters": v.counters,
                 }
                 for v in self.verdicts
             ],
@@ -128,35 +131,58 @@ def run_matrix(mechanisms: Optional[Sequence[str]] = None,
                seeds: Sequence[int] = DEFAULT_SEEDS,
                config: Optional[FaultConfig] = None,
                block_cache: Optional[bool] = None,
+               jobs: int = 1,
                verbose: bool = False) -> ConformanceMatrix:
     """Run the full differential matrix and collect verdicts.
 
     The oracle cell for each (workload, seed) is run once and shared by
-    every mechanism's diff.
+    every mechanism's diff.  With ``jobs > 1`` the cells fan out over a
+    process pool; each cell is a pure function of its arguments (fixed
+    kernel seed, pre-drawn schedule), so the parallel matrix is
+    cell-for-cell identical to the serial one — only wall-clock changes.
     """
-    from repro.evaluation.runner import MECHANISMS
+    from repro.interposers.registry import REGISTRY
 
-    names = tuple(mechanisms) if mechanisms is not None else tuple(MECHANISMS)
+    names = (tuple(mechanisms) if mechanisms is not None
+             else tuple(REGISTRY.names()))
     for wl in workloads:
         if wl not in WORKLOADS:
             raise ValueError(f"unknown workload {wl!r}")
     config = config or conformance_config()
     matrix = ConformanceMatrix(names, tuple(workloads), tuple(seeds))
+    cells = [(mech, workload, seed)
+             for workload in workloads for seed in seeds
+             for mech in (ORACLE,) + tuple(m for m in names
+                                           if m != ORACLE)]
+    observations: Dict[Tuple[str, str, int], Observation] = {}
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                key: pool.submit(run_cell, *key, config=config,
+                                 block_cache=block_cache)
+                for key in cells}
+            for key, future in futures.items():
+                observations[key] = future.result()
+    else:
+        for key in cells:
+            observations[key] = run_cell(*key, config=config,
+                                         block_cache=block_cache)
     for workload in workloads:
         for seed in seeds:
-            oracle = run_cell(ORACLE, workload, seed, config=config,
-                              block_cache=block_cache)
+            oracle = observations[(ORACLE, workload, seed)]
             for mech in names:
                 if mech == ORACLE:
                     continue
-                obs = run_cell(mech, workload, seed, config=config,
-                               block_cache=block_cache)
+                obs = observations[(mech, workload, seed)]
                 divergences = obs.diff(oracle)
                 matrix.verdicts.append(CellVerdict(
                     mechanism=mech, workload=workload, seed=seed,
                     ok=not divergences, divergences=divergences,
                     injections=obs.injections,
-                    schedule_sha=obs.schedule_sha))
+                    schedule_sha=obs.schedule_sha,
+                    counters=obs.counters))
                 if verbose:
                     status = "OK" if not divergences else "DIVERGED"
                     print(f"  {mech:>24s} / {workload:<7s} seed={seed}: "

@@ -31,10 +31,12 @@ from repro.evaluation.cache import ResultCache
 from repro.evaluation.runner import (
     MACRO_BY_KEY,
     MACRO_CONFIGS,
-    MECHANISMS,
     macro_results,
     micro_overheads,
 )
+from repro.interposers.registry import REGISTRY
+
+MECHANISMS = REGISTRY.names()
 from repro.evaluation.tables import (
     render_table2,
     render_table4,

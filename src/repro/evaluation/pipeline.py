@@ -156,9 +156,9 @@ def micro_specs(mechanisms: Optional[Sequence[str]] = None, seed: int = 20,
                 iterations_low: int = 300, iterations_high: int = 1500
                 ) -> List[ScenarioSpec]:
     """Table 5 cells (native first — the normalization column)."""
-    from repro.evaluation.runner import MECHANISMS
+    from repro.interposers.registry import REGISTRY
 
-    names = tuple(mechanisms) if mechanisms is not None else MECHANISMS
+    names = tuple(mechanisms) if mechanisms is not None else REGISTRY.names()
     params = (("iterations_high", iterations_high),
               ("iterations_low", iterations_low))
     return [ScenarioSpec("micro", name, "syscall-stress", seed, params)
@@ -169,9 +169,10 @@ def macro_specs(keys: Optional[Sequence[str]] = None,
                 mechanisms: Optional[Sequence[str]] = None,
                 seed: int = 30) -> List[ScenarioSpec]:
     """Table 6 cells, row-major in config order."""
-    from repro.evaluation.runner import MACRO_CONFIGS, MECHANISMS
+    from repro.evaluation.runner import MACRO_CONFIGS
+    from repro.interposers.registry import REGISTRY
 
-    names = tuple(mechanisms) if mechanisms is not None else MECHANISMS
+    names = tuple(mechanisms) if mechanisms is not None else REGISTRY.names()
     specs = []
     for config in MACRO_CONFIGS:
         if keys is not None and config.key not in keys:
@@ -408,7 +409,7 @@ def table5_overheads(run: PipelineRun,
                      ) -> Dict[str, float]:
     """Fold micro cells into the dict :func:`render_table5` consumes —
     float-for-float identical to :func:`micro_overheads`."""
-    from repro.evaluation.runner import MECHANISMS
+    from repro.interposers.registry import REGISTRY
 
     micro = {spec.mechanism: spec for spec in run.results
              if spec.kind == "micro"}
@@ -416,7 +417,7 @@ def table5_overheads(run: PipelineRun,
         raise ValueError("table 5 merge needs the native micro cell")
     native = run.value(micro["native"])["cycles_per_call"]
     names = tuple(mechanisms) if mechanisms is not None else \
-        tuple(name for name in MECHANISMS
+        tuple(name for name in REGISTRY.names()
               if name != "native" and name in micro)
     return {name: run.value(micro[name])["cycles_per_call"] / native
             for name in names}
@@ -426,7 +427,8 @@ def table6_rows(run: PipelineRun, keys: Optional[Sequence[str]] = None,
                 mechanisms: Optional[Sequence[str]] = None) -> List[Dict]:
     """Fold macro cells into the row dicts :func:`render_table6` consumes,
     reproducing :func:`macro_results`'s arithmetic exactly."""
-    from repro.evaluation.runner import MACRO_BY_KEY, MACRO_CONFIGS, MECHANISMS
+    from repro.evaluation.runner import MACRO_BY_KEY, MACRO_CONFIGS
+    from repro.interposers.registry import REGISTRY
 
     by_cell = {(spec.workload, spec.mechanism): spec
                for spec in run.results if spec.kind == "macro"}
@@ -434,7 +436,7 @@ def table6_rows(run: PipelineRun, keys: Optional[Sequence[str]] = None,
                 if (keys is None or config.key in keys)
                 and any(cell_key_ == config.key
                         for cell_key_, _name in by_cell)]
-    names = tuple(mechanisms) if mechanisms is not None else MECHANISMS
+    names = tuple(mechanisms) if mechanisms is not None else REGISTRY.names()
     rows = []
     for key in row_keys:
         config = MACRO_BY_KEY[key]

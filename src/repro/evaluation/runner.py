@@ -43,16 +43,45 @@ from repro.workloads.sqlite import build_speedtest1, install_sqlite
 from repro.workloads.stress import build_stress, STRESS_PATH
 
 #: Evaluation order, matching Table 5 — derived from the registry.
-MECHANISMS = REGISTRY.names()
+#: Internal only; the public way to enumerate mechanisms is
+#: ``repro.interposers.registry.REGISTRY.names()``.  ``MECHANISMS`` and
+#: ``make_interposer`` remain importable from this module through the
+#: deprecation shim (module ``__getattr__``) below.
+_MECHANISMS = REGISTRY.names()
 
 
-def make_interposer(name: str, kernel: Kernel):
+def _make_interposer(name: str, kernel: Kernel):
     """Instantiate (and install) one evaluated mechanism by registry name."""
     return REGISTRY.create(name, kernel)
 
 
 def needs_offline(name: str) -> bool:
     return REGISTRY.needs_offline(name)
+
+
+#: Deprecated module attributes → (replacement hint, value factory).
+_DEPRECATED = {
+    "MECHANISMS": ("repro.interposers.registry.REGISTRY.names()",
+                   lambda: _MECHANISMS),
+    "make_interposer": ("repro.interposers.registry.REGISTRY.create(name, "
+                        "kernel)", lambda: _make_interposer),
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shim (PEP 562): importing ``MECHANISMS`` or
+    ``make_interposer`` from this module still works but warns — the
+    mechanism registry is the supported API."""
+    entry = _DEPRECATED.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import warnings
+
+    hint, factory = entry
+    warnings.warn(f"importing {name!r} from repro.evaluation.runner is "
+                  f"deprecated; use {hint}", DeprecationWarning,
+                  stacklevel=2)
+    return factory()
 
 
 # ============================================================ microbenchmark
@@ -68,7 +97,7 @@ def _micro_total_cycles(name: str, iterations: int, seed: int) -> int:
         offline = OfflinePhase(offline_kernel)
         offline.run(STRESS_PATH)
         import_logs(kernel, offline.export())
-    make_interposer(name, kernel)
+    _make_interposer(name, kernel)
     process = kernel.spawn_process(STRESS_PATH)
     before = kernel.cycles.cycles
     kernel.run_process(process, max_steps=50_000_000)
@@ -87,7 +116,7 @@ def measure_micro_cycles(name: str, iterations_low: int = 300,
     return (high - low) / (iterations_high - iterations_low)
 
 
-def micro_overheads(mechanisms=MECHANISMS[1:], seed: int = 20
+def micro_overheads(mechanisms=_MECHANISMS[1:], seed: int = 20
                     ) -> Dict[str, float]:
     """Overhead factors relative to native (the Table 5 values)."""
     native = measure_micro_cycles("native", seed=seed)
@@ -250,7 +279,7 @@ def _measure_throughput_cpr(config: MacroConfig, name: str,
     path = config.installer(kernel)
     if needs_offline(name):
         import_logs(kernel, _offline_for(config, seed + 500))
-    make_interposer(name, kernel)
+    _make_interposer(name, kernel)
     kernel.spawn_process(path)
     kernel.run(max_steps=2_000_000)  # master forks; workers reach accept
     generator = config.client_factory(kernel, config.port,
@@ -274,7 +303,7 @@ def _measure_runtime_cycles(name: str, transactions: int, seed: int) -> int:
         offline = OfflinePhase(offline_kernel)
         offline.run("/usr/bin/speedtest1", max_steps=20_000_000)
         import_logs(kernel, offline.export())
-    make_interposer(name, kernel)
+    _make_interposer(name, kernel)
     process = kernel.spawn_process("/usr/bin/speedtest1")
     before = kernel.cycles.cycles
     kernel.run_process(process, max_steps=20_000_000)
@@ -309,7 +338,7 @@ def measure_macro(config: MacroConfig, name: str, seed: int = 30) -> Dict:
             "throughput": throughput}
 
 
-def macro_results(config: MacroConfig, mechanisms=MECHANISMS,
+def macro_results(config: MacroConfig, mechanisms=_MECHANISMS,
                   seed: int = 30) -> Dict[str, Dict]:
     """All mechanisms for one row, plus relative percentages vs native."""
     results = {name: measure_macro(config, name, seed=seed)

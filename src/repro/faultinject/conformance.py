@@ -28,7 +28,7 @@ module reports it and the PR that introduced the harness fixes it.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.faultinject.engine import FaultInjector
@@ -121,12 +121,20 @@ class Observation:
     sim_handlers: Tuple[int, ...]
     injections: Tuple[str, ...] = ()
     schedule_sha: str = ""
+    #: Instrumentation-bus counter snapshot (CounterSink) for the run —
+    #: diagnostic metadata, like ``injections``: mechanisms legitimately
+    #: differ here (that's the whole point of the decomposition), and the
+    #: block cache batches ``CycleCharge`` emissions per block, so even
+    #: one mechanism's event tallies differ across interpreter modes.
+    #: Excluded from ``==`` and ``diff`` alike — never verdict material.
+    counters: Dict = field(default_factory=dict, compare=False)
 
     def diff(self, oracle: "Observation") -> List[str]:
         """App-visible divergences vs the oracle (empty = conformant).
 
-        ``injections`` and ``schedule_sha`` are deliberately not compared:
-        which injections *fired* legitimately differs per mechanism (a
+        ``injections``, ``schedule_sha``, and ``counters`` are deliberately
+        not compared: which injections *fired* and what each mechanism's
+        cycle/event profile looks like legitimately differ per mechanism (a
         selector flip can only land on a SUD user); what must not differ
         is what the application then observed.
         """
@@ -178,7 +186,7 @@ def _normalize_record(record) -> str:
 
 def _observe(kernel, process, mechanism: str, workload: str, seed: int,
              injector: FaultInjector,
-             schedule: FaultSchedule) -> Observation:
+             schedule: FaultSchedule, sink=None) -> Observation:
     main = kernel.syscall_log[process.premain_log_len:]
     syscalls = tuple(_normalize_record(r) for r in main
                      if r.pid == process.pid and r.app_requested
@@ -218,6 +226,7 @@ def _observe(kernel, process, mechanism: str, workload: str, seed: int,
         sim_handlers=sim_handlers,
         injections=tuple(injector.log),
         schedule_sha=schedule.digest()[:16],
+        counters=sink.snapshot() if sink is not None else {},
     )
 
 
@@ -245,8 +254,15 @@ def _offline_logs(workload: str) -> Dict:
 def run_cell(mechanism: str, workload: str, seed: int,
              config: Optional[FaultConfig] = None,
              block_cache: Optional[bool] = None,
-             max_steps: int = 10_000_000) -> Observation:
-    """Run one conformance cell and snapshot its observable state."""
+             max_steps: int = 10_000_000,
+             trace_sink=None) -> Observation:
+    """Run one conformance cell and snapshot its observable state.
+
+    ``trace_sink`` (any bus sink, typically a
+    :class:`~repro.observability.export.TraceSink`) rides along on the
+    cell's bus; the bus is observe-only, so the Observation is identical
+    with or without it.
+    """
     from repro.interposers.registry import REGISTRY
     from repro.kernel import Kernel
 
@@ -254,6 +270,15 @@ def run_cell(mechanism: str, workload: str, seed: int,
         raise ValueError(f"unknown conformance workload {workload!r}; "
                          f"valid: {', '.join(WORKLOADS)}")
     kernel = Kernel(seed=KERNEL_SEED, aslr=False)
+    # Counters ride along on every cell: the bus is observe-only, so an
+    # attached sink cannot perturb the run (the lockstep property tests
+    # pin this), and the snapshots feed the matrix artifact's metadata.
+    from repro.observability.sinks import CounterSink
+
+    sink = CounterSink()
+    kernel.bus.attach(sink)
+    if trace_sink is not None:
+        kernel.bus.attach(trace_sink)
     if block_cache is not None:
         kernel.block_cache_enabled = block_cache
     # Measure the surviving fast path deterministically, as the evaluation
@@ -275,4 +300,4 @@ def run_cell(mechanism: str, workload: str, seed: int,
             f"conformance cell did not finish: {mechanism}/{workload}"
             f"/seed={seed} ({max_steps} steps)")
     return _observe(kernel, process, mechanism, workload, seed, injector,
-                    schedule)
+                    schedule, sink=sink)

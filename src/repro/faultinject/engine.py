@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cpu.cycles import Event
 from repro.errors import MapError, SegmentationFault
+from repro.observability.events import FaultInjected
 from repro.faultinject.schedule import (COUNT_EXEMPT, Fault, FaultConfig,
                                         FaultSchedule)
 from repro.kernel.syscalls import (Nr, SIGNAL_NAMES,
@@ -79,6 +80,20 @@ class FaultInjector:
         self._insn_idx = 0
         self._selector_restore: Optional[Tuple[object, int, int]] = None
         kernel.fault_injector = self
+
+    def _note(self, text: str, thread=None, process=None) -> None:
+        """Record one performed injection: append to the determinism log
+        and publish it on the kernel's instrumentation bus."""
+        self.log.append(text)
+        bus = self.kernel.bus
+        if bus.enabled:
+            pid = tid = 0
+            if thread is not None:
+                pid, tid = thread.process.pid, thread.tid
+            elif process is not None:
+                pid = process.pid
+            bus.emit(FaultInjected(ts=self.kernel.cycles.cycles, pid=pid,
+                                   tid=tid, description=text))
 
     def detach(self) -> None:
         if self.kernel.fault_injector is self:
@@ -132,8 +147,8 @@ class FaultInjector:
             return
         space.write_kernel(addr, bytes([wanted]))
         self._selector_restore = (thread, addr, current)
-        self.log.append(f"{fault.action}@entry{at}: {Nr.name_of(nr)} "
-                        f"selector {current}->{wanted}")
+        self._note(f"{fault.action}@entry{at}: {Nr.name_of(nr)} "
+                   f"selector {current}->{wanted}", thread=thread)
 
     def _restore_selector(self) -> None:
         if self._selector_restore is None:
@@ -161,8 +176,8 @@ class FaultInjector:
             return None
         from repro.kernel.syscalls import Errno
 
-        self.log.append(f"errno@call{at}: {Nr.name_of(nr)} -> "
-                        f"-{Errno(errno).name} [{origin}]")
+        self._note(f"errno@call{at}: {Nr.name_of(nr)} -> "
+                   f"-{Errno(errno).name} [{origin}]", thread=thread)
         return errno
 
     def on_syscall_exit(self, thread, nr: int, origin: str) -> None:
@@ -173,9 +188,9 @@ class FaultInjector:
         at = self.app_calls - 1
         for fault in self._exit_faults.pop(at, ()):
             if fault.action == "signal":
-                self.log.append(
+                self._note(
                     f"signal@exit{at}: {SIGNAL_NAMES.get(fault.arg, fault.arg)}"
-                    f" after {Nr.name_of(nr)} [{origin}]")
+                    f" after {Nr.name_of(nr)} [{origin}]", thread=thread)
                 self.kernel.deliver_signal(thread, fault.arg)
 
     # --------------------------------------------------- instruction counts
@@ -202,10 +217,10 @@ class FaultInjector:
             fault = self._insn_faults[self._insn_idx]
             self._insn_idx += 1
             if fault.action == "signal":
-                self.log.append(
+                self._note(
                     f"signal@insn{fault.at}: "
                     f"{SIGNAL_NAMES.get(fault.arg, fault.arg)} "
-                    f"(count={count})")
+                    f"(count={count})", thread=thread)
                 self.kernel.deliver_signal(thread, fault.arg)
 
     def on_quantum_boundary(self, thread) -> None:
@@ -213,9 +228,10 @@ class FaultInjector:
         self.quanta += 1
         for fault in self._quantum_faults.pop(at, ()):
             if fault.action == "signal":
-                self.log.append(
+                self._note(
                     f"signal@quantum{at}: "
-                    f"{SIGNAL_NAMES.get(fault.arg, fault.arg)}")
+                    f"{SIGNAL_NAMES.get(fault.arg, fault.arg)}",
+                    thread=thread)
                 self.kernel.deliver_signal(thread, fault.arg)
 
     # ------------------------------------------------------ windows / memory
@@ -236,28 +252,31 @@ class FaultInjector:
                 space.munmap(fault.addr, fault.length)
                 self.kernel.icache_shootdown(process, fault.addr,
                                              round_up_pages(fault.length))
-                self.log.append(f"munmap@window{at}: {fault.addr:#x}"
-                                f"+{fault.length:#x}")
+                self._note(f"munmap@window{at}: {fault.addr:#x}"
+                           f"+{fault.length:#x}", thread=thread)
             elif fault.action == "mprotect":
                 space.mprotect(fault.addr, fault.length,
                                Prot(fault.arg & 0x7))
                 self.kernel.notify_prot_change(thread, fault.addr,
                                                fault.length, fault.arg & 0x7)
-                self.log.append(f"mprotect@window{at}: {fault.addr:#x}"
-                                f"+{fault.length:#x} prot={fault.arg}")
+                self._note(f"mprotect@window{at}: {fault.addr:#x}"
+                           f"+{fault.length:#x} prot={fault.arg}",
+                           thread=thread)
             elif fault.action == "patch":
                 # Remote-core store, deliberately with NO shootdown: the
                 # victim core keeps executing stale decodes (P5).
                 space.write_kernel(fault.addr, fault.data)
-                self.log.append(f"patch@window{at}: {fault.addr:#x} "
-                                f"<- {fault.data.hex()}")
+                self._note(f"patch@window{at}: {fault.addr:#x} "
+                           f"<- {fault.data.hex()}", thread=thread)
             elif fault.action == "signal":
-                self.log.append(
+                self._note(
                     f"signal@window{at}: "
-                    f"{SIGNAL_NAMES.get(fault.arg, fault.arg)}")
+                    f"{SIGNAL_NAMES.get(fault.arg, fault.arg)}",
+                    thread=thread)
                 self.kernel.deliver_signal(thread, fault.arg)
         except (MapError, SegmentationFault) as exc:
-            self.log.append(f"window{at}: {fault.action} failed ({exc})")
+            self._note(f"window{at}: {fault.action} failed ({exc})",
+                       thread=thread)
 
     # ------------------------------------------------------- passive counters
 
@@ -269,9 +288,10 @@ class FaultInjector:
         self.flushes += 1
         for fault in self._flush_faults.pop(at, ()):
             if fault.action == "signal":
-                self.log.append(
+                self._note(
                     f"signal@flush{at}: "
-                    f"{SIGNAL_NAMES.get(fault.arg, fault.arg)}")
+                    f"{SIGNAL_NAMES.get(fault.arg, fault.arg)}",
+                    process=process)
                 self.kernel.deliver_signal(process.main_thread, fault.arg)
 
     def on_prot_change(self, thread, start: int, length: int,
@@ -280,7 +300,8 @@ class FaultInjector:
         self.prot_changes += 1
         for fault in self._prot_faults.pop(at, ()):
             if fault.action == "signal":
-                self.log.append(
+                self._note(
                     f"signal@prot{at}: "
-                    f"{SIGNAL_NAMES.get(fault.arg, fault.arg)}")
+                    f"{SIGNAL_NAMES.get(fault.arg, fault.arg)}",
+                    thread=thread)
                 self.kernel.deliver_signal(thread, fault.arg)

@@ -44,10 +44,16 @@ def chain(*hooks):
 
 
 class TracingHook:
-    """strace-style recording: (pid, name, args, result) tuples."""
+    """strace-style recording: (pid, name, args, result) tuples.
 
-    def __init__(self, capture_args: int = 3):
+    A thin adapter over the instrumentation bus: pass ``bus`` (usually
+    ``kernel.bus``) and every observed call is also published as a
+    :class:`~repro.observability.events.HookObserved` event, so trace
+    sinks see application syscalls alongside kernel-side spans."""
+
+    def __init__(self, capture_args: int = 3, bus=None):
         self.capture_args = capture_args
+        self.bus = bus
         self.events: List[Tuple[int, str, Tuple[int, ...], int]] = []
 
     def __call__(self, thread, nr, args, forward):
@@ -55,6 +61,15 @@ class TracingHook:
         if result is not BLOCKED:
             self.events.append((thread.process.pid, Nr.name_of(nr),
                                 tuple(args[: self.capture_args]), result))
+            bus = self.bus
+            if bus is not None and bus.enabled:
+                from repro.observability.events import HookObserved
+
+                bus.emit(HookObserved(
+                    ts=thread.process.kernel.cycles.cycles,
+                    pid=thread.process.pid, tid=thread.tid, nr=nr,
+                    hook="tracing",
+                    result=result if isinstance(result, int) else None))
         return result
 
     def formatted(self) -> List[str]:
@@ -64,15 +79,28 @@ class TracingHook:
 
 
 class CountingHook:
-    """Per-syscall histogram (the `strace -c` summary)."""
+    """Per-syscall histogram (the `strace -c` summary).
 
-    def __init__(self):
+    Like :class:`TracingHook`, optionally a bus adapter: with ``bus``
+    set, each counted call is published as ``HookObserved``."""
+
+    def __init__(self, bus=None):
         self.counts: Dict[int, int] = collections.Counter()
+        self.bus = bus
 
     def __call__(self, thread, nr, args, forward):
         result = forward()
         if result is not BLOCKED:
             self.counts[nr] += 1
+            bus = self.bus
+            if bus is not None and bus.enabled:
+                from repro.observability.events import HookObserved
+
+                bus.emit(HookObserved(
+                    ts=thread.process.kernel.cycles.cycles,
+                    pid=thread.process.pid, tid=thread.tid, nr=nr,
+                    hook="counting",
+                    result=result if isinstance(result, int) else None))
         return result
 
     def summary(self) -> str:
@@ -171,7 +199,8 @@ class LatencyHook:
         if nr not in self.target_nrs:
             return forward()
         self._seen += 1
-        thread.process.kernel.cycles.charge_cycles(self.extra_cycles)
+        thread.process.kernel.cycles.charge_cycles(self.extra_cycles,
+                                                   label="hook-latency")
         if self.fail_every and self._seen % self.fail_every == 0:
             return -Errno.EINTR
         return forward()

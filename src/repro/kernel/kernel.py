@@ -49,6 +49,10 @@ from repro.kernel.syscalls import (
     SIGNAL_NAMES,
 )
 from repro.kernel.vfs import VFS
+from repro.observability.bus import Bus
+from repro.observability.events import (IcacheShootdown, QuantumEnd,
+                                        SignalEvent, SyscallEnter,
+                                        SyscallExit)
 
 #: Scheduler quantum: instructions per thread turn.
 DEFAULT_QUANTUM = 100
@@ -98,6 +102,12 @@ class Kernel:
         self.vfs = VFS()
         self.net = NetStack()
         self.cycles = CycleModel(costs)
+        #: Instrumentation bus (repro.observability): disabled until a
+        #: sink attaches; every emit site below is one predicate while
+        #: quiescent.  The cycle model shares it so charges surface as
+        #: CycleCharge/RawCycles events.
+        self.bus = Bus()
+        self.cycles.bus = self.bus
         self.hostcalls = HostcallRegistry()
         self.processes: Dict[int, Process] = {}
         self._next_pid = 100
@@ -177,8 +187,14 @@ class Kernel:
         if fi is not None:
             fi.on_syscall_entry(thread, nr, site)
 
+        bus = self.bus
+
         # 1. Syscall User Dispatch.
         if thread.sud.should_dispatch(site, self._read_selector(process)):
+            if bus.enabled:
+                bus.emit(SyscallEnter(ts=self.cycles.cycles, pid=process.pid,
+                                      tid=thread.tid, nr=nr, site=site,
+                                      phase="sud"))
             # A restarted blocking call (accept/recvfrom that parked inside
             # the handler's forwarded syscall) re-enters this path purely as
             # a simulation artifact; on hardware the thread blocks in-kernel
@@ -198,10 +214,15 @@ class Kernel:
                     base = (self.cycles.costs[Event.SIGNAL_DELIVERY]
                             + self.cycles.costs[Event.SIGRETURN])
                     self.cycles.charge_cycles(
-                        int((armed - 1) * SUD_CONTENTION_FACTOR * base))
+                        int((armed - 1) * SUD_CONTENTION_FACTOR * base),
+                        label="sud-contention")
             self.deliver_signal(thread, SIGSYS, fault_rip=site,
                                 info={"nr": nr, "site": site},
                                 charge=not restart_credit, sync=True)
+            if bus.enabled:
+                bus.emit(SyscallExit(ts=self.cycles.cycles, pid=process.pid,
+                                     tid=thread.tid, nr=nr, phase="sud",
+                                     result=None))
             return
 
         # 2. ptrace entry stop.
@@ -216,22 +237,42 @@ class Kernel:
         if proceed and process.seccomp.active:
             from repro.kernel.seccomp import Action, SECCOMP_FILTER_COST
 
-            self.cycles.charge_cycles(SECCOMP_FILTER_COST)
+            self.cycles.charge_cycles(SECCOMP_FILTER_COST,
+                                      label="seccomp-filter")
             verdict = process.seccomp.evaluate(nr, ctx.syscall_args())
             if verdict.action == Action.TRAP:
                 restart_credit = getattr(thread, "_sud_restart_credit", False)
                 thread._sud_restart_credit = False
                 if not restart_credit:
                     self.cycles.charge(Event.KERNEL_SYSCALL)
+                if bus.enabled:
+                    bus.emit(SyscallEnter(ts=self.cycles.cycles,
+                                          pid=process.pid, tid=thread.tid,
+                                          nr=nr, site=site,
+                                          phase="seccomp-trap"))
                 self.deliver_signal(thread, SIGSYS, fault_rip=site,
                                     info={"nr": nr, "site": site,
                                           "seccomp": True},
                                     charge=not restart_credit, sync=True)
+                if bus.enabled:
+                    bus.emit(SyscallExit(ts=self.cycles.cycles,
+                                         pid=process.pid, tid=thread.tid,
+                                         nr=nr, phase="seccomp-trap",
+                                         result=None))
                 return
             if verdict.action == Action.ERRNO:
                 ctx.set_syscall_result(-verdict.errno)
                 ctx.set(Reg.RCX, ctx.rip)
                 ctx.set(Reg.R11, 0x202)
+                if bus.enabled:
+                    bus.emit(SyscallEnter(ts=self.cycles.cycles,
+                                          pid=process.pid, tid=thread.tid,
+                                          nr=nr, site=site,
+                                          phase="seccomp-errno"))
+                    bus.emit(SyscallExit(ts=self.cycles.cycles,
+                                         pid=process.pid, tid=thread.tid,
+                                         nr=nr, phase="seccomp-errno",
+                                         result=-verdict.errno))
                 if traced and not tracer.detached:
                     tracer.notify_exit(thread)
                 return
@@ -240,6 +281,10 @@ class Kernel:
         thread._just_execed = False
         if proceed:
             origin = "ptrace" if traced else "app"
+            if bus.enabled:
+                bus.emit(SyscallEnter(ts=self.cycles.cycles, pid=process.pid,
+                                      tid=thread.tid, nr=nr, site=site,
+                                      phase=origin))
             result = self.do_syscall(thread, nr, ctx.syscall_args(),
                                      origin=origin, site=site)
             if result is BLOCKED_SENTINEL:
@@ -249,12 +294,21 @@ class Kernel:
                 # ground truth counts the call once.
                 self.syscall_log.pop()
                 ctx.rip = site
+                if bus.enabled:
+                    bus.emit(SyscallExit(ts=self.cycles.cycles,
+                                         pid=process.pid, tid=thread.tid,
+                                         nr=nr, phase=origin, result=None))
                 return
             self.cycles.charge(Event.KERNEL_SYSCALL)
             if process.sud_armed_ever:
                 self.cycles.charge(Event.SUD_ARMED_SLOWPATH)
             if result is not None and not thread._just_execed:
                 ctx.set_syscall_result(result)
+            if bus.enabled:
+                bus.emit(SyscallExit(ts=self.cycles.cycles, pid=process.pid,
+                                     tid=thread.tid, nr=nr, phase=origin,
+                                     result=result if isinstance(result, int)
+                                     else None))
 
         if not thread._just_execed:
             # x86-64 syscall ABI: kernel clobbers RCX (return RIP) and R11
@@ -318,14 +372,29 @@ class Kernel:
         be restarted — the calling handler rewinds its own resume point (see
         ``repro.interposers.base.forward_syscall``).
         """
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(SyscallEnter(ts=self.cycles.cycles,
+                                  pid=thread.process.pid, tid=thread.tid,
+                                  nr=nr, site=site, phase=origin))
         result = self.do_syscall(thread, nr, args, origin=origin, site=site)
         if result is BLOCKED_SENTINEL:
             self.syscall_log.pop()
+            if bus.enabled:
+                bus.emit(SyscallExit(ts=self.cycles.cycles,
+                                     pid=thread.process.pid, tid=thread.tid,
+                                     nr=nr, phase=origin, result=None))
             return result
         self.cycles.charge(Event.KERNEL_SYSCALL)
         if thread.process.sud_armed_ever:
             self.cycles.charge(Event.SUD_ARMED_SLOWPATH)
         result = -Errno.ENOSYS if result is None else result
+        if bus.enabled:
+            bus.emit(SyscallExit(ts=self.cycles.cycles,
+                                 pid=thread.process.pid, tid=thread.tid,
+                                 nr=nr, phase=origin,
+                                 result=result if isinstance(result, int)
+                                 else None))
         if origin != "interposer-internal" and self.fault_injector is not None:
             # The forwarded application call completes here (the raw trap
             # returned early from the SUD/rewrite dispatch path).
@@ -352,14 +421,33 @@ class Kernel:
         faulting instruction itself) arriving masked force-kills with the
         default disposition, as Linux's ``force_sig`` does — the
         alternative is re-executing the faulting instruction forever.
+
+        A *simulated-address* delivery that lands while a **host** handler
+        is on this thread's stack (e.g. a fault-injected SIGCHLD at the
+        exit of a call an interposer's SIGSYS handler forwarded) is
+        deferred to return-to-user: setting up the user frame immediately
+        would be undone by the enclosing host handler's context restore,
+        double-charging the delivery and orphaning the frame.  Linux has
+        no such case — from the kernel's viewpoint the SIGSYS handler *is*
+        user code, and new signals are delivered when it returns.
         """
+        bus = self.bus
+        pid = thread.process.pid
         if self.fault_injector is not None:
             self.fault_injector.on_signal(thread, signal)
         if signal in thread.blocked_signals:
             detail = SIGNAL_NAMES.get(signal, str(signal))
             if sync:
+                if bus.enabled:
+                    bus.emit(SignalEvent(ts=self.cycles.cycles, pid=pid,
+                                         tid=thread.tid, signal=signal,
+                                         kind="forced", sync=True))
                 default_action(signal, detail + " (blocked, forced)")
                 return
+            if bus.enabled:
+                bus.emit(SignalEvent(ts=self.cycles.cycles, pid=pid,
+                                     tid=thread.tid, signal=signal,
+                                     kind="queue"))
             thread.pending_signals.append((signal, fault_rip, info or {}))
             return
         action = thread.process.dispositions.get_action(signal)
@@ -367,30 +455,58 @@ class Kernel:
             detail = SIGNAL_NAMES.get(signal, str(signal))
             if info:
                 detail += f" ({info})"
+            if bus.enabled:
+                bus.emit(SignalEvent(ts=self.cycles.cycles, pid=pid,
+                                     tid=thread.tid, signal=signal,
+                                     kind="default", sync=sync))
             default_action(signal, detail)
             return
         if callable(action):
             if charge:
                 self.cycles.charge(Event.SIGNAL_DELIVERY)
+            if bus.enabled:
+                bus.emit(SignalEvent(ts=self.cycles.cycles, pid=pid,
+                                     tid=thread.tid, signal=signal,
+                                     kind="deliver", sync=sync))
             thread._just_execed = False
             sigctx = SignalContext(signal, thread, thread.context.save(),
                                    fault_rip, info or {})
             thread.blocked_signals.add(signal)
+            thread._host_handler_depth += 1
             try:
                 action(sigctx)
             finally:
+                thread._host_handler_depth -= 1
                 thread.blocked_signals.discard(signal)
             if charge:
                 self.cycles.charge(Event.SIGRETURN)
+            if bus.enabled:
+                bus.emit(SignalEvent(ts=self.cycles.cycles, pid=pid,
+                                     tid=thread.tid, signal=signal,
+                                     kind="return", sync=sync))
             if not thread._just_execed:
                 # rt_sigreturn semantics; skipped when the handler execve'd
                 # (the frame belongs to the torn-down image).
                 thread.context.restore(sigctx.saved)
             self.flush_pending_signals(thread)
             return
+        if thread._host_handler_depth > 0 and not sync:
+            # Deferred: delivered for real (charged, frame pushed) by the
+            # enclosing host handler's flush_pending_signals once its
+            # context restore has run — see the docstring.
+            if bus.enabled:
+                bus.emit(SignalEvent(ts=self.cycles.cycles, pid=pid,
+                                     tid=thread.tid, signal=signal,
+                                     kind="defer"))
+            thread.pending_signals.append((signal, fault_rip, info or {}))
+            return
         # Simulated-address handler: push a frame, mask the signal until
         # rt_sigreturn, redirect RIP.
         self.cycles.charge(Event.SIGNAL_DELIVERY)
+        if bus.enabled:
+            bus.emit(SignalEvent(ts=self.cycles.cycles, pid=pid,
+                                 tid=thread.tid, signal=signal,
+                                 kind="deliver", sync=sync))
         thread.blocked_signals.add(signal)
         thread.signal_frames.append((signal, thread.context.save()))
         thread.context.set(Reg.RDI, signal)
@@ -398,7 +514,12 @@ class Kernel:
 
     def flush_pending_signals(self, thread: Thread) -> None:
         """Deliver queued async signals whose mask has cleared (called when
-        a host handler returns and at ``rt_sigreturn``)."""
+        a host handler returns and at ``rt_sigreturn``).  No-op while a
+        host handler is still on the thread's stack: delivery there would
+        be clobbered by the enclosing restore; the outermost handler's
+        flush (depth 0) drains the queue."""
+        if thread._host_handler_depth > 0:
+            return
         while thread.pending_signals:
             for i, (signal, fault_rip, info) in enumerate(
                     thread.pending_signals):
@@ -420,6 +541,10 @@ class Kernel:
         and ``mprotect``, which leave stale decodes in place — P5)."""
         for thread in process.threads:
             thread.icache.invalidate_range(start, length)
+        if self.bus.enabled:
+            self.bus.emit(IcacheShootdown(ts=self.cycles.cycles,
+                                          pid=process.pid, tid=0,
+                                          start=start, length=length))
         if self.fault_injector is not None:
             self.fault_injector.on_icache_flush(process, start, length)
 
@@ -598,8 +723,14 @@ class Kernel:
 
     def _quantum_boundary(self, thread: Thread) -> None:
         """Fault-injection hook at the end of a thread's scheduler turn."""
+        if not thread.runnable:
+            return
+        if self.bus.enabled:
+            self.bus.emit(QuantumEnd(ts=self.cycles.cycles,
+                                     pid=thread.process.pid,
+                                     tid=thread.tid))
         fi = self.fault_injector
-        if fi is None or not thread.runnable:
+        if fi is None:
             return
         try:
             fi.on_quantum_boundary(thread)

@@ -98,6 +98,11 @@ class Thread:
         #: Set while the thread is inside a host-level yield (re-entrancy
         #: guard for the preemption window modelling, P5).
         self.in_host_handler = False
+        #: Host-callable signal handlers currently on this thread's stack.
+        #: While > 0, simulated-address deliveries are deferred to
+        #: return-to-user (the enclosing handler's context restore would
+        #: clobber the user frame — see Kernel.deliver_signal).
+        self._host_handler_depth = 0
         #: In-unit retire index maintained by the block executor
         #: (:mod:`repro.cpu.blocks`): the 1-based index of the instruction
         #: currently executing, read by the scheduler to attribute a

@@ -118,11 +118,22 @@ class Tracer:
 
     # -- kernel-side notification hooks ----------------------------------------------
 
+    def _emit_stop(self, thread, entry: bool) -> None:
+        bus = self.kernel.bus
+        if bus.enabled:
+            from repro.observability.events import PtraceStop
+
+            bus.emit(PtraceStop(ts=self.kernel.cycles.cycles,
+                                pid=thread.process.pid, tid=thread.tid,
+                                nr=thread.context.syscall_number,
+                                entry=entry))
+
     def notify_entry(self, thread) -> bool:
         """Called by the kernel at syscall entry.  Returns False to skip the
         syscall (the tracer emulated/denied it)."""
         self.kernel.cycles.charge(Event.PTRACE_STOP)
         self.kernel.cycles.charge(Event.PTRACE_TRACER_WORK)
+        self._emit_stop(thread, entry=True)
         stop = SyscallStop(thread, entry=True)
         self.observed.append((thread.process.pid, stop.number, stop.site_rip))
         if self.on_syscall_entry is not None:
@@ -133,6 +144,7 @@ class Tracer:
 
     def notify_exit(self, thread) -> None:
         self.kernel.cycles.charge(Event.PTRACE_STOP)
+        self._emit_stop(thread, entry=False)
         stop = SyscallStop(thread, entry=False)
         if self.on_syscall_exit is not None:
             self.on_syscall_exit(stop)

@@ -126,7 +126,7 @@ def _resolve(process: Process, path: str) -> str:
 #: buffers and kernel objects (page cache, socket queues).  This is what
 #: makes the 4 KiB Table 6 rows slower than the 0 KiB rows.
 def _charge_copy(kernel, nbytes: int) -> None:
-    kernel.cycles.charge_cycles(nbytes // 2)
+    kernel.cycles.charge_cycles(nbytes // 2, label="io-data-copy")
 
 
 def _block(thread: Thread, condition: Callable[[], bool]):
@@ -521,7 +521,8 @@ def sys_nanosleep(kernel, thread: Thread, args) -> int:
     if args[0]:
         sec, nsec = struct.unpack(
             "<qq", thread.process.address_space.read_kernel(args[0], 16))
-        kernel.cycles.charge_cycles(int((sec * 1_000_000_000 + nsec) * 3.2))
+        kernel.cycles.charge_cycles(int((sec * 1_000_000_000 + nsec) * 3.2),
+                                    label="nanosleep")
     return 0
 
 

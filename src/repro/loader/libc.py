@@ -206,7 +206,8 @@ def build_libc(kernel) -> SimImage:
         filler instructions.  It is pure user-space work: no interposer
         ever sees it, exactly like real computation.
         """
-        kernel.cycles.charge_cycles(thread.context.get(Reg.RDI))
+        kernel.cycles.charge_cycles(thread.context.get(Reg.RDI),
+                                    label="app-compute")
 
     dlopen_idx = kernel.hostcalls.register(dlopen_host, "libc.dlopen")
     dlmopen_idx = kernel.hostcalls.register(dlmopen_host, "libc.dlmopen")

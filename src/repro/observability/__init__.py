@@ -1,0 +1,56 @@
+"""Unified instrumentation: one typed event bus over every channel.
+
+PRs 1–3 grew three disjoint instrumentation paths — the fault-injection
+kernel hooks, the interposer hook chains, and the cycle model's event
+counters read ad hoc by the evaluation.  This package unifies them as
+*producers* on a single :class:`Bus` (``kernel.bus``) with pluggable
+sinks:
+
+    from repro.observability import Bus, CounterSink, TraceSink
+
+    counters = CounterSink()
+    kernel.bus.attach(counters)
+    ...
+    counters.snapshot()          # per-event counts, cycles, histograms
+
+The bus is observe-only and disabled until a sink attaches; a disabled
+bus costs one predicate per emit site (see DESIGN.md §3f).  For traces,
+attach a :class:`TraceSink` and write it with
+:func:`write_chrome_trace` — the output loads directly in Perfetto
+(``ui.perfetto.dev``) or ``chrome://tracing``.
+"""
+
+from repro.observability.bus import Bus
+from repro.observability.events import (BusEvent, CycleCharge, EVENT_TYPES,
+                                        FaultInjected, HookObserved,
+                                        IcacheShootdown, PtraceStop,
+                                        QuantumEnd, RawCycles, SignalEvent,
+                                        SyscallEnter, SyscallExit)
+from repro.observability.export import (TraceSink, validate_chrome_trace,
+                                        write_chrome_trace)
+from repro.observability.sinks import (CounterSink, NullSink, RingBufferSink,
+                                       Sink, StreamingJSONLSink)
+
+__all__ = [
+    "Bus",
+    "BusEvent",
+    "CycleCharge",
+    "EVENT_TYPES",
+    "FaultInjected",
+    "HookObserved",
+    "IcacheShootdown",
+    "PtraceStop",
+    "QuantumEnd",
+    "RawCycles",
+    "SignalEvent",
+    "SyscallEnter",
+    "SyscallExit",
+    "Sink",
+    "NullSink",
+    "CounterSink",
+    "RingBufferSink",
+    "StreamingJSONLSink",
+    "TraceSink",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

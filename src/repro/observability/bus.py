@@ -1,0 +1,56 @@
+"""The instrumentation bus: one producer API, N attached sinks.
+
+The bus is *disabled* (``enabled`` False) until a sink attaches, and
+every emit site in the kernel/CPU/injector guards on that single
+predicate::
+
+    bus = self.bus
+    if bus.enabled:
+        bus.emit(SyscallEnter(...))
+
+so a quiescent bus costs one attribute read plus one truth test per
+site — the null-sink fast path the interpreter-overhead budget in
+``benchmarks/bench_interp_speed.py`` polices.  Event *construction*
+(the expensive part) only happens behind the guard.
+
+Sinks are observe-only: ``emit`` returns nothing and sinks cannot
+influence execution, which is what makes the trace-on/off lockstep
+property (tests/observability/test_lockstep.py) hold by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.observability.events import BusEvent
+
+
+class Bus:
+    """Fan-out of :class:`BusEvent` objects to attached sinks."""
+
+    __slots__ = ("enabled", "sinks")
+
+    def __init__(self) -> None:
+        #: Fast-path predicate; kept in lockstep with ``sinks`` by
+        #: attach/detach.  Emit sites read this, never ``sinks``.
+        self.enabled: bool = False
+        self.sinks: List = []
+
+    def attach(self, sink) -> "Bus":
+        """Attach *sink* (anything with ``accept(event)``); enables the bus."""
+        if sink not in self.sinks:
+            self.sinks.append(sink)
+        self.enabled = True
+        return self
+
+    def detach(self, sink) -> None:
+        """Detach *sink*; the bus disables itself when no sinks remain."""
+        try:
+            self.sinks.remove(sink)
+        except ValueError:
+            pass
+        self.enabled = bool(self.sinks)
+
+    def emit(self, event: BusEvent) -> None:
+        for sink in self.sinks:
+            sink.accept(event)

@@ -1,0 +1,152 @@
+"""The typed event taxonomy of the instrumentation bus.
+
+Every event is a frozen dataclass with three shared fields:
+
+- ``ts`` — the simulated cycle counter at emission (3.2 GHz; exporters
+  divide by :data:`~repro.cpu.cycles.CLOCK_HZ` for wall-clock).
+- ``pid`` / ``tid`` — the simulated process/thread the event belongs to
+  (0 when the event is machine-global, e.g. a cycle charge made outside
+  any thread context).
+
+Events are *observations*, never control flow: a sink cannot return a
+verdict, mutate registers, or fail a syscall.  Channels that need a
+return value (the fault-injection engine's ``transient_errno`` /
+``clip_budget``) therefore stay direct kernel callbacks and surface here
+only as :class:`FaultInjected` records of what they already did — see
+DESIGN.md §3f for the taxonomy split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class BusEvent:
+    """Base event: timestamp (simulated cycles) + thread identity."""
+
+    ts: int
+    pid: int
+    tid: int
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallEnter(BusEvent):
+    """A system call entered the kernel (raw trap or interposer forward).
+
+    ``phase`` tags the dispatch route the call is taking — the mechanism
+    phase the paper's cost decomposition attributes cycles to:
+    ``"app"`` (raw uninterposed trap), ``"ptrace"``, ``"sud"`` (SUD
+    blocked the trap; a SIGSYS delivery follows), ``"seccomp-trap"``,
+    ``"sud-handler"`` / ``"rewrite-handler"`` (an interposer forwarding
+    the application's call), ``"interposer-internal"``.
+    """
+
+    nr: int
+    site: int
+    phase: str
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallExit(BusEvent):
+    """The matching return-to-user (or forward completion) of a call."""
+
+    nr: int
+    phase: str
+    result: Optional[int]
+
+
+@dataclass(frozen=True, slots=True)
+class SignalEvent(BusEvent):
+    """One step of signal traffic.
+
+    ``kind``: ``"deliver"`` (a handler frame was set up — host-callable
+    or simulated-address), ``"default"`` (default disposition ran),
+    ``"queue"`` (masked async signal parked on ``pending_signals``),
+    ``"defer"`` (simulated-address delivery deferred to return-to-user
+    because a host handler is on stack), ``"forced"`` (masked
+    synchronous fault force-killed, Linux ``force_sig``), ``"return"``
+    (host handler returned / ``rt_sigreturn`` executed).
+    """
+
+    signal: int
+    kind: str
+    sync: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class PtraceStop(BusEvent):
+    """A tracee stopped for its tracer (syscall entry or exit stop)."""
+
+    nr: int
+    entry: bool
+
+
+@dataclass(frozen=True, slots=True)
+class IcacheShootdown(BusEvent):
+    """IPI-based invalidation of decoded lines/blocks over a range."""
+
+    start: int
+    length: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(BusEvent):
+    """The fault-injection engine performed one scheduled injection.
+
+    ``description`` is the engine's log line — the determinism artifact —
+    so a trace can be cross-checked against ``FaultInjector.log``.
+    """
+
+    description: str
+
+
+@dataclass(frozen=True, slots=True)
+class QuantumEnd(BusEvent):
+    """A thread's scheduler turn ended (quantum boundary)."""
+
+
+@dataclass(frozen=True, slots=True)
+class CycleCharge(BusEvent):
+    """A modelled event was charged to the cycle model.
+
+    ``event`` is the :class:`repro.cpu.cycles.Event` value string;
+    ``cycles`` is the total added (``times`` × unit cost).  Sinks that
+    aggregate (counters, the trace exporter's attribution table) key on
+    ``event``; per-charge storage is deliberately avoided for
+    INSTRUCTION-rate events.
+    """
+
+    event: str
+    times: int
+    cycles: int
+
+
+@dataclass(frozen=True, slots=True)
+class RawCycles(BusEvent):
+    """A data-dependent raw cycle charge (``CycleModel.charge_cycles``).
+
+    ``label`` names the charge site (``"io-data"``, ``"sud-contention"``,
+    ``"seccomp-filter"``, ...); these are the rows that make the cycle
+    decomposition sum exactly to the total.
+    """
+
+    label: str
+    cycles: int
+
+
+@dataclass(frozen=True, slots=True)
+class HookObserved(BusEvent):
+    """An interposition hook observed one application syscall."""
+
+    nr: int
+    hook: str
+    result: Optional[int]
+
+
+#: Every event type, for sink filters and schema docs.
+EVENT_TYPES: Tuple[type, ...] = (
+    SyscallEnter, SyscallExit, SignalEvent, PtraceStop, IcacheShootdown,
+    FaultInjected, QuantumEnd, CycleCharge, RawCycles, HookObserved,
+)

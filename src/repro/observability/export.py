@@ -1,0 +1,271 @@
+"""Chrome trace-event / Perfetto export of a bus event stream.
+
+:class:`TraceSink` attaches to a kernel's bus and accumulates the
+run; :func:`write_chrome_trace` then emits the JSON object format of
+the Chrome trace-event spec (the format ``ui.perfetto.dev`` and
+``chrome://tracing`` load directly):
+
+- one track per simulated thread — ``B``/``E`` duration slices for every
+  syscall (nested for interposer forwards: the SIGSYS-handler span
+  contains the forwarded call's span), ``i`` instants for signal
+  traffic, ptrace stops, icache shootdowns, and fault injections;
+- a ``C`` counter track sampling the simulated cycle total at every
+  syscall exit;
+- a synthetic *cycle-attribution* process: one ``X`` slice per cycle-
+  model event (and per raw-charge label), width proportional to the
+  cycles it consumed, laid end to end — a one-level flamegraph of where
+  the mechanism's time went.
+
+Timestamps are microseconds (the spec's unit) derived from the simulated
+3.2 GHz cycle counter: ``us = cycles / 3200``.
+
+:func:`validate_chrome_trace` is the schema check the tests and the
+``trace-smoke`` CI job run over exported files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.events import (BusEvent, CycleCharge, FaultInjected,
+                                        HookObserved, IcacheShootdown,
+                                        PtraceStop, QuantumEnd, RawCycles,
+                                        SignalEvent, SyscallEnter,
+                                        SyscallExit)
+from repro.observability.sinks import Sink
+
+#: Simulated clock (kept in sync with repro.cpu.cycles.CLOCK_HZ, which
+#: cannot be imported at module level: cycles.py imports this package's
+#: event types, so the exporter resolves the constant lazily).
+CLOCK_HZ = 3_200_000_000
+
+#: Cycles per exported microsecond (3.2 GHz).
+CYCLES_PER_US = CLOCK_HZ / 1_000_000
+
+#: pid of the synthetic cycle-attribution track (far above real pids).
+ATTRIBUTION_PID = 999_999
+
+
+def _us(cycles: int) -> float:
+    return round(cycles / CYCLES_PER_US, 4)
+
+
+class TraceSink(Sink):
+    """Accumulates bus events into Chrome trace-event dicts."""
+
+    def __init__(self, mechanism: str = "unknown", workload: str = ""):
+        self.mechanism = mechanism
+        self.workload = workload
+        self.trace_events: List[Dict] = []
+        self._open: Dict[Tuple[int, int], List[str]] = {}
+        self._charge_cycles: Dict[str, int] = {}
+        self._charge_counts: Dict[str, int] = {}
+        self._threads_seen: Dict[Tuple[int, int], bool] = {}
+        self._cycles_seen = 0
+        self._last_ts = 0
+
+    # ------------------------------------------------------------- accept
+
+    def accept(self, event: BusEvent) -> None:
+        self._last_ts = max(self._last_ts, event.ts)
+        if isinstance(event, CycleCharge):
+            self._charge_cycles[event.event] = (
+                self._charge_cycles.get(event.event, 0) + event.cycles)
+            self._charge_counts[event.event] = (
+                self._charge_counts.get(event.event, 0) + event.times)
+            self._cycles_seen += event.cycles
+            return
+        if isinstance(event, RawCycles):
+            key = f"raw:{event.label}"
+            self._charge_cycles[key] = (self._charge_cycles.get(key, 0)
+                                        + event.cycles)
+            self._charge_counts[key] = self._charge_counts.get(key, 0) + 1
+            self._cycles_seen += event.cycles
+            return
+        self._track(event.pid, event.tid)
+        if isinstance(event, SyscallEnter):
+            self._begin(event, self._sysname(event.nr), event.phase,
+                        {"nr": event.nr, "site": event.site,
+                         "phase": event.phase})
+        elif isinstance(event, SyscallExit):
+            self._end(event)
+            self.trace_events.append({
+                "name": "sim-cycles", "ph": "C", "ts": _us(event.ts),
+                "pid": event.pid, "tid": event.tid,
+                "args": {"cycles": self._cycles_seen},
+            })
+        elif isinstance(event, SignalEvent):
+            self._instant(event, f"signal {event.signal} {event.kind}",
+                          "signal", {"signal": event.signal,
+                                     "kind": event.kind, "sync": event.sync})
+        elif isinstance(event, PtraceStop):
+            which = "entry" if event.entry else "exit"
+            self._instant(event, f"ptrace-stop {which}", "ptrace",
+                          {"nr": event.nr, "entry": event.entry})
+        elif isinstance(event, IcacheShootdown):
+            self._instant(event, "icache-shootdown", "coherence",
+                          {"start": event.start, "length": event.length})
+        elif isinstance(event, FaultInjected):
+            self._instant(event, event.description, "faultinject", {})
+        elif isinstance(event, QuantumEnd):
+            self._instant(event, "quantum-end", "sched", {})
+        elif isinstance(event, HookObserved):
+            self._instant(event, f"hook:{event.hook}", "hook",
+                          {"nr": event.nr, "result": event.result})
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _sysname(nr: int) -> str:
+        from repro.kernel.syscalls import Nr
+
+        return Nr.name_of(nr)
+
+    def _track(self, pid: int, tid: int) -> None:
+        if (pid, tid) in self._threads_seen:
+            return
+        self._threads_seen[(pid, tid)] = True
+        self.trace_events.append({
+            "name": "thread_name", "ph": "M", "ts": 0, "pid": pid,
+            "tid": tid, "args": {"name": f"sim-thread {tid}"},
+        })
+        self.trace_events.append({
+            "name": "process_name", "ph": "M", "ts": 0, "pid": pid,
+            "tid": tid, "args": {"name": f"sim-process {pid}"},
+        })
+
+    def _begin(self, event: BusEvent, name: str, cat: str,
+               args: Dict) -> None:
+        self._open.setdefault((event.pid, event.tid), []).append(name)
+        self.trace_events.append({
+            "name": name, "cat": cat, "ph": "B", "ts": _us(event.ts),
+            "pid": event.pid, "tid": event.tid, "args": args,
+        })
+
+    def _end(self, event: "SyscallExit") -> None:
+        stack = self._open.get((event.pid, event.tid))
+        if not stack:
+            # Unbalanced exit (enter predates sink attachment): drop it
+            # rather than emit an E that would unbalance the track.
+            return
+        stack.pop()
+        self.trace_events.append({
+            "name": self._sysname(event.nr), "cat": event.phase, "ph": "E",
+            "ts": _us(event.ts), "pid": event.pid, "tid": event.tid,
+            "args": {"result": event.result, "phase": event.phase},
+        })
+
+    def _instant(self, event: BusEvent, name: str, cat: str,
+                 args: Dict) -> None:
+        self.trace_events.append({
+            "name": name, "cat": cat, "ph": "i", "ts": _us(event.ts),
+            "pid": event.pid, "tid": event.tid, "s": "t", "args": args,
+        })
+
+    # ----------------------------------------------------------- finalize
+
+    def finalize(self) -> List[Dict]:
+        """Close unbalanced spans and append the attribution flamegraph."""
+        closing = []
+        for (pid, tid), stack in self._open.items():
+            while stack:
+                name = stack.pop()
+                closing.append({
+                    "name": name, "cat": "truncated", "ph": "E",
+                    "ts": _us(self._last_ts), "pid": pid, "tid": tid,
+                    "args": {"truncated": True},
+                })
+        self.trace_events.extend(closing)
+        if self._charge_cycles:
+            self.trace_events.append({
+                "name": "process_name", "ph": "M", "ts": 0,
+                "pid": ATTRIBUTION_PID, "tid": 0,
+                "args": {"name":
+                         f"cycle attribution [{self.mechanism}]"},
+            })
+            cursor = 0
+            ordered = sorted(self._charge_cycles.items(),
+                             key=lambda item: (-item[1], item[0]))
+            for name, cycles in ordered:
+                self.trace_events.append({
+                    "name": name, "cat": "cycles", "ph": "X",
+                    "ts": _us(cursor), "dur": max(_us(cycles), 0.0001),
+                    "pid": ATTRIBUTION_PID, "tid": 0,
+                    "args": {"cycles": cycles,
+                             "count": self._charge_counts.get(name, 0)},
+                })
+                cursor += cycles
+        return self.trace_events
+
+    def to_chrome_trace(self) -> Dict:
+        """The full trace-event JSON object (finalizes the stream)."""
+        return {
+            "traceEvents": self.finalize(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "mechanism": self.mechanism,
+                "workload": self.workload,
+                "clock_hz": CLOCK_HZ,
+                "cycle_attribution": dict(sorted(
+                    self._charge_cycles.items())),
+            },
+        }
+
+
+def write_chrome_trace(sink: TraceSink, path) -> Path:
+    """Serialize *sink* to *path*; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(sink.to_chrome_trace(), indent=1,
+                               sort_keys=True) + "\n")
+    return path
+
+
+_VALID_PH = frozenset("BEXiICMbensf")
+
+
+def validate_chrome_trace(doc: Dict) -> List[str]:
+    """Schema check against the Chrome trace-event JSON object format.
+
+    Returns a list of problems (empty = valid): top-level shape, the
+    per-event required keys, known phase codes, non-negative numeric
+    timestamps, ``dur`` on complete events, scope on instants, and
+    B/E balance per (pid, tid) track.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing/invalid 'traceEvents' array"]
+    depth: Dict[Tuple[int, int], int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event #{i} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in ev:
+                problems.append(f"event #{i} missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in _VALID_PH:
+            problems.append(f"event #{i} unknown phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event #{i} bad ts {ts!r}")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"event #{i} complete event missing dur")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"event #{i} instant missing scope")
+        if ph in "BE":
+            track = (ev.get("pid"), ev.get("tid"))
+            depth[track] = depth.get(track, 0) + (1 if ph == "B" else -1)
+            if depth[track] < 0:
+                problems.append(f"event #{i} E without matching B on "
+                                f"track {track}")
+                depth[track] = 0
+    for track, d in sorted(depth.items(), key=str):
+        if d != 0:
+            problems.append(f"track {track} has {d} unclosed B events")
+    return problems

@@ -1,0 +1,158 @@
+"""Sinks: what attaches to the :class:`~repro.observability.bus.Bus`.
+
+- :class:`NullSink` — accepts and drops everything; exists so the cost
+  of an *attached-but-indifferent* consumer can be measured (the
+  disabled-bus fast path never even reaches a sink).
+- :class:`CounterSink` — counters + histograms: per-event-type tallies,
+  per-:class:`~repro.observability.events.CycleCharge` cycle
+  attribution, per-label raw-cycle attribution, and a per-syscall-number
+  histogram.  This is what ``evaluation/breakdown.py`` and the
+  conformance matrix consume, and what the ``METRICS_*.json`` artifacts
+  snapshot.
+- :class:`RingBufferSink` — bounded in-memory tracer (flight recorder):
+  keeps the last N events, O(1) per emit.
+- :class:`StreamingJSONLSink` — one JSON object per line to a stream,
+  for piping a live run into external tooling.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from dataclasses import asdict
+from typing import Dict, Optional, TextIO
+
+from repro.observability.events import (BusEvent, CycleCharge, HookObserved,
+                                        RawCycles, SyscallEnter)
+
+
+class Sink:
+    """Sink protocol: ``accept`` one event, never raise, never return."""
+
+    def accept(self, event: BusEvent) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+class NullSink(Sink):
+    """Accepts everything, stores nothing."""
+
+    def accept(self, event: BusEvent) -> None:
+        pass
+
+
+class CounterSink(Sink):
+    """Counters and histograms over the event stream.
+
+    Attributes:
+        events: event-type name → occurrences seen.
+        charge_counts / charge_cycles: cycle-model event value →
+            times charged / cycles added (mirrors ``CycleModel.counts``
+            exactly when attached for a whole run).
+        raw_cycles: raw-charge label → cycles added.
+        syscalls: (phase, syscall nr) histogram of ``SyscallEnter``.
+        hooks: hook-name histogram of ``HookObserved``.
+    """
+
+    def __init__(self) -> None:
+        self.events: Dict[str, int] = collections.Counter()
+        self.charge_counts: Dict[str, int] = collections.Counter()
+        self.charge_cycles: Dict[str, int] = collections.Counter()
+        self.raw_counts: Dict[str, int] = collections.Counter()
+        self.raw_cycles: Dict[str, int] = collections.Counter()
+        self.syscalls: Dict[tuple, int] = collections.Counter()
+        self.hooks: Dict[str, int] = collections.Counter()
+
+    def accept(self, event: BusEvent) -> None:
+        self.events[type(event).__name__] += 1
+        if isinstance(event, CycleCharge):
+            self.charge_counts[event.event] += event.times
+            self.charge_cycles[event.event] += event.cycles
+        elif isinstance(event, RawCycles):
+            self.raw_counts[event.label] += 1
+            self.raw_cycles[event.label] += event.cycles
+        elif isinstance(event, SyscallEnter):
+            self.syscalls[(event.phase, event.nr)] += 1
+        elif isinstance(event, HookObserved):
+            self.hooks[event.hook] += 1
+
+    @property
+    def total_cycles(self) -> int:
+        """Every cycle the model accumulated while this sink listened —
+        modelled charges plus raw charges.  The decomposition invariant
+        (tests/evaluation/test_breakdown_invariant.py) is that this
+        equals the cycle-counter delta exactly."""
+        return (sum(self.charge_cycles.values())
+                + sum(self.raw_cycles.values()))
+
+    def snapshot(self) -> Dict:
+        """JSON-ready copy of every counter (sorted, deterministic)."""
+        return {
+            "events": dict(sorted(self.events.items())),
+            "charge_counts": dict(sorted(self.charge_counts.items())),
+            "charge_cycles": dict(sorted(self.charge_cycles.items())),
+            "raw_counts": dict(sorted(self.raw_counts.items())),
+            "raw_cycles": dict(sorted(self.raw_cycles.items())),
+            "syscalls": {f"{phase}:{nr}": n for (phase, nr), n
+                         in sorted(self.syscalls.items())},
+            "hooks": dict(sorted(self.hooks.items())),
+            "total_cycles": self.total_cycles,
+        }
+
+
+class RingBufferSink(Sink):
+    """Flight recorder: the last *capacity* events, O(1) per accept.
+
+    ``CycleCharge`` events are excluded by default — they arrive at
+    INSTRUCTION rate and would evict everything interesting; pass
+    ``keep_charges=True`` to record them too.
+    """
+
+    def __init__(self, capacity: int = 4096, keep_charges: bool = False):
+        self.buffer: collections.deque = collections.deque(maxlen=capacity)
+        self.keep_charges = keep_charges
+        self.dropped = 0
+
+    def accept(self, event: BusEvent) -> None:
+        if not self.keep_charges and isinstance(event, (CycleCharge,
+                                                        RawCycles)):
+            return
+        if len(self.buffer) == self.buffer.maxlen:
+            self.dropped += 1
+        self.buffer.append(event)
+
+    def events(self) -> list:
+        return list(self.buffer)
+
+
+class StreamingJSONLSink(Sink):
+    """One JSON object per event per line, written as events arrive.
+
+    ``CycleCharge``/``RawCycles`` are summarized on ``close()`` instead
+    of streamed (they arrive at instruction rate).
+    """
+
+    def __init__(self, stream: TextIO, include_charges: bool = False):
+        self.stream = stream
+        self.include_charges = include_charges
+        self._charge_cycles: Dict[str, int] = collections.Counter()
+
+    def accept(self, event: BusEvent) -> None:
+        if isinstance(event, (CycleCharge, RawCycles)):
+            if not self.include_charges:
+                key = (event.event if isinstance(event, CycleCharge)
+                       else f"raw:{event.label}")
+                self._charge_cycles[key] += event.cycles
+                return
+        record = asdict(event)
+        record["type"] = type(event).__name__
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> Optional[Dict[str, int]]:
+        """Flush the aggregated charge summary as one final line."""
+        if self._charge_cycles:
+            self.stream.write(json.dumps(
+                {"type": "ChargeSummary",
+                 "cycles": dict(sorted(self._charge_cycles.items()))},
+                sort_keys=True) + "\n")
+        self.stream.flush()
+        return dict(self._charge_cycles) or None

@@ -6,7 +6,12 @@ fault schedules, prints the verdict matrix, writes the JSON artifact, and
 exits non-zero on any divergence.  ``--both-modes`` repeats the matrix
 with the block-translation cache disabled and additionally fails if any
 cell's verdict differs between the two interpreter modes (schedule
-determinism must hold across them).
+determinism must hold across them).  ``--smoke`` shrinks the matrix to a
+CI-sized corner (stress+cat, seeds 1-2); ``--jobs N`` fans the cells out
+over a process pool (cell-for-cell identical to serial); ``--trace-out``
+additionally records one representative cell through the instrumentation
+bus and writes a Perfetto trace — the bus is observe-only, so verdicts
+are byte-identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -16,6 +21,9 @@ from typing import List, Optional
 
 from repro.evaluation.conformance import (ARTIFACT_PATH, DEFAULT_SEEDS,
                                           DEFAULT_WORKLOADS, run_matrix)
+
+SMOKE_WORKLOADS = ("stress", "cat")
+SMOKE_SEEDS = (1, 2)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -38,24 +46,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "require identical verdicts")
     parser.add_argument("--out", default=str(ARTIFACT_PATH),
                         help=f"JSON artifact path (default: {ARTIFACT_PATH})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized matrix: workloads "
+                             f"{'+'.join(SMOKE_WORKLOADS)}, seeds "
+                             f"{SMOKE_SEEDS[0]}-{SMOKE_SEEDS[-1]}")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the cell fan-out "
+                             "(default: 1 — serial)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Perfetto trace of one representative "
+                             "cell (does not change any verdict)")
     parser.add_argument("--verbose", action="store_true",
                         help="print each cell verdict as it completes")
     args = parser.parse_args(argv)
 
-    seeds = list(range(1, args.seeds + 1))
+    if args.smoke:
+        workloads = list(SMOKE_WORKLOADS)
+        seeds = list(SMOKE_SEEDS)
+    else:
+        workloads = args.workloads
+        seeds = list(range(1, args.seeds + 1))
     matrix = run_matrix(mechanisms=args.mechanisms,
-                        workloads=args.workloads, seeds=seeds,
+                        workloads=workloads, seeds=seeds,
+                        jobs=max(1, args.jobs),
                         verbose=args.verbose)
     print(matrix.render())
     artifact = matrix.write_artifact(args.out)
     print(f"\nartifact: {artifact}")
     status = 0 if matrix.ok else 1
 
+    if args.trace_out is not None:
+        from repro.faultinject.conformance import run_cell
+        from repro.interposers.registry import REGISTRY
+        from repro.observability.export import TraceSink, write_chrome_trace
+
+        mech = next(m for m in (args.mechanisms or REGISTRY.names())
+                    if m != "native")
+        sink = TraceSink(mechanism=mech, workload=workloads[0])
+        run_cell(mech, workloads[0], seeds[0], trace_sink=sink)
+        written = write_chrome_trace(sink, args.trace_out)
+        print(f"trace: {written} (cell: {mech}/{workloads[0]}"
+              f"/seed={seeds[0]})")
+
     if args.both_modes:
         print("\nre-running with block cache disabled...")
         nocache = run_matrix(mechanisms=args.mechanisms,
-                             workloads=args.workloads, seeds=seeds,
-                             block_cache=False, verbose=args.verbose)
+                             workloads=workloads, seeds=seeds,
+                             block_cache=False, jobs=max(1, args.jobs),
+                             verbose=args.verbose)
         if not nocache.ok:
             print(nocache.render())
             status = 1

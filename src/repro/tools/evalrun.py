@@ -14,6 +14,13 @@ Usage::
     --list          print the mechanism registry and exit
     --clear-cache   drop every cached cell and exit
     --verbose       per-cell hit/miss/fail lines on stderr
+    --trace-out F   also record one representative stress run (the first
+                    non-native mechanism on the axis) through the
+                    instrumentation bus and write a Perfetto/Chrome
+                    trace-event JSON
+    --metrics-out F CounterSink snapshots artifact (default:
+                    benchmarks/output/METRICS_table5.json when running
+                    table5/matrix; --no-metrics disables)
 
 ``matrix`` (the default) runs every Table 5 + Table 6 cell.  Tables are
 printed to stdout exactly as the serial harness renders them; pipeline
@@ -30,7 +37,7 @@ from typing import List, Optional
 
 from repro.evaluation import pipeline as pipe
 from repro.evaluation.cache import ResultCache
-from repro.evaluation.runner import MACRO_BY_KEY, MECHANISMS
+from repro.evaluation.runner import MACRO_BY_KEY
 from repro.evaluation.tables import render_table5, render_table6
 from repro.interposers.registry import REGISTRY
 
@@ -90,6 +97,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print the mechanism registry and exit")
     parser.add_argument("--clear-cache", action="store_true")
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Perfetto trace of one representative "
+                             "stress run")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="METRICS artifact path (default: "
+                             "benchmarks/output/METRICS_table5.json)")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="skip the METRICS artifact")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -113,7 +128,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.smoke:
         mechanisms = list(pipe.SMOKE_MECHANISMS)
     else:
-        mechanisms = list(MECHANISMS)
+        mechanisms = list(REGISTRY.names())
 
     rows = args.rows
     if rows:
@@ -154,7 +169,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(render_table6(pipe.table6_rows(run, rows, mechanisms)))
 
+    if (args.target in ("table5", "matrix") and status == 0
+            and not args.no_metrics):
+        from repro.evaluation.metrics import (METRICS_TABLE5_PATH,
+                                              collect_mechanism_metrics,
+                                              write_metrics)
+
+        iterations = 48 if args.smoke else 120
+        doc = collect_mechanism_metrics(mechanisms, iterations=iterations)
+        out = write_metrics(doc, args.metrics_out or METRICS_TABLE5_PATH)
+        print(f"metrics: {out}", file=sys.stderr)
+
+    if args.trace_out is not None:
+        representative = next((m for m in mechanisms if m != "native"),
+                              mechanisms[0])
+        out = _trace_stress(representative, args.trace_out)
+        print(f"trace: {out} (mechanism: {representative})", file=sys.stderr)
+
     return status
+
+
+def _trace_stress(mechanism: str, trace_out: str, iterations: int = 60):
+    """One stress run under *mechanism* with a TraceSink attached."""
+    from repro.core import OfflinePhase
+    from repro.core.offline import import_logs
+    from repro.evaluation.runner import needs_offline
+    from repro.kernel import Kernel
+    from repro.observability.export import TraceSink, write_chrome_trace
+    from repro.workloads.stress import STRESS_PATH, build_stress
+
+    kernel = Kernel(seed=99)
+    kernel.torn_window_probability = 0.0
+    sink = TraceSink(mechanism=mechanism, workload="stress")
+    kernel.bus.attach(sink)
+    build_stress(iterations).register(kernel)
+    if needs_offline(mechanism):
+        offline_kernel = Kernel(seed=100)
+        build_stress(16).register(offline_kernel)
+        offline = OfflinePhase(offline_kernel)
+        offline.run(STRESS_PATH)
+        import_logs(kernel, offline.export())
+    REGISTRY.create(mechanism, kernel)
+    process = kernel.spawn_process(STRESS_PATH)
+    kernel.run_process(process, max_steps=10_000_000)
+    if not process.exited or process.exit_status != 0:
+        raise RuntimeError(f"trace run failed under {mechanism}")
+    return write_chrome_trace(sink, trace_out)
 
 
 if __name__ == "__main__":

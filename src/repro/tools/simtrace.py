@@ -3,12 +3,15 @@
 Usage::
 
     python -m repro.tools.simtrace <program> [--interposer MECH] [--summary]
-                                   [--seed N]
+                                   [--seed N] [--trace-out FILE.json]
 
 ``<program>`` is one of the bundled workloads (pwd, touch, ls, cat, clear)
 or any absolute path previously registered by a setup module.
 ``--interposer`` is any Table 5 mechanism name (default: K23-ultra); K23
-variants automatically run their offline phase first.
+variants automatically run their offline phase first.  ``--trace-out``
+additionally records the run through the instrumentation bus and writes a
+Chrome trace-event JSON (load it in Perfetto / chrome://tracing): one
+track per simulated thread plus a cycle-attribution flamegraph track.
 """
 
 from __future__ import annotations
@@ -19,8 +22,9 @@ from typing import List, Optional
 
 from repro.core import OfflinePhase
 from repro.core.offline import import_logs
-from repro.evaluation.runner import MECHANISMS, make_interposer, needs_offline
+from repro.evaluation.runner import needs_offline
 from repro.interposers.hooks import CountingHook, TracingHook, chain
+from repro.interposers.registry import REGISTRY
 from repro.kernel import Kernel
 from repro.workloads.coreutils import install_coreutils
 
@@ -37,14 +41,22 @@ def _resolve_program(name: str) -> str:
 
 
 def trace(program: str, mechanism: str = "K23-ultra", seed: int = 1,
-          summary: bool = False, out=None):
+          summary: bool = False, out=None, trace_out: Optional[str] = None):
     out = out or sys.stdout
     path = _resolve_program(program)
-    tracer = TracingHook()
-    counter = CountingHook()
-    hook = chain(tracer, counter)
 
     kernel = Kernel(seed=seed)
+    trace_sink = None
+    if trace_out is not None:
+        from repro.observability.export import TraceSink
+
+        trace_sink = TraceSink(mechanism=mechanism,
+                               workload=path.rsplit("/", 1)[-1])
+        kernel.bus.attach(trace_sink)
+    tracer = TracingHook(bus=kernel.bus)
+    counter = CountingHook(bus=kernel.bus)
+    hook = chain(tracer, counter)
+
     install_coreutils(kernel)
     if needs_offline(mechanism):
         offline_kernel = Kernel(seed=seed + 1)
@@ -52,7 +64,7 @@ def trace(program: str, mechanism: str = "K23-ultra", seed: int = 1,
         offline = OfflinePhase(offline_kernel)
         offline.run(path)
         import_logs(kernel, offline.export())
-    interposer = make_interposer(mechanism, kernel)
+    interposer = REGISTRY.create(mechanism, kernel)
     interposer.hook = hook
     process = kernel.spawn_process(path)
     kernel.run_process(process)
@@ -67,6 +79,13 @@ def trace(program: str, mechanism: str = "K23-ultra", seed: int = 1,
           f"{len(missed)} missed, {len(vdso)} vDSO calls unseen "
           f"(mechanism: {mechanism})", file=out)
     print(f"exit status: {process.exit_status}", file=out)
+    if trace_sink is not None:
+        from repro.observability.export import write_chrome_trace
+
+        written = write_chrome_trace(trace_sink, trace_out)
+        print(f"trace: {written} "
+              f"({len(trace_sink.trace_events)} events; open in Perfetto)",
+              file=out)
     return process, tracer, counter, missed
 
 
@@ -76,13 +95,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("program", help="bundled coreutil name or path")
     parser.add_argument("--interposer", default="K23-ultra",
-                        choices=list(MECHANISMS))
+                        choices=list(REGISTRY.names()))
     parser.add_argument("--summary", action="store_true",
                         help="histogram only (strace -c)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event/Perfetto JSON of "
+                             "the run")
     args = parser.parse_args(argv)
     process, _tracer, _counter, _missed = trace(
-        args.program, args.interposer, args.seed, args.summary)
+        args.program, args.interposer, args.seed, args.summary,
+        trace_out=args.trace_out)
     return 0 if process.exit_status == 0 else 1
 
 

@@ -1,0 +1,63 @@
+"""The deprecation shims: ``MECHANISMS`` / ``make_interposer`` still work
+from ``repro.evaluation.runner`` (and ``repro.evaluation``) but warn and
+point at the registry."""
+
+import warnings
+
+import pytest
+
+from repro.interposers.registry import REGISTRY
+from repro.kernel import Kernel
+
+
+def test_mechanisms_import_warns_and_matches_registry():
+    import repro.evaluation.runner as runner
+
+    with pytest.warns(DeprecationWarning, match="REGISTRY.names"):
+        mechanisms = runner.MECHANISMS
+    assert tuple(mechanisms) == tuple(REGISTRY.names())
+
+
+def test_from_import_fires_the_warning():
+    with pytest.warns(DeprecationWarning):
+        from repro.evaluation.runner import MECHANISMS  # noqa: F401
+
+
+def test_make_interposer_warns_and_still_builds():
+    import repro.evaluation.runner as runner
+
+    with pytest.warns(DeprecationWarning, match="REGISTRY.create"):
+        factory = runner.make_interposer
+    interposer = factory("native", Kernel(seed=5))
+    assert interposer is not None
+
+
+def test_package_level_shim_forwards():
+    import repro.evaluation as evaluation
+
+    with pytest.warns(DeprecationWarning):
+        mechanisms = evaluation.MECHANISMS
+    assert tuple(mechanisms) == tuple(REGISTRY.names())
+
+
+def test_internal_modules_do_not_warn():
+    """Every in-repo consumer was migrated to the registry: importing the
+    evaluation stack must not trip the shim."""
+    import importlib
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        for module in ("repro.evaluation.pipeline",
+                       "repro.evaluation.conformance",
+                       "repro.evaluation.experiments",
+                       "repro.evaluation.report",
+                       "repro.tools.evalrun",
+                       "repro.tools.simtrace"):
+            importlib.reload(importlib.import_module(module))
+
+
+def test_unknown_attribute_still_raises():
+    import repro.evaluation.runner as runner
+
+    with pytest.raises(AttributeError):
+        runner.frobnicate

@@ -218,7 +218,10 @@ class TestFailureHandling:
 
 class TestEnumeration:
     def test_full_matrix_dimensions(self):
-        from repro.evaluation.runner import MACRO_CONFIGS, MECHANISMS
+        from repro.evaluation.runner import MACRO_CONFIGS
+        from repro.interposers.registry import REGISTRY
+
+        MECHANISMS = REGISTRY.names()
 
         specs = pipe.full_matrix_specs()
         micro = [s for s in specs if s.kind == "micro"]

@@ -5,12 +5,13 @@ import pytest
 
 from repro.evaluation.runner import (
     MACRO_BY_KEY,
-    MECHANISMS,
     macro_results,
-    make_interposer,
     measure_micro_cycles,
     micro_overheads,
 )
+from repro.interposers.registry import REGISTRY
+
+MECHANISMS = REGISTRY.names()
 from repro.evaluation.tables import PAPER_TABLE5, render_table5
 from repro.kernel import Kernel
 
@@ -56,7 +57,7 @@ class TestMicro:
 
     def test_unknown_mechanism_rejected(self):
         with pytest.raises(ValueError):
-            make_interposer("frobnicator", Kernel())
+            REGISTRY.create("frobnicator", Kernel())
 
 
 class TestMacroShape:

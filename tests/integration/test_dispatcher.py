@@ -1,0 +1,62 @@
+"""The ``python -m repro`` unified dispatcher."""
+
+import json
+
+import pytest
+
+from repro import __main__ as dispatcher
+
+
+class TestDispatch:
+    def test_no_args_prints_usage_and_fails(self, capsys):
+        assert dispatcher.main([]) == 2
+        assert "subcommands:" in capsys.readouterr().out
+
+    def test_help_prints_usage_and_succeeds(self, capsys):
+        assert dispatcher.main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in ("simtrace", "evalrun", "conformance", "pitfallcheck"):
+            assert name in out
+
+    def test_unknown_subcommand(self, capsys):
+        assert dispatcher.main(["frobnicate"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_unsupported_shared_flag_rejected_up_front(self, capsys):
+        assert dispatcher.main(["simtrace", "cat", "--jobs", "4"]) == 2
+        assert "does not support --jobs" in capsys.readouterr().err
+        assert dispatcher.main(["pitfallcheck", "--trace-out=x.json"]) == 2
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_simtrace_roundtrip_with_trace_out(self, capsys, tmp_path):
+        out = tmp_path / "cat.json"
+        assert dispatcher.main(["simtrace", "cat", "--summary", "--seed",
+                                "3", "--trace-out", str(out)]) == 0
+        assert "exit status: 0" in capsys.readouterr().out
+        from repro.observability.export import validate_chrome_trace
+
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    def test_pitfallcheck_forwards(self, capsys):
+        assert dispatcher.main(["pitfallcheck", "zpoline", "--pitfall",
+                                "P3a"]) == 0
+        assert "P3a" in capsys.readouterr().out
+
+    def test_old_module_paths_still_work(self):
+        """The dispatcher is additive: the per-tool mains keep working."""
+        from repro.tools import conformance, evalrun, pitfallcheck, simtrace
+
+        for module in (simtrace, evalrun, conformance, pitfallcheck):
+            assert callable(module.main)
+
+    def test_conformance_smoke_flag_wired(self, capsys, tmp_path):
+        out = tmp_path / "m.json"
+        rc = dispatcher.main(["conformance", "--smoke", "--jobs", "2",
+                              "--mechanisms", "native", "SUD",
+                              "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["workloads"] == ["stress", "cat"]
+        assert doc["seeds"] == [1, 2]
+        assert all(cell["counters"]["total_cycles"] > 0
+                   for cell in doc["cells"])

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.k23 import K23Interposer
-from repro.evaluation.runner import MECHANISMS, make_interposer
+from repro.evaluation.runner import needs_offline
 from repro.interposers import (
     REGISTRY,
     MechanismRegistry,
@@ -34,7 +34,12 @@ class TestCatalogue:
         assert REGISTRY.names() == TABLE5_ORDER
 
     def test_mechanisms_derived_from_registry(self):
-        assert MECHANISMS == REGISTRY.names()
+        # The legacy runner aliases still resolve (through the
+        # DeprecationWarning shim exercised in
+        # tests/evaluation/test_deprecation.py) to the registry order.
+        import repro.evaluation.runner as runner
+
+        assert runner._MECHANISMS == REGISTRY.names()
 
     def test_needs_offline_only_k23(self):
         offline = {name for name in REGISTRY.names()
@@ -103,12 +108,12 @@ class TestConstruction:
         for name in TABLE5_ORDER:
             assert name in message
 
-    def test_make_interposer_delegates(self):
+    def test_registry_create_delegates(self):
         kernel = Kernel(seed=3)
-        interposer = make_interposer("zpoline-default", kernel)
+        interposer = REGISTRY.create("zpoline-default", kernel)
         assert isinstance(interposer, ZpolineInterposer)
         with pytest.raises(ValueError):
-            make_interposer("no-such-mechanism", Kernel(seed=3))
+            REGISTRY.create("no-such-mechanism", Kernel(seed=3))
 
 
 class TestMutation:

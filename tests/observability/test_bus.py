@@ -1,0 +1,113 @@
+"""Bus + sink unit tests: enable/disable fast path, counter fidelity, ring
+buffer semantics, JSONL streaming, and the exporter's clock constant."""
+
+import io
+import json
+
+from repro.cpu.cycles import CLOCK_HZ as MODEL_CLOCK_HZ
+from repro.kernel import Kernel
+from repro.observability.bus import Bus
+from repro.observability.events import CycleCharge, QuantumEnd, SyscallEnter
+from repro.observability.export import CLOCK_HZ as EXPORT_CLOCK_HZ
+from repro.observability.sinks import (CounterSink, NullSink, RingBufferSink,
+                                       StreamingJSONLSink)
+from repro.workloads.stress import STRESS_PATH, build_stress
+
+
+def _stress_kernel(iterations=30):
+    kernel = Kernel(seed=777, aslr=False)
+    kernel.torn_window_probability = 0.0
+    build_stress(iterations).register(kernel)
+    return kernel
+
+
+class TestBus:
+    def test_disabled_until_a_sink_attaches(self):
+        bus = Bus()
+        assert not bus.enabled
+        sink = NullSink()
+        bus.attach(sink)
+        assert bus.enabled
+        bus.detach(sink)
+        assert not bus.enabled
+
+    def test_emit_reaches_every_sink(self):
+        bus = Bus()
+        a, b = CounterSink(), CounterSink()
+        bus.attach(a)
+        bus.attach(b)
+        bus.emit(QuantumEnd(ts=1, pid=1, tid=0))
+        assert a.events["QuantumEnd"] == 1
+        assert b.events["QuantumEnd"] == 1
+
+    def test_kernel_bus_is_wired_to_the_cycle_model(self):
+        kernel = Kernel(seed=1)
+        assert kernel.cycles.bus is kernel.bus
+
+
+class TestCounterSink:
+    def test_counters_mirror_the_cycle_model(self):
+        kernel = _stress_kernel()
+        sink = CounterSink()
+        kernel.bus.attach(sink)
+        process = kernel.spawn_process(STRESS_PATH)
+        kernel.run_process(process, max_steps=2_000_000)
+        assert process.exited and process.exit_status == 0
+        model = kernel.cycles.snapshot()
+        for event, count in model.items():
+            assert sink.charge_counts[event.value] == count, event
+        # Every accumulated cycle is attributed — modelled + raw.
+        assert sink.total_cycles == kernel.cycles.cycles
+
+    def test_snapshot_is_json_ready(self):
+        kernel = _stress_kernel(10)
+        sink = CounterSink()
+        kernel.bus.attach(sink)
+        process = kernel.spawn_process(STRESS_PATH)
+        kernel.run_process(process, max_steps=2_000_000)
+        snap = sink.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["total_cycles"] == sink.total_cycles
+        assert any(key.startswith("app:") or ":" in key
+                   for key in snap["syscalls"])
+
+
+class TestRingBufferSink:
+    def test_capacity_and_dropped_accounting(self):
+        sink = RingBufferSink(capacity=4)
+        for i in range(10):
+            sink.accept(QuantumEnd(ts=i, pid=1, tid=0))
+        assert len(sink.events()) == 4
+        assert sink.dropped == 6
+        assert sink.events()[-1].ts == 9
+
+    def test_charges_excluded_by_default(self):
+        sink = RingBufferSink(capacity=8)
+        sink.accept(CycleCharge(ts=0, pid=0, tid=0, event="instruction",
+                                times=1, cycles=1))
+        sink.accept(SyscallEnter(ts=1, pid=1, tid=0, nr=39, site=0,
+                                 phase="app"))
+        kept = sink.events()
+        assert len(kept) == 1 and isinstance(kept[0], SyscallEnter)
+
+
+class TestStreamingJSONL:
+    def test_lines_parse_and_charges_summarize(self):
+        stream = io.StringIO()
+        sink = StreamingJSONLSink(stream)
+        sink.accept(SyscallEnter(ts=1, pid=1, tid=0, nr=39, site=0,
+                                 phase="app"))
+        sink.accept(CycleCharge(ts=2, pid=0, tid=0, event="instruction",
+                                times=3, cycles=3))
+        summary = sink.close()
+        lines = [json.loads(line) for line in
+                 stream.getvalue().splitlines()]
+        assert lines[0]["type"] == "SyscallEnter" and lines[0]["nr"] == 39
+        assert lines[-1]["type"] == "ChargeSummary"
+        assert summary == {"instruction": 3}
+
+
+def test_export_clock_matches_the_cycle_model():
+    """export.py keeps a local copy of CLOCK_HZ (it cannot import the cycle
+    model — circular); this pins the two together."""
+    assert EXPORT_CLOCK_HZ == MODEL_CLOCK_HZ

@@ -1,0 +1,68 @@
+"""The lockstep property (ISSUE satellite 4): tracing is observe-only.
+
+Running any workload with the bus fully instrumented (TraceSink +
+CounterSink + RingBufferSink) must not change a single application-
+observable fact vs the same run with the bus disabled: retired
+instruction count, exit status, output bytes, final cycle counter, or a
+conformance cell's verdict — in both interpreter modes (block cache
+on/off).
+"""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.observability.export import TraceSink
+from repro.observability.sinks import CounterSink, RingBufferSink
+from repro.workloads.stress import STRESS_PATH, build_stress
+
+MECHANISMS = ("native", "SUD", "zpoline-default", "lazypoline")
+
+
+def _run(mechanism: str, block_cache: bool, traced: bool):
+    from repro.interposers.registry import REGISTRY
+
+    kernel = Kernel(seed=777, aslr=False)
+    kernel.block_cache_enabled = block_cache
+    kernel.torn_window_probability = 0.0
+    sinks = None
+    if traced:
+        sinks = (TraceSink(mechanism=mechanism, workload="stress"),
+                 CounterSink(), RingBufferSink(capacity=2048))
+        for sink in sinks:
+            kernel.bus.attach(sink)
+    build_stress(40).register(kernel)
+    REGISTRY.create(mechanism, kernel)
+    process = kernel.spawn_process(STRESS_PATH)
+    retired = kernel.run_process(process, max_steps=5_000_000)
+    assert process.exited
+    return {
+        "retired": retired,
+        "exit_status": process.exit_status,
+        "output": bytes(process.output),
+        "cycles": kernel.cycles.cycles,
+        "syscalls": len(kernel.syscall_log),
+    }
+
+
+@pytest.mark.parametrize("block_cache", (True, False),
+                         ids=("block-cache", "single-step"))
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_tracing_changes_nothing(mechanism, block_cache):
+    plain = _run(mechanism, block_cache, traced=False)
+    traced = _run(mechanism, block_cache, traced=True)
+    assert traced == plain
+
+
+@pytest.mark.parametrize("block_cache", (True, False),
+                         ids=("block-cache", "single-step"))
+def test_conformance_verdict_identical_with_tracing(block_cache):
+    """A conformance cell's full Observation — the thing verdicts are made
+    of — is identical with a TraceSink riding along."""
+    from repro.faultinject.conformance import run_cell
+
+    plain = run_cell("SUD", "stress", 1, block_cache=block_cache)
+    sink = TraceSink(mechanism="SUD", workload="stress")
+    traced = run_cell("SUD", "stress", 1, block_cache=block_cache,
+                      trace_sink=sink)
+    assert traced == plain
+    assert sink.trace_events  # the sink really did observe the run
