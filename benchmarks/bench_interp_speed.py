@@ -115,6 +115,13 @@ def main(argv=None):
                              "throughput is within PCT%% of the recorded "
                              "BENCH_interp.json baseline (the disabled-"
                              "bus overhead budget)")
+    parser.add_argument("--json-out", default=None, metavar="FILE",
+                        help="also write the report JSON to FILE (works in "
+                             "--quick/--smoke mode, unlike the baseline "
+                             "artifact)")
+    parser.add_argument("--history", action="store_true",
+                        help="append this run to benchmarks/output/"
+                             "BENCH_history.jsonl (see history.py)")
     args = parser.parse_args(argv)
     quick = args.quick or args.smoke
     rounds = 1 if quick else 3
@@ -165,6 +172,16 @@ def main(argv=None):
         OUTPUT.parent.mkdir(parents=True, exist_ok=True)
         OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True)
                           + "\n")
+    if args.json_out:
+        Path(args.json_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if args.history:
+        from history import append_report
+
+        entries = append_report(report)
+        print(f"history: appended {len(entries)} entr(ies)",
+              file=sys.stderr)
     print(json.dumps(report, indent=2, sort_keys=True))
 
     if baseline_ips is not None:

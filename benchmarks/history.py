@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Bench history: append runs to a JSONL ledger and gate on regressions.
+
+    PYTHONPATH=src python benchmarks/history.py append --report R.json
+    PYTHONPATH=src python benchmarks/history.py gate [--threshold 10]
+    PYTHONPATH=src python benchmarks/history.py show [--last N]
+
+``append`` flattens a ``bench_interp_speed.py`` report (one JSON object,
+see ``--json-out``) into one schema-versioned, machine-tagged line per
+(workload, mode) cell and appends them to
+``benchmarks/output/BENCH_history.jsonl``.
+
+``gate`` groups the ledger by (workload, mode, protocol, machine node) —
+numbers from different machines or protocols are never compared — and
+fails (exit 1) when the newest entry of any group has ``insns_per_sec``
+more than ``--threshold`` percent below the **rolling median** of up to
+``--window`` prior entries.  The median makes the gate robust to a
+single noisy historical run; groups with no prior history pass
+informationally (first run on a new machine is not a regression).
+"""
+
+import argparse
+import datetime
+import json
+import platform
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Version of one ledger line's shape (bump on schema changes; gate
+#: ignores lines whose version it does not know).
+SCHEMA_VERSION = 1
+
+DEFAULT_HISTORY = Path(__file__).resolve().parent / "output" \
+    / "BENCH_history.jsonl"
+
+#: Regression threshold, percent below the rolling median.
+DEFAULT_THRESHOLD_PCT = 10.0
+
+#: Rolling window: how many prior entries feed the median.
+DEFAULT_WINDOW = 20
+
+
+def machine_tag() -> Dict[str, str]:
+    return {
+        "node": platform.node(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def entries_from_report(report: Dict,
+                        timestamp: Optional[str] = None) -> List[Dict]:
+    """Flatten one bench report into ledger lines (one per mode cell)."""
+    timestamp = timestamp or datetime.datetime.now(
+        datetime.timezone.utc).isoformat(timespec="seconds")
+    machine = machine_tag()
+    entries = []
+    for workload, cells in sorted(report.get("workloads", {}).items()):
+        for mode, cell in sorted(cells.items()):
+            if not isinstance(cell, dict):  # speedup scalars live beside
+                continue                    # the mode cells
+            entries.append({
+                "schema_version": SCHEMA_VERSION,
+                "timestamp": timestamp,
+                "machine": machine,
+                "protocol": report.get("protocol", ""),
+                "workload": workload,
+                "mode": mode,
+                "insns_per_sec": cell["insns_per_sec"],
+                "sim_cycles": cell["sim_cycles"],
+                "instructions": cell["instructions"],
+            })
+    return entries
+
+
+def append_report(report: Dict, history_path: Path = DEFAULT_HISTORY,
+                  timestamp: Optional[str] = None) -> List[Dict]:
+    entries = entries_from_report(report, timestamp=timestamp)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(history_path, "a") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entries
+
+
+def load_history(history_path: Path = DEFAULT_HISTORY) -> List[Dict]:
+    if not Path(history_path).exists():
+        return []
+    entries = []
+    with open(history_path) as fh:
+        for line in fh:
+            if line.strip():
+                entries.append(json.loads(line))
+    return entries
+
+
+def group_key(entry: Dict) -> Tuple:
+    return (entry["workload"], entry["mode"], entry.get("protocol", ""),
+            entry.get("machine", {}).get("node", ""))
+
+
+def gate(entries: List[Dict], threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+         window: int = DEFAULT_WINDOW) -> Tuple[bool, List[str]]:
+    """Grade the newest entry of every group against its rolling median.
+
+    Returns ``(ok, report_lines)``; *ok* is False when any group's
+    latest ``insns_per_sec`` is more than *threshold_pct* percent below
+    the median of its (up to *window*) prior entries.
+    """
+    groups: Dict[Tuple, List[Dict]] = {}
+    for entry in entries:
+        if entry.get("schema_version") != SCHEMA_VERSION:
+            continue
+        groups.setdefault(group_key(entry), []).append(entry)
+
+    ok = True
+    lines = []
+    for key in sorted(groups, key=str):
+        series = groups[key]
+        label = f"{key[0]} [{key[1]}] @{key[3]}"
+        latest = series[-1]
+        prior = series[:-1][-window:]
+        if not prior:
+            lines.append(f"PASS {label}: first entry "
+                         f"({latest['insns_per_sec']:,} insns/sec), "
+                         f"no history to compare")
+            continue
+        median = statistics.median(e["insns_per_sec"] for e in prior)
+        floor = median * (1 - threshold_pct / 100.0)
+        measured = latest["insns_per_sec"]
+        delta_pct = (measured - median) / median * 100.0
+        if measured < floor:
+            ok = False
+            lines.append(
+                f"FAIL {label}: {measured:,} insns/sec is "
+                f"{-delta_pct:.1f}% below the rolling median "
+                f"{median:,.0f} of {len(prior)} prior run(s) "
+                f"(threshold {threshold_pct}%)")
+        else:
+            lines.append(
+                f"PASS {label}: {measured:,} insns/sec vs median "
+                f"{median:,.0f} ({delta_pct:+.1f}%, floor {floor:,.0f})")
+    if not groups:
+        lines.append("PASS: history is empty, nothing to gate")
+    return ok, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("command", choices=("append", "gate", "show"))
+    parser.add_argument("--report", metavar="FILE",
+                        help="append: bench report JSON "
+                             "(bench_interp_speed.py --json-out)")
+    parser.add_argument("--history", metavar="FILE", type=Path,
+                        default=DEFAULT_HISTORY)
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD_PCT, metavar="PCT",
+                        help="gate: max percent below the rolling median "
+                             f"(default {DEFAULT_THRESHOLD_PCT})")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        metavar="N",
+                        help="gate: prior entries feeding the median "
+                             f"(default {DEFAULT_WINDOW})")
+    parser.add_argument("--last", type=int, default=10, metavar="N",
+                        help="show: entries to display (default 10)")
+    args = parser.parse_args(argv)
+
+    if args.command == "append":
+        if not args.report:
+            parser.error("append requires --report FILE")
+        report = json.loads(Path(args.report).read_text())
+        entries = append_report(report, history_path=args.history)
+        print(f"appended {len(entries)} entr(ies) to {args.history}")
+        return 0
+
+    entries = load_history(args.history)
+    if args.command == "show":
+        for entry in entries[-args.last:]:
+            print(f"{entry['timestamp']}  {entry['workload']:<18} "
+                  f"{entry['mode']:<12} {entry['insns_per_sec']:>12,} "
+                  f"insns/sec  @{entry.get('machine', {}).get('node', '?')}")
+        print(f"-- {len(entries)} total entr(ies) in {args.history}")
+        return 0
+
+    ok, lines = gate(entries, threshold_pct=args.threshold,
+                     window=args.window)
+    for line in lines:
+        print(line)
+    print("gate:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

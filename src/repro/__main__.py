@@ -1,11 +1,13 @@
 """``python -m repro`` — the unified CLI.
 
-One dispatcher over the four tools::
+One dispatcher over the tools::
 
     python -m repro simtrace <program> [--seed N] [--trace-out F] ...
     python -m repro evalrun [table5|table6|matrix] [--jobs N] ...
     python -m repro conformance [--smoke] [--jobs N] [--trace-out F] ...
     python -m repro pitfallcheck [zpoline|lazypoline|K23|all] ...
+    python -m repro tracediff A.jsonl B.jsonl [--context N] ...
+    python -m repro traceq TRACE [--type T] [--phase P] [--count] ...
 
 The shared flags — ``--seed``, ``--jobs``, ``--trace-out`` — mean the
 same thing everywhere they are accepted (determinism seed, process-pool
@@ -26,6 +28,8 @@ SUBCOMMANDS = {
     "evalrun": ("repro.tools.evalrun", ("--jobs", "--trace-out")),
     "conformance": ("repro.tools.conformance", ("--jobs", "--trace-out")),
     "pitfallcheck": ("repro.tools.pitfallcheck", ()),
+    "tracediff": ("repro.tools.tracediff", ()),
+    "traceq": ("repro.tools.traceq", ()),
 }
 
 SHARED_FLAGS = ("--seed", "--jobs", "--trace-out")

@@ -54,9 +54,12 @@ class Decomposition:
 
 
 def _counts_for(name: str, iterations: int, seed: int,
-                fault_config=None, fault_seed: int = 0):
+                fault_config=None, fault_seed: int = 0,
+                extra_sinks: Tuple = ()):
     """One stress run under *name* with a CounterSink attached for its whole
-    lifetime; returns ``(sink, final cycle counter)``."""
+    lifetime; returns ``(sink, final cycle counter)``.  *extra_sinks*
+    (e.g. a :class:`~repro.observability.analyzers.LatencyAnalyzer`)
+    listen over the same run."""
     from repro.core import OfflinePhase
     from repro.core.offline import import_logs
     from repro.evaluation.runner import needs_offline
@@ -68,6 +71,8 @@ def _counts_for(name: str, iterations: int, seed: int,
     kernel.torn_window_probability = 0.0
     sink = CounterSink()
     kernel.bus.attach(sink)
+    for extra in extra_sinks:
+        kernel.bus.attach(extra)
     build_stress(iterations).register(kernel)
     if needs_offline(name):
         offline_kernel = Kernel(seed=seed + 1)

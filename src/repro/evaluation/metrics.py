@@ -1,12 +1,16 @@
 """Per-mechanism instrumentation-bus metrics → ``METRICS_*.json``.
 
 Each registered mechanism gets a short, deterministic stress run with a
-:class:`~repro.observability.sinks.CounterSink` attached for the whole
-kernel lifetime; the sink snapshots (event tallies, per-cycle-model-event
-charge counts/cycles, raw-label cycles, per-syscall histograms) land next
-to the other evaluation artifacts in ``benchmarks/output/``.  These are
-the machine-readable companions to Table 5: the decomposition tables are
-*derived* views, the metrics artifact is the raw counter dump.
+:class:`~repro.observability.sinks.CounterSink` **and** a
+:class:`~repro.observability.analyzers.LatencyAnalyzer` attached for the
+whole kernel lifetime; the snapshots (event tallies, per-cycle-model-
+event charge counts/cycles, raw-label cycles, per-syscall histograms,
+and per-(phase, syscall) latency distributions with p50/p95/p99/max)
+land next to the other evaluation artifacts in ``benchmarks/output/``.
+These are the machine-readable companions to Table 5: the decomposition
+tables are *derived* views, the metrics artifact is the raw counter dump
+— and the ``latency`` section is what flat counters cannot show, the
+*distribution* of each phase's forwarding cost.
 """
 
 from __future__ import annotations
@@ -25,13 +29,17 @@ def collect_mechanism_metrics(mechanisms: Optional[Sequence[str]] = None,
     from repro.cpu.cycles import CLOCK_HZ
     from repro.evaluation.breakdown import _counts_for
     from repro.interposers.registry import REGISTRY
+    from repro.observability.analyzers import LatencyAnalyzer
 
     names = tuple(mechanisms) if mechanisms is not None else REGISTRY.names()
     per_mechanism = {}
     for name in names:
-        sink, total = _counts_for(name, iterations, seed)
+        latency = LatencyAnalyzer()
+        sink, total = _counts_for(name, iterations, seed,
+                                  extra_sinks=(latency,))
         snapshot = sink.snapshot()
         snapshot["cycle_counter"] = total
+        snapshot["latency"] = latency.snapshot()
         per_mechanism[name] = snapshot
     return {
         "workload": "stress",

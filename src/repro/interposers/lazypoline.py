@@ -120,6 +120,13 @@ class LazypolineInterposer(Interposer):
         space.mprotect(start, span, Prot.READ | Prot.EXEC)
         kernel.cycles.charge(Event.REWRITE_SITE)
         process.interposer_state["lazypoline"]["rewritten"].append(site)
+        if kernel.bus.enabled:
+            from repro.observability.events import RewriteApplied
+
+            kernel.bus.emit(RewriteApplied(ts=kernel.cycles.cycles,
+                                           pid=process.pid, tid=thread.tid,
+                                           site=site, protocol="lazy-unsafe",
+                                           atomic=False, coherent=False))
 
     # -- SIGSYS discovery handler ---------------------------------------------------
 

@@ -72,6 +72,13 @@ def rewrite_site_safely(kernel, process, address: int) -> None:
     for thread in process.threads:
         thread.icache.invalidate_range(address, 2)
     kernel.cycles.charge(Event.REWRITE_SITE)
+    if kernel.bus.enabled:
+        from repro.observability.events import RewriteApplied
+
+        kernel.bus.emit(RewriteApplied(ts=kernel.cycles.cycles,
+                                       pid=process.pid, tid=0, site=address,
+                                       protocol="static-safe", atomic=True,
+                                       coherent=True))
 
 
 class ZpolineInterposer(Interposer):

@@ -50,9 +50,9 @@ from repro.kernel.syscalls import (
 )
 from repro.kernel.vfs import VFS
 from repro.observability.bus import Bus
-from repro.observability.events import (IcacheShootdown, QuantumEnd,
-                                        SignalEvent, SyscallEnter,
-                                        SyscallExit)
+from repro.observability.events import (IcacheShootdown, ProcessLifecycle,
+                                        QuantumEnd, SignalEvent,
+                                        SyscallEnter, SyscallExit)
 
 #: Scheduler quantum: instructions per thread turn.
 DEFAULT_QUANTUM = 100
@@ -111,6 +111,7 @@ class Kernel:
         self.hostcalls = HostcallRegistry()
         self.processes: Dict[int, Process] = {}
         self._next_pid = 100
+        self._next_tid = 1000
         self.rng = random.Random(seed)
         self.aslr = aslr
         self.syscall_log: List[SyscallRecord] = []
@@ -154,11 +155,20 @@ class Kernel:
         self._next_pid += 1
         return pid
 
+    def new_tid(self) -> int:
+        """Per-kernel tid allocation: two same-seed machines number their
+        threads identically, so cross-run traces align per (pid, tid)
+        track (``repro tracediff``)."""
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
     def spawn_process(self, path: str, argv: Optional[List[str]] = None,
                       env: Optional[Dict[str, str]] = None) -> Process:
         """Create a process and load *path* into it (fork+exec equivalent)."""
         process = Process(self, self.new_pid(), path, argv, env)
         self.processes[process.pid] = process
+        self.emit_lifecycle("spawn", process)
         if self.interposer is not None:
             self.interposer.before_exec(process)
         self.loader.load_into(process, path, argv or [path], process.env)
@@ -170,6 +180,15 @@ class Kernel:
     def now_ns(self) -> int:
         """Monotonic clock derived from the cycle counter (3.2 GHz)."""
         return int(self.cycles.cycles / 3.2)
+
+    def emit_lifecycle(self, kind: str, process: "Process",
+                       status: Optional[int] = None, detail: str = "") -> None:
+        """Publish a :class:`ProcessLifecycle` event (spawn/exec/exit)."""
+        if self.bus.enabled:
+            self.bus.emit(ProcessLifecycle(ts=self.cycles.cycles,
+                                           pid=process.pid, tid=0, kind=kind,
+                                           path=process.path, status=status,
+                                           detail=detail))
 
     # ------------------------------------------------------------- dispatch
 
@@ -592,6 +611,8 @@ class Kernel:
         process.core_dumped = bool(getattr(exc, "core", False))
         process.kill_detail = getattr(exc, "detail", "") or getattr(
             exc, "reason", "")
+        self.emit_lifecycle("exit", process, status=process.exit_status,
+                            detail=process.kill_detail)
         if self.interposer is not None:
             self.interposer.on_process_exit(process)
 

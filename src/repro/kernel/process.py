@@ -65,12 +65,9 @@ class Thread:
     (``mem_*``, ``on_syscall``, ``on_hostcall``, ``charge``).
     """
 
-    _next_tid = [1000]
-
     def __init__(self, process: "Process", core_id: int = 0):
         self.process = process
-        self.tid = Thread._next_tid[0]
-        Thread._next_tid[0] += 1
+        self.tid = process.kernel.new_tid()
         self.context = CpuContext()
         self.icache = ICache(core_id)
         self.core_id = core_id

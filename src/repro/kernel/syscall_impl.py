@@ -799,6 +799,7 @@ def sys_fork(kernel, thread: Thread, args) -> int:
     child_thread.sud = thread.sud.copy()
     parent.children.append(child)
     kernel.processes[child.pid] = child
+    kernel.emit_lifecycle("spawn", child)
     return child.pid
 
 
@@ -923,6 +924,7 @@ def do_execve(kernel, thread: Thread, path: str, argv: List[str],
 
     kernel.loader.load_into(process, path, argv, env)
     thread._just_execed = True
+    kernel.emit_lifecycle("exec", process)
     return None
 
 

@@ -33,11 +33,20 @@ def build_vdso(kernel):
     offsets within the blob.
     """
 
+    def _emit(thread, symbol):
+        if kernel.bus.enabled:
+            from repro.observability.events import VdsoCall
+
+            kernel.bus.emit(VdsoCall(ts=kernel.cycles.cycles,
+                                     pid=thread.process.pid, tid=thread.tid,
+                                     symbol=symbol, site=thread.context.rip))
+
     def vdso_clock_gettime(thread):
         """Host body: write the current time into *(rsi) and return 0."""
         kernel.vdso_calls.append(
             (thread.process.pid, VDSO_CLOCK_GETTIME, thread.context.rip)
         )
+        _emit(thread, VDSO_CLOCK_GETTIME)
         timespec_ptr = thread.context.get(Reg.RSI)
         ns = kernel.now_ns()
         payload = struct.pack("<qq", ns // 1_000_000_000, ns % 1_000_000_000)
@@ -48,6 +57,7 @@ def build_vdso(kernel):
         kernel.vdso_calls.append(
             (thread.process.pid, VDSO_GETTIMEOFDAY, thread.context.rip)
         )
+        _emit(thread, VDSO_GETTIMEOFDAY)
         timeval_ptr = thread.context.get(Reg.RDI)
         ns = kernel.now_ns()
         payload = struct.pack("<qq", ns // 1_000_000_000,

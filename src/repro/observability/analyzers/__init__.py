@@ -1,0 +1,53 @@
+"""Streaming forensics analyzers over the observability bus.
+
+``Analyzer`` subclasses are ordinary sinks with memory: attach them live
+(``kernel.bus.attach(suite)``) or replay a recorded event sequence
+(``suite.replay(ring.events())``) — both paths grade identically, which
+is the property the determinism tests pin.
+"""
+
+from repro.observability.analyzers.base import (
+    ANALYZER_SCHEMA_VERSION,
+    Analyzer,
+    AnalyzerSuite,
+    PitfallVerdict,
+    event_to_dict,
+)
+from repro.observability.analyzers.latency import (
+    LatencyAnalyzer,
+    LogHistogram,
+)
+from repro.observability.analyzers.pitfalls import (
+    ANALYZER_FACTORIES,
+    P1aBootstrapAnalyzer,
+    P1bTamperAnalyzer,
+    P2aOverlookAnalyzer,
+    P2bPreMainAnalyzer,
+    P3RewriteAnalyzer,
+    P4aNullExecAnalyzer,
+    P5CoherenceAnalyzer,
+    PitfallAnalyzer,
+    analyzer_for,
+    default_suite,
+)
+
+__all__ = [
+    "ANALYZER_FACTORIES",
+    "ANALYZER_SCHEMA_VERSION",
+    "Analyzer",
+    "AnalyzerSuite",
+    "LatencyAnalyzer",
+    "LogHistogram",
+    "P1aBootstrapAnalyzer",
+    "P1bTamperAnalyzer",
+    "P2aOverlookAnalyzer",
+    "P2bPreMainAnalyzer",
+    "P3RewriteAnalyzer",
+    "P4aNullExecAnalyzer",
+    "P5CoherenceAnalyzer",
+    "PitfallAnalyzer",
+    "PitfallVerdict",
+    "analyzer_for",
+    "default_suite",
+    "event_to_dict",
+]

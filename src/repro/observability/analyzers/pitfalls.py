@@ -1,0 +1,402 @@
+"""Pitfall forensics: one streaming analyzer per Table 3 pitfall class.
+
+Each analyzer grades a pitfall **from the event stream alone** — no
+kernel introspection, no ``process`` object, no ground-truth log.  The
+stream equivalents used throughout:
+
+========================  ====================================================
+kernel ground truth        stream analog
+========================  ====================================================
+``uninterposed_syscalls``  ``SyscallEnter`` with ``phase == "app"`` (a raw
+                           trap that reached the kernel dispatcher with no
+                           interposition layer in front of it)
+``process.exit_status``    ``ProcessLifecycle(kind="exit").status``
+``process.kill_detail``    ``ProcessLifecycle(kind="exit").detail``
+``kernel.vdso_calls``      ``VdsoCall`` events
+rewrite protocol safety    ``RewriteApplied.atomic`` / ``.coherent``
+========================  ====================================================
+
+The one deliberate exception is **P4b** (NULL-check *memory footprint*):
+reserved-virtual-bytes is a static property of the validity structure,
+not a runtime behaviour, so no events encode it and the ground-truth
+evaluator in :mod:`repro.pitfalls.poc` keeps grading it directly.
+
+Analyzer reasons reproduce the legacy evaluator evidence strings
+byte-for-byte so ``pitfallcheck --evidence`` output is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kernel.syscalls import Nr
+from repro.observability.analyzers.base import Analyzer, AnalyzerSuite
+from repro.observability.analyzers.latency import LatencyAnalyzer
+from repro.observability.events import (
+    BusEvent,
+    IcacheShootdown,
+    ProcessLifecycle,
+    RewriteApplied,
+    SyscallEnter,
+    VdsoCall,
+)
+
+#: PoC image paths, mirrored from repro.pitfalls.poc (kept literal here so
+#: the analyzers stay importable without pulling in the workload builders).
+POC_PATHS = {
+    "P1a": "/usr/bin/p1a_target",
+    "P1b": "/bin/p1b",
+    "P2a": "/bin/p2a",
+    "P2b": "/bin/p2b",
+    "P3a": "/bin/p3a",
+    "P3b": "/bin/p3b",
+    "P4a": "/bin/p4a",
+    "P5": "/bin/p5",
+}
+
+
+class PitfallAnalyzer(Analyzer):
+    """Shared plumbing for per-pitfall forensics.
+
+    Tracks which pids belong to the *target image* (via
+    ``ProcessLifecycle`` spawn/exec events carrying the image path — this
+    is how P1a follows the fork'd child across its ``execve``), the
+    uninterposed (``phase == "app"``) syscalls those pids issued, their
+    exit records, and the rewrite/icache traffic that touched them.
+    ``target_path=None`` attributes every process to the target.
+    """
+
+    def __init__(self, target_path: Optional[str] = None,
+                 window_size: int = 64):
+        super().__init__(window_size=window_size)
+        self.target_path = target_path
+        self.pids: set = set()
+        self.exits: Dict[int, ProcessLifecycle] = {}
+        self.app_calls: Dict[int, List[SyscallEnter]] = {}
+        self.rewrites: List[RewriteApplied] = []
+        self.shootdowns: List[IcacheShootdown] = []
+        self.vdso: Dict[int, List[VdsoCall]] = {}
+
+    # ------------------------------------------------------------ routing
+
+    def observe(self, event: BusEvent) -> None:
+        if isinstance(event, ProcessLifecycle):
+            if event.kind in ("spawn", "exec"):
+                if self.target_path is None or event.path == self.target_path:
+                    self.pids.add(event.pid)
+                elif event.kind == "exec":
+                    # exec'd into a different image: stop attributing.
+                    self.pids.discard(event.pid)
+            elif event.kind == "exit":
+                self.exits[event.pid] = event
+        elif isinstance(event, SyscallEnter):
+            if event.phase == "app" and self._is_target(event.pid):
+                self.app_calls.setdefault(event.pid, []).append(event)
+        elif isinstance(event, RewriteApplied):
+            self.rewrites.append(event)
+        elif isinstance(event, IcacheShootdown):
+            self.shootdowns.append(event)
+        elif isinstance(event, VdsoCall):
+            if self._is_target(event.pid):
+                self.vdso.setdefault(event.pid, []).append(event)
+        self.inspect(event)
+
+    def inspect(self, event: BusEvent) -> None:  # pragma: no cover - hook
+        pass
+
+    # ------------------------------------------------------------ helpers
+
+    def _is_target(self, pid: int) -> bool:
+        return self.target_path is None or pid in self.pids
+
+    def target_pid(self) -> Optional[int]:
+        return min(self.pids) if self.pids else None
+
+    def target_exit(self) -> Optional[ProcessLifecycle]:
+        pid = self.target_pid()
+        if pid is None:
+            # target_path=None and no lifecycle events at all
+            return min(self.exits.values(), key=lambda e: e.pid, default=None)
+        return self.exits.get(pid)
+
+    def missed(self, pid: Optional[int] = None) -> List[SyscallEnter]:
+        """Uninterposed app-phase syscalls issued by the target."""
+        if pid is not None:
+            return list(self.app_calls.get(pid, ()))
+        events: List[SyscallEnter] = []
+        for p in sorted(self.app_calls):
+            events.extend(self.app_calls[p])
+        return events
+
+
+# =========================================================================
+# P1a — bootstrap bypass: LD_PRELOAD shed by an empty-env execve
+# =========================================================================
+
+
+class P1aBootstrapAnalyzer(PitfallAnalyzer):
+    pitfall = "P1a"
+    name = "p1a-bootstrap"
+
+    def __init__(self, target_path: Optional[str] = POC_PATHS["P1a"]):
+        super().__init__(target_path=target_path)
+
+    def on_finish(self) -> None:
+        pid = self.target_pid()
+        if pid is None:
+            self.emit_verdict(True, "target never executed")
+            return
+        decisive = [e for e in self.missed(pid)
+                    if e.nr in (Nr.write, Nr.exit)]
+        nrs = [e.nr for e in decisive]
+        detected = bool(decisive)
+        reason = (f"target ran uninterposed after empty-env execve "
+                  f"(missed nrs {sorted(set(nrs))})" if detected else
+                  "target's write/exit interposed across empty-env execve")
+        self.emit_verdict(detected, reason, pid=pid,
+                          ts=decisive[0].ts if decisive else 0,
+                          evidence=decisive or None)
+
+
+# =========================================================================
+# P1b — tamper bypass: prctl(PR_SYS_DISPATCH_OFF) disarms discovery
+# =========================================================================
+
+
+class P1bTamperAnalyzer(PitfallAnalyzer):
+    pitfall = "P1b"
+    name = "p1b-prctl-tamper"
+
+    def __init__(self, target_path: Optional[str] = POC_PATHS["P1b"]):
+        super().__init__(target_path=target_path)
+
+    def on_finish(self) -> None:
+        pid = self.target_pid()
+        exit_event = self.target_exit()
+        detail = exit_event.detail if exit_event else ""
+        if "P1b" in detail:
+            self.emit_verdict(False, f"aborted on disable attempt: {detail}",
+                              pid=pid or 0,
+                              ts=exit_event.ts if exit_event else 0,
+                              evidence=(exit_event,) if exit_event else None)
+            return
+        escaped = [e for e in self.missed(pid) if e.nr == Nr.getuid]
+        detected = bool(escaped)
+        reason = ("prctl disabled dispatch; fresh site escaped interposition"
+                  if detected else "post-disable syscall still interposed")
+        self.emit_verdict(detected, reason, pid=pid or 0,
+                          ts=escaped[0].ts if escaped else 0,
+                          evidence=escaped or None)
+
+
+# =========================================================================
+# P2a — overlook: disassembly desync + dynamically loaded code
+# =========================================================================
+
+
+class P2aOverlookAnalyzer(PitfallAnalyzer):
+    pitfall = "P2a"
+    name = "p2a-overlook"
+
+    def __init__(self, target_path: Optional[str] = POC_PATHS["P2a"]):
+        super().__init__(target_path=target_path)
+
+    def on_finish(self) -> None:
+        pid = self.target_pid()
+        exit_event = self.target_exit()
+        status = exit_event.status if exit_event else None
+        escaped = [e for e in self.missed(pid)
+                   if e.nr in (Nr.getpid, Nr.gettid)]
+        detected = bool(escaped) or status != 0
+        names = sorted({Nr.name_of(e.nr) for e in escaped})
+        reason = (f"sites escaped interposition: {names} (exit={status})"
+                  if detected else
+                  "hidden and dlopen'd sites both interposed")
+        evidence = list(escaped)
+        if exit_event is not None:
+            evidence.append(exit_event)
+        self.emit_verdict(detected, reason, pid=pid or 0,
+                          ts=escaped[0].ts if escaped else 0,
+                          evidence=evidence or None)
+
+
+# =========================================================================
+# P2b — overlook: pre-main startup syscalls + vDSO fast paths
+# =========================================================================
+
+
+class P2bPreMainAnalyzer(PitfallAnalyzer):
+    pitfall = "P2b"
+    name = "p2b-premain"
+
+    def __init__(self, target_path: Optional[str] = POC_PATHS["P2b"]):
+        super().__init__(target_path=target_path)
+
+    def on_finish(self) -> None:
+        pid = self.target_pid()
+        premain = self.missed(pid)
+        vdso = (self.vdso.get(pid, []) if pid is not None
+                else [e for events in self.vdso.values() for e in events])
+        detected = bool(premain) or bool(vdso)
+        reason = (f"{len(premain)} startup syscalls and {len(vdso)} vDSO "
+                  f"calls escaped interposition" if detected else
+                  "startup syscalls traced; vDSO disabled and interposed")
+        evidence = premain + vdso
+        self.emit_verdict(detected, reason, pid=pid or 0,
+                          ts=evidence[0].ts if evidence else 0,
+                          evidence=evidence or None)
+
+
+# =========================================================================
+# P3a / P3b — false rewrites (data / hijack-induced), graded by sentinel
+# =========================================================================
+
+
+class P3RewriteAnalyzer(PitfallAnalyzer):
+    """The PoC reads its own 0x0F sentinel byte back and exits with it;
+    any false rewrite corrupts the byte and the exit status says so.  The
+    decisive evidence is the exit record plus every ``RewriteApplied``
+    the interposer performed in that process."""
+
+    #: Sentinel byte the PoC exits with when its bytes were left intact.
+    SENTINEL = 0x0F
+
+    def __init__(self, pitfall: str, target_path: Optional[str] = None):
+        if pitfall not in ("P3a", "P3b"):
+            raise ValueError(f"not a P3 pitfall: {pitfall!r}")
+        super().__init__(
+            target_path=POC_PATHS[pitfall] if target_path is None
+            else target_path)
+        self.pitfall = pitfall
+        self.name = ("p3a-data-rewrite" if pitfall == "P3a"
+                     else "p3b-hijack-rewrite")
+
+    def on_finish(self) -> None:
+        pid = self.target_pid()
+        exit_event = self.target_exit()
+        status = exit_event.status if exit_event else None
+        detected = status != self.SENTINEL
+        shown = status if status is not None else -1
+        if self.pitfall == "P3a":
+            reason = (f"embedded data corrupted by rewriting "
+                      f"(read back {shown:#x}, expected 0x0f)" if detected
+                      else f"embedded data intact (read back {shown:#x})")
+        else:
+            reason = (f"hijacked execution caused code rewrite: immediate "
+                      f"now {shown:#x}, expected 0x0f" if detected else
+                      f"partial-instruction bytes intact after hijack "
+                      f"(read back {shown:#x})")
+        evidence = [r for r in self.rewrites if pid is None or r.pid == pid]
+        if exit_event is not None:
+            evidence.append(exit_event)
+        self.emit_verdict(detected, reason, pid=pid or 0,
+                          ts=exit_event.ts if exit_event else 0,
+                          evidence=evidence or None)
+
+
+# =========================================================================
+# P4a — NULL-execution goes undetected (masked by the trampoline)
+# =========================================================================
+
+
+class P4aNullExecAnalyzer(PitfallAnalyzer):
+    """The PoC calls through a NULL pointer, then prints SURVIVED and
+    exits 0.  In the stream, a clean ``exit(0)`` therefore *is* the
+    masked-bug signature: execution fell into the trampoline at address 0
+    and kept going.  Any kill (non-zero status, detail set) means the
+    mechanism stopped the NULL execution."""
+
+    pitfall = "P4a"
+    name = "p4a-null-exec"
+
+    def __init__(self, target_path: Optional[str] = POC_PATHS["P4a"]):
+        super().__init__(target_path=target_path)
+
+    def on_finish(self) -> None:
+        pid = self.target_pid()
+        exit_event = self.target_exit()
+        status = exit_event.status if exit_event else None
+        survived = status == 0
+        if survived:
+            reason = ("NULL call silently executed the trampoline; "
+                      f"the bug was masked (exit {status})")
+        else:
+            detail = (exit_event.detail if exit_event else "") or "fault"
+            reason = f"NULL execution stopped: {detail}"
+        self.emit_verdict(survived, reason, pid=pid or 0,
+                          ts=exit_event.ts if exit_event else 0,
+                          evidence=(exit_event,) if exit_event else None)
+
+
+# =========================================================================
+# P5 — runtime rewriting races: torn stores and stale icaches
+# =========================================================================
+
+
+class P5CoherenceAnalyzer(PitfallAnalyzer):
+    """Two signals: the outcome (did the racing thread die executing a
+    torn instruction?) and the cause (``RewriteApplied`` events whose
+    protocol was non-atomic or locally-coherent-only).  The rewrite
+    events are the forensic value-add — the verdict's evidence shows
+    *which* patch protocol put the torn bytes there."""
+
+    pitfall = "P5"
+    name = "p5-coherence"
+
+    def __init__(self, target_path: Optional[str] = POC_PATHS["P5"]):
+        super().__init__(target_path=target_path)
+
+    def unsafe_rewrites(self) -> List[RewriteApplied]:
+        pid = self.target_pid()
+        return [r for r in self.rewrites
+                if (pid is None or r.pid == pid)
+                and not (r.atomic and r.coherent)]
+
+    def on_finish(self) -> None:
+        pid = self.target_pid()
+        exit_event = self.target_exit()
+        status = exit_event.status if exit_event else None
+        detected = status != 0
+        if detected:
+            detail = (exit_event.detail if exit_event else "") or ""
+            reason = (f"racing thread executed a torn instruction: "
+                      f"killed ({detail or status})")
+        else:
+            reason = "concurrent first-execution race completed correctly"
+        evidence: List[BusEvent] = list(self.unsafe_rewrites() if detected
+                                        else self.rewrites[:8])
+        if exit_event is not None:
+            evidence.append(exit_event)
+        self.emit_verdict(detected, reason, pid=pid or 0,
+                          ts=exit_event.ts if exit_event else 0,
+                          evidence=evidence or None)
+
+
+# =========================================================================
+
+#: Per-pitfall analyzer factories (P4b is ground-truth-only; see module
+#: docstring).
+ANALYZER_FACTORIES = {
+    "P1a": P1aBootstrapAnalyzer,
+    "P1b": P1bTamperAnalyzer,
+    "P2a": P2aOverlookAnalyzer,
+    "P2b": P2bPreMainAnalyzer,
+    "P3a": lambda: P3RewriteAnalyzer("P3a"),
+    "P3b": lambda: P3RewriteAnalyzer("P3b"),
+    "P4a": P4aNullExecAnalyzer,
+    "P5": P5CoherenceAnalyzer,
+}
+
+
+def analyzer_for(pitfall: str) -> PitfallAnalyzer:
+    """Fresh analyzer instance grading *pitfall* (KeyError for P4b)."""
+    return ANALYZER_FACTORIES[pitfall]()
+
+
+def default_suite(include_latency: bool = True) -> AnalyzerSuite:
+    """Every pitfall analyzer (+ latency telemetry) in one suite."""
+    analyzers: List[Analyzer] = [factory() for factory in
+                                 ANALYZER_FACTORIES.values()]
+    if include_latency:
+        analyzers.append(LatencyAnalyzer())
+    return AnalyzerSuite(analyzers)

@@ -145,8 +145,55 @@ class HookObserved(BusEvent):
     result: Optional[int]
 
 
+@dataclass(frozen=True, slots=True)
+class ProcessLifecycle(BusEvent):
+    """A process was created, replaced its image, or exited.
+
+    ``kind``: ``"spawn"`` (``spawn_process``/``fork``), ``"exec"``
+    (``execve`` replaced the image; ``path`` is the *new* image), or
+    ``"exit"`` (``status`` carries the exit/kill status and ``detail``
+    the kill reason, e.g. an ``InterposerAbort`` message).  These are the
+    events that let stream analyzers attribute syscall traffic to a
+    program and grade run outcomes without kernel introspection.
+    """
+
+    kind: str
+    path: str
+    status: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class RewriteApplied(BusEvent):
+    """An interposer rewrote application code bytes at runtime.
+
+    ``protocol`` names the code path (``"static-safe"`` for the
+    save/patch/restore/shootdown sequence zpoline and K23 use,
+    ``"lazy-unsafe"`` for lazypoline's discovery patch); ``atomic`` and
+    ``coherent`` record whether the store was single-shot and whether a
+    cross-core instruction-stream invalidation followed — the two
+    properties whose absence is pitfall P5.
+    """
+
+    site: int
+    protocol: str
+    atomic: bool
+    coherent: bool
+
+
+@dataclass(frozen=True, slots=True)
+class VdsoCall(BusEvent):
+    """A vDSO fast path ran — no ``syscall`` instruction was executed,
+    so no interposer (except a vDSO-disabling ptracer) could see it:
+    the stream-visible half of pitfall P2b."""
+
+    symbol: str
+    site: int
+
+
 #: Every event type, for sink filters and schema docs.
 EVENT_TYPES: Tuple[type, ...] = (
     SyscallEnter, SyscallExit, SignalEvent, PtraceStop, IcacheShootdown,
     FaultInjected, QuantumEnd, CycleCharge, RawCycles, HookObserved,
+    ProcessLifecycle, RewriteApplied, VdsoCall,
 )

@@ -47,6 +47,12 @@ CYCLES_PER_US = CLOCK_HZ / 1_000_000
 #: pid of the synthetic cycle-attribution track (far above real pids).
 ATTRIBUTION_PID = 999_999
 
+#: Version of this exporter's trace shape.  v2: the JSONL stream gained
+#: per-record ``seq``/``type`` fields (repro.observability.sinks) and the
+#: Chrome export stamps its version here; the validator rejects traces
+#: whose version does not match.
+TRACE_SCHEMA_VERSION = 2
+
 
 def _us(cycles: int) -> float:
     return round(cycles / CYCLES_PER_US, 4)
@@ -208,6 +214,7 @@ class TraceSink(Sink):
                 "mechanism": self.mechanism,
                 "workload": self.workload,
                 "clock_hz": CLOCK_HZ,
+                "trace_schema_version": TRACE_SCHEMA_VERSION,
                 "cycle_attribution": dict(sorted(
                     self._charge_cycles.items())),
             },
@@ -240,6 +247,10 @@ def validate_chrome_trace(doc: Dict) -> List[str]:
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return ["missing/invalid 'traceEvents' array"]
+    version = doc.get("otherData", {}).get("trace_schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        problems.append(f"trace_schema_version {version!r} != "
+                        f"{TRACE_SCHEMA_VERSION}")
     depth: Dict[Tuple[int, int], int] = {}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):

@@ -124,8 +124,19 @@ class RingBufferSink(Sink):
         return list(self.buffer)
 
 
+#: JSONL trace stream format version.  v2: every record carries a
+#: monotonically increasing ``seq`` (line 0 is a ``TraceMeta`` header),
+#: which is what ``repro tracediff`` aligns on.
+JSONL_SCHEMA_VERSION = 2
+
+
 class StreamingJSONLSink(Sink):
     """One JSON object per event per line, written as events arrive.
+
+    Line 0 is a ``TraceMeta`` header carrying the schema version.  Every
+    record (header included) has a ``seq`` field assigned in emission
+    order and a ``type`` field naming the event class — together they
+    make two traces of the same run alignable record-by-record.
 
     ``CycleCharge``/``RawCycles`` are summarized on ``close()`` instead
     of streamed (they arrive at instruction rate).
@@ -135,6 +146,15 @@ class StreamingJSONLSink(Sink):
         self.stream = stream
         self.include_charges = include_charges
         self._charge_cycles: Dict[str, int] = collections.Counter()
+        self._seq = 0
+        self._write({"type": "TraceMeta",
+                     "schema_version": JSONL_SCHEMA_VERSION,
+                     "include_charges": include_charges})
+
+    def _write(self, record: Dict) -> None:
+        record["seq"] = self._seq
+        self._seq += 1
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
 
     def accept(self, event: BusEvent) -> None:
         if isinstance(event, (CycleCharge, RawCycles)):
@@ -145,14 +165,12 @@ class StreamingJSONLSink(Sink):
                 return
         record = asdict(event)
         record["type"] = type(event).__name__
-        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._write(record)
 
     def close(self) -> Optional[Dict[str, int]]:
         """Flush the aggregated charge summary as one final line."""
         if self._charge_cycles:
-            self.stream.write(json.dumps(
-                {"type": "ChargeSummary",
-                 "cycles": dict(sorted(self._charge_cycles.items()))},
-                sort_keys=True) + "\n")
+            self._write({"type": "ChargeSummary",
+                         "cycles": dict(sorted(self._charge_cycles.items()))})
         self.stream.flush()
         return dict(self._charge_cycles) or None

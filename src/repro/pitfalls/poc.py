@@ -3,9 +3,17 @@
 Each PoC is a real simulated program (built with
 :class:`repro.workloads.programs.ProgramBuilder`) whose behaviour
 discriminates "pitfall present" from "pitfall handled" by an observable
-outcome — a missed syscall in the kernel's ground-truth log, a corrupted
-byte surfacing in the exit status, a crash, or a survived NULL call.  The
-evaluators run a PoC under a given interposer kit and grade that outcome.
+outcome — a missed syscall, a corrupted byte surfacing in the exit
+status, a crash, or a survived NULL call.  Grading is delegated to the
+streaming analyzers in :mod:`repro.observability.analyzers.pitfalls`:
+an evaluator stands up the kit, attaches the pitfall's analyzer to the
+kernel bus, runs the PoC, and converts the analyzer's
+:class:`~repro.observability.analyzers.base.PitfallVerdict` into a
+:class:`PitfallOutcome`.  The verdict is judged **from the event stream
+alone** (the analyzer never sees the kernel), so the same grading runs
+unchanged over a replayed trace.  The one exception is P4b — a memory
+*footprint* property with no runtime events — which keeps its
+ground-truth evaluator.
 
 The kits mirror the paper's Table 3 columns: zpoline and K23 are evaluated
 in their checking (-ultra) configurations where a pitfall concerns the
@@ -32,6 +40,7 @@ from repro.kernel.syscalls import (
     PR_SYS_DISPATCH_OFF,
 )
 from repro.loader.image import SimImage
+from repro.observability.analyzers import PitfallVerdict, analyzer_for
 from repro.workloads.programs import ProgramBuilder, data_ref
 
 PITFALL_IDS = ("P1a", "P1b", "P2a", "P2b", "P3a", "P3b", "P4a", "P4b", "P5")
@@ -39,12 +48,18 @@ PITFALL_IDS = ("P1a", "P1b", "P2a", "P2b", "P3a", "P3b", "P4a", "P4b", "P5")
 
 @dataclass
 class PitfallOutcome:
-    """Graded result of one PoC under one interposer."""
+    """Graded result of one PoC under one interposer.
+
+    ``verdict`` carries the analyzer's structured finding (evidence event
+    window included) when the grading came from the event stream; it is
+    ``None`` for ground-truth-only gradings (P4b).
+    """
 
     pitfall: str
     interposer: str
     handled: bool
     evidence: str
+    verdict: Optional[PitfallVerdict] = None
 
 
 @dataclass
@@ -88,8 +103,23 @@ def _run(kernel, path: str, max_steps: int = 3_000_000):
     return process
 
 
-def _missed_nrs(kernel, pid: int) -> List[int]:
-    return [r.nr for r in kernel.uninterposed_syscalls(pid)]
+def _eval_streaming(pitfall: str, kit: InterposerKit, register: Callable,
+                    offline_paths: Tuple[str, ...], path: str,
+                    pre_run: Optional[Callable] = None) -> PitfallOutcome:
+    """Stand up *kit*, attach the pitfall's analyzer to the live bus, run
+    the PoC, and convert the streamed verdict into a PitfallOutcome."""
+    kernel, interposer = kit.build(register, offline_paths=offline_paths)
+    analyzer = analyzer_for(pitfall)
+    kernel.bus.attach(analyzer)
+    try:
+        if pre_run is not None:
+            pre_run(kernel)
+        _run(kernel, path)
+    finally:
+        kernel.bus.detach(analyzer)
+    verdict = analyzer.finish()[0]
+    return PitfallOutcome(pitfall, kit.name, not verdict.detected,
+                          verdict.reason, verdict=verdict)
 
 
 # =========================================================================
@@ -127,22 +157,9 @@ def _register_p1a(kernel) -> None:
 
 
 def _eval_p1a(kit: InterposerKit) -> PitfallOutcome:
-    kernel, interposer = kit.build(
-        _register_p1a, offline_paths=("/bin/p1a", "/usr/bin/p1a_target"))
-    _run(kernel, "/bin/p1a")
-    child = next((p for p in kernel.processes.values()
-                  if p.path == "/usr/bin/p1a_target"), None)
-    if child is None:
-        return PitfallOutcome("P1a", kit.name, False,
-                              "target never executed")
-    missed = [nr for nr in _missed_nrs(kernel, child.pid)
-              if nr in (Nr.write, Nr.exit)]
-    handled = not missed
-    evidence = ("target's write/exit interposed across empty-env execve"
-                if handled else
-                f"target ran uninterposed after empty-env execve "
-                f"(missed nrs {sorted(set(missed))})")
-    return PitfallOutcome("P1a", kit.name, handled, evidence)
+    return _eval_streaming(
+        "P1a", kit, _register_p1a,
+        offline_paths=("/bin/p1a", "/usr/bin/p1a_target"), path="/bin/p1a")
 
 
 # =========================================================================
@@ -163,19 +180,8 @@ def _register_p1b(kernel) -> None:
 
 
 def _eval_p1b(kit: InterposerKit) -> PitfallOutcome:
-    kernel, interposer = kit.build(_register_p1b,
-                                   offline_paths=("/bin/p1b",))
-    process = _run(kernel, "/bin/p1b")
-    detail = getattr(process, "kill_detail", "") or ""
-    if "P1b" in detail:
-        return PitfallOutcome("P1b", kit.name, True,
-                              f"aborted on disable attempt: {detail}")
-    missed = [nr for nr in _missed_nrs(kernel, process.pid)
-              if nr == Nr.getuid]
-    handled = not missed
-    evidence = ("post-disable syscall still interposed" if handled else
-                "prctl disabled dispatch; fresh site escaped interposition")
-    return PitfallOutcome("P1b", kit.name, handled, evidence)
+    return _eval_streaming("P1b", kit, _register_p1b,
+                           offline_paths=("/bin/p1b",), path="/bin/p1b")
 
 
 # =========================================================================
@@ -217,16 +223,8 @@ def _register_p2a(kernel) -> None:
 
 
 def _eval_p2a(kit: InterposerKit) -> PitfallOutcome:
-    kernel, interposer = kit.build(_register_p2a, offline_paths=("/bin/p2a",))
-    process = _run(kernel, "/bin/p2a")
-    missed = [nr for nr in _missed_nrs(kernel, process.pid)
-              if nr in (Nr.getpid, Nr.gettid)]
-    handled = not missed and process.exit_status == 0
-    names = sorted({Nr.name_of(nr) for nr in missed})
-    evidence = ("hidden and dlopen'd sites both interposed" if handled else
-                f"sites escaped interposition: {names} "
-                f"(exit={process.exit_status})")
-    return PitfallOutcome("P2a", kit.name, handled, evidence)
+    return _eval_streaming("P2a", kit, _register_p2a,
+                           offline_paths=("/bin/p2a",), path="/bin/p2a")
 
 
 # =========================================================================
@@ -245,17 +243,8 @@ def _register_p2b(kernel) -> None:
 
 
 def _eval_p2b(kit: InterposerKit) -> PitfallOutcome:
-    kernel, interposer = kit.build(_register_p2b, offline_paths=("/bin/p2b",))
-    process = _run(kernel, "/bin/p2b")
-    premain_missed = len(_missed_nrs(kernel, process.pid))
-    vdso_missed = len([entry for entry in kernel.vdso_calls
-                       if entry[0] == process.pid])
-    handled = premain_missed == 0 and vdso_missed == 0
-    evidence = (f"{premain_missed} startup syscalls and {vdso_missed} vDSO "
-                f"calls escaped interposition")
-    if handled:
-        evidence = "startup syscalls traced; vDSO disabled and interposed"
-    return PitfallOutcome("P2b", kit.name, handled, evidence)
+    return _eval_streaming("P2b", kit, _register_p2b,
+                           offline_paths=("/bin/p2b",), path="/bin/p2b")
 
 
 # =========================================================================
@@ -279,14 +268,8 @@ def _register_p3a(kernel) -> None:
 
 
 def _eval_p3a(kit: InterposerKit) -> PitfallOutcome:
-    kernel, interposer = kit.build(_register_p3a, offline_paths=("/bin/p3a",))
-    process = _run(kernel, "/bin/p3a")
-    handled = process.exit_status == 0x0F
-    evidence = (f"embedded data intact (read back {process.exit_status:#x})"
-                if handled else
-                f"embedded data corrupted by rewriting "
-                f"(read back {process.exit_status:#x}, expected 0x0f)")
-    return PitfallOutcome("P3a", kit.name, handled, evidence)
+    return _eval_streaming("P3a", kit, _register_p3a,
+                           offline_paths=("/bin/p3a",), path="/bin/p3a")
 
 
 # =========================================================================
@@ -329,16 +312,12 @@ def _register_p3b(kernel) -> None:
 
 
 def _eval_p3b(kit: InterposerKit) -> PitfallOutcome:
-    # Offline phase (K23) runs in a controlled environment: no attack flag.
-    kernel, interposer = kit.build(_register_p3b, offline_paths=("/bin/p3b",))
-    kernel.vfs.create(ATTACK_FLAG, b"")  # the online adversary strikes
-    process = _run(kernel, "/bin/p3b")
-    handled = process.exit_status == 0x0F
-    evidence = (f"partial-instruction bytes intact after hijack "
-                f"(read back {process.exit_status:#x})" if handled else
-                f"hijacked execution caused code rewrite: immediate now "
-                f"{process.exit_status:#x}, expected 0x0f")
-    return PitfallOutcome("P3b", kit.name, handled, evidence)
+    # Offline phase (K23) runs in a controlled environment: no attack flag;
+    # the online adversary plants it just before the run.
+    return _eval_streaming(
+        "P3b", kit, _register_p3b, offline_paths=("/bin/p3b",),
+        path="/bin/p3b",
+        pre_run=lambda kernel: kernel.vfs.create(ATTACK_FLAG, b""))
 
 
 # =========================================================================
@@ -363,18 +342,8 @@ def _register_p4a(kernel) -> None:
 
 
 def _eval_p4a(kit: InterposerKit) -> PitfallOutcome:
-    kernel, interposer = kit.build(_register_p4a, offline_paths=("/bin/p4a",))
-    process = _run(kernel, "/bin/p4a")
-    survived = b"SURVIVED" in bytes(process.output)
-    handled = not survived
-    if survived:
-        evidence = ("NULL call silently executed the trampoline; "
-                    "the bug was masked (exit "
-                    f"{process.exit_status})")
-    else:
-        detail = getattr(process, "kill_detail", "") or "fault"
-        evidence = f"NULL execution stopped: {detail}"
-    return PitfallOutcome("P4a", kit.name, handled, evidence)
+    return _eval_streaming("P4a", kit, _register_p4a,
+                           offline_paths=("/bin/p4a",), path="/bin/p4a")
 
 
 # =========================================================================
@@ -452,19 +421,41 @@ def _register_p5(kernel) -> None:
 
 
 def _eval_p5(kit: InterposerKit) -> PitfallOutcome:
-    kernel, interposer = kit.build(_register_p5, offline_paths=("/bin/p5",))
-    process = _run(kernel, "/bin/p5")
-    handled = process.exit_status == 0
-    if handled:
-        evidence = "concurrent first-execution race completed correctly"
-    else:
-        detail = getattr(process, "kill_detail", "") or ""
-        evidence = (f"racing thread executed a torn instruction: "
-                    f"killed ({detail or process.exit_status})")
-    return PitfallOutcome("P5", kit.name, handled, evidence)
+    return _eval_streaming("P5", kit, _register_p5,
+                           offline_paths=("/bin/p5",), path="/bin/p5")
 
 
 # =========================================================================
+
+
+@dataclass(frozen=True)
+class PitfallSetup:
+    """Everything needed to reproduce one streamed PoC run outside the
+    evaluator — the replay-determinism tests and ad-hoc forensics stand up
+    the same kernel this way.  P4b has no entry: its property (memory
+    footprint) never crosses the event bus, so it stays ground-truth-graded.
+    """
+
+    register: Callable
+    path: str
+    offline_paths: Tuple[str, ...]
+    pre_run: Optional[Callable] = None
+
+
+PITFALL_SETUPS: Dict[str, PitfallSetup] = {
+    "P1a": PitfallSetup(_register_p1a, "/bin/p1a",
+                        ("/bin/p1a", "/usr/bin/p1a_target")),
+    "P1b": PitfallSetup(_register_p1b, "/bin/p1b", ("/bin/p1b",)),
+    "P2a": PitfallSetup(_register_p2a, "/bin/p2a", ("/bin/p2a",)),
+    "P2b": PitfallSetup(_register_p2b, "/bin/p2b", ("/bin/p2b",)),
+    "P3a": PitfallSetup(_register_p3a, "/bin/p3a", ("/bin/p3a",)),
+    "P3b": PitfallSetup(
+        _register_p3b, "/bin/p3b", ("/bin/p3b",),
+        pre_run=lambda kernel: kernel.vfs.create(ATTACK_FLAG, b"")),
+    "P4a": PitfallSetup(_register_p4a, "/bin/p4a", ("/bin/p4a",)),
+    "P5": PitfallSetup(_register_p5, "/bin/p5", ("/bin/p5",)),
+}
+
 
 _EVALUATORS: Dict[str, Callable[[InterposerKit], PitfallOutcome]] = {
     "P1a": _eval_p1a,

@@ -4,14 +4,18 @@ Usage::
 
     python -m repro.tools.pitfallcheck [zpoline|lazypoline|K23|all]
                                        [--pitfall P1a ...] [--evidence]
+                                       [--verdicts-out FILE]
 
 Exit status 0 when every evaluated cell matches the paper's Table 3, 1
-otherwise — a CI gate for the reproduction.
+otherwise — a CI gate for the reproduction.  ``--verdicts-out`` writes
+the analyzers' structured findings (evidence event windows included) as
+JSON for artifact upload and post-mortem queries.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -37,6 +41,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--pitfall", action="append", choices=PITFALL_IDS,
                         help="restrict to specific pitfalls")
     parser.add_argument("--evidence", action="store_true")
+    parser.add_argument("--verdicts-out", metavar="FILE",
+                        help="write structured analyzer verdicts as JSON")
     args = parser.parse_args(argv)
 
     kits = list(KITS.values()) if args.interposer == "all" \
@@ -44,6 +50,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     pitfalls = args.pitfall or list(PITFALL_IDS)
 
     divergent = 0
+    verdict_records = []
     for pitfall in pitfalls:
         for kit in kits:
             outcome = evaluate_pitfall(pitfall, kit)
@@ -55,6 +62,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{pitfall:<4} {kit.name:<11} {verdict:<8}{flag}")
             if args.evidence:
                 print(f"     {outcome.evidence}")
+            record = {"pitfall": pitfall, "interposer": kit.name,
+                      "handled": outcome.handled, "expected": expected,
+                      "matches_paper": agrees, "evidence": outcome.evidence}
+            if outcome.verdict is not None:
+                record["verdict"] = outcome.verdict.to_dict()
+            verdict_records.append(record)
+    if args.verdicts_out:
+        from repro.observability.analyzers import ANALYZER_SCHEMA_VERSION
+
+        with open(args.verdicts_out, "w") as fh:
+            json.dump({"schema_version": ANALYZER_SCHEMA_VERSION,
+                       "cells": verdict_records}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nverdicts written to {args.verdicts_out}")
     if divergent:
         print(f"\n{divergent} cell(s) diverge from the paper's Table 3")
         return 1

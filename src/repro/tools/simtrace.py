@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.tools.simtrace <program> [--interposer MECH] [--summary]
                                    [--seed N] [--trace-out FILE.json]
+                                   [--jsonl-out FILE.jsonl]
 
 ``<program>`` is one of the bundled workloads (pwd, touch, ls, cat, clear)
 or any absolute path previously registered by a setup module.
@@ -12,6 +13,8 @@ variants automatically run their offline phase first.  ``--trace-out``
 additionally records the run through the instrumentation bus and writes a
 Chrome trace-event JSON (load it in Perfetto / chrome://tracing): one
 track per simulated thread plus a cycle-attribution flamegraph track.
+``--jsonl-out`` writes the raw event stream as seq-numbered JSONL — the
+input format of ``python -m repro tracediff`` / ``traceq``.
 """
 
 from __future__ import annotations
@@ -41,18 +44,27 @@ def _resolve_program(name: str) -> str:
 
 
 def trace(program: str, mechanism: str = "K23-ultra", seed: int = 1,
-          summary: bool = False, out=None, trace_out: Optional[str] = None):
+          summary: bool = False, out=None, trace_out: Optional[str] = None,
+          jsonl_out: Optional[str] = None):
     out = out or sys.stdout
     path = _resolve_program(program)
 
     kernel = Kernel(seed=seed)
     trace_sink = None
+    jsonl_sink = None
+    jsonl_file = None
     if trace_out is not None:
         from repro.observability.export import TraceSink
 
         trace_sink = TraceSink(mechanism=mechanism,
                                workload=path.rsplit("/", 1)[-1])
         kernel.bus.attach(trace_sink)
+    if jsonl_out is not None:
+        from repro.observability.sinks import StreamingJSONLSink
+
+        jsonl_file = open(jsonl_out, "w")
+        jsonl_sink = StreamingJSONLSink(jsonl_file)
+        kernel.bus.attach(jsonl_sink)
     tracer = TracingHook(bus=kernel.bus)
     counter = CountingHook(bus=kernel.bus)
     hook = chain(tracer, counter)
@@ -86,6 +98,10 @@ def trace(program: str, mechanism: str = "K23-ultra", seed: int = 1,
         print(f"trace: {written} "
               f"({len(trace_sink.trace_events)} events; open in Perfetto)",
               file=out)
+    if jsonl_sink is not None:
+        jsonl_sink.close()
+        jsonl_file.close()
+        print(f"jsonl trace: {jsonl_out}", file=out)
     return process, tracer, counter, missed
 
 
@@ -102,10 +118,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write a Chrome trace-event/Perfetto JSON of "
                              "the run")
+    parser.add_argument("--jsonl-out", default=None, metavar="FILE",
+                        help="write the raw event stream as seq-numbered "
+                             "JSONL (tracediff/traceq input)")
     args = parser.parse_args(argv)
     process, _tracer, _counter, _missed = trace(
         args.program, args.interposer, args.seed, args.summary,
-        trace_out=args.trace_out)
+        trace_out=args.trace_out, jsonl_out=args.jsonl_out)
     return 0 if process.exit_status == 0 else 1
 
 

@@ -1,0 +1,171 @@
+"""tracediff — align two JSONL traces and report the first divergence.
+
+Usage::
+
+    python -m repro tracediff A.jsonl B.jsonl [--context N] [--strict-seq]
+
+Records are aligned per ``(pid, tid)`` track in ``seq`` order: the k-th
+record of a track in A is compared against the k-th record of the same
+track in B.  Two same-seed runs produce identical traces (exit 0); any
+difference — a header mismatch, a missing track, a length mismatch, or
+a field-level record difference — is reported with the differing fields
+and ``--context`` records of surrounding trace from both files
+(exit 1).
+
+The global ``seq`` value itself is interleave order, so a single extra
+event early in one trace would shift every later record's seq without
+the records themselves differing; ``seq`` is therefore excluded from
+record comparison unless ``--strict-seq`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.tools.traceio import by_track, load_records, split_header
+
+
+def _render(record: Optional[Dict]) -> str:
+    if record is None:
+        return "<absent>"
+    return json.dumps(record, sort_keys=True)
+
+
+def _strip(record: Dict, strict_seq: bool) -> Dict:
+    if strict_seq:
+        return record
+    return {k: v for k, v in record.items() if k != "seq"}
+
+
+def _first_mismatch(a: List[Dict], b: List[Dict],
+                    strict_seq: bool) -> Optional[int]:
+    """Index of the first differing record in the aligned track pair
+    (length differences count at the index where one side ends)."""
+    for i in range(max(len(a), len(b))):
+        ra = a[i] if i < len(a) else None
+        rb = b[i] if i < len(b) else None
+        if ra is None or rb is None:
+            return i
+        if _strip(ra, strict_seq) != _strip(rb, strict_seq):
+            return i
+    return None
+
+
+def diff_traces(records_a: List[Dict], records_b: List[Dict],
+                strict_seq: bool = False) -> List[Dict]:
+    """Structured divergence list (empty = traces identical).
+
+    Each entry: ``{"track", "index", "kind", "a", "b", "fields"}`` where
+    *kind* is ``header`` / ``length`` / ``record`` and *fields* names the
+    differing keys for record-level divergences.
+    """
+    divergences: List[Dict] = []
+    header_a, body_a = split_header(records_a)
+    header_b, body_b = split_header(records_b)
+    stripped_a = _strip(header_a, strict_seq) if header_a else header_a
+    stripped_b = _strip(header_b, strict_seq) if header_b else header_b
+    if stripped_a != stripped_b:
+        divergences.append({"track": ("global",), "index": 0,
+                            "kind": "header", "a": header_a, "b": header_b,
+                            "fields": sorted(
+                                _differing_fields(header_a or {},
+                                                  header_b or {},
+                                                  include_seq=strict_seq))})
+    tracks_a = by_track(body_a)
+    tracks_b = by_track(body_b)
+    for track in sorted(set(tracks_a) | set(tracks_b), key=str):
+        a = tracks_a.get(track, [])
+        b = tracks_b.get(track, [])
+        index = _first_mismatch(a, b, strict_seq)
+        if index is None:
+            continue
+        ra = a[index] if index < len(a) else None
+        rb = b[index] if index < len(b) else None
+        kind = "record" if ra is not None and rb is not None else "length"
+        divergences.append({
+            "track": track, "index": index, "kind": kind, "a": ra, "b": rb,
+            "fields": sorted(_differing_fields(ra or {}, rb or {},
+                                               include_seq=strict_seq)),
+        })
+    return divergences
+
+
+def _differing_fields(a: Dict, b: Dict,
+                      include_seq: bool = False) -> List[str]:
+    keys = set(a) | set(b)
+    return [k for k in keys if (include_seq or k != "seq")
+            and a.get(k) != b.get(k)]
+
+
+def _earliest(divergences: List[Dict]) -> Dict:
+    """The divergence occurring first in emission order (min seq seen)."""
+
+    def order(d: Dict) -> Tuple:
+        records = [r for r in (d["a"], d["b"]) if r is not None]
+        seq = min((r.get("seq", 0) for r in records), default=0)
+        return (seq, str(d["track"]))
+
+    return min(divergences, key=order)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tracediff", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace_a")
+    parser.add_argument("trace_b")
+    parser.add_argument("--context", type=int, default=3, metavar="N",
+                        help="records of surrounding context (default 3)")
+    parser.add_argument("--strict-seq", action="store_true",
+                        help="include the global seq field in comparisons")
+    args = parser.parse_args(argv)
+
+    try:
+        records_a = load_records(args.trace_a)
+        records_b = load_records(args.trace_b)
+    except (OSError, ValueError) as exc:
+        print(f"tracediff: {exc}")
+        return 2
+
+    divergences = diff_traces(records_a, records_b,
+                              strict_seq=args.strict_seq)
+    if not divergences:
+        tracks = len(by_track(split_header(records_a)[1]))
+        print(f"traces identical: {len(records_a)} records, "
+              f"{tracks} track(s)")
+        return 0
+
+    first = _earliest(divergences)
+    track = first["track"]
+    label = ("global" if track == ("global",)
+             else f"pid={track[0]} tid={track[1]}")
+    print(f"first divergence: track {label}, record #{first['index']} "
+          f"({first['kind']})")
+    if first["fields"]:
+        print(f"  differing fields: {', '.join(first['fields'])}")
+    print(f"  A: {_render(first['a'])}")
+    print(f"  B: {_render(first['b'])}")
+    if first["kind"] != "header" and args.context > 0:
+        tracks_a = by_track(split_header(records_a)[1])
+        tracks_b = by_track(split_header(records_b)[1])
+        for name, side in (("A", tracks_a), ("B", tracks_b)):
+            records = side.get(track, [])
+            lo = max(0, first["index"] - args.context)
+            hi = min(len(records), first["index"] + args.context + 1)
+            print(f"  context {name} [{lo}:{hi}]:")
+            for i in range(lo, hi):
+                marker = ">>" if i == first["index"] else "  "
+                print(f"  {marker} {_render(records[i])}")
+    if len(divergences) > 1:
+        print(f"\n{len(divergences) - 1} further divergent track(s):")
+        for d in divergences:
+            if d is first:
+                continue
+            print(f"  track {d['track']} record #{d['index']} ({d['kind']})")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

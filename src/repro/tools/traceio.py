@@ -1,0 +1,59 @@
+"""Shared JSONL trace reading for ``tracediff`` and ``traceq``.
+
+A trace is what :class:`repro.observability.sinks.StreamingJSONLSink`
+writes: line 0 a ``TraceMeta`` header, then one JSON object per bus
+event with ``seq``/``type`` fields, optionally a final ``ChargeSummary``.
+v1 traces (no header, no seq) still load — the header comes back as
+``None`` and records keep their file order — so the tools can diff old
+artifacts against new ones and say *why* they differ.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+
+def load_records(path: str) -> List[Dict]:
+    """Parse every line of *path* (``-`` = stdin) as one JSON object."""
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+    records = []
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno + 1}: not JSON: {exc}") from None
+    return records
+
+
+def split_header(records: List[Dict]) -> Tuple[Optional[Dict], List[Dict]]:
+    """Separate the ``TraceMeta`` header (None for v1 traces) from the body."""
+    if records and records[0].get("type") == "TraceMeta":
+        return records[0], records[1:]
+    return None, records
+
+
+def track_of(record: Dict) -> Tuple:
+    """The (pid, tid) track a record belongs to; global records (header,
+    charge summary) share the ``("global",)`` track."""
+    if "pid" in record and "tid" in record:
+        return (record["pid"], record["tid"])
+    return ("global",)
+
+
+def by_track(records: List[Dict]) -> Dict[Tuple, List[Dict]]:
+    """Group body records into per-(pid, tid) tracks, preserving seq order
+    (file order for v1 traces, which carry no seq)."""
+    tracks: Dict[Tuple, List[Dict]] = {}
+    for record in records:
+        tracks.setdefault(track_of(record), []).append(record)
+    for track in tracks.values():
+        track.sort(key=lambda r: r.get("seq", 0))
+    return tracks

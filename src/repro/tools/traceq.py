@@ -1,0 +1,125 @@
+"""traceq — filter and aggregate a JSONL event trace.
+
+Usage::
+
+    python -m repro traceq TRACE [--type SyscallEnter ...] [--nr write]
+                           [--phase app ...] [--pid N] [--tid N]
+                           [--since TS] [--until TS]
+                           [--count | --group-by FIELD] [--limit N]
+
+Filters AND together; repeatable flags (``--type``, ``--phase``,
+``--nr``) OR within themselves.  ``--nr`` takes a syscall name or
+number.  Output is the matching records as JSON lines (``--limit`` caps
+them), a bare count with ``--count``, or a ``value  count`` table with
+``--group-by FIELD`` (descending by count).  The ``TraceMeta`` header
+and ``ChargeSummary`` trailer are excluded from matching.
+
+Examples::
+
+    # Which uninterposed app syscalls did pid 100 make?
+    python -m repro traceq t.jsonl --phase app --pid 100 --type SyscallEnter
+
+    # Distribution of events by type in the first 1M cycles.
+    python -m repro traceq t.jsonl --until 1000000 --group-by type
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional
+
+from repro.tools.traceio import load_records, split_header
+
+
+def _parse_nr(text: str) -> int:
+    from repro.kernel.syscalls import Nr
+
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return int(Nr[text])
+        except KeyError:
+            raise argparse.ArgumentTypeError(
+                f"unknown syscall {text!r}") from None
+
+
+def match(record: Dict, args: argparse.Namespace) -> bool:
+    if args.type and record.get("type") not in args.type:
+        return False
+    if args.nr is not None and record.get("nr") not in args.nr:
+        return False
+    if args.phase and record.get("phase") not in args.phase:
+        return False
+    if args.pid is not None and record.get("pid") != args.pid:
+        return False
+    if args.tid is not None and record.get("tid") != args.tid:
+        return False
+    ts = record.get("ts")
+    if args.since is not None and (ts is None or ts < args.since):
+        return False
+    if args.until is not None and (ts is None or ts > args.until):
+        return False
+    return True
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="traceq", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="JSONL trace path (- for stdin)")
+    parser.add_argument("--type", action="append", metavar="EVENT",
+                        help="event class name (repeatable)")
+    parser.add_argument("--nr", action="append", type=_parse_nr,
+                        metavar="SYSCALL",
+                        help="syscall name or number (repeatable)")
+    parser.add_argument("--phase", action="append", metavar="PHASE",
+                        help="interposition phase (repeatable)")
+    parser.add_argument("--pid", type=int)
+    parser.add_argument("--tid", type=int)
+    parser.add_argument("--since", type=int, metavar="TS",
+                        help="minimum cycle timestamp")
+    parser.add_argument("--until", type=int, metavar="TS",
+                        help="maximum cycle timestamp")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--count", action="store_true",
+                       help="print only the number of matches")
+    group.add_argument("--group-by", metavar="FIELD",
+                       help="histogram of FIELD over the matches")
+    parser.add_argument("--limit", type=int, metavar="N",
+                        help="print at most N records")
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_records(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"traceq: {exc}")
+        return 2
+    _header, body = split_header(records)
+    matches = [r for r in body
+               if r.get("type") != "ChargeSummary" and match(r, args)]
+
+    if args.count:
+        print(len(matches))
+        return 0
+    if args.group_by:
+        groups: Dict[str, int] = {}
+        for record in matches:
+            key = json.dumps(record.get(args.group_by), sort_keys=True)
+            groups[key] = groups.get(key, 0) + 1
+        for key, n in sorted(groups.items(), key=lambda kv: (-kv[1], kv[0])):
+            print(f"{key:<24} {n}")
+        print(f"-- {len(matches)} match(es), {len(groups)} group(s)")
+        return 0
+    shown = matches if args.limit is None else matches[:args.limit]
+    for record in shown:
+        print(json.dumps(record, sort_keys=True))
+    if args.limit is not None and len(matches) > args.limit:
+        print(f"-- {len(matches) - args.limit} more match(es) suppressed "
+              f"by --limit")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""The bench-history regression gate.
+
+The gate must pass on the repo's committed ledger, demonstrably fail on
+a synthetic 20% slowdown, and never compare numbers across machines,
+protocols, or interpreter modes.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def history():
+    spec = importlib.util.spec_from_file_location(
+        "bench_history", REPO / "benchmarks" / "history.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _entry(history, insns_per_sec, workload="syscall-stress",
+           mode="block-cache", node="ci", protocol="best of 3 rounds"):
+    return {
+        "schema_version": history.SCHEMA_VERSION,
+        "timestamp": "2026-08-05T00:00:00+00:00",
+        "machine": {"node": node, "machine": "x86_64", "python": "3.11"},
+        "protocol": protocol,
+        "workload": workload,
+        "mode": mode,
+        "insns_per_sec": insns_per_sec,
+        "sim_cycles": 1000,
+        "instructions": 1000,
+    }
+
+
+class TestGate:
+    def test_committed_ledger_passes(self, history):
+        entries = history.load_history()
+        assert entries, "repo ships a seeded BENCH_history.jsonl"
+        ok, lines = history.gate(entries)
+        assert ok, "\n".join(lines)
+
+    def test_synthetic_20pct_slowdown_fails(self, history):
+        entries = [_entry(history, 1_000_000) for _ in range(5)]
+        entries.append(_entry(history, 800_000))  # 20% below the median
+        ok, lines = history.gate(entries)
+        assert not ok
+        assert any(line.startswith("FAIL") for line in lines)
+        assert any("20.0% below" in line for line in lines)
+
+    def test_within_threshold_passes(self, history):
+        entries = [_entry(history, 1_000_000) for _ in range(5)]
+        entries.append(_entry(history, 950_000))  # -5%: inside the 10% gate
+        ok, lines = history.gate(entries)
+        assert ok
+
+    def test_median_robust_to_one_noisy_prior(self, history):
+        # One historically slow outlier must not drag the median down
+        # enough to mask a real regression.
+        entries = [_entry(history, 1_000_000) for _ in range(4)]
+        entries.append(_entry(history, 100_000))   # noise spike
+        entries.append(_entry(history, 800_000))   # real 20% regression
+        ok, _lines = history.gate(entries)
+        assert not ok
+
+    def test_first_entry_of_group_passes_informationally(self, history):
+        ok, lines = history.gate([_entry(history, 123)])
+        assert ok
+        assert any("no history to compare" in line for line in lines)
+
+    def test_groups_never_mix_machines_or_modes(self, history):
+        # Fast history on machine A, slow first entry on machine B: not a
+        # regression.  Same for a new interpreter mode.
+        entries = [_entry(history, 1_000_000) for _ in range(3)]
+        entries.append(_entry(history, 100_000, node="laptop"))
+        entries.append(_entry(history, 100_000, mode="single-step"))
+        entries.append(_entry(history, 100_000, protocol="best of 1 rounds"))
+        ok, lines = history.gate(entries)
+        assert ok, "\n".join(lines)
+
+    def test_unknown_schema_version_ignored(self, history):
+        stale = _entry(history, 10)
+        stale["schema_version"] = history.SCHEMA_VERSION + 1
+        entries = [stale, _entry(history, 1_000_000)]
+        ok, lines = history.gate(entries)
+        assert ok
+        assert any("no history to compare" in line for line in lines)
+
+    def test_empty_history_passes(self, history):
+        ok, lines = history.gate([])
+        assert ok and any("history is empty" in line for line in lines)
+
+    def test_window_bounds_the_median(self, history):
+        # Old glory days beyond the window must not gate today's runs.
+        entries = [_entry(history, 2_000_000) for _ in range(10)]
+        entries += [_entry(history, 1_000_000) for _ in range(3)]
+        entries.append(_entry(history, 950_000))
+        ok, _lines = history.gate(entries, window=3)
+        assert ok
+
+
+class TestLedgerShape:
+    def test_entries_from_report(self, history):
+        report = {
+            "protocol": "best of 1 rounds, host wall clock",
+            "workloads": {
+                "syscall-stress": {
+                    "speedup": 2.0,
+                    "block-cache": {"insns_per_sec": 5000,
+                                    "sim_cycles": 10, "instructions": 20},
+                    "single-step": {"insns_per_sec": 2500,
+                                    "sim_cycles": 10, "instructions": 20},
+                },
+            },
+        }
+        entries = history.entries_from_report(report, timestamp="T")
+        assert len(entries) == 2  # the speedup scalar is not a cell
+        for entry in entries:
+            assert entry["schema_version"] == history.SCHEMA_VERSION
+            assert entry["timestamp"] == "T"
+            assert entry["machine"]["node"]
+            assert entry["protocol"].startswith("best of 1")
+        modes = {e["mode"] for e in entries}
+        assert modes == {"block-cache", "single-step"}
+
+    def test_append_and_cli_gate_roundtrip(self, history, tmp_path, capsys):
+        ledger = tmp_path / "hist.jsonl"
+        report = {"protocol": "p", "workloads": {
+            "w": {"m": {"insns_per_sec": 100, "sim_cycles": 1,
+                        "instructions": 1}}}}
+        report_path = tmp_path / "report.json"
+        report_path.write_text(json.dumps(report))
+        assert history.main(["append", "--report", str(report_path),
+                             "--history", str(ledger)]) == 0
+        assert history.main(["gate", "--history", str(ledger)]) == 0
+        # A 20% slowdown on the same machine/protocol/mode must exit 1.
+        slow = dict(json.loads(ledger.read_text().splitlines()[0]))
+        slow["insns_per_sec"] = 80
+        with open(ledger, "a") as fh:
+            fh.write(json.dumps(slow) + "\n")
+        assert history.main(["gate", "--history", str(ledger)]) == 1
+        out = capsys.readouterr().out
+        assert "gate: FAIL" in out
+
+    def test_committed_ledger_lines_are_current_schema(self, history):
+        for entry in history.load_history():
+            assert entry["schema_version"] == history.SCHEMA_VERSION
+            assert entry["insns_per_sec"] > 0

@@ -1,0 +1,212 @@
+"""Analyzer substrate unit tests: log-histogram bucket math, latency
+pairing, pitfall-analyzer pid tracking, suite reports — plus the
+CounterSink (phase, nr) keying regression pin."""
+
+import json
+
+import pytest
+
+from repro.observability.analyzers import (
+    ANALYZER_SCHEMA_VERSION,
+    AnalyzerSuite,
+    LatencyAnalyzer,
+    LogHistogram,
+    P1aBootstrapAnalyzer,
+    PitfallVerdict,
+    analyzer_for,
+    default_suite,
+    event_to_dict,
+)
+from repro.observability.analyzers.latency import (SUB_BUCKET_BITS,
+                                                   bucket_bounds,
+                                                   bucket_index)
+from repro.observability.events import (ProcessLifecycle, SyscallEnter,
+                                        SyscallExit)
+from repro.observability.sinks import CounterSink
+
+
+class TestBucketMath:
+    def test_small_values_are_exact(self):
+        for v in range(1 << SUB_BUCKET_BITS):
+            assert bucket_index(v) == v
+            assert bucket_bounds(v) == (v, v)
+
+    def test_every_value_lands_inside_its_bucket(self):
+        for v in [8, 9, 15, 16, 17, 100, 255, 256, 1000, 4805, 10**9]:
+            low, high = bucket_bounds(bucket_index(v))
+            assert low <= v <= high, (v, low, high)
+
+    def test_bucket_width_is_relative(self):
+        # Sub-bucketed octaves: width/low <= 1/2**(bits) for values past
+        # the exact range (the HDR precision guarantee).
+        for v in [64, 1000, 123456]:
+            low, high = bucket_bounds(bucket_index(v))
+            assert (high - low + 1) <= max(1, low >> (SUB_BUCKET_BITS - 1))
+
+    def test_indices_are_monotone(self):
+        indices = [bucket_index(v) for v in range(1, 5000)]
+        assert indices == sorted(indices)
+
+
+class TestLogHistogram:
+    def test_percentiles_and_summary(self):
+        hist = LogHistogram()
+        for v in [10] * 90 + [1000] * 9 + [100000]:
+            hist.record(v)
+        d = hist.to_dict()
+        assert d["count"] == 100
+        assert d["min"] == 10 and d["max"] == 100000
+        assert d["p50"] == bucket_bounds(bucket_index(10))[1]
+        assert bucket_bounds(bucket_index(1000))[0] <= d["p99"] <= 100000
+        assert d["p99"] >= 1000
+
+    def test_percentile_clamped_to_observed_max(self):
+        hist = LogHistogram()
+        hist.record(1000)
+        assert hist.percentile(99) == 1000
+
+    def test_merge(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.record(5)
+        b.record(500)
+        a.merge(b)
+        assert a.count == 2 and a.min == 5 and a.max == 500
+        assert a.total == 505
+
+    def test_empty(self):
+        d = LogHistogram().to_dict()
+        assert d["count"] == 0 and d["p99"] == 0 and d["buckets"] == {}
+
+
+def _enter(ts, nr=1, phase="app", pid=1, tid=0):
+    return SyscallEnter(ts=ts, pid=pid, tid=tid, nr=nr, site=0, phase=phase)
+
+
+def _exit(ts, nr=1, phase="app", pid=1, tid=0):
+    return SyscallExit(ts=ts, pid=pid, tid=tid, nr=nr, phase=phase,
+                       result=0)
+
+
+class TestLatencyAnalyzer:
+    def test_pairs_enter_exit_per_thread(self):
+        analyzer = LatencyAnalyzer()
+        analyzer.accept(_enter(100))
+        analyzer.accept(_enter(110, pid=2))
+        analyzer.accept(_exit(150))
+        analyzer.accept(_exit(200, pid=2))
+        assert analyzer.histograms[("app", 1)].count == 2
+        assert analyzer.histograms[("app", 1)].min == 50
+        assert analyzer.histograms[("app", 1)].max == 90
+
+    def test_nested_spans_pop_inner_first(self):
+        analyzer = LatencyAnalyzer()
+        analyzer.accept(_enter(100, nr=1, phase="sud"))          # outer trap
+        analyzer.accept(_enter(120, nr=1, phase="sud-handler"))  # forward
+        analyzer.accept(_exit(130, nr=1, phase="sud-handler"))
+        analyzer.accept(_exit(160, nr=1, phase="sud"))
+        assert analyzer.histograms[("sud-handler", 1)].min == 10
+        assert analyzer.histograms[("sud", 1)].min == 60
+
+    def test_unmatched_exit_counted_not_recorded(self):
+        analyzer = LatencyAnalyzer()
+        analyzer.accept(_exit(50))
+        assert analyzer.unmatched_exits == 1
+        assert not analyzer.histograms
+
+    def test_snapshot_is_json_ready_and_named(self):
+        analyzer = LatencyAnalyzer()
+        analyzer.accept(_enter(0, nr=39))
+        analyzer.accept(_exit(7, nr=39))
+        snap = analyzer.snapshot()
+        json.dumps(snap)  # must serialize
+        assert "app:getpid" in snap["per_syscall"]
+        assert snap["per_phase"]["app"]["count"] == 1
+
+
+class TestPitfallAnalyzerTracking:
+    def test_follows_target_across_exec(self):
+        analyzer = P1aBootstrapAnalyzer(target_path="/usr/bin/p1a_target")
+        analyzer.accept(ProcessLifecycle(ts=0, pid=100, tid=0, kind="spawn",
+                                         path="/bin/p1a"))
+        analyzer.accept(ProcessLifecycle(ts=1, pid=101, tid=0, kind="spawn",
+                                         path="/bin/p1a"))
+        # Child execs into the target image: pid 101 becomes the target.
+        analyzer.accept(ProcessLifecycle(ts=2, pid=101, tid=0, kind="exec",
+                                         path="/usr/bin/p1a_target"))
+        analyzer.accept(_enter(3, nr=1, pid=101))   # uninterposed write
+        analyzer.accept(_enter(4, nr=1, pid=100))   # parent: not the target
+        [verdict] = analyzer.finish()
+        assert verdict.detected and verdict.pid == 101
+        assert "missed nrs [1]" in verdict.reason
+        assert verdict.evidence[0].pid == 101
+
+    def test_no_target_means_never_executed(self):
+        analyzer = P1aBootstrapAnalyzer()
+        [verdict] = analyzer.finish()
+        assert verdict.detected
+        assert verdict.reason == "target never executed"
+
+    def test_interposed_phases_are_not_misses(self):
+        analyzer = analyzer_for("P1b")
+        analyzer.accept(ProcessLifecycle(ts=0, pid=100, tid=0, kind="spawn",
+                                         path="/bin/p1b"))
+        analyzer.accept(_enter(1, nr=102, phase="sud", pid=100))
+        analyzer.accept(ProcessLifecycle(ts=2, pid=100, tid=0, kind="exit",
+                                         path="/bin/p1b", status=0))
+        [verdict] = analyzer.finish()
+        assert not verdict.detected
+        assert verdict.reason == "post-disable syscall still interposed"
+
+
+class TestSuite:
+    def test_report_schema(self):
+        suite = default_suite()
+        suite.accept(_enter(0, nr=39))
+        suite.accept(_exit(5, nr=39))
+        report = suite.report()
+        json.dumps(report)
+        assert report["schema_version"] == ANALYZER_SCHEMA_VERSION
+        pitfalls = {v["pitfall"] for v in report["verdicts"]}
+        assert pitfalls == {"P1a", "P1b", "P2a", "P2b", "P3a", "P3b",
+                            "P4a", "P5"}
+        assert "latency" in report["telemetry"]
+
+    def test_finish_is_idempotent(self):
+        analyzer = analyzer_for("P5")
+        assert len(analyzer.finish()) == 1
+        assert len(analyzer.finish()) == 1
+
+    def test_getitem(self):
+        suite = default_suite()
+        assert suite["latency"] is suite.analyzers[-1]
+        with pytest.raises(KeyError):
+            suite["nope"]
+
+
+class TestVerdictSerialization:
+    def test_to_dict_includes_typed_evidence(self):
+        event = _enter(9, nr=39)
+        verdict = PitfallVerdict(pitfall="P5", analyzer="t", detected=True,
+                                 reason="r", pid=1, ts=9, evidence=(event,))
+        d = verdict.to_dict()
+        json.dumps(d)
+        assert d["evidence"][0]["type"] == "SyscallEnter"
+        assert d["evidence"][0]["nr"] == 39
+        assert event_to_dict(event)["ts"] == 9
+
+
+class TestCounterSinkPhaseKeying:
+    """Regression pin: the per-syscall histogram keys on (phase, nr), so
+    an interposer-internal forward of nr N never conflates with a raw
+    app trap of the same nr (METRICS_table5.json relies on this)."""
+
+    def test_same_nr_different_phase_separate_keys(self):
+        sink = CounterSink()
+        sink.accept(_enter(0, nr=39, phase="app"))
+        sink.accept(_enter(1, nr=39, phase="interposer-internal"))
+        sink.accept(_enter(2, nr=39, phase="interposer-internal"))
+        assert sink.syscalls[("app", 39)] == 1
+        assert sink.syscalls[("interposer-internal", 39)] == 2
+        snap = sink.snapshot()["syscalls"]
+        assert snap["app:39"] == 1
+        assert snap["interposer-internal:39"] == 2

@@ -9,7 +9,8 @@ from repro.kernel import Kernel
 from repro.observability.bus import Bus
 from repro.observability.events import CycleCharge, QuantumEnd, SyscallEnter
 from repro.observability.export import CLOCK_HZ as EXPORT_CLOCK_HZ
-from repro.observability.sinks import (CounterSink, NullSink, RingBufferSink,
+from repro.observability.sinks import (JSONL_SCHEMA_VERSION, CounterSink,
+                                       NullSink, RingBufferSink,
                                        StreamingJSONLSink)
 from repro.workloads.stress import STRESS_PATH, build_stress
 
@@ -102,8 +103,11 @@ class TestStreamingJSONL:
         summary = sink.close()
         lines = [json.loads(line) for line in
                  stream.getvalue().splitlines()]
-        assert lines[0]["type"] == "SyscallEnter" and lines[0]["nr"] == 39
+        assert lines[0]["type"] == "TraceMeta"
+        assert lines[0]["schema_version"] == JSONL_SCHEMA_VERSION
+        assert lines[1]["type"] == "SyscallEnter" and lines[1]["nr"] == 39
         assert lines[-1]["type"] == "ChargeSummary"
+        assert [line["seq"] for line in lines] == list(range(len(lines)))
         assert summary == {"instruction": 3}
 
 

@@ -104,6 +104,17 @@ class TestValidator:
         assert any("missing dur" in p for p in problems)
         assert any("instant missing scope" in p for p in problems)
 
+    def test_rejects_stale_trace_schema_version(self):
+        from repro.observability.export import TRACE_SCHEMA_VERSION
+
+        doc = {"traceEvents": [],
+               "otherData": {"trace_schema_version": TRACE_SCHEMA_VERSION - 1}}
+        problems = validate_chrome_trace(doc)
+        assert any("trace_schema_version" in p for p in problems)
+        doc["otherData"]["trace_schema_version"] = TRACE_SCHEMA_VERSION
+        assert not any("trace_schema_version" in p
+                       for p in validate_chrome_trace(doc))
+
 
 def test_truncated_spans_closed_on_finalize(tmp_path):
     from repro.observability.events import SyscallEnter

@@ -1,16 +1,18 @@
-"""The lockstep property (ISSUE satellite 4): tracing is observe-only.
+"""The lockstep property: tracing and forensics are observe-only.
 
 Running any workload with the bus fully instrumented (TraceSink +
-CounterSink + RingBufferSink) must not change a single application-
-observable fact vs the same run with the bus disabled: retired
-instruction count, exit status, output bytes, final cycle counter, or a
-conformance cell's verdict — in both interpreter modes (block cache
-on/off).
+CounterSink + RingBufferSink + the full pitfall/latency AnalyzerSuite)
+must not change a single application-observable fact vs the same run
+with the bus disabled: retired instruction count, exit status, output
+bytes, final cycle counter, or a conformance cell's verdict — in both
+interpreter modes (block cache on/off).  Diagnosis can never mask the
+bug it diagnoses.
 """
 
 import pytest
 
 from repro.kernel import Kernel
+from repro.observability.analyzers import default_suite
 from repro.observability.export import TraceSink
 from repro.observability.sinks import CounterSink, RingBufferSink
 from repro.workloads.stress import STRESS_PATH, build_stress
@@ -27,7 +29,8 @@ def _run(mechanism: str, block_cache: bool, traced: bool):
     sinks = None
     if traced:
         sinks = (TraceSink(mechanism=mechanism, workload="stress"),
-                 CounterSink(), RingBufferSink(capacity=2048))
+                 CounterSink(), RingBufferSink(capacity=2048),
+                 default_suite())
         for sink in sinks:
             kernel.bus.attach(sink)
     build_stress(40).register(kernel)

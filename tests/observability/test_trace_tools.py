@@ -1,0 +1,139 @@
+"""tracediff / traceq over real v2 JSONL traces.
+
+Same-seed runs must diff clean; different-seed runs must report a first
+divergence (ASLR moves every site).  The query tool's filters and
+aggregations are checked against the same traces.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.observability.sinks import StreamingJSONLSink
+from repro.tools.tracediff import diff_traces
+from repro.tools.traceio import by_track, split_header, track_of
+from repro.tools.traceq import main as traceq_main
+from repro.workloads.stress import STRESS_PATH, build_stress
+
+
+def _trace(seed: int, mechanism: str = "SUD") -> list:
+    from repro.interposers.registry import REGISTRY
+
+    buffer = io.StringIO()
+    kernel = Kernel(seed=seed)
+    kernel.torn_window_probability = 0.0
+    sink = StreamingJSONLSink(buffer)
+    kernel.bus.attach(sink)
+    build_stress(10).register(kernel)
+    REGISTRY.create(mechanism, kernel)
+    process = kernel.spawn_process(STRESS_PATH)
+    kernel.run_process(process, max_steps=5_000_000)
+    assert process.exited
+    sink.close()
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+@pytest.fixture(scope="module")
+def trace_a():
+    return _trace(seed=41)
+
+
+class TestDiff:
+    def test_same_seed_identical(self, trace_a):
+        assert diff_traces(trace_a, _trace(seed=41)) == []
+
+    def test_different_seed_diverges(self, trace_a):
+        divergences = diff_traces(trace_a, _trace(seed=42))
+        assert divergences
+        first = divergences[0]
+        assert first["kind"] in ("record", "length")
+        if first["kind"] == "record":
+            assert first["fields"]  # names the differing fields
+
+    def test_seq_excluded_unless_strict(self, trace_a):
+        # Perturb only the seq numbering: invisible by default, a
+        # divergence under --strict-seq.
+        renumbered = [dict(r) for r in trace_a]
+        for record in renumbered:
+            record["seq"] = record["seq"] + 5
+        assert diff_traces(trace_a, renumbered) == []
+        strict = diff_traces(trace_a, renumbered, strict_seq=True)
+        assert strict and "seq" in strict[0]["fields"]
+
+    def test_truncated_trace_is_length_divergence(self, trace_a):
+        divergences = diff_traces(trace_a, trace_a[:-4])
+        assert any(d["kind"] == "length" for d in divergences)
+
+    def test_v1_trace_without_header_still_aligns(self, trace_a):
+        header, body = split_header(trace_a)
+        assert header is not None
+        v1 = [{k: v for k, v in r.items() if k != "seq"} for r in body]
+        assert diff_traces(v1, list(v1)) == []
+
+
+class TestTrackModel:
+    def test_header_split(self, trace_a):
+        header, body = split_header(trace_a)
+        assert header["type"] == "TraceMeta"
+        assert all(r["type"] != "TraceMeta" for r in body)
+
+    def test_track_of_groups_by_thread(self, trace_a):
+        _header, body = split_header(trace_a)
+        tracks = by_track(body)
+        assert tracks
+        for track, records in tracks.items():
+            assert all(track_of(r) == track for r in records)
+            seqs = [r.get("seq", 0) for r in records]
+            assert seqs == sorted(seqs)
+
+    def test_global_track_for_bare_records(self):
+        assert track_of({"type": "ChargeSummary"}) == ("global",)
+
+
+class TestTraceq:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "a.jsonl"
+        records = _trace(seed=41)
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return str(path)
+
+    def test_count_by_type(self, trace_file, capsys):
+        assert traceq_main([trace_file, "--type", "SyscallEnter",
+                            "--count"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert int(out) > 0
+
+    def test_group_by_phase(self, trace_file, capsys):
+        assert traceq_main([trace_file, "--type", "SyscallEnter",
+                            "--group-by", "phase"]) == 0
+        out = capsys.readouterr().out
+        assert "match(es)" in out
+
+    def test_nr_by_name_equals_nr_by_number(self, trace_file, capsys):
+        from repro.kernel.syscalls import Nr
+
+        traceq_main([trace_file, "--nr", "getpid", "--count"])
+        by_name = capsys.readouterr().out.strip()
+        traceq_main([trace_file, "--nr", str(int(Nr.getpid)), "--count"])
+        by_number = capsys.readouterr().out.strip()
+        assert by_name == by_number
+
+    def test_filters_compose(self, trace_file, capsys):
+        assert traceq_main([trace_file, "--type", "SyscallEnter",
+                            "--phase", "app", "--limit", "3"]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()
+                 if line.startswith("{")]
+        assert len(lines) <= 3
+        assert all(r["type"] == "SyscallEnter" and r["phase"] == "app"
+                   for r in lines)
+
+    def test_meta_records_never_match(self, trace_file, capsys):
+        assert traceq_main([trace_file]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines() if line.strip()]
+        assert all(r["type"] not in ("TraceMeta", "ChargeSummary")
+                   for r in lines)
