@@ -3,36 +3,47 @@
 One dispatcher over the tools::
 
     python -m repro simtrace <program> [--seed N] [--trace-out F] ...
-    python -m repro evalrun [table5|table6|matrix] [--jobs N] ...
-    python -m repro conformance [--smoke] [--jobs N] [--trace-out F] ...
-    python -m repro pitfallcheck [zpoline|lazypoline|K23|all] ...
+    python -m repro evalrun [table5|table6|matrix] [--seed N] [--jobs N] ...
+    python -m repro conformance [--smoke] [--seed N] [--jobs N] ...
+    python -m repro pitfallcheck [zpoline|lazypoline|K23|all] [--seed N] ...
+    python -m repro shadow --primary A --shadow B --workload W [--seed N] ...
     python -m repro tracediff A.jsonl B.jsonl [--context N] ...
     python -m repro traceq TRACE [--type T] [--phase P] [--count] ...
 
 The shared flags — ``--seed``, ``--jobs``, ``--trace-out`` — mean the
 same thing everywhere they are accepted (determinism seed, process-pool
 width, Perfetto trace output); passing one to a subcommand that does not
-support it is an error here rather than an argparse surprise there.  The
-old module paths (``python -m repro.tools.simtrace`` etc.) keep working.
+support it is an error here — naming the subcommands that *do* accept
+it — rather than an argparse surprise there.  The old module paths
+(``python -m repro.tools.simtrace`` etc.) keep working.
 """
 
 from __future__ import annotations
 
 import importlib
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 #: subcommand → (implementation module, shared flags it supports).
 SUBCOMMANDS = {
     "simtrace": ("repro.tools.simtrace", ("--seed", "--trace-out")),
-    "evalrun": ("repro.tools.evalrun", ("--jobs", "--trace-out")),
-    "conformance": ("repro.tools.conformance", ("--jobs", "--trace-out")),
-    "pitfallcheck": ("repro.tools.pitfallcheck", ()),
+    "evalrun": ("repro.tools.evalrun",
+                ("--seed", "--jobs", "--trace-out")),
+    "conformance": ("repro.tools.conformance",
+                    ("--seed", "--jobs", "--trace-out")),
+    "pitfallcheck": ("repro.tools.pitfallcheck", ("--seed",)),
+    "shadow": ("repro.tools.shadow", ("--seed", "--trace-out")),
     "tracediff": ("repro.tools.tracediff", ()),
     "traceq": ("repro.tools.traceq", ()),
 }
 
 SHARED_FLAGS = ("--seed", "--jobs", "--trace-out")
+
+
+def supporters_of(flag: str) -> Tuple[str, ...]:
+    """The subcommands that accept *flag* (for the mismatch error)."""
+    return tuple(name for name, (_module, shared) in SUBCOMMANDS.items()
+                 if flag in shared)
 
 
 def _usage() -> str:
@@ -61,7 +72,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if flag in supported:
             continue
         if any(arg == flag or arg.startswith(flag + "=") for arg in rest):
-            print(f"{name} does not support {flag}", file=sys.stderr)
+            accepted = supporters_of(flag)
+            hint = (f" (supported by: {', '.join(accepted)})"
+                    if accepted else "")
+            print(f"{name} does not support {flag}{hint}", file=sys.stderr)
             return 2
     module = importlib.import_module(module_name)
     return module.main(rest)

@@ -2,13 +2,24 @@
 
 Downstream code (notebooks, external harnesses, the CLI tools) should
 import from here rather than from internal modules — internal layouts may
-shift between releases, this module does not.  Three facets:
+shift between releases, this module does not.  Four facets:
+
+**Running** — the one builder every harness constructs runs through:
+:func:`run` executes a frozen :class:`RunConfig` (mechanism, workload,
+seed, optional fault schedule, attached sinks/analyzers) and returns a
+:class:`RunResult` (exit status, counters, analyzer verdicts, trace
+path).  :func:`prepare` is the two-phase variant for lockstep harnesses
+such as the shadow mirror (:mod:`repro.shadow`).  :class:`FaultSchedule`
+(built with :func:`build_schedule` from a seed and a
+:class:`FaultConfig`) is the deterministic fault plan a run can carry;
+:class:`AnalyzerSuite` fans one bus attachment out to streaming
+analyzers whose findings surface as :class:`PitfallVerdict` records.
 
 **Observability** — the typed instrumentation bus
 (:class:`~repro.observability.bus.Bus`), its sinks (counters, ring-buffer
-flight recorder, streaming JSONL, Perfetto export), and the trace-event
-schema validator.  Attach sinks to ``kernel.bus``; a bus with no sinks
-costs one predicate per emit site.
+flight recorder, streaming JSONL, Perfetto export, shadow-divergence
+collector), and the trace-event schema validator.  Attach sinks to
+``kernel.bus``; a bus with no sinks costs one predicate per emit site.
 
 **Interposition** — the mechanism registry
 (:data:`~repro.interposers.registry.REGISTRY`), the base
@@ -23,29 +34,51 @@ hooks; :data:`EMPTY_HOOK` is the identity.
 
 The historical ``repro.evaluation.runner.MECHANISMS`` /
 ``make_interposer`` entry points are deprecated shims over
-:data:`REGISTRY` and warn on import.
+:data:`REGISTRY` and warn (once per process) on first access.
 """
 
 from __future__ import annotations
 
+from repro.faultinject.schedule import (FaultConfig, FaultSchedule,
+                                        build_schedule)
 from repro.interposers.base import EMPTY_HOOK, Interposer
 from repro.interposers.hooks import (CountingHook, LatencyHook, RedirectHook,
                                      SandboxHook, TracingHook, chain)
 from repro.interposers.registry import (REGISTRY, MechanismRegistry,
                                         MechanismSpec, UnknownMechanismError)
 from repro.kernel import Kernel
-from repro.observability import (Bus, BusEvent, CounterSink, NullSink,
-                                 RingBufferSink, Sink, StreamingJSONLSink,
-                                 TraceSink, validate_chrome_trace,
-                                 write_chrome_trace)
+from repro.observability import (Bus, BusEvent, CounterSink, DivergenceSink,
+                                 NullSink, RingBufferSink, ShadowDivergence,
+                                 Sink, StreamingJSONLSink, TraceSink,
+                                 validate_chrome_trace, write_chrome_trace)
+from repro.observability.analyzers import (AnalyzerSuite, LatencyAnalyzer,
+                                           PitfallVerdict)
+from repro.runapi import (WORKLOADS, PreparedRun, RunConfig, RunResult,
+                          WorkloadSpec, prepare, run)
 
 __all__ = [
+    # running
+    "run",
+    "prepare",
+    "RunConfig",
+    "RunResult",
+    "PreparedRun",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "FaultConfig",
+    "FaultSchedule",
+    "build_schedule",
+    "AnalyzerSuite",
+    "LatencyAnalyzer",
+    "PitfallVerdict",
     # observability
     "Bus",
     "BusEvent",
+    "ShadowDivergence",
     "Sink",
     "NullSink",
     "CounterSink",
+    "DivergenceSink",
     "RingBufferSink",
     "StreamingJSONLSink",
     "TraceSink",

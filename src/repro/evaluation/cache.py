@@ -67,6 +67,18 @@ _MACRO_WORKLOAD_MODULES: Dict[str, Tuple[str, ...]] = {
 
 _MICRO_WORKLOAD_MODULES: Tuple[str, ...] = ("repro.workloads.stress",)
 
+#: Modules every shadow (dark-launch) cell executes on top of the
+#: workload's own: the run surface, the mirroring seam, and the
+#: normalization/diff machinery the verdict is computed with.
+_SHADOW_MODULES: Tuple[str, ...] = (
+    "repro.runapi",
+    "repro.shadow.divergence",
+    "repro.shadow.harness",
+    "repro.workloads.clients",
+    "repro.faultinject.conformance",
+    "repro.tools.tracediff",
+)
+
 
 def default_cache_root() -> Path:
     env = os.environ.get("REPRO_EVAL_CACHE")
@@ -103,7 +115,12 @@ def workload_modules(kind: str, workload: str) -> Tuple[str, ...]:
     if kind == "micro":
         return _MICRO_WORKLOAD_MODULES
     prefix = workload.split("-", 1)[0]
-    return _MACRO_WORKLOAD_MODULES.get(prefix, ())
+    base = _MACRO_WORKLOAD_MODULES.get(prefix, ())
+    if kind == "shadow":
+        if workload == "stress":
+            base = _MICRO_WORKLOAD_MODULES
+        return _SHADOW_MODULES + base
+    return base
 
 
 # ------------------------------------------------------------------ cell keys
@@ -129,6 +146,20 @@ def cell_key(kind: str, mechanism: str, workload: str, seed: int,
         constants["sud_contention_factor"] = SUD_CONTENTION_FACTOR
     modules = (COMMON_DEPENDENCIES + (spec.factory.partition(":")[0],)
                + workload_modules(kind, workload))
+    sorted_params = sorted((key, value) for key, value in params)
+    # Shadow cells run a second mechanism: fold its cost constants and
+    # its module digest into the key so editing the shadow-side
+    # mechanism invalidates the cell exactly like editing the primary.
+    shadow_name = next((value for key, value in sorted_params
+                        if key == "shadow"), None)
+    if shadow_name is not None:
+        shadow_spec = REGISTRY.get(str(shadow_name))
+        constants["shadow_costs"] = {
+            name: DEFAULT_COSTS[Event[name]]
+            for name in shadow_spec.relevant_events}
+        if shadow_spec.arms_sud:
+            constants["sud_contention_factor"] = SUD_CONTENTION_FACTOR
+        modules = modules + (shadow_spec.factory.partition(":")[0],)
     payload = {
         "schema": SCHEMA_VERSION,
         "kind": kind,
@@ -136,7 +167,7 @@ def cell_key(kind: str, mechanism: str, workload: str, seed: int,
         "mechanism_kwargs": list(spec.kwargs),
         "workload": workload,
         "seed": seed,
-        "params": sorted((key, value) for key, value in params),
+        "params": sorted_params,
         "constants": constants,
         "sources": {name: module_source_digest(name)
                     for name in sorted(set(modules))},

@@ -56,20 +56,25 @@ class ScenarioSpec:
     """One cell of the evaluation matrix — picklable by construction.
 
     Attributes:
-        kind: ``"micro"`` (Table 5) or ``"macro"`` (Table 6).
+        kind: ``"micro"`` (Table 5), ``"macro"`` (Table 6), or
+            ``"shadow"`` (a dark-launch cell — the primary mechanism is
+            ``mechanism``, the candidate rides in ``params``).
         mechanism: registry name (``"K23-ultra"``, ...).
-        workload: ``"syscall-stress"`` for micro cells, else the
-            :data:`~repro.evaluation.runner.MACRO_BY_KEY` row key.
+        workload: ``"syscall-stress"`` for micro cells, a
+            :data:`~repro.evaluation.runner.MACRO_BY_KEY` row key for
+            macro cells, a :data:`repro.runapi.WORKLOADS` key for
+            shadow cells.
         seed: base RNG seed the cell's kernels derive from.
-        params: extra integer parameters as a sorted tuple of pairs
-            (micro iteration counts), keeping the spec hashable.
+        params: extra parameters as a sorted tuple of pairs (micro
+            iteration counts; shadow mechanism/budget/requests),
+            keeping the spec hashable.
     """
 
     kind: str
     mechanism: str
     workload: str
     seed: int
-    params: Tuple[Tuple[str, int], ...] = ()
+    params: Tuple[Tuple[str, object], ...] = ()
 
     @property
     def label(self) -> str:
@@ -182,6 +187,22 @@ def macro_specs(keys: Optional[Sequence[str]] = None,
     return specs
 
 
+def shadow_specs(primary: str, shadows: Sequence[str], workload: str,
+                 seed: int = 40, budget: int = 0,
+                 requests: int = 24) -> List[ScenarioSpec]:
+    """Dark-launch cells: one per candidate *shadow* mechanism.
+
+    Each cell runs :func:`repro.shadow.run_shadow` with *primary*
+    serving and the candidate mirroring; the cell value is the
+    :meth:`~repro.shadow.ShadowReport.to_dict` document (verdict,
+    divergence count, latency deltas), memoized like any other cell.
+    """
+    base = (("budget", budget), ("requests", requests))
+    return [ScenarioSpec("shadow", primary, workload, seed,
+                         tuple(sorted(base + (("shadow", name),))))
+            for name in shadows]
+
+
 def full_matrix_specs(mechanisms: Optional[Sequence[str]] = None,
                       macro_keys: Optional[Sequence[str]] = None,
                       smoke: bool = False) -> List[ScenarioSpec]:
@@ -222,6 +243,18 @@ def execute_cell(spec: ScenarioSpec) -> dict:
                 f"unknown macro workload {spec.workload!r}; "
                 f"rows: {', '.join(MACRO_BY_KEY)}")
         return measure_macro(config, spec.mechanism, seed=spec.seed)
+    if spec.kind == "shadow":
+        from repro.shadow import ShadowConfig, run_shadow
+
+        params = dict(spec.params)
+        report = run_shadow(ShadowConfig(
+            primary=spec.mechanism,
+            shadow=str(params["shadow"]),
+            workload=spec.workload,
+            seed=spec.seed,
+            budget=int(params.get("budget", 0)),
+            requests=int(params.get("requests", 24))))
+        return report.to_dict()
     raise ValueError(f"unknown cell kind {spec.kind!r}")
 
 

@@ -61,26 +61,32 @@ def needs_offline(name: str) -> bool:
 
 #: Deprecated module attributes → (replacement hint, value factory).
 _DEPRECATED = {
-    "MECHANISMS": ("repro.interposers.registry.REGISTRY.names()",
+    "MECHANISMS": ("repro.api.REGISTRY.names()",
                    lambda: _MECHANISMS),
-    "make_interposer": ("repro.interposers.registry.REGISTRY.create(name, "
-                        "kernel)", lambda: _make_interposer),
+    "make_interposer": ("repro.api.REGISTRY.create(name, kernel)",
+                        lambda: _make_interposer),
 }
+
+#: Attributes already warned about — each shim warns once per process, so
+#: a hot loop over a legacy import doesn't flood stderr.
+_WARNED: set = set()
 
 
 def __getattr__(name: str):
     """Deprecation shim (PEP 562): importing ``MECHANISMS`` or
-    ``make_interposer`` from this module still works but warns — the
-    mechanism registry is the supported API."""
+    ``make_interposer`` from this module still works but warns (once per
+    process per attribute) — :mod:`repro.api` is the supported surface."""
     entry = _DEPRECATED.get(name)
     if entry is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import warnings
-
     hint, factory = entry
-    warnings.warn(f"importing {name!r} from repro.evaluation.runner is "
-                  f"deprecated; use {hint}", DeprecationWarning,
-                  stacklevel=2)
+    if name not in _WARNED:
+        _WARNED.add(name)
+        import warnings
+
+        warnings.warn(f"importing {name!r} from repro.evaluation.runner is "
+                      f"deprecated; use {hint}", DeprecationWarning,
+                      stacklevel=2)
     return factory()
 
 

@@ -172,7 +172,15 @@ def _first_seq_divergence(mine: Tuple[str, ...],
             f"oracle {len(oracle)} (common prefix matches)")
 
 
-def _normalize_record(record) -> str:
+def normalize_record(record) -> str:
+    """The mechanism-invariant projection of one syscall record.
+
+    Successful fd-returners collapse to ``name=fd`` and address-returners
+    to ``name=addr`` (interposers legitimately shift descriptor tables
+    and mmap cursors); everything else renders as ``name=result``.  Both
+    the conformance oracle comparison and the shadow harness's trace
+    diffing compare sequences of these strings.
+    """
     name = Nr.name_of(record.nr)
     result = record.result
     if result is None:
@@ -182,6 +190,13 @@ def _normalize_record(record) -> str:
     if record.nr in _ADDR_RETURNERS and result > 0xFFFF:
         return f"{name}=addr"
     return f"{name}={result}"
+
+
+#: Timer syscalls excluded from compared sequences (vDSO asymmetry —
+#: module docstring); public so the shadow harness shares the exclusion.
+TIMER_NRS = _TIMER_NRS
+
+_normalize_record = normalize_record
 
 
 def _observe(kernel, process, mechanism: str, workload: str, seed: int,

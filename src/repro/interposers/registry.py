@@ -133,6 +133,22 @@ class MechanismRegistry:
         """Registration (= Table 5 evaluation) order."""
         return tuple(self._specs)
 
+    def canonical(self, name: str) -> str:
+        """Resolve *name* case-insensitively to its registered spelling.
+
+        Table names are mixed-case (``"K23-ultra"``, ``"SUD"``) but CLI
+        users type lowercase; ``canonical("k23-ultra")`` returns
+        ``"K23-ultra"``.  Unknown names raise
+        :class:`UnknownMechanismError` naming every valid mechanism.
+        """
+        if name in self._specs:
+            return name
+        lowered = name.lower()
+        for registered in self._specs:
+            if registered.lower() == lowered:
+                return registered
+        raise UnknownMechanismError(name, self.names())
+
     def specs(self) -> Tuple[MechanismSpec, ...]:
         return tuple(self._specs.values())
 

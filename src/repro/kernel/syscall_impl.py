@@ -793,6 +793,13 @@ def sys_fork(kernel, thread: Thread, args) -> int:
     except Exception:
         child.interposer_state = dict(parent.interposer_state)
     child.seccomp = parent.seccomp.copy()  # filters are inherited
+    if parent.premain_log_len > 0:
+        # A child forked after main entry starts in main phase: the
+        # pre-main exclusion covers loader/interposer-constructor traffic,
+        # which the child inherits rather than re-executing, and the fork
+        # point itself is app-aligned across mechanisms — so forked
+        # workers stay visible to occurrence-counted fault injection.
+        child.premain_log_len = len(kernel.syscall_log)
     child_thread = child.spawn_thread(core_id=thread.core_id)
     child_thread.context.restore(thread.context.save())
     child_thread.context.set_syscall_result(0)  # fork returns 0 in the child

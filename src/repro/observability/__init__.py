@@ -24,12 +24,14 @@ from repro.observability.bus import Bus
 from repro.observability.events import (BusEvent, CycleCharge, EVENT_TYPES,
                                         FaultInjected, HookObserved,
                                         IcacheShootdown, PtraceStop,
-                                        QuantumEnd, RawCycles, SignalEvent,
+                                        QuantumEnd, RawCycles,
+                                        ShadowDivergence, SignalEvent,
                                         SyscallEnter, SyscallExit)
 from repro.observability.export import (TraceSink, validate_chrome_trace,
                                         write_chrome_trace)
-from repro.observability.sinks import (CounterSink, NullSink, RingBufferSink,
-                                       Sink, StreamingJSONLSink)
+from repro.observability.sinks import (CounterSink, DivergenceSink, NullSink,
+                                       RingBufferSink, Sink,
+                                       StreamingJSONLSink)
 
 __all__ = [
     "Bus",
@@ -42,12 +44,14 @@ __all__ = [
     "PtraceStop",
     "QuantumEnd",
     "RawCycles",
+    "ShadowDivergence",
     "SignalEvent",
     "SyscallEnter",
     "SyscallExit",
     "Sink",
     "NullSink",
     "CounterSink",
+    "DivergenceSink",
     "RingBufferSink",
     "StreamingJSONLSink",
     "TraceSink",

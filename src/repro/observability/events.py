@@ -191,9 +191,29 @@ class VdsoCall(BusEvent):
     site: int
 
 
+@dataclass(frozen=True, slots=True)
+class ShadowDivergence(BusEvent):
+    """The shadow harness observed the mirror disagree with the primary.
+
+    ``kind`` names the compared channel: ``"response"`` (a mirrored
+    request's response bytes differ), ``"trace"`` (the normalized
+    app-observable syscall trace diverges), or ``"exit"`` (a batch
+    workload's exit status / output bytes differ).  ``request`` is the
+    mirrored request (or aligned trace record) index the divergence was
+    detected at; ``primary``/``shadow`` are the two mechanism names and
+    ``detail`` the one-line rendering the rollback report prints.
+    """
+
+    kind: str
+    primary: str
+    shadow: str
+    request: int
+    detail: str
+
+
 #: Every event type, for sink filters and schema docs.
 EVENT_TYPES: Tuple[type, ...] = (
     SyscallEnter, SyscallExit, SignalEvent, PtraceStop, IcacheShootdown,
     FaultInjected, QuantumEnd, CycleCharge, RawCycles, HookObserved,
-    ProcessLifecycle, RewriteApplied, VdsoCall,
+    ProcessLifecycle, RewriteApplied, VdsoCall, ShadowDivergence,
 )

@@ -23,7 +23,8 @@ from dataclasses import asdict
 from typing import Dict, Optional, TextIO
 
 from repro.observability.events import (BusEvent, CycleCharge, HookObserved,
-                                        RawCycles, SyscallEnter)
+                                        RawCycles, ShadowDivergence,
+                                        SyscallEnter)
 
 
 class Sink:
@@ -122,6 +123,33 @@ class RingBufferSink(Sink):
 
     def events(self) -> list:
         return list(self.buffer)
+
+
+class DivergenceSink(Sink):
+    """Collects :class:`ShadowDivergence` events, drops everything else.
+
+    The shadow harness emits one event per detected divergence onto the
+    *primary* kernel's bus; this sink is the budget counter — verdicts
+    compare ``len(sink)`` against the configured divergence budget, and
+    the artifact bundle serializes :meth:`snapshot`.
+    """
+
+    def __init__(self) -> None:
+        self.divergences: list = []
+
+    def accept(self, event: BusEvent) -> None:
+        if isinstance(event, ShadowDivergence):
+            self.divergences.append(event)
+
+    def __len__(self) -> int:
+        return len(self.divergences)
+
+    def snapshot(self) -> list:
+        """JSON-ready copy of every collected divergence, in order."""
+        return [{"kind": d.kind, "primary": d.primary, "shadow": d.shadow,
+                 "request": d.request, "detail": d.detail, "ts": d.ts,
+                 "pid": d.pid, "tid": d.tid}
+                for d in self.divergences]
 
 
 #: JSONL trace stream format version.  v2: every record carries a

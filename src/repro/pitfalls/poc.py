@@ -105,10 +105,12 @@ def _run(kernel, path: str, max_steps: int = 3_000_000):
 
 def _eval_streaming(pitfall: str, kit: InterposerKit, register: Callable,
                     offline_paths: Tuple[str, ...], path: str,
-                    pre_run: Optional[Callable] = None) -> PitfallOutcome:
+                    pre_run: Optional[Callable] = None,
+                    seed: int = 11) -> PitfallOutcome:
     """Stand up *kit*, attach the pitfall's analyzer to the live bus, run
     the PoC, and convert the streamed verdict into a PitfallOutcome."""
-    kernel, interposer = kit.build(register, offline_paths=offline_paths)
+    kernel, interposer = kit.build(register, offline_paths=offline_paths,
+                                   seed=seed)
     analyzer = analyzer_for(pitfall)
     kernel.bus.attach(analyzer)
     try:
@@ -156,10 +158,11 @@ def _register_p1a(kernel) -> None:
     builder.register(kernel)
 
 
-def _eval_p1a(kit: InterposerKit) -> PitfallOutcome:
+def _eval_p1a(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
     return _eval_streaming(
         "P1a", kit, _register_p1a,
-        offline_paths=("/bin/p1a", "/usr/bin/p1a_target"), path="/bin/p1a")
+        offline_paths=("/bin/p1a", "/usr/bin/p1a_target"), path="/bin/p1a",
+        seed=seed)
 
 
 # =========================================================================
@@ -179,9 +182,10 @@ def _register_p1b(kernel) -> None:
     builder.register(kernel)
 
 
-def _eval_p1b(kit: InterposerKit) -> PitfallOutcome:
+def _eval_p1b(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
     return _eval_streaming("P1b", kit, _register_p1b,
-                           offline_paths=("/bin/p1b",), path="/bin/p1b")
+                           offline_paths=("/bin/p1b",), path="/bin/p1b",
+                           seed=seed)
 
 
 # =========================================================================
@@ -222,9 +226,10 @@ def _register_p2a(kernel) -> None:
     builder.register(kernel)
 
 
-def _eval_p2a(kit: InterposerKit) -> PitfallOutcome:
+def _eval_p2a(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
     return _eval_streaming("P2a", kit, _register_p2a,
-                           offline_paths=("/bin/p2a",), path="/bin/p2a")
+                           offline_paths=("/bin/p2a",), path="/bin/p2a",
+                           seed=seed)
 
 
 # =========================================================================
@@ -242,9 +247,10 @@ def _register_p2b(kernel) -> None:
     builder.register(kernel)
 
 
-def _eval_p2b(kit: InterposerKit) -> PitfallOutcome:
+def _eval_p2b(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
     return _eval_streaming("P2b", kit, _register_p2b,
-                           offline_paths=("/bin/p2b",), path="/bin/p2b")
+                           offline_paths=("/bin/p2b",), path="/bin/p2b",
+                           seed=seed)
 
 
 # =========================================================================
@@ -267,9 +273,10 @@ def _register_p3a(kernel) -> None:
     builder.register(kernel)
 
 
-def _eval_p3a(kit: InterposerKit) -> PitfallOutcome:
+def _eval_p3a(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
     return _eval_streaming("P3a", kit, _register_p3a,
-                           offline_paths=("/bin/p3a",), path="/bin/p3a")
+                           offline_paths=("/bin/p3a",), path="/bin/p3a",
+                           seed=seed)
 
 
 # =========================================================================
@@ -311,13 +318,14 @@ def _register_p3b(kernel) -> None:
     builder.register(kernel)
 
 
-def _eval_p3b(kit: InterposerKit) -> PitfallOutcome:
+def _eval_p3b(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
     # Offline phase (K23) runs in a controlled environment: no attack flag;
     # the online adversary plants it just before the run.
     return _eval_streaming(
         "P3b", kit, _register_p3b, offline_paths=("/bin/p3b",),
         path="/bin/p3b",
-        pre_run=lambda kernel: kernel.vfs.create(ATTACK_FLAG, b""))
+        pre_run=lambda kernel: kernel.vfs.create(ATTACK_FLAG, b""),
+        seed=seed)
 
 
 # =========================================================================
@@ -341,9 +349,10 @@ def _register_p4a(kernel) -> None:
     builder.register(kernel)
 
 
-def _eval_p4a(kit: InterposerKit) -> PitfallOutcome:
+def _eval_p4a(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
     return _eval_streaming("P4a", kit, _register_p4a,
-                           offline_paths=("/bin/p4a",), path="/bin/p4a")
+                           offline_paths=("/bin/p4a",), path="/bin/p4a",
+                           seed=seed)
 
 
 # =========================================================================
@@ -364,8 +373,9 @@ def _register_p4b(kernel) -> None:
 P4B_BUDGET_BYTES = 1 << 30
 
 
-def _eval_p4b(kit: InterposerKit) -> PitfallOutcome:
-    kernel, interposer = kit.build(_register_p4b, offline_paths=("/bin/p4b",))
+def _eval_p4b(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
+    kernel, interposer = kit.build(_register_p4b, offline_paths=("/bin/p4b",),
+                                   seed=seed)
     process = _run(kernel, "/bin/p4b")
     state = process.interposer_state
     if "zpoline" in state and state["zpoline"].get("bitmap") is not None:
@@ -420,9 +430,10 @@ def _register_p5(kernel) -> None:
     builder.register(kernel)
 
 
-def _eval_p5(kit: InterposerKit) -> PitfallOutcome:
+def _eval_p5(kit: InterposerKit, seed: int = 11) -> PitfallOutcome:
     return _eval_streaming("P5", kit, _register_p5,
-                           offline_paths=("/bin/p5",), path="/bin/p5")
+                           offline_paths=("/bin/p5",), path="/bin/p5",
+                           seed=seed)
 
 
 # =========================================================================
@@ -457,7 +468,7 @@ PITFALL_SETUPS: Dict[str, PitfallSetup] = {
 }
 
 
-_EVALUATORS: Dict[str, Callable[[InterposerKit], PitfallOutcome]] = {
+_EVALUATORS: Dict[str, Callable[..., PitfallOutcome]] = {
     "P1a": _eval_p1a,
     "P1b": _eval_p1b,
     "P2a": _eval_p2a,
@@ -470,10 +481,16 @@ _EVALUATORS: Dict[str, Callable[[InterposerKit], PitfallOutcome]] = {
 }
 
 
-def evaluate_pitfall(pitfall: str, kit: InterposerKit) -> PitfallOutcome:
-    """Run one PoC under one interposer kit and grade the outcome."""
+def evaluate_pitfall(pitfall: str, kit: InterposerKit,
+                     seed: int = 11) -> PitfallOutcome:
+    """Run one PoC under one interposer kit and grade the outcome.
+
+    *seed* feeds the kernels the kit stands up (online and, for K23, the
+    offline machine at ``seed + 100``); the grading must be seed-stable,
+    which ``pitfallcheck --seed`` lets CI spot-check.
+    """
     try:
         evaluator = _EVALUATORS[pitfall]
     except KeyError:
         raise ValueError(f"unknown pitfall {pitfall!r}") from None
-    return evaluator(kit)
+    return evaluator(kit, seed=seed)

@@ -1,0 +1,39 @@
+"""Shadow-request dark launches for interposer rollouts.
+
+Run a workload on a *primary* interposition mechanism while mirroring
+every request to a *shadow* mechanism on a second deterministically-
+seeded kernel; discard the shadow's responses, diff behavior and
+latency continuously, and turn the divergence count into an automatic
+PROMOTE/ROLLBACK verdict::
+
+    from repro.shadow import ShadowConfig, run_shadow
+
+    report = run_shadow(ShadowConfig(primary="lazypoline",
+                                     shadow="K23-ultra",
+                                     workload="nginx", seed=7))
+    report.verdict, report.divergence_count
+
+CLI: ``python -m repro shadow --primary lazypoline --shadow k23-ultra
+--workload nginx --seed 7``.  See DESIGN.md §3h for the mirroring seam
+and the divergence budget semantics.
+"""
+
+from repro.shadow.divergence import (PROMOTE, ROLLBACK, diff_normalized,
+                                     normalized_trace, verdict_for)
+from repro.shadow.harness import (FAULT_SIDES, ShadowConfig, ShadowReport,
+                                  latency_deltas, run_shadow,
+                                  shadow_fault_config)
+
+__all__ = [
+    "FAULT_SIDES",
+    "PROMOTE",
+    "ROLLBACK",
+    "ShadowConfig",
+    "ShadowReport",
+    "diff_normalized",
+    "latency_deltas",
+    "normalized_trace",
+    "run_shadow",
+    "shadow_fault_config",
+    "verdict_for",
+]

@@ -1,0 +1,77 @@
+"""Artifact bundle for a diverged shadow run — the rollback evidence.
+
+When a shadow run finds any divergence, the harness can serialize
+everything a post-mortem needs into one directory:
+
+- ``report.json`` — the full :class:`~repro.shadow.harness.ShadowReport`
+  (verdict, divergence list, counters, latency deltas);
+- ``tracediff.json`` — every normalized-trace divergence, the earliest
+  one flagged, with surrounding context records from both sides;
+- ``latency_deltas.json`` — per-(phase, nr) and per-phase histogram
+  deltas (shadow minus primary);
+- ``analyzers.json`` — the AnalyzerSuite reports of both sides
+  (evidence event windows included);
+- ``primary.trace.json`` / ``shadow.trace.json`` — Perfetto/Chrome
+  trace-event exports of both kernels, loadable in ``ui.perfetto.dev``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.observability.export import write_chrome_trace
+from repro.shadow.divergence import divergence_context, earliest_divergence
+
+#: Records of surrounding context serialized per divergence side.
+CONTEXT_RECORDS = 5
+
+
+def _write_json(path: Path, document: Dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
+def tracediff_document(trace_divergences: List[Dict],
+                       primary_records: List[Dict],
+                       shadow_records: List[Dict]) -> Dict:
+    """The earliest-divergence tracediff context document."""
+    document: Dict = {"divergences": trace_divergences,
+                      "earliest": None}
+    if trace_divergences:
+        earliest = earliest_divergence(trace_divergences)
+        document["earliest"] = {
+            "divergence": earliest,
+            "primary_context": divergence_context(
+                primary_records, earliest, CONTEXT_RECORDS),
+            "shadow_context": divergence_context(
+                shadow_records, earliest, CONTEXT_RECORDS),
+        }
+    return document
+
+
+def write_bundle(bundle_dir, report, primary_records: List[Dict],
+                 shadow_records: List[Dict],
+                 trace_divergences: List[Dict],
+                 primary_trace=None, shadow_trace=None) -> Path:
+    """Serialize the full divergence evidence under *bundle_dir*.
+
+    Returns the bundle directory path.  ``primary_trace``/``shadow_trace``
+    are the runs' :class:`~repro.observability.export.TraceSink` objects;
+    pass None to skip the Perfetto exports.
+    """
+    out = Path(bundle_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    _write_json(out / "report.json", report.to_dict())
+    _write_json(out / "tracediff.json",
+                tracediff_document(trace_divergences, primary_records,
+                                   shadow_records))
+    _write_json(out / "latency_deltas.json", report.latency_delta)
+    _write_json(out / "analyzers.json", report.analyzer_reports)
+    if primary_trace is not None:
+        write_chrome_trace(primary_trace, out / "primary.trace.json")
+    if shadow_trace is not None:
+        write_chrome_trace(shadow_trace, out / "shadow.trace.json")
+    return out

@@ -1,0 +1,111 @@
+"""Divergence detection for shadow runs: normalized traces + budgets.
+
+Raw traces of two different mechanisms legitimately differ — phases,
+interposer-internal calls, rewrite traffic.  What must *not* differ is
+the application-observable projection: the sequence of app-requested
+syscalls with mechanism-invariant results (the conformance harness's
+normalization: fd-returners → ``fd``, address-returners → ``addr``,
+timer syscalls excluded for the vDSO asymmetry).  This module renders
+that projection as v2-style JSONL records — one per-pid track, a
+``TraceMeta`` header, monotone ``seq`` — so the existing
+``repro tracediff`` alignment (:func:`~repro.tools.tracediff.diff_traces`)
+does the comparison and earliest-divergence reporting unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.faultinject.conformance import TIMER_NRS, normalize_record
+from repro.tools.tracediff import diff_traces, earliest_divergence
+
+#: Header both sides share; deliberately mechanism-free so the header
+#: comparison never diverges by construction.
+_HEADER = {"type": "TraceMeta", "schema_version": 2,
+           "source": "shadow-normalized"}
+
+PROMOTE = "PROMOTE"
+ROLLBACK = "ROLLBACK"
+
+
+def normalized_trace(kernel, start: int = 0,
+                     pids: Optional[Sequence[int]] = None) -> List[Dict]:
+    """v2-style records of the app-observable syscalls in *kernel*.
+
+    ``start`` slices off everything before it (pre-main or pre-warmup
+    traffic, which is mechanism-dependent); ``pids`` restricts to the
+    given processes (default: all).  ``tid`` is fixed at 0 — the kernel
+    syscall log attributes records per-pid, and one track per pid is
+    exactly the alignment granularity the mirror needs.
+    """
+    wanted = set(pids) if pids is not None else None
+    records: List[Dict] = [dict(_HEADER, seq=0)]
+    seq = 1
+    for record in kernel.syscall_log[start:]:
+        if not record.app_requested or record.nr in TIMER_NRS:
+            continue
+        if wanted is not None and record.pid not in wanted:
+            continue
+        records.append({"type": "SyscallObserved", "pid": record.pid,
+                        "tid": 0, "seq": seq,
+                        "call": normalize_record(record)})
+        seq += 1
+    return records
+
+
+def diff_normalized(primary_records: List[Dict],
+                    shadow_records: List[Dict]) -> List[Dict]:
+    """Per-track divergence list between two normalized traces (empty =
+    app-observably identical).  Entries are
+    :func:`~repro.tools.tracediff.diff_traces` dicts."""
+    return diff_traces(primary_records, shadow_records)
+
+
+def describe_divergence(divergence: Dict) -> str:
+    """One report line for a tracediff entry."""
+    track = divergence["track"]
+    label = ("global" if track == ("global",) or track == ["global"]
+             else f"pid={track[0]}")
+    a = divergence.get("a") or {}
+    b = divergence.get("b") or {}
+    return (f"{label} record #{divergence['index']} "
+            f"({divergence['kind']}): primary "
+            f"{a.get('call', '<absent>')!r} != shadow "
+            f"{b.get('call', '<absent>')!r}")
+
+
+def verdict_for(divergence_count: int, budget: int) -> str:
+    """The dark-launch decision: within budget promotes, over rolls back.
+
+    The budget is inclusive — ``divergence_count <= budget`` is
+    :data:`PROMOTE`, anything above is :data:`ROLLBACK`; budget 0 means
+    any divergence rolls back.
+    """
+    if budget < 0:
+        raise ValueError(f"divergence budget must be >= 0, got {budget}")
+    return PROMOTE if divergence_count <= budget else ROLLBACK
+
+
+def divergence_context(records: List[Dict], divergence: Dict,
+                       context: int = 5) -> List[Dict]:
+    """The records surrounding *divergence* on its track in *records*."""
+    from repro.tools.traceio import by_track, split_header
+
+    _header, body = split_header(records)
+    track = tuple(divergence["track"])
+    track_records = by_track(body).get(track, [])
+    lo = max(0, divergence["index"] - context)
+    hi = min(len(track_records), divergence["index"] + context + 1)
+    return track_records[lo:hi]
+
+
+__all__ = [
+    "PROMOTE",
+    "ROLLBACK",
+    "describe_divergence",
+    "diff_normalized",
+    "divergence_context",
+    "earliest_divergence",
+    "normalized_trace",
+    "verdict_for",
+]

@@ -34,7 +34,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "seeded fault schedules.")
     parser.add_argument("--seeds", type=int, default=len(DEFAULT_SEEDS),
                         help="number of fault-schedule seeds (default: "
-                             f"{len(DEFAULT_SEEDS)}, i.e. seeds 1..N)")
+                             f"{len(DEFAULT_SEEDS)}, i.e. seeds BASE.."
+                             "BASE+N-1)")
+    parser.add_argument("--seed", type=int, default=1, metavar="BASE",
+                        help="first fault-schedule seed (default: 1)")
     parser.add_argument("--workloads", nargs="+",
                         default=list(DEFAULT_WORKLOADS),
                         help="workloads to run (default: "
@@ -65,7 +68,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seeds = list(SMOKE_SEEDS)
     else:
         workloads = args.workloads
-        seeds = list(range(1, args.seeds + 1))
+        seeds = list(range(args.seed, args.seed + args.seeds))
     matrix = run_matrix(mechanisms=args.mechanisms,
                         workloads=workloads, seeds=seeds,
                         jobs=max(1, args.jobs),

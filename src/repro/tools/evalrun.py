@@ -5,6 +5,8 @@ Usage::
     python -m repro.tools.evalrun [table5|table6|matrix] [options]
 
     --jobs N        worker processes (default: os.cpu_count())
+    --seed N        base cell seed (default: 20 for table5 cells, 30 for
+                    table6 cells — passing one value pins both)
     --no-cache      recompute every cell, write nothing
     --cache-dir D   cache location (default ~/.cache/repro-eval or
                     $REPRO_EVAL_CACHE)
@@ -86,6 +88,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("target", nargs="?", default="matrix",
                         choices=["table5", "table6", "matrix"])
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base cell seed (default: micro 20, macro 30)")
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--smoke", action="store_true")
@@ -145,13 +149,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.verbose:
         print(_interp_probe(), file=sys.stderr)
 
+    micro_kwargs = {} if args.seed is None else {"seed": args.seed}
     if args.target in ("table5", "matrix"):
         if args.smoke:
             low, high = pipe.SMOKE_MICRO_ITERATIONS
             specs = pipe.micro_specs(mechanisms, iterations_low=low,
-                                     iterations_high=high)
+                                     iterations_high=high, **micro_kwargs)
         else:
-            specs = pipe.micro_specs(mechanisms)
+            specs = pipe.micro_specs(mechanisms, **micro_kwargs)
         run = pipe.run_cells(specs, jobs=jobs, cache=cache)
         _echo(run, "table5", args.verbose)
         if run.failures():
@@ -161,7 +166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 pipe.table5_overheads(run, mechanisms[1:])))
 
     if args.target in ("table6", "matrix"):
-        specs = pipe.macro_specs(rows, mechanisms)
+        macro_kwargs = {} if args.seed is None else {"seed": args.seed}
+        specs = pipe.macro_specs(rows, mechanisms, **macro_kwargs)
         run = pipe.run_cells(specs, jobs=jobs, cache=cache)
         _echo(run, "table6", args.verbose)
         if run.failures():
@@ -189,32 +195,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     return status
 
 
-def _trace_stress(mechanism: str, trace_out: str, iterations: int = 60):
-    """One stress run under *mechanism* with a TraceSink attached."""
-    from repro.core import OfflinePhase
-    from repro.core.offline import import_logs
-    from repro.evaluation.runner import needs_offline
-    from repro.kernel import Kernel
-    from repro.observability.export import TraceSink, write_chrome_trace
-    from repro.workloads.stress import STRESS_PATH, build_stress
+def _trace_stress(mechanism: str, trace_out: str, iterations: int = 60,
+                  seed: int = 99):
+    """One stress run under *mechanism* with a TraceSink attached —
+    assembled through the :mod:`repro.api` run surface."""
+    from repro.api import RunConfig, run
 
-    kernel = Kernel(seed=99)
-    kernel.torn_window_probability = 0.0
-    sink = TraceSink(mechanism=mechanism, workload="stress")
-    kernel.bus.attach(sink)
-    build_stress(iterations).register(kernel)
-    if needs_offline(mechanism):
-        offline_kernel = Kernel(seed=100)
-        build_stress(16).register(offline_kernel)
-        offline = OfflinePhase(offline_kernel)
-        offline.run(STRESS_PATH)
-        import_logs(kernel, offline.export())
-    REGISTRY.create(mechanism, kernel)
-    process = kernel.spawn_process(STRESS_PATH)
-    kernel.run_process(process, max_steps=10_000_000)
-    if not process.exited or process.exit_status != 0:
+    result = run(RunConfig(mechanism=mechanism, workload="stress",
+                           seed=seed, trace_path=str(trace_out),
+                           params=(("iterations", iterations),)))
+    if not result.ok:
         raise RuntimeError(f"trace run failed under {mechanism}")
-    return write_chrome_trace(sink, trace_out)
+    return result.trace_path
 
 
 if __name__ == "__main__":

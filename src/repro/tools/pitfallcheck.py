@@ -3,8 +3,8 @@
 Usage::
 
     python -m repro.tools.pitfallcheck [zpoline|lazypoline|K23|all]
-                                       [--pitfall P1a ...] [--evidence]
-                                       [--verdicts-out FILE]
+                                       [--pitfall P1a ...] [--seed N]
+                                       [--evidence] [--verdicts-out FILE]
 
 Exit status 0 when every evaluated cell matches the paper's Table 3, 1
 otherwise — a CI gate for the reproduction.  ``--verdicts-out`` writes
@@ -40,6 +40,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=[*KITS, "all"])
     parser.add_argument("--pitfall", action="append", choices=PITFALL_IDS,
                         help="restrict to specific pitfalls")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="kernel seed for the PoC machines (default 11; "
+                             "Table 3 verdicts must be seed-stable)")
     parser.add_argument("--evidence", action="store_true")
     parser.add_argument("--verdicts-out", metavar="FILE",
                         help="write structured analyzer verdicts as JSON")
@@ -53,7 +56,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     verdict_records = []
     for pitfall in pitfalls:
         for kit in kits:
-            outcome = evaluate_pitfall(pitfall, kit)
+            outcome = evaluate_pitfall(pitfall, kit, seed=args.seed)
             expected = PAPER_TABLE3[pitfall][kit.name]
             agrees = outcome.handled == expected
             divergent += 0 if agrees else 1

@@ -1,0 +1,103 @@
+"""shadow — dark-launch one interposer behind another and decide.
+
+Usage::
+
+    python -m repro shadow --primary lazypoline --shadow k23-ultra \\
+        --workload nginx [--seed N] [--requests N] [--budget N] \\
+        [--fault-seed N] [--fault-side none|both|primary|shadow] \\
+        [--bundle-dir DIR] [--out REPORT.json] [--trace-out F]
+
+The workload runs on the *primary* mechanism while every request is
+mirrored to the *shadow* mechanism on a second kernel with the same
+seed; shadow responses are compared and discarded, the normalized
+app-observable traces are diffed, and the divergence count against
+``--budget`` yields the verdict.  Exit status is 0 for PROMOTE, 1 for
+ROLLBACK, 2 for usage errors.
+
+``--fault-side both`` arms the same seeded fault schedule on both sides
+(behavior-invariant for conformant mechanisms); ``primary``/``shadow``
+arms one side only — the harness's negative control, guaranteed to
+force divergence and, with ``--bundle-dir``, a full artifact bundle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.runapi import WORKLOADS
+from repro.shadow import FAULT_SIDES, ShadowConfig, run_shadow
+
+
+def _summary(report) -> List[str]:
+    lines = [
+        f"shadow: {report.primary} (primary) vs {report.shadow} (shadow) "
+        f"on {report.workload}, seed {report.seed}",
+        f"requests={report.requests} failures={report.failures} "
+        f"divergences={report.divergence_count} budget={report.budget}",
+        f"verdict: {report.verdict}",
+    ]
+    for divergence in report.divergences[:5]:
+        lines.append(f"  [{divergence['kind']}] {divergence['detail']}")
+    if report.divergence_count > 5:
+        lines.append(f"  ... {report.divergence_count - 5} more")
+    if report.bundle_path:
+        lines.append(f"bundle: {report.bundle_path}")
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="shadow", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--primary", required=True,
+                        help="mechanism serving the workload")
+    parser.add_argument("--shadow", required=True,
+                        help="mechanism mirrored to and compared")
+    parser.add_argument("--workload", required=True,
+                        choices=sorted(WORKLOADS))
+    parser.add_argument("--seed", type=int, default=0,
+                        help="kernel seed for both sides (default 0)")
+    parser.add_argument("--requests", type=int, default=24,
+                        help="mirrored round trips (default 24)")
+    parser.add_argument("--budget", type=int, default=0,
+                        help="inclusive divergence budget (default 0)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="seed of the fault schedule to arm")
+    parser.add_argument("--fault-side", choices=FAULT_SIDES,
+                        default="none",
+                        help="side(s) the schedule is armed on")
+    parser.add_argument("--bundle-dir", default=None, metavar="DIR",
+                        help="write the artifact bundle here on divergence")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the full report as JSON")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the primary side's Perfetto trace")
+    args = parser.parse_args(argv)
+
+    try:
+        config = ShadowConfig(
+            primary=args.primary, shadow=args.shadow,
+            workload=args.workload, seed=args.seed,
+            requests=args.requests, budget=args.budget,
+            fault_seed=args.fault_seed, fault_side=args.fault_side,
+            bundle_dir=args.bundle_dir, trace_out=args.trace_out)
+    except (KeyError, ValueError) as exc:
+        print(f"shadow: {exc}")
+        return 2
+
+    report = run_shadow(config)
+    for line in _summary(report):
+        print(line)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True,
+                      default=str)
+            fh.write("\n")
+        print(f"report: {args.out}")
+    return 0 if report.promoted else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,12 @@ def _earliest(divergences: List[Dict]) -> Dict:
     return min(divergences, key=order)
 
 
+def earliest_divergence(divergences: List[Dict]) -> Dict:
+    """Public form of :func:`_earliest` — the shadow bundle writer and
+    other consumers report the first divergence in emission order."""
+    return _earliest(divergences)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tracediff", description=__doc__,

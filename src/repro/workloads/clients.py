@@ -10,7 +10,7 @@ can reproduce client-limited rows (redis with 1 I/O thread, §6.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 HTTP_REQUEST = (b"GET / HTTP/1.1\r\nHost: localhost\r\n"
                 b"Connection: keep-alive\r\n\r\n")
@@ -72,25 +72,145 @@ class LoadGenerator:
                            cycles=self.kernel.cycles.cycles - start_cycles,
                            failures=self.failures)
 
-    def _round(self, limit: Optional[int] = None) -> int:
-        """One batch: a request on each connection, then drain responses."""
+    def exchange(self, limit: Optional[int] = None
+                 ) -> List[Optional[bytes]]:
+        """One request/response batch with the response bytes surfaced.
+
+        Sends the payload on each active connection, runs the server,
+        and returns the per-connection response bytes (None = the
+        request never produced a response).  This is the mirroring seam:
+        a :class:`MirroredLoadGenerator` issues the same exchange on two
+        kernels and compares these byte strings, which plain ``drive``
+        collapses to done/failed counts.
+        """
         active = self.connections if limit is None \
             else self.connections[:limit]
         for connection in active:
             connection.client_send(self.payload)
         self.kernel.run(max_steps=self.steps_per_round)
-        done = 0
-        for connection in active:
-            if connection.client_recv_all():
-                done += 1
-            else:
-                self.failures += 1
+        return [connection.client_recv_all() or None
+                for connection in active]
+
+    def _round(self, limit: Optional[int] = None) -> int:
+        """One batch: a request on each connection, then drain responses."""
+        responses = self.exchange(limit)
+        done = sum(1 for response in responses if response is not None)
+        self.failures += len(responses) - done
         return done
 
     def close(self) -> None:
         for connection in self.connections:
             connection.client_close()
         self.kernel.run(max_steps=self.steps_per_round)
+
+
+@dataclass
+class MirrorMismatch:
+    """One mirrored request whose shadow response differed.
+
+    ``request`` is the global request index (across rounds and
+    connections); byte payloads are summarized as lengths plus a short
+    hex prefix — enough to render a report line without retaining every
+    response body.
+    """
+
+    request: int
+    connection: int
+    primary_len: int
+    shadow_len: int
+    primary_prefix: str
+    shadow_prefix: str
+
+    def describe(self) -> str:
+        return (f"request #{self.request} conn {self.connection}: "
+                f"primary {self.primary_len}B [{self.primary_prefix}] != "
+                f"shadow {self.shadow_len}B [{self.shadow_prefix}]")
+
+
+def _prefix(data: Optional[bytes], length: int = 8) -> str:
+    return "" if data is None else data[:length].hex()
+
+
+class MirroredLoadGenerator:
+    """Drive two kernels in lockstep: every request is mirrored.
+
+    The *primary* generator's responses are the real ones; the *shadow*
+    generator receives an identical copy of every request, its responses
+    are compared byte-for-byte against the primary's and then discarded
+    — the Shadow Request pattern.  Both generators must be configured
+    with the same payload and connection count.
+
+    ``on_mismatch`` (when given) is called with each
+    :class:`MirrorMismatch` as it is detected, letting the shadow
+    harness emit divergence events while the drive is still running.
+    """
+
+    def __init__(self, primary: LoadGenerator, shadow: LoadGenerator,
+                 on_mismatch: Optional[Callable[[MirrorMismatch], None]]
+                 = None):
+        if len(primary.connections) != len(shadow.connections):
+            raise ValueError("mirrored generators need identical "
+                             "connection counts")
+        if primary.payload != shadow.payload:
+            raise ValueError("mirrored generators need identical payloads")
+        self.primary = primary
+        self.shadow = shadow
+        self.on_mismatch = on_mismatch
+        self.mismatches: List[MirrorMismatch] = []
+        self._request_index = 0
+
+    def warmup(self, rounds: int = 2) -> None:
+        """Un-measured, un-compared rounds on both sides."""
+        for _ in range(rounds):
+            self.primary.exchange()
+            self.shadow.exchange()
+
+    def _mirror_round(self, limit: Optional[int] = None) -> int:
+        primary_responses = self.primary.exchange(limit)
+        shadow_responses = self.shadow.exchange(limit)
+        done = 0
+        for conn, (mine, theirs) in enumerate(zip(primary_responses,
+                                                  shadow_responses)):
+            if mine is not None:
+                done += 1
+            else:
+                self.primary.failures += 1
+            if mine != theirs:
+                mismatch = MirrorMismatch(
+                    request=self._request_index + conn, connection=conn,
+                    primary_len=len(mine or b""),
+                    shadow_len=len(theirs or b""),
+                    primary_prefix=_prefix(mine),
+                    shadow_prefix=_prefix(theirs))
+                self.mismatches.append(mismatch)
+                if self.on_mismatch is not None:
+                    self.on_mismatch(mismatch)
+        self._request_index += len(primary_responses)
+        return done
+
+    def drive(self, requests: int) -> Tuple[DriveResult, List[MirrorMismatch]]:
+        """Mirror *requests* round trips; returns the primary's
+        DriveResult plus every response mismatch detected."""
+        start = len(self.mismatches)
+        start_cycles = self.primary.kernel.cycles.cycles
+        completed = 0
+        stalled_rounds = 0
+        while completed < requests:
+            batch = min(len(self.primary.connections), requests - completed)
+            done = self._mirror_round(limit=batch)
+            completed += done
+            stalled_rounds = 0 if done else stalled_rounds + 1
+            if stalled_rounds >= 5:
+                break
+        result = DriveResult(
+            requests=completed,
+            cycles=self.primary.kernel.cycles.cycles - start_cycles,
+            failures=self.primary.failures)
+        return result, self.mismatches[start:]
+
+    def close(self) -> None:
+        self.primary.close()
+        self.shadow.close()
 
 
 def wrk(kernel, port: int, connections: int) -> LoadGenerator:

@@ -1,6 +1,6 @@
 """The deprecation shims: ``MECHANISMS`` / ``make_interposer`` still work
-from ``repro.evaluation.runner`` (and ``repro.evaluation``) but warn and
-point at the registry."""
+from ``repro.evaluation.runner`` (and ``repro.evaluation``) but warn —
+exactly once per process per attribute — and point at ``repro.api``."""
 
 import warnings
 
@@ -10,10 +10,20 @@ from repro.interposers.registry import REGISTRY
 from repro.kernel import Kernel
 
 
+@pytest.fixture(autouse=True)
+def _reset_warned():
+    """Each test sees a fresh warn-once state."""
+    import repro.evaluation.runner as runner
+
+    runner._WARNED.clear()
+    yield
+    runner._WARNED.clear()
+
+
 def test_mechanisms_import_warns_and_matches_registry():
     import repro.evaluation.runner as runner
 
-    with pytest.warns(DeprecationWarning, match="REGISTRY.names"):
+    with pytest.warns(DeprecationWarning, match="repro.api"):
         mechanisms = runner.MECHANISMS
     assert tuple(mechanisms) == tuple(REGISTRY.names())
 
@@ -23,6 +33,29 @@ def test_from_import_fires_the_warning():
         from repro.evaluation.runner import MECHANISMS  # noqa: F401
 
 
+def test_warns_exactly_once_per_process():
+    """The second access must be silent — legacy hot loops must not
+    flood stderr — while still returning the value."""
+    import repro.evaluation.runner as runner
+
+    with pytest.warns(DeprecationWarning):
+        first = runner.MECHANISMS
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        again = runner.MECHANISMS
+    assert tuple(first) == tuple(again)
+
+
+def test_each_attribute_warns_independently():
+    import repro.evaluation.runner as runner
+
+    with pytest.warns(DeprecationWarning, match="MECHANISMS"):
+        runner.MECHANISMS
+    # MECHANISMS is spent, but make_interposer still owes its warning.
+    with pytest.warns(DeprecationWarning, match="make_interposer"):
+        runner.make_interposer
+
+
 def test_make_interposer_warns_and_still_builds():
     import repro.evaluation.runner as runner
 
@@ -30,6 +63,14 @@ def test_make_interposer_warns_and_still_builds():
         factory = runner.make_interposer
     interposer = factory("native", Kernel(seed=5))
     assert interposer is not None
+
+
+def test_warning_text_points_at_api_surface():
+    import repro.evaluation.runner as runner
+
+    with pytest.warns(DeprecationWarning) as captured:
+        runner.MECHANISMS
+    assert "repro.api" in str(captured[0].message)
 
 
 def test_package_level_shim_forwards():
@@ -52,7 +93,10 @@ def test_internal_modules_do_not_warn():
                        "repro.evaluation.experiments",
                        "repro.evaluation.report",
                        "repro.tools.evalrun",
-                       "repro.tools.simtrace"):
+                       "repro.tools.simtrace",
+                       "repro.tools.shadow",
+                       "repro.runapi",
+                       "repro.shadow.harness"):
             importlib.reload(importlib.import_module(module))
 
 

@@ -28,6 +28,33 @@ class TestDispatch:
         assert dispatcher.main(["pitfallcheck", "--trace-out=x.json"]) == 2
         assert "--trace-out" in capsys.readouterr().err
 
+    def test_flag_error_names_the_supporting_subcommands(self, capsys):
+        """The mismatch error tells the user where the flag *does* work."""
+        assert dispatcher.main(["simtrace", "cat", "--jobs", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "supported by:" in err
+        assert "evalrun" in err and "conformance" in err
+        assert dispatcher.main(["tracediff", "a", "b", "--seed", "1"]) == 2
+        err = capsys.readouterr().err
+        for name in ("simtrace", "evalrun", "conformance", "pitfallcheck",
+                     "shadow"):
+            assert name in err
+
+    def test_supporters_table_is_consistent(self):
+        """Every SHARED_FLAGS entry appears in at least one subcommand's
+        support tuple, and every supported tuple only lists shared flags."""
+        for flag in dispatcher.SHARED_FLAGS:
+            assert dispatcher.supporters_of(flag)
+        for name, (_module, shared) in dispatcher.SUBCOMMANDS.items():
+            for flag in shared:
+                assert flag in dispatcher.SHARED_FLAGS, (name, flag)
+
+    def test_seed_registered_for_every_seeded_subcommand(self):
+        supporters = dispatcher.supporters_of("--seed")
+        for name in ("simtrace", "evalrun", "conformance", "pitfallcheck",
+                     "shadow"):
+            assert name in supporters
+
     def test_simtrace_roundtrip_with_trace_out(self, capsys, tmp_path):
         out = tmp_path / "cat.json"
         assert dispatcher.main(["simtrace", "cat", "--summary", "--seed",
@@ -44,10 +71,25 @@ class TestDispatch:
 
     def test_old_module_paths_still_work(self):
         """The dispatcher is additive: the per-tool mains keep working."""
-        from repro.tools import conformance, evalrun, pitfallcheck, simtrace
+        from repro.tools import (conformance, evalrun, pitfallcheck, shadow,
+                                 simtrace)
 
-        for module in (simtrace, evalrun, conformance, pitfallcheck):
+        for module in (simtrace, evalrun, conformance, pitfallcheck, shadow):
             assert callable(module.main)
+
+    def test_shadow_subcommand_forwards(self, capsys):
+        rc = dispatcher.main(["shadow", "--primary", "lazypoline",
+                              "--shadow", "zpoline-default",
+                              "--workload", "stress", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict: PROMOTE" in out
+        assert "divergences=0" in out
+
+    def test_pitfallcheck_seed_flag_forwards(self, capsys):
+        assert dispatcher.main(["pitfallcheck", "zpoline", "--pitfall",
+                                "P3a", "--seed", "23"]) == 0
+        assert "P3a" in capsys.readouterr().out
 
     def test_conformance_smoke_flag_wired(self, capsys, tmp_path):
         out = tmp_path / "m.json"

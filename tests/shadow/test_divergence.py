@@ -1,0 +1,91 @@
+"""Divergence detection: normalized traces, budgets, verdicts."""
+
+import pytest
+
+from repro.shadow import (PROMOTE, ROLLBACK, diff_normalized,
+                          normalized_trace, verdict_for)
+from repro.shadow.divergence import describe_divergence, divergence_context
+
+
+class TestVerdictBudget:
+    """The budget is inclusive: count <= budget promotes."""
+
+    def test_zero_budget_zero_divergences_promotes(self):
+        assert verdict_for(0, 0) == PROMOTE
+
+    def test_zero_budget_any_divergence_rolls_back(self):
+        assert verdict_for(1, 0) == ROLLBACK
+
+    def test_exactly_at_budget_promotes(self):
+        assert verdict_for(3, 3) == PROMOTE
+
+    def test_one_over_budget_rolls_back(self):
+        assert verdict_for(4, 3) == ROLLBACK
+
+    def test_under_budget_promotes(self):
+        assert verdict_for(2, 5) == PROMOTE
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            verdict_for(0, -1)
+
+
+def _kernel_after_stress(seed, mechanism="zpoline-default"):
+    from repro.api import RunConfig, prepare
+
+    prepared = prepare(RunConfig(mechanism=mechanism, workload="stress",
+                                 seed=seed, params=(("iterations", 8),)))
+    process = prepared.spawn()
+    prepared.kernel.run_process(process, max_steps=5_000_000)
+    return prepared.kernel, process
+
+
+class TestNormalizedTrace:
+    def test_header_is_mechanism_free(self):
+        kernel, process = _kernel_after_stress(3)
+        records = normalized_trace(kernel, start=process.premain_log_len)
+        header = records[0]
+        assert header["type"] == "TraceMeta"
+        assert "mechanism" not in header
+
+    def test_same_run_diffs_clean_against_itself(self):
+        kernel, process = _kernel_after_stress(3)
+        records = normalized_trace(kernel, start=process.premain_log_len)
+        assert diff_normalized(records, records) == []
+
+    def test_cross_mechanism_app_projection_identical(self):
+        """The app-observable projection is the conformance property —
+        different mechanisms, same seed, identical normalized records."""
+        ka, pa = _kernel_after_stress(3, "zpoline-default")
+        kb, pb = _kernel_after_stress(3, "lazypoline")
+        a = normalized_trace(ka, start=pa.premain_log_len)
+        b = normalized_trace(kb, start=pb.premain_log_len)
+        assert diff_normalized(a, b) == []
+
+    def test_start_slices_off_premain(self):
+        kernel, process = _kernel_after_stress(3)
+        full = normalized_trace(kernel)
+        sliced = normalized_trace(kernel, start=process.premain_log_len)
+        assert len(sliced) <= len(full)
+
+    def test_divergence_detected_and_described(self):
+        kernel, process = _kernel_after_stress(3)
+        records = normalized_trace(kernel, start=process.premain_log_len)
+        mutated = [dict(r) for r in records]
+        mutated[2] = dict(mutated[2], call="tampered=-1")
+        divergences = diff_normalized(records, mutated)
+        assert len(divergences) == 1
+        entry = divergences[0]
+        assert entry["kind"] == "record"
+        text = describe_divergence(entry)
+        assert "primary" in text and "shadow" in text
+
+    def test_divergence_context_window(self):
+        kernel, process = _kernel_after_stress(3)
+        records = normalized_trace(kernel, start=process.premain_log_len)
+        mutated = [dict(r) for r in records]
+        mutated[4] = dict(mutated[4], call="tampered=-1")
+        divergence = diff_normalized(records, mutated)[0]
+        context = divergence_context(records, divergence, context=2)
+        assert 1 <= len(context) <= 5
+        assert any(r.get("seq") == records[4]["seq"] for r in context)

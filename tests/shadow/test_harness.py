@@ -1,0 +1,164 @@
+"""The dark-launch harness: lockstep, forced divergence, budgets, bundle."""
+
+import json
+
+import pytest
+
+from repro.shadow import (FAULT_SIDES, PROMOTE, ROLLBACK, ShadowConfig,
+                          run_shadow)
+
+
+class TestShadowConfig:
+    def test_mechanisms_canonicalized_case_insensitively(self):
+        config = ShadowConfig(primary="LAZYPOLINE", shadow="k23-ultra",
+                              workload="nginx")
+        assert config.primary == "lazypoline"
+        assert config.shadow == "K23-ultra"
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowConfig(primary="frobnicator", shadow="native",
+                         workload="stress")
+
+    def test_bad_fault_side_rejected(self):
+        with pytest.raises(ValueError, match="fault_side"):
+            ShadowConfig(primary="native", shadow="native",
+                         workload="stress", fault_side="left")
+        assert FAULT_SIDES == ("none", "both", "primary", "shadow")
+
+    def test_fault_side_requires_fault_seed(self):
+        with pytest.raises(ValueError, match="fault_seed"):
+            ShadowConfig(primary="native", shadow="native",
+                         workload="stress", fault_side="shadow")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            ShadowConfig(primary="native", shadow="native",
+                         workload="stress", budget=-1)
+
+
+class TestLockstepProperty:
+    """primary == shadow must always promote with zero divergences —
+    on both interpreter modes."""
+
+    @pytest.mark.parametrize("block_cache", [True, False])
+    def test_batch_lockstep_clean(self, block_cache):
+        report = run_shadow(ShadowConfig(
+            primary="zpoline-default", shadow="zpoline-default",
+            workload="stress", seed=9, params=(("iterations", 10),),
+            block_cache=block_cache))
+        assert report.verdict == PROMOTE
+        assert report.divergence_count == 0
+
+    @pytest.mark.parametrize("block_cache", [True, False])
+    def test_server_lockstep_clean(self, block_cache):
+        report = run_shadow(ShadowConfig(
+            primary="lazypoline", shadow="lazypoline",
+            workload="redis", seed=5, requests=8,
+            block_cache=block_cache))
+        assert report.verdict == PROMOTE
+        assert report.divergence_count == 0
+        assert report.requests == 8
+        assert report.failures == 0
+
+
+class TestCrossMechanism:
+    def test_conformant_pair_promotes(self):
+        report = run_shadow(ShadowConfig(
+            primary="lazypoline", shadow="K23-ultra",
+            workload="nginx", seed=7, requests=8))
+        assert report.promoted
+        assert report.divergence_count == 0
+
+    def test_latency_deltas_populated(self):
+        report = run_shadow(ShadowConfig(
+            primary="lazypoline", shadow="zpoline-ultra",
+            workload="redis", seed=5, requests=8))
+        delta = report.latency_delta
+        assert delta["unit"] == "cycles"
+        assert delta["per_syscall"]
+        both_sided = [entry for entry in delta["per_syscall"].values()
+                      if entry["primary"] and entry["shadow"]]
+        assert both_sided
+        assert all("delta_p50" in entry and "delta_p99" in entry
+                   for entry in both_sided)
+
+    def test_symmetric_fault_schedule_is_behavior_invariant(self):
+        """The same seeded schedule on both sides must not diverge a
+        conformant pair — injection counting is mechanism-invariant."""
+        report = run_shadow(ShadowConfig(
+            primary="lazypoline", shadow="K23-ultra",
+            workload="redis", seed=5, requests=8,
+            fault_seed=11, fault_side="both"))
+        assert report.promoted
+        assert report.divergence_count == 0
+
+
+class TestForcedDivergence:
+    def test_one_sided_fault_rolls_back_with_bundle(self, tmp_path):
+        bundle_dir = tmp_path / "bundle"
+        report = run_shadow(ShadowConfig(
+            primary="zpoline-default", shadow="zpoline-default",
+            workload="redis", seed=5, requests=16,
+            fault_seed=11, fault_side="shadow",
+            bundle_dir=str(bundle_dir)))
+        assert report.verdict == ROLLBACK
+        assert report.divergence_count > 0
+        assert report.bundle_path == str(bundle_dir)
+        for name in ("report.json", "tracediff.json", "latency_deltas.json",
+                     "analyzers.json", "primary.trace.json",
+                     "shadow.trace.json"):
+            assert (bundle_dir / name).exists(), name
+        doc = json.loads((bundle_dir / "report.json").read_text())
+        assert doc["verdict"] == ROLLBACK
+        assert doc["divergence_count"] == report.divergence_count
+        tracediff = json.loads((bundle_dir / "tracediff.json").read_text())
+        assert tracediff["divergences"]
+        assert tracediff["earliest"] is not None
+        assert tracediff["earliest"]["primary_context"]
+
+    def test_divergences_emitted_on_primary_bus(self):
+        """Every mismatch is a ShadowDivergence event an attached sink
+        can observe (the report's list is the DivergenceSink snapshot)."""
+        report = run_shadow(ShadowConfig(
+            primary="zpoline-default", shadow="zpoline-default",
+            workload="redis", seed=5, requests=16,
+            fault_seed=11, fault_side="shadow"))
+        assert report.divergences
+        entry = report.divergences[0]
+        assert entry["primary"] == "zpoline-default"
+        assert entry["shadow"] == "zpoline-default"
+        assert entry["kind"] in ("response", "trace", "exit")
+
+    def test_budget_absorbs_exactly_that_many_divergences(self):
+        base = dict(primary="zpoline-default", shadow="zpoline-default",
+                    workload="redis", seed=5, requests=16,
+                    fault_seed=11, fault_side="shadow")
+        over = run_shadow(ShadowConfig(**base))
+        count = over.divergence_count
+        assert count > 0
+        at_budget = run_shadow(ShadowConfig(**base, budget=count))
+        assert at_budget.verdict == PROMOTE
+        under = run_shadow(ShadowConfig(**base, budget=count - 1))
+        assert under.verdict == ROLLBACK
+
+    def test_clean_run_writes_no_bundle(self, tmp_path):
+        bundle_dir = tmp_path / "bundle"
+        report = run_shadow(ShadowConfig(
+            primary="lazypoline", shadow="lazypoline",
+            workload="stress", seed=3, params=(("iterations", 8),),
+            bundle_dir=str(bundle_dir)))
+        assert report.promoted
+        assert report.bundle_path is None
+        assert not bundle_dir.exists()
+
+
+class TestBatchDivergenceChannels:
+    def test_batch_one_sided_fault_detected(self):
+        """Faults on one side of a batch pair surface through the
+        normalized-trace (and possibly exit-status) channels."""
+        report = run_shadow(ShadowConfig(
+            primary="zpoline-default", shadow="zpoline-default",
+            workload="cat", seed=9, fault_seed=7, fault_side="primary"))
+        assert report.verdict == ROLLBACK
+        assert report.divergence_count > 0
