@@ -40,7 +40,8 @@ from __future__ import annotations
 from repro.arch.isa import Mnemonic
 from repro.cpu.cycles import Event
 from repro.cpu.dispatch import BLOCK_TERMINATORS
-from repro.cpu.icache import Block
+from repro.cpu.engine import form_superblock, run_superblock
+from repro.cpu.icache import Block, TERM_END
 from repro.errors import DecodeError, InvalidOpcode
 
 _MASK64 = (1 << 64) - 1
@@ -56,16 +57,66 @@ def run_unit(env, budget: int) -> int:
     Returns the number of instructions retired (>= 1 unless an exception is
     raised).  Exceptions propagate exactly as from single-stepping, with
     ``env.unit_retired`` naming the in-unit index of the culprit.
+
+    With a chaining-enabled :class:`repro.cpu.engine.EngineConfig` on the
+    environment's icache, one unit follows the chain of cached blocks
+    (dispatching superblocks and compiled traces where formed) until a
+    unit-ending terminator, an uncached/invalid successor, or the budget;
+    without one, a unit is exactly one block — PR 2 behaviour.
     """
     ctx = env.context
     icache = env.icache
     block = icache.block_at(ctx.rip)
-    if block is not None:
-        return _replay(env, ctx, block, budget)
-    return _record(env, ctx, icache, budget)
+    if block is None:
+        return _record(env, ctx, icache, budget)
+    engine = icache.engine
+    if engine is None or not engine.chain:
+        return _replay(env, ctx, block, budget, 0)
+    return _run_chained(env, ctx, icache, engine, block, budget)
 
 
-def _replay(env, ctx, block: Block, budget: int) -> int:
+def _run_chained(env, ctx, icache, engine, block, budget: int) -> int:
+    """Follow the block chain for up to *budget* instructions."""
+    total = 0
+    blocks = icache._blocks
+    while True:
+        sb = block.superblock
+        if sb is None:
+            heat = block.heat + 1
+            block.heat = heat
+            if engine.superblock and heat >= engine.superblock_threshold:
+                sb = form_superblock(icache, block, engine)
+        if sb is not None and sb.valid and sb.n_steps <= budget - total:
+            n = run_superblock(env, ctx, icache, sb, total)
+            total += n
+            if n < sb.n_steps or sb.tail_end:
+                # Early exit (guard failure / constituent invalidated) or
+                # a unit-ending tail: hand control back to the scheduler.
+                return total
+            block = sb.blocks[-1]
+        else:
+            n = _replay(env, ctx, block, budget - total, total)
+            total += n
+            if n < len(block.steps) or block.term == TERM_END:
+                return total
+        if total >= budget:
+            return total
+        rip = ctx.rip
+        nxt = block.succ
+        if nxt is None or nxt.entry != rip or not nxt.valid:
+            nxt = blocks.get(rip)
+            if nxt is None:
+                # Uncached successor: end the unit; the next unit records
+                # it (with a fresh base, exactly like the unchained path).
+                return total
+            block.succ = nxt
+            icache.chain_links += 1
+        else:
+            icache.chain_follows += 1
+        block = nxt
+
+
+def _replay(env, ctx, block: Block, budget: int, base: int) -> int:
     steps = block.steps
     n = len(steps)
     if budget < n:
@@ -88,8 +139,9 @@ def _replay(env, ctx, block: Block, budget: int) -> int:
         # Instruction i faulted mid-execution — it *was* charged by the
         # single-step path (charge precedes execution); un-charge only the
         # never-executed tail before the fault becomes observable, and
-        # mark the culprit's in-unit index for the scheduler.
-        env.unit_retired = i + 1
+        # mark the culprit's in-unit (chain-cumulative) index for the
+        # scheduler.
+        env.unit_retired = base + i + 1
         overshoot = n - i - 1
         if overshoot > 0:
             env.charge(Event.INSTRUCTION, -overshoot)

@@ -39,6 +39,12 @@ from repro.observability.events import CycleCharge, RawCycles
 class Event(enum.Enum):
     """Chargeable machine events."""
 
+    # Members are process-wide singletons (pickling resolves by name), so
+    # identity hashing is correct — and the C slot avoids a Python-level
+    # __hash__ frame on the costs/counts lookups the hot charge path does
+    # hundreds of thousands of times per simulated second.
+    __hash__ = object.__hash__
+
     # Baseline execution.
     INSTRUCTION = "instruction"            # one retired simulated instruction
     KERNEL_SYSCALL = "kernel_syscall"      # bare syscall entry/exit round trip

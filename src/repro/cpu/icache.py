@@ -41,8 +41,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.arch.decoder import decode
-from repro.arch.isa import Instruction
-from repro.cpu.dispatch import Executor, compile_insn
+from repro.arch.isa import Instruction, Mnemonic
+from repro.cpu.dispatch import BLOCK_TERMINATORS, Executor, compile_insn
 from repro.errors import ProtectionKeyFault, SegmentationFault
 from repro.memory.pages import page_index
 
@@ -53,6 +53,18 @@ LINE_SPAN = 16
 #: instruction, and its compiled executor closure.
 Line = Tuple[bytes, Instruction, Executor]
 
+#: How a block ends, for the chaining tier (:mod:`repro.cpu.engine`):
+#: a statically-known single successor (direct jump/call, fall-through
+#: cut), a conditional branch (two static successors), an indirect branch
+#: (successor computed at run time — chains follow it through the
+#: validated ``succ`` edge, but superblock formation stops), or a
+#: unit-ending terminator (syscall, hostcall, serializing, faulting trio)
+#: after which the scheduler must get control back.
+TERM_DIRECT = 0
+TERM_COND = 1
+TERM_INDIRECT = 2
+TERM_END = 3
+
 
 class Block:
     """A cached straight-line run of compiled instructions.
@@ -62,9 +74,19 @@ class Block:
     the owning cache's invalidation paths; replay checks it between
     instructions so a block self-invalidated by its own store stops exactly
     where single-stepping would have re-fetched.
+
+    The chaining/superblock tiers hang their bookkeeping here: ``succ`` is
+    a monomorphic inline cache of the last-observed successor block
+    (validated against ``ctx.rip`` and ``succ.valid`` at follow time, so a
+    stale edge degrades to a dictionary lookup, never to wrong execution);
+    ``heat`` counts replays toward superblock formation; ``superblock`` is
+    the superblock headed here (``None`` until formed); ``sbs`` lists every
+    superblock this block participates in, so dropping the block dooms
+    them all.
     """
 
-    __slots__ = ("entry", "end", "steps", "valid")
+    __slots__ = ("entry", "end", "steps", "valid",
+                 "heat", "succ", "superblock", "sbs", "term")
 
     def __init__(self, entry: int, end: int,
                  steps: List[Tuple[int, Executor, Instruction]]):
@@ -72,16 +94,38 @@ class Block:
         self.end = end          # exclusive: entry + sum of lengths
         self.steps = steps
         self.valid = True
+        self.heat = 0
+        self.succ: Optional["Block"] = None
+        self.superblock = None
+        self.sbs: list = []
+        mnemonic = steps[-1][2].mnemonic
+        if mnemonic is Mnemonic.JCC_REL:
+            self.term = TERM_COND
+        elif mnemonic is Mnemonic.JMP_REL or mnemonic is Mnemonic.CALL_REL:
+            self.term = TERM_DIRECT
+        elif (mnemonic is Mnemonic.RET or mnemonic is Mnemonic.JMP_REG
+              or mnemonic is Mnemonic.CALL_REG):
+            self.term = TERM_INDIRECT
+        elif mnemonic in BLOCK_TERMINATORS:
+            self.term = TERM_END
+        else:
+            self.term = TERM_DIRECT  # fall-through cut (budget/BLOCK_MAX)
 
     def __len__(self) -> int:
         return len(self.steps)
 
 
 class ICache:
-    """Decoded-instruction cache (and block cache) for one core."""
+    """Decoded-instruction cache (and block cache) for one core.
 
-    def __init__(self, core_id: int = 0):
+    *engine* is the :class:`repro.cpu.engine.EngineConfig` selecting the
+    chaining/superblock/trace-JIT tiers; ``None`` (the default, used by
+    unit-test environments) runs the plain one-block-per-unit PR 2 path.
+    """
+
+    def __init__(self, core_id: int = 0, engine=None):
         self.core_id = core_id
+        self.engine = engine
         self._lines: Dict[int, Line] = {}
         self._line_pages: Dict[int, Set[int]] = {}
         self._blocks: Dict[int, Block] = {}
@@ -97,6 +141,15 @@ class ICache:
         self.misses = 0
         self.block_hits = 0
         self.block_installs = 0
+        # Engine-tier counters (repro.cpu.engine / repro.cpu.tracejit).
+        self.chain_links = 0
+        self.chain_follows = 0
+        self.superblocks_formed = 0
+        self.superblock_hits = 0
+        self.traces_compiled = 0
+        self.trace_hits = 0
+        self.guard_fails = 0
+        self.invalidation_unlinks = 0
 
     # -- decoded-line interface ------------------------------------------------
 
@@ -157,6 +210,14 @@ class ICache:
 
     def _drop_block(self, block: Block) -> None:
         block.valid = False
+        if block.succ is not None or block.heat:
+            # The block participated in chaining: its outgoing edge dies
+            # here and every incoming edge is rejected at follow time by
+            # the ``succ.valid`` check.
+            self.invalidation_unlinks += 1
+        block.succ = None
+        if block.sbs:
+            self._doom_superblocks(block)
         if self._blocks.get(block.entry) is block:
             del self._blocks[block.entry]
         for page in range(page_index(block.entry),
@@ -166,6 +227,26 @@ class ICache:
                 entries.discard(block.entry)
                 if not entries:
                     del self._blocks_by_page[page]
+
+    def _doom_superblocks(self, block: Block) -> None:
+        """Invalidate every superblock *block* participates in.
+
+        The doomed superblock's head becomes eligible for re-formation
+        (after re-heating — a page under repeated patching must not thrash
+        the formation machinery), and the other constituents forget the
+        doomed superblock so the membership lists stay small.
+        """
+        for sb in block.sbs:
+            if not sb.valid:
+                continue
+            sb.valid = False
+            head = sb.blocks[0]
+            head.superblock = None
+            head.heat = 0
+            for member in sb.blocks:
+                if member is not block and sb in member.sbs:
+                    member.sbs.remove(sb)
+        block.sbs = []
 
     # Recording span: repro.cpu.blocks brackets first-execution tracing with
     # begin/end so invalidations racing the trace doom the block-in-progress.
@@ -221,6 +302,9 @@ class ICache:
         self._line_pages.clear()
         for block in self._blocks.values():
             block.valid = False
+            block.succ = None
+            if block.sbs:
+                self._doom_superblocks(block)
         self._blocks.clear()
         self._blocks_by_page.clear()
         if self._rec_active:

@@ -61,15 +61,16 @@ class CpuContext:
 
     @property
     def syscall_number(self) -> int:
-        return self.get(Reg.RAX)
+        return self._regs[0]  # Reg.RAX — direct index, hot on every syscall
 
     def syscall_args(self, count: int = 6) -> List[int]:
         """Arguments per the x86-64 syscall ABI (rdi, rsi, rdx, r10, r8, r9)."""
-        return [self.get(reg) for reg in SYSCALL_ARG_REGS[:count]]
+        regs = self._regs
+        return [regs[reg] for reg in SYSCALL_ARG_REGS[:count]]
 
     def set_syscall_result(self, value: int) -> None:
         """Store a (possibly negative-errno) result into RAX."""
-        self.set(Reg.RAX, value & _MASK64)
+        self._regs[0] = value & _MASK64
 
     # -- snapshots (signal frames / ptrace GETREGS) --------------------------------
 

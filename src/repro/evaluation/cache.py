@@ -52,6 +52,8 @@ COMMON_DEPENDENCIES: Tuple[str, ...] = (
     "repro.cpu.dispatch",
     "repro.cpu.blocks",
     "repro.cpu.icache",
+    "repro.cpu.engine",
+    "repro.cpu.tracejit",
     "repro.memory.address_space",
 )
 
@@ -136,12 +138,21 @@ def cell_key(kind: str, mechanism: str, workload: str, seed: int,
     """
     from repro.cpu.cycles import CLOCK_HZ, DEFAULT_COSTS, Event
     from repro.cpu.cycles import SUD_CONTENTION_FACTOR
+    from repro.cpu.engine import EngineConfig
     from repro.interposers.registry import REGISTRY
 
     spec = REGISTRY.get(mechanism)
     costs = {name: DEFAULT_COSTS[Event[name]]
              for name in spec.relevant_events}
     constants: Dict[str, object] = {"clock_hz": CLOCK_HZ, "costs": costs}
+    # Engine-tier selection cannot change any measured number (the tiers
+    # are cycle-exact by construction), but a tier bug would — so cells
+    # measured under different REPRO_NO_* hatches must never share an
+    # entry: a hatched re-run has to re-execute, not read back the cached
+    # full-tier value it was meant to cross-check.
+    constants["engine"] = dict(
+        EngineConfig.from_env().flags(),
+        block_cache=os.environ.get("REPRO_NO_BLOCK_CACHE", "") != "1")
     if spec.arms_sud:
         constants["sud_contention_factor"] = SUD_CONTENTION_FACTOR
     modules = (COMMON_DEPENDENCIES + (spec.factory.partition(":")[0],)

@@ -9,11 +9,15 @@ previously serial, recompute-everything harness into a pipeline:
 1. **enumerate** — every cell becomes a picklable :class:`ScenarioSpec`
    (strings and ints only; workers re-resolve configs and the mechanism
    registry on their side);
-2. **execute** — cells run concurrently in a ``multiprocessing`` pool with
-   per-cell timeouts and captured tracebacks, falling back to in-process
-   serial execution when a pool cannot be created (restricted sandboxes)
-   or breaks mid-run.  A hard worker crash fails only the crashing cell;
-   the remaining cells are re-run serially;
+2. **execute** — cells are dealt round-robin into ``jobs`` *deterministic
+   shards* (cell *i* → shard ``i % jobs``, a pure function of the
+   enumeration order) and each shard runs serially inside one
+   ``multiprocessing`` worker: one submission round-trip per shard
+   instead of per cell, with captured tracebacks and a per-shard wall
+   budget.  Pool-less environments (restricted sandboxes) and mid-run
+   pool breakage degrade to in-process serial execution; a hard worker
+   crash fails only the crashing shard's cells, and every other shard is
+   salvaged or re-run serially;
 3. **memoize** — each cell is looked up in / written to the
    content-addressed :class:`~repro.evaluation.cache.ResultCache`, keyed on
    the mechanism, the workload, the cycle-model constants the mechanism
@@ -260,14 +264,38 @@ def execute_cell(spec: ScenarioSpec) -> dict:
 
 def _pool_worker(spec: ScenarioSpec) -> Tuple[ScenarioSpec, Optional[dict],
                                               Optional[str], float]:
-    """Top-level pool entry point: never raises, returns a traceback
-    string instead so one bad cell cannot poison the pool protocol."""
+    """Run one cell: never raises, returns a traceback string instead so
+    one bad cell cannot poison the pool protocol."""
     started = time.monotonic()
     try:
         value = execute_cell(spec)
         return spec, value, None, time.monotonic() - started
     except BaseException:  # noqa: BLE001 — captured verbatim for the report
         return spec, None, traceback.format_exc(), time.monotonic() - started
+
+
+def _shard_worker(shard: List[ScenarioSpec]
+                  ) -> List[Tuple[ScenarioSpec, Optional[dict],
+                                  Optional[str], float]]:
+    """Top-level pool entry point: one worker executes one shard serially."""
+    return [_pool_worker(spec) for spec in shard]
+
+
+def shard_specs(specs: Sequence[ScenarioSpec],
+                jobs: int) -> List[List[ScenarioSpec]]:
+    """Deal *specs* round-robin into at most *jobs* shards.
+
+    The assignment is a pure function of enumeration order and *jobs* —
+    no timing, no hashing — so repeated runs dispatch identical shards,
+    and interleaving (rather than chunking) keeps expensive neighbouring
+    cells (e.g. one macro row across all mechanisms) off the same worker.
+    Merge order is canonical regardless (see :func:`run_cells`), so the
+    shard count can never perturb an artifact byte.
+    """
+    if jobs <= 1:
+        return [list(specs)] if specs else []
+    shards = [list(specs[index::jobs]) for index in range(jobs)]
+    return [shard for shard in shards if shard]
 
 
 def _run_serial(specs: Sequence[ScenarioSpec],
@@ -300,8 +328,9 @@ def _run_parallel(specs: Sequence[ScenarioSpec],
                   results: Dict[ScenarioSpec, CellResult],
                   stats: PipelineStats, cache: ResultCache,
                   jobs: int, timeout: float) -> None:
-    """Pool execution; raises :class:`_PoolUnavailable` only before any
-    cell has been dispatched (the caller then reruns everything serially)."""
+    """Sharded pool execution; raises :class:`_PoolUnavailable` only
+    before any shard has been dispatched (the caller then reruns
+    everything serially)."""
     import concurrent.futures as futures_mod
     import multiprocessing
 
@@ -314,48 +343,60 @@ def _run_parallel(specs: Sequence[ScenarioSpec],
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX hosts
         context = multiprocessing.get_context()
+    shards = shard_specs(list(specs), jobs)
     try:
-        executor = futures_mod.ProcessPoolExecutor(max_workers=jobs,
-                                                   mp_context=context)
-        pending = [(spec, executor.submit(_pool_worker, spec))
-                   for spec in specs]
+        executor = futures_mod.ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=context)
+        pending = [(shard, executor.submit(_shard_worker, shard))
+                   for shard in shards]
     except Exception as exc:
         raise _PoolUnavailable(f"{type(exc).__name__}: {exc}") from exc
 
     retry_serially: List[ScenarioSpec] = []
     try:
-        for spec, future in pending:
+        for shard, future in pending:
+            # The per-cell budget aggregates per shard: a worker executes
+            # its shard serially, so individual cells are not separately
+            # interruptible.
+            budget = timeout * len(shard)
             try:
-                _spec, value, error, duration = future.result(timeout=timeout)
+                outcomes = future.result(timeout=budget)
             except futures_mod.TimeoutError:
                 future.cancel()
-                results[spec] = CellResult(
-                    spec, error=f"cell timed out after {timeout:.0f}s",
-                    source="parallel", duration=timeout)
-                stats.failures += 1
-                stats.parallel_cells += 1
+                for spec in shard:
+                    results[spec] = CellResult(
+                        spec, error=f"shard timed out after {budget:.0f}s "
+                        f"({len(shard)} cells)",
+                        source="parallel", duration=timeout)
+                    stats.failures += 1
+                    stats.parallel_cells += 1
             except BrokenProcessPool:
-                # A worker died abruptly (signal / OOM).  Blame this cell,
-                # salvage every other still-pending cell serially.
-                results[spec] = CellResult(
-                    spec, error="pool worker crashed:\n"
-                    + traceback.format_exc(), source="parallel")
-                stats.failures += 1
-                stats.parallel_cells += 1
-                for candidate, future_ in pending:
-                    if candidate in results:
+                # A worker died abruptly (signal / OOM) somewhere in this
+                # shard; its in-worker results are gone.  Blame the whole
+                # shard, salvage every other shard's finished results, and
+                # re-run the rest serially.
+                crash = "pool worker crashed:\n" + traceback.format_exc()
+                for spec in shard:
+                    results[spec] = CellResult(spec, error=crash,
+                                               source="parallel")
+                    stats.failures += 1
+                    stats.parallel_cells += 1
+                for other, future_ in pending:
+                    if other is shard or other[0] in results:
                         continue
                     try:
-                        _s, value, error, duration = future_.result(timeout=0)
+                        outcomes = future_.result(timeout=0)
                     except Exception:
-                        retry_serially.append(candidate)
+                        retry_serially.extend(other)
                     else:
-                        _record_pool_result(results, stats, cache, candidate,
-                                            value, error, duration)
+                        for spec, value, error, duration in outcomes:
+                            _record_pool_result(results, stats, cache, spec,
+                                                value, error, duration)
                 break
             else:
-                _record_pool_result(results, stats, cache, spec, value,
-                                    error, duration)
+                for spec, value, error, duration in outcomes:
+                    _record_pool_result(results, stats, cache, spec, value,
+                                        error, duration)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
 

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.arch.registers import Reg
 from repro.cpu.blocks import run_unit
 from repro.cpu.core import HostcallRegistry, step as cpu_step
+from repro.cpu.engine import EngineConfig
 from repro.cpu.cycles import CycleModel, Event
 from repro.errors import (
     Breakpoint,
@@ -125,6 +126,13 @@ class Kernel:
         #: faster.
         self.block_cache_enabled = os.environ.get(
             "REPRO_NO_BLOCK_CACHE", "") != "1"
+        #: Execution-engine tiers layered on the block cache
+        #: (repro.cpu.engine): block chaining, superblock formation, and
+        #: the trace JIT, each with its own escape hatch (REPRO_NO_CHAIN /
+        #: REPRO_NO_SUPERBLOCK / REPRO_NO_TRACE_JIT).  Semantics are
+        #: byte-identical across every configuration; the tiers only
+        #: remove interpreter overhead.
+        self.engine = EngineConfig.from_env()
         #: Probability that a mid-patch preemption window actually lets
         #: sibling threads run (pitfall P5).  The window is nanoseconds wide
         #: on hardware, so organic workloads rarely land in it; the default
@@ -208,8 +216,12 @@ class Kernel:
 
         bus = self.bus
 
-        # 1. Syscall User Dispatch.
-        if thread.sud.should_dispatch(site, self._read_selector(process)):
+        # 1. Syscall User Dispatch.  should_dispatch is False whenever SUD
+        # is off, so skip building the selector-read closure (pure
+        # per-syscall overhead on the native path) unless it is armed.
+        sud = thread.sud
+        if sud.enabled and sud.should_dispatch(site,
+                                               self._read_selector(process)):
             if bus.enabled:
                 bus.emit(SyscallEnter(ts=self.cycles.cycles, pid=process.pid,
                                       tid=thread.tid, nr=nr, site=site,
@@ -740,7 +752,32 @@ class Kernel:
                 self._quantum_boundary(thread)
             if retired == before:
                 break
+        if self.bus.enabled:
+            self._emit_engine_stats()
         return retired
+
+    def _emit_engine_stats(self) -> None:
+        """Emit one :class:`EngineStats` event (attached-sink runs only:
+        the null-sink fast path never pays the counter aggregation)."""
+        from repro.observability.events import EngineStats
+
+        stats = self.interp_stats()
+        flags = self.engine.flags()
+        if not self.block_cache_enabled:
+            tiers = "single-step"
+        else:
+            tiers = "+".join(n for n in ("chain", "superblock", "trace_jit")
+                             if flags[n]) or "block-cache"
+        self.bus.emit(EngineStats(
+            ts=self.cycles.cycles, pid=0, tid=0, tiers=tiers,
+            chain_links=stats["chain_links"],
+            chain_follows=stats["chain_follows"],
+            superblocks_formed=stats["superblocks_formed"],
+            superblock_hits=stats["superblock_hits"],
+            traces_compiled=stats["traces_compiled"],
+            trace_hits=stats["trace_hits"],
+            guard_fails=stats["guard_fails"],
+            invalidation_unlinks=stats["invalidation_unlinks"]))
 
     def _quantum_boundary(self, thread: Thread) -> None:
         """Fault-injection hook at the end of a thread's scheduler turn."""
@@ -796,7 +833,11 @@ class Kernel:
         interpreter benchmarks)."""
         stats = {"instructions": self.cycles.counts[Event.INSTRUCTION],
                  "icache_hits": 0, "icache_misses": 0,
-                 "block_hits": 0, "block_installs": 0}
+                 "block_hits": 0, "block_installs": 0,
+                 "chain_links": 0, "chain_follows": 0,
+                 "superblocks_formed": 0, "superblock_hits": 0,
+                 "traces_compiled": 0, "trace_hits": 0,
+                 "guard_fails": 0, "invalidation_unlinks": 0}
         for process in self.processes.values():
             for thread in process.threads:
                 icache = thread.icache
@@ -804,6 +845,14 @@ class Kernel:
                 stats["icache_misses"] += icache.misses
                 stats["block_hits"] += icache.block_hits
                 stats["block_installs"] += icache.block_installs
+                stats["chain_links"] += icache.chain_links
+                stats["chain_follows"] += icache.chain_follows
+                stats["superblocks_formed"] += icache.superblocks_formed
+                stats["superblock_hits"] += icache.superblock_hits
+                stats["traces_compiled"] += icache.traces_compiled
+                stats["trace_hits"] += icache.trace_hits
+                stats["guard_fails"] += icache.guard_fails
+                stats["invalidation_unlinks"] += icache.invalidation_unlinks
         return stats
 
     def app_requested_syscalls(self, pid: Optional[int] = None) -> List[SyscallRecord]:

@@ -69,7 +69,7 @@ class Thread:
         self.process = process
         self.tid = process.kernel.new_tid()
         self.context = CpuContext()
-        self.icache = ICache(core_id)
+        self.icache = ICache(core_id, engine=process.kernel.engine)
         self.core_id = core_id
         self.sud = SudState()
         self.exited = False
@@ -100,6 +100,11 @@ class Thread:
         #: return-to-user (the enclosing handler's context restore would
         #: clobber the user frame — see Kernel.deliver_signal).
         self._host_handler_depth = 0
+        #: Bound-method alias: ``charge`` is on the per-instruction hot
+        #: path and the kernel's CycleModel is created once and never
+        #: replaced, so skip the forwarding frame the class-level method
+        #: below would add.
+        self.charge = process.kernel.cycles.charge
         #: In-unit retire index maintained by the block executor
         #: (:mod:`repro.cpu.blocks`): the 1-based index of the instruction
         #: currently executing, read by the scheduler to attribute a
@@ -107,6 +112,16 @@ class Thread:
         self.unit_retired = 0
 
     # -- execution-environment protocol (repro.cpu.core.step) ------------------
+
+    @property
+    def mem_space(self) -> AddressSpace:
+        """The live address space — the trace JIT's inline-cache seed.
+
+        Exposing this attribute is the promise (see
+        :mod:`repro.cpu.engine`) that ``mem_read``/``mem_write`` below are
+        exactly ``address_space.read/write(.., pkru=self.context.pkru)``.
+        """
+        return self.process.address_space
 
     def mem_fetch(self, addr: int, length: int) -> bytes:
         return self.process.address_space.fetch(addr, length)
@@ -125,6 +140,9 @@ class Thread:
         self.process.kernel.dispatch_hostcall(self, index)
 
     def charge(self, event: Event, times: int = 1) -> None:
+        # Shadowed by the bound-method alias set in __init__; kept as the
+        # documented protocol signature (and for subclasses that replace
+        # the alias).
         self.process.kernel.cycles.charge(event, times)
 
     # -- state -------------------------------------------------------------------

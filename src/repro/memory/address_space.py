@@ -23,6 +23,14 @@ from repro.memory.pages import (
 )
 from repro.memory.pku import PKEY_DEFAULT, PKEY_COUNT, Pkru
 
+#: Integer protection masks for the fast paths below.  ``Prot`` is an
+#: ``IntFlag`` whose ``&`` goes through the (slow) enum machinery; the
+#: memoized per-page entries store the raw int so the per-access check is
+#: plain integer arithmetic.
+_PROT_READ = int(Prot.READ)
+_PROT_WRITE = int(Prot.WRITE)
+_PROT_EXEC = int(Prot.EXEC)
+
 #: Where anonymous/library mappings start when the caller lets the kernel
 #: pick an address (grows upward like Linux's mmap_base, simplified).
 MMAP_BASE = 0x7F00_0000_0000
@@ -67,12 +75,16 @@ class AddressSpace:
         self.regions: List[Region] = []
         self._mmap_cursor = MMAP_BASE
         # Single-page access fast path: memoized (generation, page, prot,
-        # pkey) per page index.  Any mapping/protection change bumps the
-        # generation, lazily invalidating every memoized entry; the page
-        # bytearray is shared (not copied), so in-place writes through the
-        # slow path remain visible to fast-path readers.
-        self._fast: Dict[int, Tuple[int, bytearray, Prot, int]] = {}
-        self._fast_gen = 0
+        # pkey) per page index.  Generations are **per page**: a mapping or
+        # protection change bumps only the touched pages' generations, so an
+        # unrelated region's mmap does not evict every memoized translation
+        # (the interpreter keeps its hot-page entries across cold mmap
+        # traffic).  The page bytearray is shared (not copied), so in-place
+        # writes through the slow path remain visible to fast-path readers;
+        # ``prot`` is stored as a raw int (see _PROT_*).
+        self._fast: Dict[int, Tuple[int, bytearray, int, int]] = {}
+        self._page_gen: Dict[int, int] = {}
+        self._gen_counter = 0
         # region_at bisect index: region start addresses, kept in sync with
         # the (sorted, non-overlapping) regions list.
         self._region_starts: List[int] = []
@@ -108,15 +120,17 @@ class AddressSpace:
                 raise MapError(
                     f"mapping {addr:#x}+{length:#x} overlaps an existing one"
                 )
+        self._gen_counter += 1
+        gen = self._gen_counter
         for idx in page_span(addr, length):
             self._pages[idx] = bytearray(PAGE_SIZE)
             self._prot[idx] = prot
             self._pkey[idx] = pkey
+            self._page_gen[idx] = gen
         self._drop_region_overlap(addr, addr + length)
         self.regions.append(Region(addr, addr + length, name, file_offset))
         self.regions.sort(key=lambda r: r.start)
         self._reindex_regions()
-        self._fast_gen += 1
         return addr
 
     def munmap(self, addr: int, length: int) -> None:
@@ -124,12 +138,14 @@ class AddressSpace:
         if addr % PAGE_SIZE:
             raise MapError(f"munmap address {addr:#x} is not page-aligned")
         length = round_up_pages(length)
+        self._gen_counter += 1
+        gen = self._gen_counter
         for idx in page_span(addr, length):
             self._pages.pop(idx, None)
             self._prot.pop(idx, None)
             self._pkey.pop(idx, None)
+            self._page_gen[idx] = gen
         self._drop_region_overlap(addr, addr + length)
-        self._fast_gen += 1
 
     def mprotect(self, addr: int, length: int, prot: Prot) -> None:
         """Change protection on whole mapped pages (EINVAL-style on gaps)."""
@@ -142,18 +158,22 @@ class AddressSpace:
                 raise MapError(
                     f"mprotect range {addr:#x}+{length:#x} covers unmapped pages"
                 )
+        self._gen_counter += 1
+        gen = self._gen_counter
         for idx in indices:
             self._prot[idx] = prot
-        self._fast_gen += 1
+            self._page_gen[idx] = gen
 
     def pkey_mprotect(self, addr: int, length: int, prot: Prot, pkey: int) -> None:
         """``pkey_mprotect``: mprotect + assign a protection key."""
         if not 0 <= pkey < PKEY_COUNT:
             raise MapError(f"invalid pkey {pkey}")
         self.mprotect(addr, length, prot)
+        self._gen_counter += 1
+        gen = self._gen_counter
         for idx in page_span(addr, round_up_pages(length)):
             self._pkey[idx] = pkey
-        self._fast_gen += 1
+            self._page_gen[idx] = gen
 
     def _find_free(self, length: int) -> int:
         addr = self._mmap_cursor
@@ -207,28 +227,45 @@ class AddressSpace:
             if pkru is not None and not pkru.permits(self._pkey[idx], access):
                 raise ProtectionKeyFault(addr, access)
 
-    def _fast_entry(self, idx: int) -> "Optional[Tuple[int, bytearray, Prot, int]]":
-        """Memoized (generation, page, prot, pkey) for one page index."""
+    def page_entry(self, idx: int) -> "Optional[Tuple[int, bytearray, int, int]]":
+        """Generation-checked ``(gen, page, prot_int, pkey)`` for one page.
+
+        The inline-cache seam the trace JIT compiles against
+        (:mod:`repro.cpu.tracejit`): a returned entry is valid until the
+        page's generation changes, the page bytearray is the live backing
+        store, and ``prot_int``/``pkey`` are raw ints so a compiled trace
+        checks permissions with integer arithmetic only.  PKU semantics for
+        a data access via *pkey* are ``not (pkru.value >> (pkey * 2)) & 1``
+        for reads and ``... & 3`` for writes (AD blocks both, WD writes).
+        Returns ``None`` for an unmapped page.
+        """
         entry = self._fast.get(idx)
-        if entry is None or entry[0] != self._fast_gen:
+        if entry is None or entry[0] != self._page_gen.get(idx, 0):
             page = self._pages.get(idx)
             if page is None:
                 return None
-            entry = (self._fast_gen, page, self._prot[idx], self._pkey[idx])
+            entry = (self._page_gen.get(idx, 0), page,
+                     int(self._prot[idx]), self._pkey[idx])
             self._fast[idx] = entry
         return entry
+
+    #: Internal alias — the read/write/fetch fast paths below and the JIT
+    #: seam share one implementation (no forwarding frame on either side).
+    _fast_entry = page_entry
 
     def read(self, addr: int, length: int, pkru: Optional[Pkru] = None) -> bytes:
         """Data read with permission + PKU checks."""
         # Single-page fast path: the interpreter's loads are 1- or 8-byte
         # and almost never straddle a page; skip the page_span generator
         # and bytearray assembly.  Any miss or fault falls back to the
-        # slow path so exception types/fields stay identical.
+        # slow path so exception types/fields stay identical.  The PKU
+        # check is pkru.permits(pkey, "read") as integer bit math.
         off = addr & (PAGE_SIZE - 1)
         if off + length <= PAGE_SIZE:
             entry = self._fast_entry(addr // PAGE_SIZE)
-            if entry is not None and entry[2] & Prot.READ and (
-                    pkru is None or pkru.permits(entry[3], "read")):
+            if entry is not None and entry[2] & _PROT_READ and (
+                    pkru is None
+                    or not (pkru.value >> (entry[3] << 1)) & 1):
                 return bytes(entry[1][off:off + length])
         self._check(addr, length, "read", pkru)
         return self._copy_out(addr, length)
@@ -238,7 +275,7 @@ class AddressSpace:
         off = addr & (PAGE_SIZE - 1)
         if off + length <= PAGE_SIZE:
             entry = self._fast_entry(addr // PAGE_SIZE)
-            if entry is not None and entry[2] & Prot.EXEC:
+            if entry is not None and entry[2] & _PROT_EXEC:
                 return bytes(entry[1][off:off + length])
         self._check(addr, length, "exec", None)
         return self._copy_out(addr, length)
@@ -249,8 +286,9 @@ class AddressSpace:
         off = addr & (PAGE_SIZE - 1)
         if off + length <= PAGE_SIZE:
             entry = self._fast_entry(addr // PAGE_SIZE)
-            if entry is not None and entry[2] & Prot.WRITE and (
-                    pkru is None or pkru.permits(entry[3], "write")):
+            if entry is not None and entry[2] & _PROT_WRITE and (
+                    pkru is None
+                    or not (pkru.value >> (entry[3] << 1)) & 3):
                 entry[1][off:off + length] = data
                 return
         self._check(addr, length, "write", pkru)

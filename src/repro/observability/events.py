@@ -211,9 +211,34 @@ class ShadowDivergence(BusEvent):
     detail: str
 
 
+@dataclass(frozen=True, slots=True)
+class EngineStats(BusEvent):
+    """Execution-engine tier counters for one finished run.
+
+    Emitted once per ``run_process`` completion (when a sink is attached)
+    so traces record how the work was executed: how many unit dispatches
+    hit a chained edge, how often superblocks and compiled traces
+    replayed, and how the speculation failed (``guard_fails``) or was torn
+    down (``invalidation_unlinks``).  ``tiers`` is the
+    :meth:`repro.cpu.engine.EngineConfig.flags` rendering, e.g.
+    ``"chain+superblock+trace_jit"`` or ``"interp"``.
+    """
+
+    tiers: str
+    chain_links: int
+    chain_follows: int
+    superblocks_formed: int
+    superblock_hits: int
+    traces_compiled: int
+    trace_hits: int
+    guard_fails: int
+    invalidation_unlinks: int
+
+
 #: Every event type, for sink filters and schema docs.
 EVENT_TYPES: Tuple[type, ...] = (
     SyscallEnter, SyscallExit, SignalEvent, PtraceStop, IcacheShootdown,
     FaultInjected, QuantumEnd, CycleCharge, RawCycles, HookObserved,
     ProcessLifecycle, RewriteApplied, VdsoCall, ShadowDivergence,
+    EngineStats,
 )

@@ -57,6 +57,42 @@ class TestEquivalence:
         assert (pipe.table5_overheads(forward, MECHS[1:])
                 == pipe.table5_overheads(backward, MECHS[1:]))
 
+    def test_shard_count_never_perturbs_artifact_bytes(self):
+        """--jobs N byte-identity: every shard width renders the same
+        table text as the serial run."""
+        specs = reduced_micro_specs()
+        reference = render_table5(pipe.table5_overheads(
+            pipe.run_cells(specs, jobs=1, cache=None), MECHS[1:]))
+        for jobs in (2, 3, 5):
+            run = pipe.run_cells(specs, jobs=jobs, cache=None)
+            assert render_table5(
+                pipe.table5_overheads(run, MECHS[1:])) == reference
+
+
+class TestSharding:
+    def test_round_robin_deal_is_deterministic(self):
+        specs = reduced_micro_specs()
+        first = pipe.shard_specs(specs, 2)
+        again = pipe.shard_specs(list(specs), 2)
+        assert first == again
+        assert first[0] == specs[0::2]
+        assert first[1] == specs[1::2]
+
+    def test_shards_partition_without_loss_or_dup(self):
+        specs = reduced_micro_specs()
+        for jobs in (1, 2, 3, 7):
+            shards = pipe.shard_specs(specs, jobs)
+            flat = [spec for shard in shards for spec in shard]
+            assert sorted(flat, key=id) == sorted(specs, key=id)
+            assert all(shard for shard in shards)
+            assert len(shards) <= max(1, jobs)
+
+    def test_more_jobs_than_cells_drops_empty_shards(self):
+        specs = reduced_micro_specs()[:2]
+        shards = pipe.shard_specs(specs, 8)
+        assert len(shards) == 2
+        assert pipe.shard_specs([], 4) == []
+
     def test_micro_cell_matches_direct_measurement(self):
         from repro.evaluation.runner import measure_micro_cycles
 

@@ -1,4 +1,4 @@
-"""Lockstep differential fuzz: block-mode vs single-step execution.
+"""Lockstep differential fuzz: block/engine-mode vs single-step execution.
 
 Seeded random programs (assembled with :class:`repro.arch.assembler.Asm`)
 run twice — once through the basic-block translation cache
@@ -9,6 +9,15 @@ data memory) compared after every unit boundary.  Cross-core
 self-modifying-code scenarios (P5) patch the program mid-block from a
 "remote writer" and assert both interpreters exhibit the *identical*
 stale/torn behaviour.
+
+The same differential harness drives the tiered execution engine
+(:mod:`repro.cpu.engine`): every random program also runs under block
+chaining, interpreted superblocks, and the trace JIT (thresholds lowered
+so each tier actually engages within a short program), and dedicated
+self-modifying-code tortures store into pages participating in linked
+chains and compiled traces, asserting the invalidation protocol
+(chain unlink + superblock doom) *and* bit-identical architectural state
+across all four engine configurations.
 """
 
 import random
@@ -20,9 +29,10 @@ from repro.arch.registers import Reg
 from repro.cpu.blocks import run_unit
 from repro.cpu.core import step
 from repro.cpu.cycles import CycleModel, Event
+from repro.cpu.engine import EngineConfig
 from repro.cpu.icache import ICache
 from repro.cpu.state import CpuContext
-from repro.errors import Breakpoint, ReproError
+from repro.errors import Breakpoint, Halt, ReproError
 from repro.memory import AddressSpace, PAGE_SIZE, Prot
 
 CODE_BASE = 0x40_0000
@@ -33,17 +43,32 @@ STACK_TOP = 0x80_0000
 SCRATCH = [Reg.RAX, Reg.RBX, Reg.RCX, Reg.RDX, Reg.RSI, Reg.R8, Reg.R9,
            Reg.R10]
 
+#: The four engine configurations the acceptance gate names.  Thresholds
+#: are lowered so superblocks form and traces compile within the short
+#: fuzz programs; ``None`` is the plain PR 2 one-block-per-unit path.
+ENGINES = {
+    "block": None,
+    "chain": EngineConfig(superblock=False),
+    "superblock": EngineConfig(trace_jit=False,
+                               superblock_threshold=2, jit_threshold=2),
+    "tracejit": EngineConfig(superblock_threshold=2, jit_threshold=2),
+}
+
 
 class FuzzEnv:
     """Kernel-less environment; syscalls/hostcalls just count."""
 
-    def __init__(self, code: bytes):
+    def __init__(self, code: bytes, engine: EngineConfig = None,
+                 code_prot: Prot = Prot.READ | Prot.EXEC):
         self.context = CpuContext()
-        self.icache = ICache()
+        self.icache = ICache(engine=engine)
         self.space = AddressSpace()
+        # The trace-JIT contract (repro.cpu.engine): mem_read/mem_write
+        # below are exactly space.read/write(.., pkru=ctx.pkru).
+        self.mem_space = self.space
         self.cycles = CycleModel()
         self.unit_retired = 0
-        self.space.mmap(CODE_BASE, max(len(code), 1), Prot.READ | Prot.EXEC,
+        self.space.mmap(CODE_BASE, max(len(code), 1), code_prot,
                         name="code", fixed=True)
         self.space.write_kernel(CODE_BASE, code)
         self.space.mmap(DATA_BASE, PAGE_SIZE, Prot.READ | Prot.WRITE,
@@ -130,13 +155,15 @@ def random_program(rng: random.Random) -> bytes:
 
 
 def lockstep(code: bytes, max_insns: int = 4000, quantum: int = 100,
-             patch=None):
+             patch=None, engine: EngineConfig = None,
+             code_prot: Prot = Prot.READ | Prot.EXEC):
     """Run *code* through both interpreters, comparing state at every unit
     boundary.  ``patch(space)`` (if given) fires once after ``quantum``
     retired instructions, modelling a remote-core writer (no icache
-    shootdown — P5)."""
-    block_env = FuzzEnv(code)
-    step_env = FuzzEnv(code)
+    shootdown — P5).  *engine* selects the execution tiers on the
+    block-mode side; the reference side always single-steps."""
+    block_env = FuzzEnv(code, engine=engine, code_prot=code_prot)
+    step_env = FuzzEnv(code, code_prot=code_prot)
     retired = 0
     patched = False
     block_err = None
@@ -250,4 +277,114 @@ def test_lockstep_torn_two_byte_patch():
         step_err = exc
     assert block_err is not None and step_err is not None
     assert block_err.address == step_err.address == site
+    assert block_env.state() == step_env.state()
+
+
+# --------------------------------------------------------- engine tiers
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+@pytest.mark.parametrize("seed", range(6))
+def test_lockstep_engine_tiers(seed, engine):
+    """Every tier (chaining, interpreted superblocks, trace JIT) stays in
+    lockstep with the single-step reference on random programs."""
+    rng = random.Random(3000 + seed)
+    code = random_program(rng)
+    block_env, step_env = lockstep(code, engine=ENGINES[engine])
+    assert block_env.state() == step_env.state()
+
+
+def _smc_chain_trace_program() -> Asm:
+    """A hot loop (chains, forms a superblock, compiles a trace), then a
+    same-core one-byte store *into that loop's code*, then a second hot
+    loop.  The store writes the byte's existing value — the bytes do not
+    change, but the invalidation protocol must fire all the same."""
+    asm = Asm()
+    asm.mov_ri(Reg.RCX, 24)
+    asm.mark("hot")
+    asm.label("hot")
+    asm.inc(Reg.RAX)
+    asm.add_rr(Reg.RBX, Reg.RAX)
+    asm.dec(Reg.RCX)
+    asm.jne("hot")
+    asm.lea_rip_label(Reg.RSI, "hot")
+    asm.mov_ri(Reg.RDX, 0x48)        # the REX.W byte of `inc rax` at hot
+    asm.store8(Reg.RSI, Reg.RDX)
+    asm.mov_ri(Reg.RCX, 24)
+    asm.label("second")
+    asm.inc(Reg.RAX)
+    asm.add_rr(Reg.RBX, Reg.RAX)
+    asm.dec(Reg.RCX)
+    asm.jne("second")
+    asm.hlt()
+    return asm
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_smc_torture_lockstep(engine):
+    """P5-style torture: the store into the chained/traced loop page must
+    leave architectural state identical to single-stepping under every
+    engine configuration."""
+    code = _smc_chain_trace_program().assemble()
+    block_env, step_env = lockstep(code, engine=ENGINES[engine],
+                                   code_prot=Prot.READ | Prot.WRITE
+                                   | Prot.EXEC)
+    assert block_env.state() == step_env.state()
+
+
+def test_smc_torture_unlinks_chain_and_dooms_trace():
+    """The same program, instrumented: the hot loop's superblock must have
+    compiled a trace before the store, and the store must doom it (and
+    unlink chained blocks) via the ordinary invalidation path."""
+    asm = _smc_chain_trace_program()
+    code = asm.assemble()
+    hot_entry = CODE_BASE + asm.marks["hot"]
+    env = FuzzEnv(code, engine=ENGINES["tracejit"],
+                  code_prot=Prot.READ | Prot.WRITE | Prot.EXEC)
+    doomed_sb = None
+    halted = False
+    while not halted:
+        try:
+            run_unit(env, 100)
+        except Halt:
+            halted = True
+        if doomed_sb is None:
+            block = env.icache._blocks.get(hot_entry)
+            if block is not None and block.superblock is not None:
+                doomed_sb = block.superblock
+    assert doomed_sb is not None, "hot loop never formed a superblock"
+    assert doomed_sb.trace not in (None, False), \
+        "hot loop superblock never compiled a trace"
+    assert not doomed_sb.valid, "store into the loop page did not doom"
+    ic = env.icache
+    assert ic.traces_compiled >= 1 and ic.trace_hits >= 1
+    assert ic.chain_follows >= 1
+    assert ic.invalidation_unlinks >= 1
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_smc_store_inside_hot_loop(engine):
+    """A loop whose body stores into its *own* code span every iteration.
+
+    The store dooms each in-progress block recording (the PR 2 rec-doom
+    protocol), so no block — and hence no chain, superblock, or trace —
+    is ever installed over the continuously-rewritten span; execution
+    degrades to safe re-recording and must match single-stepping
+    exactly under every engine configuration."""
+    asm = Asm()
+    asm.mov_ri(Reg.RCX, 30)
+    asm.lea_rip_label(Reg.RSI, "site")
+    asm.mov_ri(Reg.RDX, 0x90)        # nop — byte value is unchanged
+    asm.label("loop")
+    asm.store8(Reg.RSI, Reg.RDX)
+    asm.label("site")
+    asm.nop()
+    asm.inc(Reg.RAX)
+    asm.dec(Reg.RCX)
+    asm.jne("loop")
+    asm.hlt()
+    code = asm.assemble()
+    block_env, step_env = lockstep(code, engine=ENGINES[engine],
+                                   code_prot=Prot.READ | Prot.WRITE
+                                   | Prot.EXEC)
     assert block_env.state() == step_env.state()
