@@ -15,8 +15,14 @@ numbers from different machines or protocols are never compared — and
 fails (exit 1) when the newest entry of any group has ``insns_per_sec``
 more than ``--threshold`` percent below the **rolling median** of up to
 ``--window`` prior entries.  The median makes the gate robust to a
-single noisy historical run; groups with no prior history pass
-informationally (first run on a new machine is not a regression).
+single noisy historical run.  A group with fewer than ``MIN_SAMPLES``
+entries gets an explicit ``SKIP`` verdict instead of a grade: a one- or
+two-line group has no meaningful median, and every machine-tag or
+protocol change starts such a warm-up group, so skipping (not failing,
+not silently passing) is what keeps the gate honest across machine
+migrations.  An empty ledger likewise SKIPs.  Malformed lines (missing
+or non-numeric ``insns_per_sec``, absent workload/mode) are counted and
+reported, never crash the gate.
 """
 
 import argparse
@@ -40,6 +46,11 @@ DEFAULT_THRESHOLD_PCT = 10.0
 
 #: Rolling window: how many prior entries feed the median.
 DEFAULT_WINDOW = 20
+
+#: Minimum entries (latest + priors) a group needs before it is graded;
+#: thinner groups — including every group freshly split off by a
+#: machine-tag or protocol change — get an explicit SKIP verdict.
+MIN_SAMPLES = 3
 
 
 def machine_tag() -> Dict[str, str]:
@@ -107,11 +118,20 @@ def gate(entries: List[Dict], threshold_pct: float = DEFAULT_THRESHOLD_PCT,
 
     Returns ``(ok, report_lines)``; *ok* is False when any group's
     latest ``insns_per_sec`` is more than *threshold_pct* percent below
-    the median of its (up to *window*) prior entries.
+    the median of its (up to *window*) prior entries.  Groups with
+    fewer than :data:`MIN_SAMPLES` entries are SKIPped, not graded —
+    a SKIP never flips *ok*.
     """
+    window = max(1, window)
     groups: Dict[Tuple, List[Dict]] = {}
+    malformed = 0
     for entry in entries:
         if entry.get("schema_version") != SCHEMA_VERSION:
+            continue
+        if (not isinstance(entry.get("insns_per_sec"), (int, float))
+                or isinstance(entry.get("insns_per_sec"), bool)
+                or "workload" not in entry or "mode" not in entry):
+            malformed += 1
             continue
         groups.setdefault(group_key(entry), []).append(entry)
 
@@ -121,12 +141,14 @@ def gate(entries: List[Dict], threshold_pct: float = DEFAULT_THRESHOLD_PCT,
         series = groups[key]
         label = f"{key[0]} [{key[1]}] @{key[3]}"
         latest = series[-1]
-        prior = series[:-1][-window:]
-        if not prior:
-            lines.append(f"PASS {label}: first entry "
-                         f"({latest['insns_per_sec']:,} insns/sec), "
-                         f"no history to compare")
+        if len(series) < MIN_SAMPLES:
+            lines.append(
+                f"SKIP {label}: {len(series)} sample(s), need "
+                f"{MIN_SAMPLES} to gate (latest "
+                f"{latest['insns_per_sec']:,} insns/sec; new "
+                f"machine/protocol groups warm up before grading)")
             continue
+        prior = series[:-1][-window:]
         median = statistics.median(e["insns_per_sec"] for e in prior)
         floor = median * (1 - threshold_pct / 100.0)
         measured = latest["insns_per_sec"]
@@ -142,8 +164,12 @@ def gate(entries: List[Dict], threshold_pct: float = DEFAULT_THRESHOLD_PCT,
             lines.append(
                 f"PASS {label}: {measured:,} insns/sec vs median "
                 f"{median:,.0f} ({delta_pct:+.1f}%, floor {floor:,.0f})")
+    if malformed:
+        lines.append(f"SKIP: ignored {malformed} malformed ledger "
+                     f"line(s) (missing workload/mode or non-numeric "
+                     f"insns_per_sec)")
     if not groups:
-        lines.append("PASS: history is empty, nothing to gate")
+        lines.append("SKIP: history is empty, nothing to gate")
     return ok, lines
 
 

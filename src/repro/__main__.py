@@ -9,6 +9,7 @@ One dispatcher over the tools::
     python -m repro shadow --primary A --shadow B --workload W [--seed N] ...
     python -m repro tracediff A.jsonl B.jsonl [--context N] ...
     python -m repro traceq TRACE [--type T] [--phase P] [--count] ...
+    python -m repro replay --bundle B --to-seq N [--step] [--seed N] ...
 
 The shared flags — ``--seed``, ``--jobs``, ``--trace-out`` — mean the
 same thing everywhere they are accepted (determinism seed, process-pool
@@ -35,6 +36,7 @@ SUBCOMMANDS = {
     "shadow": ("repro.tools.shadow", ("--seed", "--trace-out")),
     "tracediff": ("repro.tools.tracediff", ()),
     "traceq": ("repro.tools.traceq", ()),
+    "replay": ("repro.tools.replay", ("--seed",)),
 }
 
 SHARED_FLAGS = ("--seed", "--jobs", "--trace-out")

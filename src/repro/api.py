@@ -53,6 +53,8 @@ from repro.observability import (Bus, BusEvent, CounterSink, DivergenceSink,
                                  validate_chrome_trace, write_chrome_trace)
 from repro.observability.analyzers import (AnalyzerSuite, LatencyAnalyzer,
                                            PitfallVerdict)
+from repro.replay import (Recorder, ReplayDivergenceError, ReplayResult,
+                          replay_bundle)
 from repro.runapi import (WORKLOADS, PreparedRun, RunConfig, RunResult,
                           WorkloadSpec, prepare, run)
 
@@ -71,6 +73,11 @@ __all__ = [
     "AnalyzerSuite",
     "LatencyAnalyzer",
     "PitfallVerdict",
+    # record/replay
+    "Recorder",
+    "ReplayResult",
+    "ReplayDivergenceError",
+    "replay_bundle",
     # observability
     "Bus",
     "BusEvent",

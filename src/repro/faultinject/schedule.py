@@ -90,6 +90,19 @@ class Fault:
                 f"(arg={self.arg},addr={self.addr:#x},len={self.length},"
                 f"data={self.data.hex()})")
 
+    def to_json(self) -> Dict:
+        """JSON-able rendering (bytes as hex) for the replay record log."""
+        return {"trigger": self.trigger, "at": self.at,
+                "action": self.action, "arg": self.arg, "addr": self.addr,
+                "length": self.length, "data": self.data.hex()}
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "Fault":
+        return cls(trigger=record["trigger"], at=record["at"],
+                   action=record["action"], arg=record["arg"],
+                   addr=record["addr"], length=record["length"],
+                   data=bytes.fromhex(record["data"]))
+
 
 @dataclass
 class FaultConfig:
@@ -123,6 +136,47 @@ class FaultConfig:
 
     def rate_for(self, nr: int) -> float:
         return self.errno_rates.get(int(nr), self.errno_rate)
+
+    def to_json(self) -> Dict:
+        """JSON-able rendering for the replay record log."""
+        return {
+            "horizon": self.horizon,
+            "errno_rate": self.errno_rate,
+            "errno_rates": {str(int(nr)): rate for nr, rate
+                            in sorted(self.errno_rates.items())},
+            "errnos": [int(e) for e in self.errnos],
+            "injectable": sorted(int(nr) for nr in self.injectable),
+            "signal_count": self.signal_count,
+            "signals": [int(s) for s in self.signals],
+            "insn_signal_count": self.insn_signal_count,
+            "insn_range": list(self.insn_range),
+            "quantum_signal_count": self.quantum_signal_count,
+            "quantum_range": list(self.quantum_range),
+            "selector_flips": self.selector_flips,
+            "selector_flip_range": list(self.selector_flip_range),
+            "extra_faults": [f.to_json() for f in self.extra_faults],
+        }
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "FaultConfig":
+        return cls(
+            horizon=record["horizon"],
+            errno_rate=record["errno_rate"],
+            errno_rates={int(nr): rate for nr, rate
+                         in record["errno_rates"].items()},
+            errnos=tuple(record["errnos"]),
+            injectable=frozenset(record["injectable"]),
+            signal_count=record["signal_count"],
+            signals=tuple(record["signals"]),
+            insn_signal_count=record["insn_signal_count"],
+            insn_range=tuple(record["insn_range"]),
+            quantum_signal_count=record["quantum_signal_count"],
+            quantum_range=tuple(record["quantum_range"]),
+            selector_flips=record["selector_flips"],
+            selector_flip_range=tuple(record["selector_flip_range"]),
+            extra_faults=tuple(Fault.from_json(f)
+                               for f in record["extra_faults"]),
+        )
 
 
 class FaultSchedule:
@@ -169,6 +223,34 @@ class FaultSchedule:
 
     def digest(self) -> str:
         return hashlib.sha256(self.encode()).hexdigest()
+
+    def to_json(self) -> Dict:
+        """Serialize the *complete* schedule — config, every pre-drawn
+        errno uniform, every discrete fault — plus the canonical digest.
+        This is the draw log the replay recorder embeds in its record
+        bundle: replay does not re-draw anything, it reloads this."""
+        return {
+            "seed": self.seed,
+            "config": self.config.to_json(),
+            "errno_draws": [[u, e] for u, e in self.errno_draws],
+            "faults": [f.to_json() for f in self.faults],
+            "digest": self.digest(),
+        }
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "FaultSchedule":
+        """Reload a serialized schedule, verifying the canonical digest
+        (a corrupted or hand-edited draw log must fail loudly, not replay
+        subtly different faults)."""
+        schedule = cls(record["seed"], FaultConfig.from_json(record["config"]),
+                       [(u, e) for u, e in record["errno_draws"]],
+                       [Fault.from_json(f) for f in record["faults"]])
+        want = record.get("digest")
+        if want is not None and schedule.digest() != want:
+            raise ValueError(
+                f"fault-schedule digest mismatch: log says {want[:12]}..., "
+                f"reloaded schedule is {schedule.digest()[:12]}...")
+        return schedule
 
 
 def build_schedule(seed: int,

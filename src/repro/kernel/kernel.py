@@ -150,6 +150,11 @@ class Kernel:
         #: boundaries, signal delivery, icache shootdowns, protection
         #: changes, and preemption windows into injection points.
         self.fault_injector = None
+        #: Record/replay recorder (repro.replay).  Like the fault injector,
+        #: a None check at scheduler-round boundaries while detached;
+        #: attaching one turns round boundaries into checkpoint safe
+        #: points (repro.replay.recorder.Recorder.on_round_boundary).
+        self.recorder = None
         # Lazy import: the loader builds on kernel.process types.
         from repro.loader.linker import Loader
 
@@ -725,6 +730,8 @@ class Kernel:
                     if not alive or retired >= max_steps:
                         break
                 self._quantum_boundary(thread)
+            if self.recorder is not None:
+                self.recorder.on_round_boundary(retired)
             if not progressed:
                 break
         return retired
@@ -750,6 +757,8 @@ class Kernel:
                     if not alive:
                         break
                 self._quantum_boundary(thread)
+            if self.recorder is not None:
+                self.recorder.on_round_boundary(retired)
             if retired == before:
                 break
         if self.bus.enabled:

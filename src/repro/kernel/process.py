@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -162,6 +163,52 @@ class Thread:
         if self.block_condition is not None and self.block_condition():
             self.block_condition = None
         return self.block_condition is None
+
+    # -- record/replay checkpointing ----------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Capture everything replay needs to resurrect this thread.
+
+        ``block_condition`` is deliberately absent: it is a host closure,
+        and the recorder's safe-point policy only checkpoints when no
+        thread is blocked (see :mod:`repro.replay.recorder`).
+        """
+        return {
+            "tid": self.tid,
+            "core_id": self.core_id,
+            "context": copy.deepcopy(self.context.save()),
+            "sud": self.sud.copy(),
+            "exited": self.exited,
+            "just_execed": self._just_execed,
+            "signal_frames": copy.deepcopy(self.signal_frames),
+            "blocked_signals": set(self.blocked_signals),
+            "pending_signals": copy.deepcopy(self.pending_signals),
+            "sud_restart_credit": self._sud_restart_credit,
+            "host_handler_depth": self._host_handler_depth,
+            "in_host_handler": self.in_host_handler,
+            "unit_retired": self.unit_retired,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Overwrite this thread with a snapshot taken by
+        :meth:`snapshot_state`.  Flushes the core-local icache: decoded
+        lines, chained blocks, and compiled traces all cache pre-restore
+        code bytes and page generations."""
+        self.tid = state["tid"]
+        self.core_id = state["core_id"]
+        self.context.restore(copy.deepcopy(state["context"]))
+        self.sud = state["sud"].copy()
+        self.exited = state["exited"]
+        self._just_execed = state["just_execed"]
+        self.signal_frames = copy.deepcopy(state["signal_frames"])
+        self.blocked_signals = set(state["blocked_signals"])
+        self.pending_signals = copy.deepcopy(state["pending_signals"])
+        self._sud_restart_credit = state["sud_restart_credit"]
+        self._host_handler_depth = state["host_handler_depth"]
+        self.in_host_handler = state["in_host_handler"]
+        self.unit_retired = state["unit_retired"]
+        self.block_condition = None
+        self.icache.flush_all()
 
     def __repr__(self) -> str:
         return f"Thread(tid={self.tid}, pid={self.process.pid}, rip={self.context.rip:#x})"

@@ -533,6 +533,14 @@ def sys_sched_yield(kernel, thread: Thread, args) -> int:
 def sys_getrandom(kernel, thread: Thread, args) -> int:
     buf, count = args[0], args[1]
     data = bytes(kernel.rng.getrandbits(8) for _ in range(min(count, 256)))
+    if kernel.recorder is not None:
+        # The nondeterministic-input seam for record/replay: the drawn
+        # bytes come from the seeded kernel RNG (whose state checkpoints
+        # capture), so the log entry is the replay-side cross-check, not
+        # the reproduction source.
+        kernel.recorder.on_nondet("getrandom",
+                                  {"pid": thread.process.pid,
+                                   "count": count, "data": data.hex()})
     if buf:
         thread.process.address_space.write_kernel(buf, data)
     return len(data)

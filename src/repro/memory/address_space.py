@@ -40,6 +40,26 @@ STACK_TOP = 0x7FFF_FFFF_F000
 
 
 @dataclass
+class AddressSpaceSnapshot:
+    """Copy-on-write image of an :class:`AddressSpace` at one instant.
+
+    ``pages`` maps page index → the page's backing ``bytearray`` *shared*
+    with the live space: :meth:`AddressSpace.snapshot` freezes the live
+    pages instead of copying them, and every mutation path unshares
+    (copies) a frozen page before writing.  The snapshot therefore costs
+    O(number of pages) dict entries, not O(bytes), and stays intact no
+    matter what the live space does afterwards.  Plain data throughout —
+    picklable for on-disk checkpoints.
+    """
+
+    pages: Dict[int, bytearray]
+    prot: Dict[int, "Prot"]
+    pkey: Dict[int, int]
+    regions: List[Tuple[int, int, str, int]]
+    mmap_cursor: int
+
+
+@dataclass
 class Region:
     """A named mapping, as one line of ``/proc/$PID/maps``.
 
@@ -85,6 +105,10 @@ class AddressSpace:
         self._fast: Dict[int, Tuple[int, bytearray, int, int]] = {}
         self._page_gen: Dict[int, int] = {}
         self._gen_counter = 0
+        # Pages whose bytearray is shared with a snapshot (or a forked
+        # sibling).  A frozen page must be unshared — copied and removed
+        # from this set — before any in-place mutation; see _freeze_all.
+        self._frozen: set = set()
         # region_at bisect index: region start addresses, kept in sync with
         # the (sorted, non-overlapping) regions list.
         self._region_starts: List[int] = []
@@ -127,6 +151,7 @@ class AddressSpace:
             self._prot[idx] = prot
             self._pkey[idx] = pkey
             self._page_gen[idx] = gen
+            self._frozen.discard(idx)
         self._drop_region_overlap(addr, addr + length)
         self.regions.append(Region(addr, addr + length, name, file_offset))
         self.regions.sort(key=lambda r: r.start)
@@ -145,6 +170,7 @@ class AddressSpace:
             self._prot.pop(idx, None)
             self._pkey.pop(idx, None)
             self._page_gen[idx] = gen
+            self._frozen.discard(idx)
         self._drop_region_overlap(addr, addr + length)
 
     def mprotect(self, addr: int, length: int, prot: Prot) -> None:
@@ -244,8 +270,17 @@ class AddressSpace:
             page = self._pages.get(idx)
             if page is None:
                 return None
-            entry = (self._page_gen.get(idx, 0), page,
-                     int(self._prot[idx]), self._pkey[idx])
+            prot = int(self._prot[idx])
+            if prot & _PROT_WRITE and idx in self._frozen:
+                # The entry is handed out for in-place writes whenever the
+                # write bit is set, so a frozen (snapshot-shared) page must
+                # be unshared *before* it becomes reachable through the
+                # inline-cache seam.  Read-only pages keep sharing; a later
+                # mprotect(+W) bumps the generation and lands back here.
+                page = bytearray(page)
+                self._pages[idx] = page
+                self._frozen.discard(idx)
+            entry = (self._page_gen.get(idx, 0), page, prot, self._pkey[idx])
             self._fast[idx] = entry
         return entry
 
@@ -325,8 +360,17 @@ class AddressSpace:
     def _copy_in(self, addr: int, data: bytes) -> None:
         cursor = addr
         view = memoryview(data)
+        frozen = self._frozen
         while view:
             idx = page_index(cursor)
+            if frozen and idx in frozen:
+                # Kernel-privilege writes bypass page_entry, so unshare
+                # here; bump the generation because a read-only page may
+                # already be memoized with the still-shared bytearray.
+                self._pages[idx] = bytearray(self._pages[idx])
+                frozen.discard(idx)
+                self._gen_counter += 1
+                self._page_gen[idx] = self._gen_counter
             off = cursor - idx * PAGE_SIZE
             take = min(len(view), PAGE_SIZE - off)
             self._pages[idx][off:off + take] = view[:take]
@@ -363,16 +407,86 @@ class AddressSpace:
         """Total bytes currently backed by pages."""
         return len(self._pages) * PAGE_SIZE
 
-    # --------------------------------------------------------------------- fork
+    # --------------------------------------------------- snapshot / fork (CoW)
+
+    def _freeze_all(self) -> None:
+        """Mark every current page snapshot-shared and invalidate all
+        memoized translations.
+
+        Bumping every page's generation honors the :meth:`page_entry`
+        contract — any held entry (interpreter fast path, JIT inline
+        cache) becomes invalid, so the next access rebuilds through
+        ``page_entry`` and unshares there if it can write in place.
+        """
+        self._frozen.update(self._pages)
+        self._gen_counter += 1
+        gen = self._gen_counter
+        for idx in self._pages:
+            self._page_gen[idx] = gen
+        self._fast.clear()
+
+    def snapshot(self) -> AddressSpaceSnapshot:
+        """Capture a copy-on-write image of the space (O(pages), not O(bytes)).
+
+        The live space keeps running; mutations unshare pages lazily, so
+        the returned snapshot is immutable regardless of later activity
+        and can be :meth:`restore`\\ d any number of times.
+        """
+        snap = AddressSpaceSnapshot(
+            pages=dict(self._pages),
+            prot=dict(self._prot),
+            pkey=dict(self._pkey),
+            regions=[(r.start, r.end, r.name, r.file_offset)
+                     for r in self.regions],
+            mmap_cursor=self._mmap_cursor,
+        )
+        self._freeze_all()
+        return snap
+
+    def restore(self, snap: AddressSpaceSnapshot) -> None:
+        """Reset the space to *snap*, in place (object identity preserved —
+        threads and compiled traces reach memory through the owning
+        ``Process``/``mem_space`` reference, which stays valid).
+
+        The restored pages are re-frozen so the snapshot survives further
+        mutation and can be restored again.  Callers must flush every
+        thread's icache afterwards: decoded blocks cache code *bytes*,
+        which this call may have changed wholesale.
+        """
+        self._pages = dict(snap.pages)
+        self._prot = dict(snap.prot)
+        self._pkey = dict(snap.pkey)
+        self.regions = [Region(start, end, name, file_offset)
+                        for start, end, name, file_offset in snap.regions]
+        self._reindex_regions()
+        self._mmap_cursor = snap.mmap_cursor
+        self._frozen = set(self._pages)
+        self._gen_counter += 1
+        gen = self._gen_counter
+        self._page_gen = {idx: gen
+                          for idx in set(self._page_gen) | set(self._pages)}
+        self._fast.clear()
 
     def fork_copy(self) -> "AddressSpace":
-        """Deep copy for ``fork`` (no COW modelling; correctness only)."""
+        """Copy-on-write copy for ``fork``.
+
+        Parent and child share page bytearrays until either side writes
+        (both sides' pages are frozen; mutation paths unshare).  The child
+        starts with *fresh* fast-path generation state — empty ``_fast``,
+        empty ``_page_gen``, zero counter — and the parent's own memoized
+        translations are invalidated by :meth:`_freeze_all`, so the two
+        spaces never share inline-cache validity: a post-fork SMC patch on
+        one side can never satisfy a generation check made against the
+        other (the fork-then-SMC pitfall).
+        """
+        self._freeze_all()
         child = AddressSpace()
-        child._pages = {idx: bytearray(page) for idx, page in self._pages.items()}
+        child._pages = dict(self._pages)
         child._prot = dict(self._prot)
         child._pkey = dict(self._pkey)
         child.regions = [Region(r.start, r.end, r.name, r.file_offset)
                          for r in self.regions]
         child._reindex_regions()
         child._mmap_cursor = self._mmap_cursor
+        child._frozen = set(self._pages)
         return child

@@ -235,10 +235,28 @@ class EngineStats(BusEvent):
     invalidation_unlinks: int
 
 
+@dataclass(frozen=True, slots=True)
+class ReplayCheckpoint(BusEvent):
+    """The record/replay recorder captured a machine checkpoint here.
+
+    ``seq`` is the recorder's semantic-event sequence number the state
+    corresponds to (every event with sequence <= ``seq`` happened before
+    the capture) — the anchor ``repro replay --to-seq`` restores from.
+    ``index`` is the checkpoint's ordinal in the bundle, ``insns`` the
+    retired-instruction count at capture, and ``pages`` the number of
+    address-space pages the copy-on-write snapshot references.
+    """
+
+    seq: int
+    index: int
+    insns: int
+    pages: int
+
+
 #: Every event type, for sink filters and schema docs.
 EVENT_TYPES: Tuple[type, ...] = (
     SyscallEnter, SyscallExit, SignalEvent, PtraceStop, IcacheShootdown,
     FaultInjected, QuantumEnd, CycleCharge, RawCycles, HookObserved,
     ProcessLifecycle, RewriteApplied, VdsoCall, ShadowDivergence,
-    EngineStats,
+    EngineStats, ReplayCheckpoint,
 )

@@ -1,0 +1,54 @@
+"""Time-travel record/replay (rr-style) for simulator runs.
+
+The simulator is deterministic by construction — same seed, same fault
+schedule, same workload ⇒ byte-identical event stream — so an rr-style
+recorder does not need to log syscall *results*: it logs the few
+nondeterministic **inputs** (the seed, the pre-drawn fault schedule,
+``getrandom`` draws) for verification, and periodically captures
+copy-on-write **machine checkpoints** so replay can jump near any event
+sequence number instead of re-executing from the start.  See DESIGN.md
+§3j for the architecture.
+
+Public surface:
+
+- :class:`~repro.replay.recorder.Recorder` — bus sink + ``kernel.recorder``
+  hook that writes an ``events.jsonl`` stream, a ``log.jsonl`` replay log,
+  and pickled checkpoints into a bundle directory.
+- :func:`~repro.replay.replayer.replay_bundle` — restore the nearest
+  checkpoint at-or-before ``--to-seq`` and re-execute forward, comparing
+  the replayed event suffix byte-for-byte against the recorded one.
+- :func:`~repro.replay.checkpoint.capture` /
+  :func:`~repro.replay.checkpoint.restore` — whole-machine snapshot
+  primitives (CoW address-space pages + register files + signal/SUD
+  state + kernel tables).
+"""
+
+from repro.replay.checkpoint import (CheckpointRestoreError,
+                                     CheckpointUnsupported, MachineState,
+                                     ProcessState, capture, restore)
+from repro.replay.recorder import (DEFAULT_CHECKPOINT_INTERVAL, Recorder,
+                                   REPLAY_BUNDLE_VERSION)
+from repro.replay.replayer import (ReplayDivergenceError, ReplayResult,
+                                   load_bundle, replay_bundle, run_replay)
+from repro.replay.seqstream import (SKIP_TYPES, canonical_line,
+                                    comparable_records)
+
+__all__ = [
+    "Recorder",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "REPLAY_BUNDLE_VERSION",
+    "MachineState",
+    "ProcessState",
+    "capture",
+    "restore",
+    "CheckpointUnsupported",
+    "CheckpointRestoreError",
+    "ReplayResult",
+    "ReplayDivergenceError",
+    "replay_bundle",
+    "run_replay",
+    "load_bundle",
+    "SKIP_TYPES",
+    "canonical_line",
+    "comparable_records",
+]

@@ -1,0 +1,499 @@
+"""Whole-machine checkpoints: capture and restore a running Kernel.
+
+A checkpoint is a :class:`MachineState` — every piece of simulated state
+replay needs to resume execution mid-run:
+
+- per-process: the copy-on-write :class:`~repro.memory.address_space.\
+AddressSpaceSnapshot` (page dict shallow-copied and frozen; O(pages), not
+  O(bytes)), every thread's register file / signal / SUD state, the fd
+  table, dispositions, interposer state, premain accounting;
+- machine-global: the cycle model, the kernel RNG state, the syscall
+  ground-truth log, the VFS and net tables, pid/tid allocators, and the
+  fault injector's occurrence counters and remaining trigger indices.
+
+**Host objects are deliberately not captured.**  Program images, seccomp
+filter closures, host signal-handler callables, and ptrace callbacks are
+re-created identically by re-running the premain phase on a fresh
+machine (the replayer does exactly that before calling :func:`restore`);
+the snapshot stores markers (``"<host>"`` dispositions, filter counts)
+so restore can verify the fresh machine matches and fail loudly when it
+does not.  Capture is refused (:class:`CheckpointUnsupported`) for state
+that cannot round-trip — live socket/listener descriptors whose peer is
+a host-side load generator — which the recorder's safe-point policy
+filters out before ever calling :func:`capture`.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.memory.address_space import AddressSpaceSnapshot
+
+#: Checkpoint format version (bump on any MachineState shape change).
+CHECKPOINT_VERSION = 1
+
+#: Disposition marker for a host-callable handler (not picklable; the
+#: fresh replay machine re-registers the same callable during premain).
+HOST_HANDLER = "<host>"
+
+#: FaultInjector occurrence counters captured verbatim.
+_INJECTOR_COUNTERS = ("app_calls", "entries", "windows", "quanta",
+                      "flushes", "prot_changes", "signals_seen")
+
+#: FaultInjector trigger indices that are consumed by ``dict.pop`` as the
+#: run progresses: attribute → schedule trigger name, for rebuild.
+_INJECTOR_INDICES = {
+    "_exit_faults": "syscall-exit",
+    "_quantum_faults": "quantum",
+    "_window_faults": "window",
+    "_flush_faults": "icache-flush",
+    "_prot_faults": "prot-change",
+}
+
+
+class CheckpointUnsupported(Exception):
+    """The machine holds state a checkpoint cannot round-trip."""
+
+
+class CheckpointRestoreError(Exception):
+    """The fresh machine does not match the snapshot's host-object
+    markers (wrong mechanism/workload/seed, or drifted premain)."""
+
+
+@dataclass
+class ProcessState:
+    """Snapshot of one :class:`~repro.kernel.process.Process`."""
+
+    pid: int
+    path: str
+    argv: List[str]
+    env: Dict[str, str]
+    cwd: str
+    exited: bool
+    exit_status: Optional[int]
+    core_dumped: bool
+    kill_detail: str
+    parent_pid: Optional[int]
+    children_pids: List[int]
+    sud_armed_ever: bool
+    vdso_enabled: bool
+    brk_cursor: int
+    premain_syscalls: int
+    premain_log_len: int
+    next_fd: int
+    output: bytes
+    interposer_state: Dict[str, object]
+    #: signal → handler address, or :data:`HOST_HANDLER` for a callable.
+    dispositions: Dict[int, object]
+    #: fd number → index into ``MachineState.fd_objects`` (identity-deduped
+    #: so descriptors shared across fork/dup stay shared after restore).
+    fd_table: Dict[int, int]
+    #: Installed seccomp filter count (verification only — the closures
+    #: themselves are host objects the fresh machine re-installs).
+    seccomp_filters: int
+    #: ``{"detached", "observed", "disable_vdso"}`` or None.
+    tracer: Optional[Dict]
+    threads: List[Dict]
+    space: AddressSpaceSnapshot
+
+
+@dataclass
+class MachineState:
+    """One whole-machine checkpoint (see module docstring)."""
+
+    version: int
+    #: Event-stream anchor: every recorded event with ``seq <= seq``
+    #: happened before this capture.
+    seq: int
+    index: int
+    insns: int
+    cycles: int
+    counts: Dict
+    raw_cycles: Dict[str, int]
+    rng_state: object
+    next_pid: int
+    next_tid: int
+    syscall_log: List
+    vdso_calls: List[tuple]
+    #: path → ``{"is_dir", "data", "immutable", "mode", "has_image"}``.
+    vfs: Dict[str, Dict]
+    #: port → ``{"closed", "backlog", "pending": [connection state]}``.
+    net: Dict[int, Dict]
+    #: Identity-deduped descriptor objects (FileFD state dicts).
+    fd_objects: List[Dict]
+    processes: List[ProcessState]
+    #: Fault-injector progress, or None when no injector is attached.
+    injector: Optional[Dict]
+    schedule_digest: Optional[str]
+    #: Interposer per-pid handled accounting, or None (native runs).
+    handled: Optional[Dict[int, List[tuple]]] = None
+
+    def total_pages(self) -> int:
+        return sum(len(ps.space.pages) for ps in self.processes)
+
+
+# ---------------------------------------------------------------- capture
+
+
+def capture(kernel, seq: int, index: int = 0) -> "MachineState":
+    """Snapshot *kernel* into a :class:`MachineState`.
+
+    Cheap by design: address-space pages are shared copy-on-write (the
+    live space unshares pages lazily as it keeps executing), and all
+    other captured structures are small.  The kernel keeps running
+    normally afterwards.
+    """
+    from repro.kernel.process import FileFD
+
+    fd_objects: List[Dict] = []
+    fd_ids: Dict[int, int] = {}
+
+    def fd_index(descriptor) -> int:
+        key = id(descriptor)
+        slot = fd_ids.get(key)
+        if slot is None:
+            if not isinstance(descriptor, FileFD):
+                raise CheckpointUnsupported(
+                    f"cannot checkpoint a live {descriptor.describe()} "
+                    f"descriptor (socket/listener state is shared with "
+                    f"host-side drivers)")
+            slot = len(fd_objects)
+            fd_ids[key] = slot
+            fd_objects.append({"path": descriptor.inode.path,
+                               "offset": descriptor.offset,
+                               "flags": descriptor.flags})
+        return slot
+
+    injector = schedule_digest = None
+    inj = kernel.fault_injector
+    if inj is not None:
+        if inj._selector_restore is not None:
+            raise CheckpointUnsupported(
+                "cannot checkpoint mid selector-flip window")
+        injector = {
+            "counters": {name: getattr(inj, name)
+                         for name in _INJECTOR_COUNTERS},
+            "log": list(inj.log),
+            "insn_idx": inj._insn_idx,
+            "remaining": {attr: sorted(getattr(inj, attr))
+                          for attr in _INJECTOR_INDICES},
+        }
+        schedule_digest = inj.schedule.digest()
+
+    handled = None
+    if kernel.interposer is not None:
+        handled = {pid: list(entries)
+                   for pid, entries in kernel.interposer.handled.items()}
+
+    vfs_state = {}
+    for path, inode in kernel.vfs._inodes.items():
+        vfs_state[path] = {"is_dir": inode.is_dir,
+                           "data": bytes(inode.data),
+                           "immutable": inode.immutable,
+                           "mode": inode.mode,
+                           "has_image": inode.image is not None}
+
+    net_state = {}
+    for port, listener in kernel.net._listeners.items():
+        net_state[port] = {
+            "closed": listener.closed,
+            "backlog": listener.backlog_limit,
+            "pending": [{
+                "to_server": [bytes(b) for b in conn.to_server],
+                "to_client": [bytes(b) for b in conn.to_client],
+                "client_closed": conn.client_closed,
+                "server_closed": conn.server_closed,
+            } for conn in listener.pending],
+        }
+
+    processes = [_capture_process(kernel.processes[pid], fd_index)
+                 for pid in sorted(kernel.processes)]
+
+    return MachineState(
+        version=CHECKPOINT_VERSION,
+        seq=seq,
+        index=index,
+        insns=_insns(kernel),
+        cycles=kernel.cycles.cycles,
+        counts=dict(kernel.cycles.counts),
+        raw_cycles=dict(kernel.cycles.raw_cycles),
+        rng_state=kernel.rng.getstate(),
+        next_pid=kernel._next_pid,
+        next_tid=kernel._next_tid,
+        syscall_log=[dataclasses.replace(r) for r in kernel.syscall_log],
+        vdso_calls=list(kernel.vdso_calls),
+        vfs=vfs_state,
+        net=net_state,
+        fd_objects=fd_objects,
+        processes=processes,
+        injector=injector,
+        schedule_digest=schedule_digest,
+        handled=handled,
+    )
+
+
+def _insns(kernel) -> int:
+    from repro.cpu.cycles import Event
+
+    return kernel.cycles.counts[Event.INSTRUCTION]
+
+
+def _capture_process(proc, fd_index) -> ProcessState:
+    dispositions: Dict[int, object] = {}
+    for signal, action in proc.dispositions._actions.items():
+        dispositions[signal] = action if isinstance(action, int) \
+            else HOST_HANDLER
+    tracer = None
+    if proc.tracer is not None:
+        tracer = {"detached": proc.tracer.detached,
+                  "observed": list(proc.tracer.observed),
+                  "disable_vdso": proc.tracer.disable_vdso}
+    return ProcessState(
+        pid=proc.pid,
+        path=proc.path,
+        argv=list(proc.argv),
+        env=dict(proc.env),
+        cwd=proc.cwd,
+        exited=proc.exited,
+        exit_status=proc.exit_status,
+        core_dumped=proc.core_dumped,
+        kill_detail=getattr(proc, "kill_detail", ""),
+        parent_pid=proc.parent.pid if proc.parent is not None else None,
+        children_pids=[child.pid for child in proc.children],
+        sud_armed_ever=proc.sud_armed_ever,
+        vdso_enabled=proc.vdso_enabled,
+        brk_cursor=proc.brk_cursor,
+        premain_syscalls=proc.premain_syscalls,
+        premain_log_len=proc.premain_log_len,
+        next_fd=proc._next_fd,
+        output=bytes(proc.output),
+        interposer_state=copy.deepcopy(proc.interposer_state),
+        dispositions=dispositions,
+        fd_table={fd: fd_index(obj) for fd, obj in proc.fds.items()},
+        seccomp_filters=len(proc.seccomp._filters),
+        tracer=tracer,
+        threads=[thread.snapshot_state() for thread in proc.threads],
+        space=proc.address_space.snapshot(),
+    )
+
+
+# ---------------------------------------------------------------- restore
+
+
+def restore(kernel, state: MachineState) -> None:
+    """Overwrite *kernel* with *state*, in place.
+
+    *kernel* must be a **premain-complete** machine built from the same
+    RunConfig (same mechanism/workload/seed/schedule) — the replayer
+    guarantees this — so every host object the snapshot references by
+    marker already exists and is identical.  Mutates in place rather
+    than rebuilding: thread ``charge`` aliases, the loader, hostcall
+    registry, and attached bus sinks all keep their object identity.
+    """
+    if state.version != CHECKPOINT_VERSION:
+        raise CheckpointRestoreError(
+            f"checkpoint version {state.version} != "
+            f"supported {CHECKPOINT_VERSION}")
+    from repro.kernel.process import FileFD
+
+    cycles = kernel.cycles
+    cycles.cycles = state.cycles
+    cycles.counts.clear()
+    cycles.counts.update(state.counts)
+    cycles.raw_cycles.clear()
+    cycles.raw_cycles.update(state.raw_cycles)
+    kernel.rng.setstate(state.rng_state)
+    kernel.syscall_log[:] = [dataclasses.replace(r)
+                             for r in state.syscall_log]
+    kernel.vdso_calls[:] = list(state.vdso_calls)
+    kernel._preempting = False
+
+    _restore_vfs(kernel.vfs, state.vfs)
+    _restore_net(kernel.net, state.net)
+
+    fd_objects = []
+    for spec in state.fd_objects:
+        try:
+            inode = kernel.vfs.lookup(spec["path"])
+        except Exception as exc:
+            raise CheckpointRestoreError(
+                f"descriptor target {spec['path']!r} missing after VFS "
+                f"restore") from exc
+        descriptor = FileFD(inode, spec["flags"])
+        descriptor.offset = spec["offset"]
+        fd_objects.append(descriptor)
+
+    wanted = {ps.pid for ps in state.processes}
+    for pid in [p for p in list(kernel.processes) if p not in wanted]:
+        del kernel.processes[pid]
+    for ps in state.processes:
+        proc = kernel.processes.get(ps.pid)
+        if proc is None:
+            proc = _materialize_process(kernel, ps)
+        _restore_process(kernel, proc, ps, fd_objects)
+    for ps in state.processes:
+        proc = kernel.processes[ps.pid]
+        proc.parent = (kernel.processes.get(ps.parent_pid)
+                       if ps.parent_pid is not None else None)
+        proc.children = [kernel.processes[pid] for pid in ps.children_pids
+                         if pid in kernel.processes]
+    kernel._next_pid = state.next_pid
+    kernel._next_tid = state.next_tid
+
+    if state.injector is not None:
+        _restore_injector(kernel, state)
+    if state.handled is not None and kernel.interposer is not None:
+        kernel.interposer.handled = {pid: list(entries)
+                                     for pid, entries
+                                     in state.handled.items()}
+
+
+def _materialize_process(kernel, ps: ProcessState):
+    """Recreate a process that does not exist on the fresh machine (a
+    fork child born after premain).  No loader, no lifecycle event — the
+    recorded stream already contains its spawn; everything the snapshot
+    does not overwrite is inherited from the (already-restored) parent,
+    mirroring ``sys_fork``."""
+    from repro.kernel.process import Process
+
+    parent = kernel.processes.get(ps.parent_pid)
+    if parent is None:
+        raise CheckpointRestoreError(
+            f"cannot materialize pid {ps.pid}: parent {ps.parent_pid} "
+            f"not present")
+    proc = Process(kernel, ps.pid, ps.path, list(ps.argv), dict(ps.env))
+    proc.loaded_images = dict(parent.loaded_images)
+    proc.seccomp = parent.seccomp.copy()
+    kernel.processes[ps.pid] = proc
+    return proc
+
+
+def _restore_process(kernel, proc, ps: ProcessState, fd_objects) -> None:
+    proc.path = ps.path
+    proc.argv = list(ps.argv)
+    proc.env = dict(ps.env)
+    proc.cwd = ps.cwd
+    proc.exited = ps.exited
+    proc.exit_status = ps.exit_status
+    proc.core_dumped = ps.core_dumped
+    if ps.kill_detail:
+        proc.kill_detail = ps.kill_detail
+    proc.sud_armed_ever = ps.sud_armed_ever
+    proc.vdso_enabled = ps.vdso_enabled
+    proc.brk_cursor = ps.brk_cursor
+    proc.premain_syscalls = ps.premain_syscalls
+    proc.premain_log_len = ps.premain_log_len
+    proc._next_fd = ps.next_fd
+    proc.output = bytearray(ps.output)
+    proc.interposer_state = copy.deepcopy(ps.interposer_state)
+    proc.fds = {fd: fd_objects[slot] for fd, slot in ps.fd_table.items()}
+    _restore_dispositions(kernel, proc, ps)
+    if len(proc.seccomp._filters) != ps.seccomp_filters:
+        raise CheckpointRestoreError(
+            f"pid {ps.pid}: fresh machine has "
+            f"{len(proc.seccomp._filters)} seccomp filters, snapshot "
+            f"recorded {ps.seccomp_filters} (main-phase filter installs "
+            f"are not replayable)")
+    if ps.tracer is None:
+        proc.tracer = None
+    else:
+        if proc.tracer is None:
+            raise CheckpointRestoreError(
+                f"pid {ps.pid}: snapshot has an attached tracer, fresh "
+                f"machine has none")
+        proc.tracer.detached = ps.tracer["detached"]
+        proc.tracer.observed[:] = [tuple(o) for o in ps.tracer["observed"]]
+        proc.tracer.disable_vdso = ps.tracer["disable_vdso"]
+    del proc.threads[len(ps.threads):]
+    while len(proc.threads) < len(ps.threads):
+        proc.spawn_thread()
+    for thread, tstate in zip(proc.threads, ps.threads):
+        thread.restore_state(tstate)
+    proc.address_space.restore(ps.space)
+
+
+def _restore_dispositions(kernel, proc, ps: ProcessState) -> None:
+    from repro.kernel.signals import SignalDispositions
+
+    fresh = proc.dispositions
+    table = SignalDispositions()
+    for signal, action in ps.dispositions.items():
+        if action == HOST_HANDLER:
+            handler = fresh.get_action(signal)
+            if not callable(handler):
+                parent = (kernel.processes.get(ps.parent_pid)
+                          if ps.parent_pid is not None else None)
+                handler = (parent.dispositions.get_action(signal)
+                           if parent is not None else None)
+            if not callable(handler):
+                raise CheckpointRestoreError(
+                    f"pid {ps.pid}: snapshot has a host handler for "
+                    f"signal {signal} the fresh machine never registered")
+            table.set_action(signal, handler)
+        else:
+            table.set_action(signal, action)
+    proc.dispositions = table
+
+
+def _restore_vfs(vfs, snapshot: Dict[str, Dict]) -> None:
+    from repro.kernel.vfs import Inode
+
+    inodes = vfs._inodes
+    for path in [p for p in list(inodes) if p not in snapshot]:
+        del inodes[path]
+    for path, st in snapshot.items():
+        inode = inodes.get(path)
+        if inode is None:
+            inode = Inode(path=path, is_dir=st["is_dir"])
+            inodes[path] = inode
+        if st["has_image"] and inode.image is None:
+            raise CheckpointRestoreError(
+                f"inode {path!r} has no program image on the fresh "
+                f"machine (snapshot expects one)")
+        inode.is_dir = st["is_dir"]
+        inode.data = bytearray(st["data"])
+        inode.immutable = st["immutable"]
+        inode.mode = st["mode"]
+
+
+def _restore_net(net, snapshot: Dict[int, Dict]) -> None:
+    from repro.kernel.net import Connection, Listener
+
+    net._listeners.clear()
+    for port, st in snapshot.items():
+        listener = Listener(port, st["backlog"])
+        listener.closed = st["closed"]
+        for cs in st["pending"]:
+            conn = Connection(port)
+            conn.to_server.extend(bytes(b) for b in cs["to_server"])
+            conn.to_client.extend(bytes(b) for b in cs["to_client"])
+            conn.client_closed = cs["client_closed"]
+            conn.server_closed = cs["server_closed"]
+            listener.pending.append(conn)
+        net._listeners[port] = listener
+
+
+def _restore_injector(kernel, state: MachineState) -> None:
+    inj = kernel.fault_injector
+    if inj is None:
+        raise CheckpointRestoreError(
+            "recorded run had a fault injector; replay machine has none")
+    if inj.schedule.digest() != state.schedule_digest:
+        raise CheckpointRestoreError(
+            f"fault schedule mismatch: replay machine runs "
+            f"{inj.schedule.digest()[:12]}..., snapshot was taken under "
+            f"{(state.schedule_digest or '?')[:12]}...")
+    saved = state.injector
+    for name, value in saved["counters"].items():
+        setattr(inj, name, value)
+    inj.log = list(saved["log"])
+    inj._insn_idx = saved["insn_idx"]
+    for attr, trigger in _INJECTOR_INDICES.items():
+        keys = set(saved["remaining"][attr])
+        setattr(inj, attr, {at: faults
+                            for at, faults in inj._index(trigger).items()
+                            if at in keys})
+    inj._selector_restore = None

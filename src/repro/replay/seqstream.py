@@ -1,0 +1,71 @@
+"""Sequence-anchored event streams: what record and replay compare.
+
+Both sides of the replay equality check reduce an event stream to its
+**comparable** subset in **canonical** form:
+
+- *Semantic* records are everything a ``StreamingJSONLSink`` with
+  ``include_charges=False`` writes: every bus event except the
+  instruction-rate ``CycleCharge``/``RawCycles`` (summarized, not
+  streamed).  The recorder's ``seq`` numbering therefore matches any
+  user-attached streaming sink record-for-record.
+- *Comparable* records additionally drop bookkeeping types that are
+  **about** the run rather than **of** it: the ``TraceMeta`` header, the
+  ``ChargeSummary`` trailer, ``ReplayCheckpoint`` markers (only the
+  recording run emits them), and ``EngineStats`` (execution-tier
+  counters — recorded blocks/traces differ between a cold replay machine
+  and the warmed recording machine even though the architectural event
+  stream is byte-identical; tier-invariance of the semantic stream is
+  what the lockstep suite already asserts).
+- *Canonical* form is the sorted-key JSON rendering with ``seq``
+  removed: replay re-executes a suffix, so its local sequence numbers
+  are offset from the recorded ones while the records themselves must
+  match byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+#: Record types excluded from byte-identity comparison (see module doc).
+SKIP_TYPES = frozenset({"TraceMeta", "ChargeSummary", "ReplayCheckpoint",
+                        "EngineStats"})
+
+
+def canonical_line(record: Dict) -> str:
+    """Canonical JSON for one record: ``seq`` dropped, keys sorted."""
+    return json.dumps({k: v for k, v in record.items() if k != "seq"},
+                      sort_keys=True)
+
+
+def comparable_records(records: Iterable[Dict],
+                       after_seq: int = -1) -> List[Dict]:
+    """The comparable subset of *records*, optionally only the suffix
+    strictly after sequence number *after_seq* (records without a ``seq``
+    field — live replayed events — always pass the seq filter)."""
+    kept = []
+    for record in records:
+        if record.get("type") in SKIP_TYPES:
+            continue
+        seq = record.get("seq")
+        if seq is not None and seq <= after_seq:
+            continue
+        kept.append(record)
+    return kept
+
+
+def canonical_suffix(records: Iterable[Dict],
+                     after_seq: int = -1) -> List[str]:
+    """Canonical lines of the comparable suffix — the unit of equality."""
+    return [canonical_line(r) for r in comparable_records(records, after_seq)]
+
+
+def load_jsonl(path: str) -> List[Dict]:
+    """Parse one record per non-empty line of *path*."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -168,6 +168,17 @@ class RunConfig:
             differential harnesses need layout-stable kernels).
         block_cache: force the interpreter mode (None = kernel default).
         max_steps: execution budget for batch runs.
+        record: when set, a :class:`repro.replay.Recorder` writes a
+            replay bundle (event stream + CoW machine checkpoints) into
+            this directory.  Batch workloads only — server workloads
+            hold live connections to host-side load generators, which a
+            checkpoint cannot round-trip.
+        replay_from: when set, :func:`run` replays a previously recorded
+            bundle instead of executing fresh (mechanism/workload/seed
+            must match the bundle's meta); a non-byte-identical replay
+            raises :class:`repro.replay.ReplayDivergenceError`.
+        checkpoint_interval: retired instructions between checkpoints
+            while recording.
     """
 
     mechanism: str
@@ -184,6 +195,9 @@ class RunConfig:
     aslr: bool = False
     block_cache: Optional[bool] = None
     max_steps: int = 10_000_000
+    record: Optional[str] = None
+    replay_from: Optional[str] = None
+    checkpoint_interval: int = 1_000
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mechanism",
@@ -203,6 +217,18 @@ class RunConfig:
             raise ValueError(f"requests must be >= 1, got {self.requests}")
         if self.connections is not None and self.connections < 1:
             raise ValueError("connections must be >= 1 when given")
+        if self.record is not None and self.replay_from is not None:
+            raise ValueError("record and replay_from are mutually "
+                             "exclusive")
+        if self.record is not None and self.spec.kind != "batch":
+            raise ValueError(
+                f"record= supports batch workloads only; {self.workload!r} "
+                f"is a server workload (its connections are shared with "
+                f"host-side load generators, which a checkpoint cannot "
+                f"round-trip)")
+        if self.checkpoint_interval < 1:
+            raise ValueError(f"checkpoint_interval must be >= 1, "
+                             f"got {self.checkpoint_interval}")
         object.__setattr__(self, "sinks", tuple(self.sinks))
         object.__setattr__(self, "analyzers", tuple(self.analyzers))
         object.__setattr__(self, "params",
@@ -302,6 +328,7 @@ class PreparedRun:
     trace_sink: Optional[object] = None
     injector: Optional[FaultInjector] = None
     process: Optional[object] = None
+    recorder: Optional[object] = None
 
     @property
     def spec(self) -> WorkloadSpec:
@@ -345,6 +372,13 @@ class PreparedRun:
     def finish(self, cycles: int = 0, requests: int = 0,
                failures: int = 0) -> RunResult:
         """Collect counters/verdicts/trace into the final RunResult."""
+        exit_status = None
+        if self.process is not None and self.spec.kind == "batch":
+            exit_status = self.process.exit_status
+        if self.recorder is not None:
+            # Off the measured path: the bundle (events, log, pickled
+            # checkpoints) is flushed after execution completed.
+            self.recorder.close(exit_status=exit_status)
         verdicts: Tuple[PitfallVerdict, ...] = ()
         if self.suite is not None:
             verdicts = tuple(self.suite.finish())
@@ -354,9 +388,6 @@ class PreparedRun:
 
             trace_path = str(write_chrome_trace(self.trace_sink,
                                                 self.config.trace_path))
-        exit_status = None
-        if self.process is not None and self.spec.kind == "batch":
-            exit_status = self.process.exit_status
         return RunResult(
             mechanism=self.config.mechanism,
             workload=self.config.workload,
@@ -407,11 +438,28 @@ def prepare(config: RunConfig) -> PreparedRun:
     injector = None
     if config.schedule is not None:
         injector = FaultInjector(kernel, config.schedule)
+    recorder = None
+    if config.record is not None:
+        from repro.replay.recorder import Recorder
+
+        recorder = Recorder(config.record, kernel, config=config,
+                            interval=config.checkpoint_interval)
+        kernel.bus.attach(recorder)
+        kernel.recorder = recorder
     return PreparedRun(config=config, kernel=kernel, path=path,
                        counters=counters, suite=suite,
-                       trace_sink=trace_sink, injector=injector)
+                       trace_sink=trace_sink, injector=injector,
+                       recorder=recorder)
 
 
 def run(config: RunConfig) -> RunResult:
-    """Build and execute one run: ``run(config) == prepare(config).execute()``."""
+    """Build and execute one run: ``run(config) == prepare(config).execute()``.
+
+    With ``replay_from=`` set, the run is a **replay** of the recorded
+    bundle (restored from its last checkpoint and verified byte-identical)
+    rather than a fresh execution."""
+    if config.replay_from is not None:
+        from repro.replay.replayer import run_replay
+
+        return run_replay(config)
     return prepare(config).execute()

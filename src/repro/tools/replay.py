@@ -1,0 +1,147 @@
+"""replay — record a run, or time-travel back into a recorded one.
+
+Record a bundle::
+
+    python -m repro replay --record --bundle B --mechanism K23-ultra \\
+        --workload stress [--seed N] [--iterations N] [--interval N] \\
+        [--errno-rate F] [--fault-signals N]
+
+Replay to an event sequence number::
+
+    python -m repro replay --bundle B --to-seq N [--step] [--json]
+
+Replay restores the recorded machine from the nearest checkpoint at or
+before ``--to-seq`` (recreating host objects by re-running premain on a
+fresh same-config machine first) and re-executes forward, comparing the
+replayed event suffix byte-for-byte against the recorded stream.  Exit
+status: 0 when byte-identical, 1 on divergence or nondet-draw mismatch —
+a reproducible determinism bug, with the first differing record printed.
+``--to-seq`` takes the number ``tracediff``/analyzer verdicts report;
+omit it to replay to the end of the recording.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro replay",
+        description="record/replay with copy-on-write checkpoints")
+    parser.add_argument("--bundle", required=True,
+                        help="replay bundle directory (written by --record)")
+    parser.add_argument("--record", action="store_true",
+                        help="record a fresh run into --bundle instead of "
+                             "replaying")
+    parser.add_argument("--to-seq", type=int, default=None,
+                        help="event sequence number to replay to "
+                             "(default: end of recording)")
+    parser.add_argument("--step", action="store_true",
+                        help="print each replayed event record")
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as one JSON object")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="determinism seed (record mode)")
+    parser.add_argument("--mechanism", default="K23-ultra",
+                        help="interposition mechanism (record mode)")
+    parser.add_argument("--workload", default="stress",
+                        help="batch workload to record (record mode)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="stress-workload iterations (record mode)")
+    parser.add_argument("--interval", type=int, default=None,
+                        help="checkpoint interval in retired instructions "
+                             "(record mode)")
+    parser.add_argument("--errno-rate", type=float, default=0.0,
+                        help="fault-injected transient-errno rate "
+                             "(record mode)")
+    parser.add_argument("--fault-signals", type=int, default=0,
+                        help="fault-injected async signal count "
+                             "(record mode)")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="execution budget (record mode)")
+    return parser
+
+
+def _record(args) -> int:
+    from repro.api import FaultConfig, RunConfig, build_schedule, run
+
+    schedule = None
+    if args.errno_rate > 0 or args.fault_signals > 0:
+        schedule = build_schedule(args.seed, FaultConfig(
+            errno_rate=args.errno_rate,
+            signal_count=args.fault_signals))
+    extra = {}
+    if args.iterations is not None:
+        extra["params"] = (("iterations", args.iterations),)
+    if args.interval is not None:
+        extra["checkpoint_interval"] = args.interval
+    if args.max_steps is not None:
+        extra["max_steps"] = args.max_steps
+    result = run(RunConfig(mechanism=args.mechanism,
+                           workload=args.workload, seed=args.seed,
+                           schedule=schedule, record=args.bundle, **extra))
+    from repro.replay.replayer import load_bundle
+
+    meta = load_bundle(args.bundle).meta
+    summary = {"bundle": args.bundle, "exit_status": result.exit_status,
+               "final_seq": meta["final_seq"],
+               "checkpoints": [cp["seq"] for cp in meta["checkpoints"]],
+               "skipped_unsafe": meta.get("skipped_unsafe", 0)}
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(f"recorded {args.workload}/{args.mechanism} seed "
+              f"{args.seed} -> {args.bundle}: final seq "
+              f"{summary['final_seq']}, "
+              f"{len(summary['checkpoints'])} checkpoint(s) at "
+              f"{summary['checkpoints']}, exit {result.exit_status}")
+    return 0 if result.ok else 1
+
+
+def _replay(args) -> int:
+    from repro.replay.replayer import replay_bundle
+
+    step = None
+    if args.step:
+        def step(record):
+            print(json.dumps(record, sort_keys=True))
+    result = replay_bundle(args.bundle, to_seq=args.to_seq, step=step)
+    if args.json:
+        print(json.dumps({
+            "bundle": result.bundle, "to_seq": result.to_seq,
+            "checkpoint_index": result.checkpoint_index,
+            "checkpoint_seq": result.checkpoint_seq,
+            "compared": result.compared, "ok": result.ok,
+            "divergence": result.divergence,
+            "nondet_mismatches": result.nondet_mismatches,
+            "retired": result.retired}, sort_keys=True))
+    else:
+        print(result.summary())
+        if result.divergence is not None:
+            d = result.divergence
+            print(f"first divergence at suffix index {d['index']}:")
+            print(f"  recorded: {d['want']}")
+            print(f"  replayed: {d['got']}")
+        for mismatch in result.nondet_mismatches:
+            print(f"nondet mismatch: recorded={mismatch['want']} "
+                  f"replayed={mismatch['got']}")
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.record:
+            return _record(args)
+        return _replay(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

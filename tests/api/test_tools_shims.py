@@ -1,0 +1,52 @@
+"""The repo-root ``tools/conformance.py`` shim: warn-once deprecation,
+delegation through the unified CLI's shared-flag table."""
+
+import importlib.util
+import warnings
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _load_shim():
+    spec = importlib.util.spec_from_file_location(
+        "conformance_shim", REPO / "tools" / "conformance.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_shim_delegates_and_warns(capsys):
+    shim = _load_shim()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with pytest.raises(SystemExit) as exc:
+            shim.main(["--help"])
+    assert exc.value.code == 0
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    out = capsys.readouterr().out
+    # The delegated parser is the real conformance tool's: shared flags
+    # (--seed/--jobs) come from the same table as `python -m repro`.
+    assert "--seed" in out and "--jobs" in out
+
+
+def test_shim_warns_only_once():
+    shim = _load_shim()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(2):
+            with pytest.raises(SystemExit):
+                shim.main(["--help"])
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+
+
+def test_shim_rejects_unknown_flags(capsys):
+    shim = _load_shim()
+    with pytest.raises(SystemExit) as exc:
+        shim.main(["--definitely-not-a-flag"])
+    assert exc.value.code == 2
+    assert "unrecognized arguments" in capsys.readouterr().err

@@ -69,32 +69,79 @@ class TestGate:
         ok, _lines = history.gate(entries)
         assert not ok
 
-    def test_first_entry_of_group_passes_informationally(self, history):
-        ok, lines = history.gate([_entry(history, 123)])
-        assert ok
-        assert any("no history to compare" in line for line in lines)
+    def test_thin_group_skips_explicitly(self, history):
+        # One or two samples: no meaningful median, explicit SKIP verdict
+        # (never a silent PASS, never a FAIL).
+        for count in (1, 2):
+            entries = [_entry(history, 123) for _ in range(count)]
+            ok, lines = history.gate(entries)
+            assert ok
+            assert any(line.startswith("SKIP") for line in lines)
+            assert any(f"need {history.MIN_SAMPLES} to gate" in line
+                       for line in lines)
+            assert not any(line.startswith("PASS") for line in lines)
+
+    def test_min_samples_boundary_grades(self, history):
+        # Exactly MIN_SAMPLES entries: the group is graded, not skipped.
+        entries = [_entry(history, 1_000_000),
+                   _entry(history, 1_000_000),
+                   _entry(history, 500_000)]
+        ok, lines = history.gate(entries)
+        assert not ok
+        assert any(line.startswith("FAIL") for line in lines)
 
     def test_groups_never_mix_machines_or_modes(self, history):
         # Fast history on machine A, slow first entry on machine B: not a
-        # regression.  Same for a new interpreter mode.
+        # regression — the new group SKIPs while it warms up.  Same for a
+        # new interpreter mode or protocol.
         entries = [_entry(history, 1_000_000) for _ in range(3)]
         entries.append(_entry(history, 100_000, node="laptop"))
         entries.append(_entry(history, 100_000, mode="single-step"))
         entries.append(_entry(history, 100_000, protocol="best of 1 rounds"))
         ok, lines = history.gate(entries)
         assert ok, "\n".join(lines)
+        assert sum(1 for line in lines if line.startswith("SKIP")) == 3
+        assert sum(1 for line in lines if line.startswith("PASS")) == 1
+
+    def test_machine_tag_change_mid_ledger_skips(self, history):
+        # A machine rename splits the group: the old node's history must
+        # not grade the new node's first runs, and neither side FAILs.
+        entries = [_entry(history, 1_000_000, node="old-ci")
+                   for _ in range(5)]
+        entries += [_entry(history, 400_000, node="new-ci")
+                    for _ in range(2)]
+        ok, lines = history.gate(entries)
+        assert ok, "\n".join(lines)
+        assert any(line.startswith("SKIP") and "@new-ci" in line
+                   for line in lines)
+        assert any(line.startswith("PASS") and "@old-ci" in line
+                   for line in lines)
 
     def test_unknown_schema_version_ignored(self, history):
         stale = _entry(history, 10)
         stale["schema_version"] = history.SCHEMA_VERSION + 1
-        entries = [stale, _entry(history, 1_000_000)]
+        entries = [stale] + [_entry(history, 1_000_000) for _ in range(3)]
         ok, lines = history.gate(entries)
         assert ok
-        assert any("no history to compare" in line for line in lines)
+        # The stale line fed neither the median nor the sample count.
+        assert any(line.startswith("PASS") and "2 prior" not in line
+                   for line in lines)
 
-    def test_empty_history_passes(self, history):
+    def test_malformed_lines_reported_not_fatal(self, history):
+        broken = _entry(history, 1_000_000)
+        del broken["insns_per_sec"]
+        nonnum = _entry(history, 1_000_000)
+        nonnum["insns_per_sec"] = "fast"
+        entries = [broken, nonnum] + [_entry(history, 1_000_000)
+                                      for _ in range(3)]
+        ok, lines = history.gate(entries)
+        assert ok, "\n".join(lines)
+        assert any("2 malformed" in line for line in lines)
+
+    def test_empty_history_skips(self, history):
         ok, lines = history.gate([])
         assert ok and any("history is empty" in line for line in lines)
+        assert lines[0].startswith("SKIP")
 
     def test_window_bounds_the_median(self, history):
         # Old glory days beyond the window must not gate today's runs.
@@ -136,8 +183,9 @@ class TestLedgerShape:
                         "instructions": 1}}}}
         report_path = tmp_path / "report.json"
         report_path.write_text(json.dumps(report))
-        assert history.main(["append", "--report", str(report_path),
-                             "--history", str(ledger)]) == 0
+        for _ in range(history.MIN_SAMPLES):  # warm past the SKIP floor
+            assert history.main(["append", "--report", str(report_path),
+                                 "--history", str(ledger)]) == 0
         assert history.main(["gate", "--history", str(ledger)]) == 0
         # A 20% slowdown on the same machine/protocol/mode must exit 1.
         slow = dict(json.loads(ledger.read_text().splitlines()[0]))

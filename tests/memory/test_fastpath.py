@@ -158,6 +158,66 @@ def test_fork_copy_does_not_share_fast_entries():
     assert child.read(BASE, 8) == b"child!!!"
 
 
+def test_fork_copy_resets_generation_state():
+    # The child must start with its *own* fast-path generation state —
+    # fresh dicts, not aliases of the parent's — or a post-fork unshare
+    # on one side silently corrupts the other's memoized translations.
+    parent = make_space()
+    parent.write(BASE, b"warmmmm!")                  # warm parent _fast
+    child = parent.fork_copy()
+    assert child._fast is not parent._fast
+    assert child._page_gen is not parent._page_gen
+    assert child._frozen is not parent._frozen
+    assert not child._fast                           # fresh, not copied
+    # Fork froze the parent: its warmed entries were all invalidated.
+    assert not parent._fast
+
+
+def test_fork_then_smc_isolated_in_both_directions():
+    # The fork-then-SMC pitfall: both sides warm their single-page fast
+    # entries on a shared RWX code page, then each side patches its own
+    # copy.  Neither patch may leak — a stale generation entry on either
+    # side would serve the other side's bytes to the instruction fetch.
+    parent = make_space(prot=Prot.READ | Prot.WRITE | Prot.EXEC)
+    code = b"\x90" * 16                              # NOP sled
+    parent.write(BASE, code)
+    assert parent.fetch(BASE, 16) == code            # warm parent entry
+    child = parent.fork_copy()
+    assert child.fetch(BASE, 16) == code             # warm child entry
+
+    parent.write(BASE, b"\xcc" + code[1:])           # parent patches [0]
+    assert parent.fetch(BASE, 16) == b"\xcc" + code[1:]
+    assert child.fetch(BASE, 16) == code             # child unaffected
+
+    child.write(BASE + 8, b"\xf4")                   # child patches [8]
+    expect_child = code[:8] + b"\xf4" + code[9:]
+    assert child.fetch(BASE, 16) == expect_child
+    # Parent still sees only its own patch — not the child's.
+    assert parent.fetch(BASE, 16) == b"\xcc" + code[1:]
+    # And the underlying page bytearrays really did unshare.
+    assert parent._pages[BASE // PAGE_SIZE] is not \
+        child._pages[BASE // PAGE_SIZE]
+
+
+def test_fork_then_smc_after_restore_roundtrip():
+    # Snapshot/restore interleaved with fork: restoring the parent to a
+    # pre-patch snapshot must not resurrect shared pages the child has
+    # since written through.
+    parent = make_space(prot=Prot.READ | Prot.WRITE | Prot.EXEC)
+    code = b"\x90" * 8
+    parent.write(BASE, code)
+    snap = parent.snapshot()
+    child = parent.fork_copy()
+    child.write(BASE, b"\xcc" * 8)
+    parent.write(BASE, b"\xf4" * 8)
+    parent.restore(snap)
+    assert parent.fetch(BASE, 8) == code
+    assert child.fetch(BASE, 8) == b"\xcc" * 8
+    # Post-restore writes stay private to the parent.
+    parent.write(BASE, b"\x0f" * 8)
+    assert child.fetch(BASE, 8) == b"\xcc" * 8
+
+
 # ------------------------------------------------------------- region_at
 
 

@@ -1,0 +1,184 @@
+"""Unit tests for the record/replay subsystem: the nondet seam, the
+recorder's bundle layout, the replay cursor's draw verification, the
+``RunConfig`` record/replay surfaces, and the CLI round trip."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import RunConfig, run
+from repro.replay import Recorder, load_bundle, replay_bundle
+from repro.replay.replayer import ReplayDivergenceError, _ReplayCursor
+from repro.workloads.programs import ProgramBuilder, data_ref
+from tests.simutil import spawn_and_run
+
+
+def _rand_program(path="/bin/rand", nbytes=16):
+    builder = ProgramBuilder(path)
+    builder.buffer("buf", nbytes)
+    builder.start()
+    builder.libc("getrandom", data_ref("buf"), nbytes, 0)
+    builder.libc("write", 1, data_ref("buf"), nbytes)
+    builder.exit(0)
+    return builder
+
+
+# ------------------------------------------------------- the nondet seam
+
+
+class TestNondetSeam:
+    def test_getrandom_draw_is_logged(self, kernel, tmp_path):
+        recorder = Recorder(str(tmp_path / "b"), kernel)
+        kernel.recorder = recorder
+        builder = _rand_program()
+        builder.register(kernel)
+        process = spawn_and_run(kernel, builder.image.name)
+        drawn = bytes(process.output)
+        entries = [e for e in recorder._log if e.get("type") == "Nondet"]
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["kind"] == "getrandom"
+        assert entry["pid"] == process.pid
+        assert entry["count"] == 16
+        # The logged hex is the exact bytes the application observed.
+        assert bytes.fromhex(entry["data"]) == drawn
+
+        meta = recorder.close(exit_status=process.exit_status)
+        log = [json.loads(line) for line in
+               open(tmp_path / "b" / "log.jsonl", encoding="utf-8")]
+        assert log[0]["type"] == "ReplayMeta"
+        assert log[-1]["type"] == "RecordEnd"
+        assert any(e.get("type") == "Nondet" for e in log)
+        assert meta["exit_status"] == 0
+
+    def test_no_recorder_attached_is_free(self, kernel):
+        # The seam is a single `is not None` check when nothing records.
+        builder = _rand_program("/bin/rand2")
+        builder.register(kernel)
+        process = spawn_and_run(kernel, builder.image.name)
+        assert len(process.output) == 16
+
+    def test_cursor_verifies_matching_draws(self):
+        want = {"type": "Nondet", "seq": 5, "kind": "getrandom",
+                "pid": 1, "count": 4, "data": "00112233"}
+        cursor = _ReplayCursor([want])
+        cursor.on_nondet("getrandom",
+                         {"pid": 1, "count": 4, "data": "00112233"})
+        assert cursor.mismatches == []
+
+    def test_cursor_flags_differing_draw(self):
+        want = {"type": "Nondet", "seq": 5, "kind": "getrandom",
+                "pid": 1, "count": 4, "data": "00112233"}
+        cursor = _ReplayCursor([want])
+        cursor.on_nondet("getrandom",
+                         {"pid": 1, "count": 4, "data": "deadbeef"})
+        assert len(cursor.mismatches) == 1
+        assert cursor.mismatches[0]["want"] == want
+
+    def test_cursor_flags_unexpected_extra_draw(self):
+        cursor = _ReplayCursor([])
+        cursor.on_nondet("getrandom", {"pid": 1, "count": 4, "data": "00"})
+        assert len(cursor.mismatches) == 1
+        assert cursor.mismatches[0]["want"] is None
+
+
+# -------------------------------------------------------- bundle layout
+
+
+class TestBundleLayout:
+    @pytest.fixture(scope="class")
+    def bundle_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("unit") / "bundle"
+        run(RunConfig(mechanism="lazypoline", workload="stress", seed=3,
+                      params=(("iterations", 120),), record=str(path)))
+        return str(path)
+
+    def test_files_and_meta(self, bundle_dir):
+        for name in ("meta.json", "events.jsonl", "log.jsonl"):
+            assert os.path.exists(os.path.join(bundle_dir, name))
+        bundle = load_bundle(bundle_dir)
+        meta = bundle.meta
+        assert meta["version"] == 1
+        assert meta["final_seq"] > 0
+        assert meta["config"]["mechanism"] == "lazypoline"
+        assert meta["config"]["workload"] == "stress"
+        for cp in meta["checkpoints"]:
+            assert os.path.exists(os.path.join(bundle_dir, cp["file"]))
+            assert 0 < cp["seq"] <= meta["final_seq"]
+
+    def test_events_stream_is_schema_v2(self, bundle_dir):
+        with open(os.path.join(bundle_dir, "events.jsonl"),
+                  encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+        assert header["type"] == "TraceMeta"
+        assert header["seq"] == 0
+
+    def test_checkpoint_markers_present_in_stream(self, bundle_dir):
+        bundle = load_bundle(bundle_dir)
+        markers = [e for e in bundle.events
+                   if e["type"] == "ReplayCheckpoint"]
+        assert [m["seq"] for m in markers] == \
+            [cp["seq"] for cp in bundle.meta["checkpoints"]]
+
+    def test_replay_to_midpoint_round_trips(self, bundle_dir):
+        bundle = load_bundle(bundle_dir)
+        result = replay_bundle(bundle_dir, to_seq=bundle.final_seq // 2)
+        assert result.ok, f"{result.summary()}; {result.divergence}"
+
+    def test_run_replay_api_surface(self, bundle_dir):
+        result = run(RunConfig(mechanism="lazypoline", workload="stress",
+                               seed=3, replay_from=bundle_dir))
+        assert result.counters["replay"]["compared"] > 0
+
+    def test_run_replay_rejects_config_mismatch(self, bundle_dir):
+        with pytest.raises(ValueError, match="mechanism"):
+            run(RunConfig(mechanism="native", workload="stress", seed=3,
+                          replay_from=bundle_dir))
+
+
+# ------------------------------------------------- config validation
+
+
+class TestRunConfigSurface:
+    def test_record_and_replay_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually"):
+            RunConfig(mechanism="native", workload="stress", seed=1,
+                      record=str(tmp_path / "a"),
+                      replay_from=str(tmp_path / "b"))
+
+    def test_record_rejects_server_workloads(self, tmp_path):
+        with pytest.raises(ValueError, match="batch"):
+            RunConfig(mechanism="native", workload="lighttpd", seed=1,
+                      record=str(tmp_path / "a"))
+
+    def test_checkpoint_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            RunConfig(mechanism="native", workload="stress", seed=1,
+                      record=str(tmp_path / "a"), checkpoint_interval=0)
+
+    def test_replay_missing_bundle_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            replay_bundle(str(tmp_path / "nope"))
+
+
+# ------------------------------------------------------------- the CLI
+
+
+class TestCli:
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        from repro.tools.replay import main
+
+        bundle = str(tmp_path / "cli-bundle")
+        assert main(["--record", "--bundle", bundle, "--seed", "7",
+                     "--iterations", "100"]) == 0
+        final_seq = load_bundle(bundle).final_seq
+        assert main(["--bundle", bundle,
+                     "--to-seq", str(final_seq // 2)]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_replay_missing_bundle_exits_2(self, tmp_path, capsys):
+        from repro.tools.replay import main
+
+        assert main(["--bundle", str(tmp_path / "missing")]) == 2

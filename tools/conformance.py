@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
-"""Repo-root shim for the conformance CLI.
+"""Repo-root shim for the conformance CLI — deprecated entry point.
 
-Equivalent to ``PYTHONPATH=src python -m repro.tools.conformance``; exists
-so ``tools/conformance.py --seeds 5`` works from a fresh checkout.
+Thin warn-once delegator through ``repro.__main__``'s SUBCOMMANDS
+dispatcher, so ``tools/conformance.py --seed 5 --jobs 2`` validates the
+shared flags (``--seed``/``--jobs``/``--trace-out``) against the same
+table as ``python -m repro conformance`` instead of drifting from it.
+Prefer ``PYTHONPATH=src python -m repro conformance``.
 """
 
 import os
@@ -11,7 +14,24 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
-from repro.tools.conformance import main  # noqa: E402
+_WARNED = False
+
+
+def main(argv=None):
+    global _WARNED
+    if not _WARNED:
+        _WARNED = True
+        import warnings
+
+        warnings.warn(
+            "tools/conformance.py is a deprecated shim; use "
+            "`python -m repro conformance` (same flags, same behaviour)",
+            DeprecationWarning, stacklevel=2)
+    from repro.__main__ import main as repro_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return repro_main(["conformance", *argv])
+
 
 if __name__ == "__main__":
     raise SystemExit(main())
