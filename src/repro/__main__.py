@@ -10,6 +10,7 @@ One dispatcher over the tools::
     python -m repro tracediff A.jsonl B.jsonl [--context N] ...
     python -m repro traceq TRACE [--type T] [--phase P] [--count] ...
     python -m repro replay --bundle B --to-seq N [--step] [--seed N] ...
+    python -m repro loadtest [--workload W] [--requests N] [--jobs N] ...
 
 The shared flags — ``--seed``, ``--jobs``, ``--trace-out`` — mean the
 same thing everywhere they are accepted (determinism seed, process-pool
@@ -37,6 +38,7 @@ SUBCOMMANDS = {
     "tracediff": ("repro.tools.tracediff", ()),
     "traceq": ("repro.tools.traceq", ()),
     "replay": ("repro.tools.replay", ("--seed",)),
+    "loadtest": ("repro.tools.loadtest", ("--seed", "--jobs")),
 }
 
 SHARED_FLAGS = ("--seed", "--jobs", "--trace-out")

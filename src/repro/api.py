@@ -30,6 +30,17 @@ the next hook (or the real syscall) and the return value is the
 (negative-errno) result the application sees.  :func:`chain` composes
 hooks; :data:`EMPTY_HOOK` is the identity.
 
+**Traffic** — the :class:`~repro.workloads.clients.TrafficSource`
+protocol every load driver implements: :class:`KeepAliveSource` is the
+closed-loop keep-alive driver (the old ``LoadGenerator``),
+:class:`MirroredSource` the dark-launch mirroring wrapper (the old
+``MirroredLoadGenerator``; both old names remain as warn-once shims).
+:class:`TrafficConfig` describes an open-loop load test that
+``RunConfig(traffic=...)`` or :func:`repro.traffic.engine.run_loadtest`
+executes into an :class:`SLOReport` (``METRICS_slo.json``);
+:class:`QueueDepthSample` / :class:`TrafficStageStats` are the bus
+events the full-serve fleet emits.
+
 **Simulation** — the :class:`~repro.kernel.kernel.Kernel` itself.
 
 The historical ``repro.evaluation.runner.MECHANISMS`` /
@@ -55,8 +66,13 @@ from repro.observability.analyzers import (AnalyzerSuite, LatencyAnalyzer,
                                            PitfallVerdict)
 from repro.replay import (Recorder, ReplayDivergenceError, ReplayResult,
                           replay_bundle)
+from repro.observability.events import QueueDepthSample, TrafficStageStats
 from repro.runapi import (WORKLOADS, PreparedRun, RunConfig, RunResult,
                           WorkloadSpec, prepare, run)
+from repro.traffic.config import TrafficConfig
+from repro.traffic.slo import SLOReport
+from repro.workloads.clients import (KeepAliveSource, MirroredSource,
+                                     TrafficSource)
 
 __all__ = [
     # running
@@ -104,6 +120,14 @@ __all__ = [
     "MechanismRegistry",
     "MechanismSpec",
     "UnknownMechanismError",
+    # traffic
+    "TrafficSource",
+    "KeepAliveSource",
+    "MirroredSource",
+    "TrafficConfig",
+    "SLOReport",
+    "QueueDepthSample",
+    "TrafficStageStats",
     # simulation
     "Kernel",
 ]

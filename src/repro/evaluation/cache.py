@@ -81,6 +81,19 @@ _SHADOW_MODULES: Tuple[str, ...] = (
     "repro.tools.tracediff",
 )
 
+#: Modules every loadtest (traffic-engine) shard executes on top of the
+#: served workload's own: schedule generation, the queueing fabric, the
+#: fleet driver (calibration + full-serve), and the run surface.
+_LOADTEST_MODULES: Tuple[str, ...] = (
+    "repro.runapi",
+    "repro.traffic.config",
+    "repro.traffic.schedule",
+    "repro.traffic.loadbalancer",
+    "repro.traffic.fleet",
+    "repro.traffic.engine",
+    "repro.observability.analyzers.latency",
+)
+
 
 def default_cache_root() -> Path:
     env = os.environ.get("REPRO_EVAL_CACHE")
@@ -122,6 +135,8 @@ def workload_modules(kind: str, workload: str) -> Tuple[str, ...]:
         if workload == "stress":
             base = _MICRO_WORKLOAD_MODULES
         return _SHADOW_MODULES + base
+    if kind == "loadtest":
+        return _LOADTEST_MODULES + base
     return base
 
 

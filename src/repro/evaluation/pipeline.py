@@ -60,9 +60,12 @@ class ScenarioSpec:
     """One cell of the evaluation matrix — picklable by construction.
 
     Attributes:
-        kind: ``"micro"`` (Table 5), ``"macro"`` (Table 6), or
+        kind: ``"micro"`` (Table 5), ``"macro"`` (Table 6),
             ``"shadow"`` (a dark-launch cell — the primary mechanism is
-            ``mechanism``, the candidate rides in ``params``).
+            ``mechanism``, the candidate rides in ``params``), or
+            ``"loadtest"`` (one traffic-engine shard — the canonical
+            TrafficConfig JSON and shard coordinates ride in
+            ``params``).
         mechanism: registry name (``"K23-ultra"``, ...).
         workload: ``"syscall-stress"`` for micro cells, a
             :data:`~repro.evaluation.runner.MACRO_BY_KEY` row key for
@@ -259,6 +262,15 @@ def execute_cell(spec: ScenarioSpec) -> dict:
             budget=int(params.get("budget", 0)),
             requests=int(params.get("requests", 24))))
         return report.to_dict()
+    if spec.kind == "loadtest":
+        import json
+
+        from repro.traffic.engine import run_shard
+
+        params = dict(spec.params)
+        return run_shard(spec.mechanism, spec.workload,
+                         json.loads(str(params["traffic"])), spec.seed,
+                         int(params["shard"]), int(params["shards"]))
     raise ValueError(f"unknown cell kind {spec.kind!r}")
 
 

@@ -155,6 +155,12 @@ class Kernel:
         #: attaching one turns round boundaries into checkpoint safe
         #: points (repro.replay.recorder.Recorder.on_round_boundary).
         self.recorder = None
+        #: Open-loop admission driver (repro.traffic.fleet).  Same
+        #: None-check-at-round-boundary contract as the recorder: when
+        #: attached, the traffic engine releases scheduled arrivals into
+        #: server connections between scheduler rounds, turning ``run``
+        #: into an admission-paced serving loop.
+        self.admission = None
         # Lazy import: the loader builds on kernel.process types.
         from repro.loader.linker import Loader
 
@@ -709,6 +715,13 @@ class Kernel:
         while retired < max_steps:
             threads = self.runnable_threads()
             if not threads:
+                # Every thread parked (e.g. the whole fleet in
+                # epoll_wait): the admission driver may still have
+                # scheduled arrivals to release — including jumping
+                # virtual time forward to the next due arrival.
+                if self.admission is not None and \
+                        self.admission.on_round_boundary(retired):
+                    continue
                 break
             progressed = False
             for thread in threads:
@@ -732,6 +745,11 @@ class Kernel:
                 self._quantum_boundary(thread)
             if self.recorder is not None:
                 self.recorder.on_round_boundary(retired)
+            if self.admission is not None:
+                # Arrivals delivered into connections can unblock parked
+                # server threads, so a delivery counts as progress.
+                if self.admission.on_round_boundary(retired):
+                    progressed = True
             if not progressed:
                 break
         return retired
@@ -759,6 +777,9 @@ class Kernel:
                 self._quantum_boundary(thread)
             if self.recorder is not None:
                 self.recorder.on_round_boundary(retired)
+            if self.admission is not None and \
+                    self.admission.on_round_boundary(retired):
+                continue
             if retired == before:
                 break
         if self.bus.enabled:

@@ -676,12 +676,21 @@ def sys_listen(kernel, thread: Thread, args) -> int:
     return 0
 
 
+#: accept4 flag: the accept itself (not the new socket) is non-blocking.
+SOCK_NONBLOCK = 0x800
+
+
 def sys_accept(kernel, thread: Thread, args):
     descriptor = thread.process.get_fd(args[0])
     if not isinstance(descriptor, ListenFD):
         return -Errno.EINVAL
     listener = descriptor.listener
     if not listener.pending:
+        # accept4(SOCK_NONBLOCK): multi-worker servers race on a shared
+        # level-triggered listener; the losers must see EAGAIN and
+        # return to epoll_wait instead of parking forever.
+        if args[3] & SOCK_NONBLOCK:
+            return -Errno.EAGAIN
         return _block(thread, lambda: listener.has_pending or listener.closed)
     connection = listener.pending.popleft()
     return thread.process.alloc_fd(SocketFD(connection))

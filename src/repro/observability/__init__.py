@@ -24,9 +24,10 @@ from repro.observability.bus import Bus
 from repro.observability.events import (BusEvent, CycleCharge, EVENT_TYPES,
                                         FaultInjected, HookObserved,
                                         IcacheShootdown, PtraceStop,
-                                        QuantumEnd, RawCycles,
-                                        ShadowDivergence, SignalEvent,
-                                        SyscallEnter, SyscallExit)
+                                        QuantumEnd, QueueDepthSample,
+                                        RawCycles, ShadowDivergence,
+                                        SignalEvent, SyscallEnter,
+                                        SyscallExit, TrafficStageStats)
 from repro.observability.export import (TraceSink, validate_chrome_trace,
                                         write_chrome_trace)
 from repro.observability.sinks import (CounterSink, DivergenceSink, NullSink,
@@ -43,7 +44,9 @@ __all__ = [
     "IcacheShootdown",
     "PtraceStop",
     "QuantumEnd",
+    "QueueDepthSample",
     "RawCycles",
+    "TrafficStageStats",
     "ShadowDivergence",
     "SignalEvent",
     "SyscallEnter",

@@ -86,7 +86,11 @@ class LogHistogram:
         "highest equivalent value" convention of HdrHistogram."""
         if not self.count:
             return 0
-        target = max(1, -(-self.count * p // 100))  # ceil
+        # Integer rank arithmetic (p may be fractional, e.g. 99.9): the
+        # target rank is ceil(count * p / 100) computed in tenths so the
+        # result is identical however many shards the counts arrived in.
+        tenths = int(round(p * 10))
+        target = max(1, -(-self.count * tenths // 1000))  # ceil
         seen = 0
         for index in sorted(self.buckets):
             seen += self.buckets[index]
@@ -95,9 +99,16 @@ class LogHistogram:
         return self.max
 
     def to_dict(self) -> Dict:
-        """Deterministic JSON-ready summary + sparse bucket table."""
+        """Deterministic JSON-ready summary + sparse bucket table.
+
+        ``count``/``sum`` are the *exact* integer tallies (``mean`` stays
+        a rounded rendering), so two shards' dicts merge via
+        :meth:`from_dict` + :meth:`merge` into byte-for-byte the
+        histogram a single unsharded run would have produced.
+        """
         return {
             "count": self.count,
+            "sum": self.total,
             "min": self.min or 0,
             "max": self.max,
             "mean": round(self.total / self.count, 2) if self.count else 0,
@@ -105,9 +116,27 @@ class LogHistogram:
             "p90": self.percentile(90),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+            "pmax": self.max,
             "buckets": {str(bucket_bounds(i)[0]): self.buckets[i]
                         for i in sorted(self.buckets)},
         }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output — exact: the
+        sparse bucket table plus ``count``/``sum``/``min``/``max`` carry
+        the full mergeable state (bucket keys are low bounds, which
+        :func:`bucket_index` maps back to their bucket)."""
+        hist = cls()
+        for low, n in doc.get("buckets", {}).items():
+            hist.buckets[bucket_index(int(low))] = int(n)
+        hist.count = int(doc.get("count", 0))
+        hist.total = int(doc.get("sum", 0))
+        hist.max = int(doc.get("max", 0))
+        if hist.count:
+            hist.min = int(doc.get("min", 0))
+        return hist
 
 
 class LatencyAnalyzer(Analyzer):

@@ -253,10 +253,48 @@ class ReplayCheckpoint(BusEvent):
     pages: int
 
 
+@dataclass(frozen=True, slots=True)
+class QueueDepthSample(BusEvent):
+    """One queue-depth observation from the traffic engine's fabric.
+
+    Sampled on a fixed virtual-time grid per fleet server while an
+    open-loop load test runs: ``server`` is the fleet index, ``depth``
+    the number of admitted-but-unserved requests levelled in that
+    server's queue, ``in_flight`` how many are in service across its
+    workers, and ``t_ns`` the virtual (schedule) time of the sample.
+    The series behind METRICS_slo.json's ``queue_depth`` section.
+    """
+
+    server: int
+    depth: int
+    in_flight: int
+    t_ns: int
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficStageStats(BusEvent):
+    """Aggregate outcome of one ramp stage of an open-loop load test.
+
+    One event per arrival-rate step: ``rate`` is the offered rate
+    (requests/second), ``offered``/``completed``/``shed`` the request
+    tallies, ``p99_ns`` the stage's p99 latency and ``max_depth`` the
+    deepest queue observed — the series the saturation knee is read
+    from.
+    """
+
+    stage: int
+    rate: int
+    offered: int
+    completed: int
+    shed: int
+    p99_ns: int
+    max_depth: int
+
+
 #: Every event type, for sink filters and schema docs.
 EVENT_TYPES: Tuple[type, ...] = (
     SyscallEnter, SyscallExit, SignalEvent, PtraceStop, IcacheShootdown,
     FaultInjected, QuantumEnd, CycleCharge, RawCycles, HookObserved,
     ProcessLifecycle, RewriteApplied, VdsoCall, ShadowDivergence,
-    EngineStats, ReplayCheckpoint,
+    EngineStats, ReplayCheckpoint, QueueDepthSample, TrafficStageStats,
 )

@@ -39,7 +39,9 @@ from repro.faultinject.schedule import FaultSchedule
 from repro.interposers.registry import REGISTRY
 from repro.observability.analyzers import Analyzer, AnalyzerSuite, PitfallVerdict
 from repro.observability.sinks import CounterSink, Sink
-from repro.workloads.clients import HTTP_REQUEST, REDIS_GET, LoadGenerator
+from repro.traffic.config import TrafficConfig
+from repro.workloads.clients import (HTTP_REQUEST, REDIS_GET,
+                                     KeepAliveSource)
 
 #: Steps the kernel runs after spawning a server so the master forks and
 #: every worker reaches its accept loop (mirrors the evaluation runner).
@@ -90,20 +92,26 @@ def _install_nginx(kernel, params: Dict[str, int]) -> str:
     from repro.workloads.nginx import install_nginx
 
     return install_nginx(kernel, workers=params.get("workers", 1),
-                         file_size_kb=params.get("file_kb", 0))
+                         file_size_kb=params.get("file_kb", 0),
+                         multiconn=bool(params.get("multiconn", 0)))
 
 
 def _install_lighttpd(kernel, params: Dict[str, int]) -> str:
     from repro.workloads.lighttpd import install_lighttpd
 
     return install_lighttpd(kernel, workers=params.get("workers", 1),
-                            file_size_kb=params.get("file_kb", 0))
+                            file_size_kb=params.get("file_kb", 0),
+                            multiconn=bool(params.get("multiconn", 0)))
 
 
 def _install_redis(kernel, params: Dict[str, int]) -> str:
     from repro.workloads.redis import install_redis
 
-    return install_redis(kernel, io_threads=params.get("io_threads", 1))
+    # "workers" is the fleet-wide knob (the traffic engine speaks one
+    # vocabulary across workloads); redis calls the same thing io_threads.
+    io_threads = params.get("io_threads", params.get("workers", 1))
+    return install_redis(kernel, io_threads=io_threads,
+                         multiconn=bool(params.get("multiconn", 0)))
 
 
 def _server_ports():
@@ -179,6 +187,17 @@ class RunConfig:
             raises :class:`repro.replay.ReplayDivergenceError`.
         checkpoint_interval: retired instructions between checkpoints
             while recording.
+        traffic: when set (a :class:`repro.traffic.TrafficConfig` or an
+            equivalent dict), :func:`run` dispatches to the open-loop
+            traffic engine instead of the closed-loop driver: the
+            schedule in *traffic* is pushed through a fleet of this
+            workload's servers under this mechanism, and the resulting
+            :class:`~repro.traffic.slo.SLOReport` rides back on
+            ``RunResult.slo``.  Server workloads only; exclusive with
+            ``record``/``replay_from`` (the engine builds its own fleet
+            of kernels, so per-run ``sinks``/``analyzers`` do not attach
+            to them — fleet observability flows through the engine's own
+            bus events and the report).
     """
 
     mechanism: str
@@ -198,6 +217,7 @@ class RunConfig:
     record: Optional[str] = None
     replay_from: Optional[str] = None
     checkpoint_interval: int = 1_000
+    traffic: Optional[TrafficConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mechanism",
@@ -229,6 +249,21 @@ class RunConfig:
         if self.checkpoint_interval < 1:
             raise ValueError(f"checkpoint_interval must be >= 1, "
                              f"got {self.checkpoint_interval}")
+        if self.traffic is not None:
+            if isinstance(self.traffic, dict):
+                object.__setattr__(self, "traffic",
+                                   TrafficConfig.from_dict(self.traffic))
+            elif not isinstance(self.traffic, TrafficConfig):
+                raise ValueError(
+                    "traffic must be a TrafficConfig (or an equivalent "
+                    "dict; build one with repro.api.TrafficConfig)")
+            if self.spec.kind != "server":
+                raise ValueError(
+                    f"traffic= needs a server workload; {self.workload!r} "
+                    f"is a batch workload with no serving loop to load")
+            if self.record is not None or self.replay_from is not None:
+                raise ValueError("traffic is mutually exclusive with "
+                                 "record/replay_from")
         object.__setattr__(self, "sinks", tuple(self.sinks))
         object.__setattr__(self, "analyzers", tuple(self.analyzers))
         object.__setattr__(self, "params",
@@ -248,7 +283,10 @@ class RunResult:
     load-generation tallies (0 for batch runs); ``counters`` is the
     always-attached :class:`CounterSink` snapshot; ``verdicts`` are the
     finished analyzer findings; ``trace_path`` names the written
-    Perfetto trace, if one was requested.
+    Perfetto trace, if one was requested; ``slo`` is the merged
+    :class:`~repro.traffic.slo.SLOReport` for ``traffic=`` runs (None
+    otherwise — for traffic runs ``requests``/``failures`` echo the
+    report's completed/shed totals).
     """
 
     mechanism: str
@@ -261,6 +299,7 @@ class RunResult:
     counters: Dict = field(default_factory=dict, compare=False)
     verdicts: Tuple[PitfallVerdict, ...] = ()
     trace_path: Optional[str] = None
+    slo: Optional[object] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -294,10 +333,10 @@ def _offline_logs(config: RunConfig) -> Dict:
         if spec.kind == "server":
             def driver(kern, proc):
                 kern.run(max_steps=SERVER_BOOT_STEPS)
-                generator = LoadGenerator(kern, spec.port,
-                                          spec.connections, spec.payload)
-                generator.drive(4 * spec.connections)
-                generator.close()
+                source = KeepAliveSource(kern, spec.port,
+                                         spec.connections, spec.payload)
+                source.drive(4 * spec.connections)
+                source.close()
 
             offline.run(path, driver=driver, max_steps=20_000_000)
         else:
@@ -346,21 +385,27 @@ class PreparedRun:
             self.spawn()
         self.kernel.run(max_steps=SERVER_BOOT_STEPS)
 
-    def load_generator(self) -> LoadGenerator:
+    def traffic_source(self) -> KeepAliveSource:
+        """The closed-loop :class:`~repro.workloads.clients.TrafficSource`
+        for this server (lockstep harnesses drive it themselves)."""
         spec = self.spec
         connections = self.config.connections or spec.connections
-        return LoadGenerator(self.kernel, spec.port, connections,
-                             spec.payload)
+        return KeepAliveSource(self.kernel, spec.port, connections,
+                               spec.payload)
+
+    def load_generator(self) -> KeepAliveSource:
+        """Legacy alias for :meth:`traffic_source`."""
+        return self.traffic_source()
 
     def execute(self) -> RunResult:
         """Run to completion the standard way and collect the result."""
         before = self.kernel.cycles.cycles
         if self.spec.kind == "server":
             self.boot()
-            generator = self.load_generator()
-            generator.warmup(self.config.warmup_rounds)
-            drive = generator.drive(self.config.requests)
-            generator.close()
+            source = self.traffic_source()
+            source.warmup(self.config.warmup_rounds)
+            drive = source.drive(self.config.requests)
+            source.close()
             return self.finish(cycles=drive.cycles,
                                requests=drive.requests,
                                failures=drive.failures)
@@ -457,7 +502,25 @@ def run(config: RunConfig) -> RunResult:
 
     With ``replay_from=`` set, the run is a **replay** of the recorded
     bundle (restored from its last checkpoint and verified byte-identical)
-    rather than a fresh execution."""
+    rather than a fresh execution.  With ``traffic=`` set, the run is an
+    **open-loop load test**: the traffic engine pushes the configured
+    schedule through a fleet of this workload's servers and the merged
+    :class:`~repro.traffic.slo.SLOReport` comes back on ``result.slo``."""
+    if config.traffic is not None:
+        from repro.traffic.engine import run_loadtest
+
+        report = run_loadtest([config.mechanism], config.workload,
+                              config.traffic, config.seed)
+        totals = report.mechanisms[config.mechanism]["totals"]
+        return RunResult(
+            mechanism=config.mechanism,
+            workload=config.workload,
+            seed=config.seed,
+            exit_status=None,
+            requests=totals["completed"],
+            failures=totals["shed"],
+            slo=report,
+        )
     if config.replay_from is not None:
         from repro.replay.replayer import run_replay
 

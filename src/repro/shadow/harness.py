@@ -37,7 +37,7 @@ from repro.kernel.syscalls import Errno, Nr
 from repro.observability.export import TraceSink
 from repro.shadow.divergence import (describe_divergence, diff_normalized,
                                      normalized_trace, verdict_for)
-from repro.workloads.clients import MirroredLoadGenerator
+from repro.workloads.clients import MirroredSource
 
 #: Sides the fault schedule can be armed on.
 FAULT_SIDES = ("none", "both", "primary", "shadow")
@@ -246,8 +246,8 @@ class _ShadowRun:
     def drive_server(self) -> Tuple[int, int]:
         self.primary.boot()
         self.shadow.boot()
-        mirror = MirroredLoadGenerator(
-            self.primary.load_generator(), self.shadow.load_generator(),
+        mirror = MirroredSource(
+            self.primary.traffic_source(), self.shadow.traffic_source(),
             on_mismatch=lambda m: self.emit("response", m.request,
                                             m.describe()))
         mirror.warmup(self.config.warmup_rounds)
@@ -255,7 +255,7 @@ class _ShadowRun:
         # (boot, discovery rewrites, warmup) is mechanism-dependent.
         primary_start = len(self.primary.kernel.syscall_log)
         shadow_start = len(self.shadow.kernel.syscall_log)
-        result, _mismatches = mirror.drive(self.config.requests)
+        result = mirror.drive(self.config.requests)
         mirror.close()
         self.compare_traces(primary_start, shadow_start)
         return result.requests, result.failures

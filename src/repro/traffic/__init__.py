@@ -1,0 +1,40 @@
+"""Open-loop traffic engine: million-request load tests over a fleet.
+
+The Clair Obscur paper measures interposition cost closed-loop — one
+client, next request only after the last response (Table 6).  Production
+traffic is *open-loop*: arrivals come on their own schedule whether or
+not the server keeps up, which is what exposes queueing delay, the p99.9
+tail, and the saturation knee.  This package supplies that missing axis:
+
+- :mod:`~repro.traffic.config` — :class:`TrafficConfig`, the frozen,
+  validating description of a load test (arrival process, rate ramp,
+  tenant/request mix, fleet shape) that `RunConfig(traffic=...)` embeds;
+- :mod:`~repro.traffic.schedule` — the seeded arrival-schedule
+  generator: same seed ⇒ byte-identical schedule, by construction;
+- :mod:`~repro.traffic.fleet` — drives real interposed server kernels
+  multi-connection (the calibration pass and ``--serve-mode full``);
+- :mod:`~repro.traffic.loadbalancer` — the virtual-time queueing fabric
+  that levels the arrival stream into per-server worker queues using
+  calibrated service times (the default ``--serve-mode model``);
+- :mod:`~repro.traffic.engine` — shards a load test by server,
+  runs shards (under the evaluation pipeline's cache/jobs machinery),
+  and merges them into one :class:`~repro.traffic.slo.SLOReport`;
+- :mod:`~repro.traffic.slo` — the ``METRICS_slo.json`` artifact.
+
+Determinism is the headline guarantee: a fixed seed produces a
+byte-identical arrival schedule and SLO report across engine tiers and
+``--jobs`` counts.  Every quantity is integer nanoseconds / cycles; the
+merge is commutative integer sums; percentiles are computed once, after
+the merge.
+"""
+
+from repro.traffic.config import TrafficConfig
+from repro.traffic.schedule import ArrivalSchedule, generate_schedule
+from repro.traffic.slo import SLOReport
+
+__all__ = [
+    "ArrivalSchedule",
+    "SLOReport",
+    "TrafficConfig",
+    "generate_schedule",
+]

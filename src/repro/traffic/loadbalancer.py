@@ -1,0 +1,217 @@
+"""The simulated load balancer: queue-leveled, connection-sharded.
+
+Model-mode heart of the traffic engine.  Arrivals (from the seeded
+schedule) flow through a per-server *leveling queue* into a pool of
+worker channels — the textbook queue-based-load-leveling shape — with
+two production constraints the closed-loop harness never exercises:
+
+- **connection serialization** — one outstanding request per
+  connection (HTTP/1.1 keep-alive without pipelining): a request whose
+  connection is busy waits client-side, and that wait *is* measured
+  latency;
+- **bounded queue** — past ``queue_limit`` the balancer sheds
+  (503-style); shed counts per (stage, tenant, kind) feed the knee.
+
+Everything is integer virtual nanoseconds driven by a two-source event
+merge (arrivals column + completion heap, ``(time, seq)``-ordered), so
+a server's simulation is a pure function of its arrival subsequence and
+the calibrated service table — the property that makes ``--jobs``
+sharding by server exact rather than approximate.
+
+Service times come from the calibration pass
+(:func:`repro.traffic.fleet.calibrate_service_table`): per-request-kind
+cycles measured on a *real* interposed kernel, converted once to
+nanoseconds.  The fabric never invents cost — it only schedules it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.observability.analyzers.latency import LogHistogram
+
+#: Queue-depth samples per server across the schedule span.
+DEPTH_SAMPLES = 200
+
+
+class ServerSim:
+    """Discrete-event simulation of one fleet server.
+
+    Feed arrivals in schedule order via :meth:`offer`, then
+    :meth:`drain`; read the JSON-safe result from :meth:`result`.
+    ``emit(kind, payload)`` (optional) mirrors queue-depth samples onto
+    an event bus when the engine runs inside a kernel-attached context.
+    """
+
+    def __init__(self, server: int, workers: int, queue_limit: int,
+                 service_ns: Dict[Tuple[int, int], int], stages: int,
+                 sample_every_ns: int,
+                 emit: Optional[Callable[[str, Dict], None]] = None):
+        self.server = server
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.service_ns = service_ns
+        self.stages = stages
+        self.sample_every_ns = max(1, sample_every_ns)
+        self.emit = emit
+
+        self.free_workers = workers
+        self.waiting: deque = deque()
+        self.engaged: set = set()
+        self.conn_pending: Dict[int, deque] = {}
+        self.in_service: List[Tuple[int, int, Tuple]] = []  # heap
+        self._seq = 0
+
+        # (stage, tenant, kind) -> tallies / latency histograms (ns).
+        self.offered: Dict[Tuple[int, int, int], int] = {}
+        self.completed: Dict[Tuple[int, int, int], int] = {}
+        self.shed: Dict[Tuple[int, int, int], int] = {}
+        self.latency: Dict[Tuple[int, int, int], LogHistogram] = {}
+        self.stage_max_depth = [0] * stages
+        self.depth_series: List[Tuple[int, int, int]] = []
+        self._next_sample_ns = 0
+        self._now = 0
+
+    # ------------------------------------------------------------ events
+
+    def offer(self, t_ns: int, stage: int, tenant: int, kind: int,
+              conn: int) -> None:
+        """One arrival.  Must be called in non-decreasing ``t_ns``."""
+        self._advance(t_ns)
+        key = (stage, tenant, kind)
+        self.offered[key] = self.offered.get(key, 0) + 1
+        request = (t_ns, stage, tenant, kind, conn)
+        if conn in self.engaged:
+            self.conn_pending.setdefault(conn, deque()).append(request)
+            return
+        self._admit(request, t_ns)
+
+    def drain(self) -> None:
+        """Run every queued/in-service request to completion."""
+        while self.in_service:
+            self._complete_next()
+
+    # ---------------------------------------------------------- internals
+
+    def _advance(self, t_ns: int) -> None:
+        """Retire completions due before *t_ns* (completion-first at
+        ties: a worker freed at t serves an arrival at t)."""
+        while self.in_service and self.in_service[0][0] <= t_ns:
+            self._complete_next()
+        self._sample(t_ns)
+        self._now = max(self._now, t_ns)
+
+    def _admit(self, request: Tuple, now: int) -> bool:
+        """Place *request*; returns False when it was shed (callers own
+        any connection release so shed chains stay iterative)."""
+        conn = request[4]
+        if self.free_workers > 0:
+            self.engaged.add(conn)
+            self._start(request, now)
+            return True
+        if len(self.waiting) >= self.queue_limit:
+            key = (request[1], request[2], request[3])
+            self.shed[key] = self.shed.get(key, 0) + 1
+            return False
+        self.engaged.add(conn)
+        self.waiting.append(request)
+        depth = len(self.waiting)
+        if depth > self.stage_max_depth[request[1]]:
+            self.stage_max_depth[request[1]] = depth
+        return True
+
+    def _start(self, request: Tuple, now: int) -> None:
+        _t, stage, tenant, kind, _conn = request
+        self.free_workers -= 1
+        service = self.service_ns[(tenant, kind)]
+        self._seq += 1
+        heapq.heappush(self.in_service,
+                       (now + service, self._seq, request))
+
+    def _complete_next(self) -> None:
+        done_t, _seq, request = heapq.heappop(self.in_service)
+        t_ns, stage, tenant, kind, conn = request
+        self._sample(done_t)
+        self._now = max(self._now, done_t)
+        self.free_workers += 1
+        key = (stage, tenant, kind)
+        self.completed[key] = self.completed.get(key, 0) + 1
+        hist = self.latency.get(key)
+        if hist is None:
+            hist = self.latency[key] = LogHistogram()
+        hist.record(done_t - t_ns)
+        # Fixed post-completion order: next waiting request first, then
+        # the finished connection's next pipelined request.
+        if self.waiting and self.free_workers > 0:
+            self._start(self.waiting.popleft(), done_t)
+        self._release_conn(conn, done_t)
+
+    def _release_conn(self, conn: int, now: int) -> None:
+        self.engaged.discard(conn)
+        pending = self.conn_pending.get(conn)
+        while pending:
+            request = pending.popleft()
+            if not pending:
+                del self.conn_pending[conn]
+                pending = None
+            if self._admit(request, now):
+                return
+
+    def _sample(self, t_ns: int) -> None:
+        while self._next_sample_ns <= t_ns:
+            sample = (self._next_sample_ns, len(self.waiting),
+                      self.workers - self.free_workers)
+            self.depth_series.append(sample)
+            if self.emit is not None:
+                self.emit("queue_depth", {
+                    "server": self.server, "t_ns": sample[0],
+                    "depth": sample[1], "in_flight": sample[2]})
+            self._next_sample_ns += self.sample_every_ns
+
+    # ------------------------------------------------------------- output
+
+    def result(self) -> Dict:
+        """JSON-safe shard result for this server; merged by the engine
+        with plain integer sums + histogram merges."""
+        return server_result_doc(self.server, self.offered, self.completed,
+                                 self.shed, self.latency,
+                                 self.stage_max_depth, self.depth_series)
+
+
+def server_result_doc(server: int, offered, completed, shed, latency,
+                      stage_max_depth, depth_series) -> Dict:
+    """The per-server shard-result shape — shared by the model fabric
+    and the full-serve fleet driver so the merge never cares which mode
+    produced a doc.  Tally keys are ``"stage:tenant:kind"`` strings."""
+    def keyed(table: Dict[Tuple[int, int, int], int]) -> Dict[str, int]:
+        return {f"{s}:{t}:{k}": n for (s, t, k), n in sorted(table.items())}
+
+    return {
+        "server": server,
+        "offered": keyed(offered),
+        "completed": keyed(completed),
+        "shed": keyed(shed),
+        "latency": {f"{s}:{t}:{k}": hist.to_dict()
+                    for (s, t, k), hist in sorted(latency.items())},
+        "stage_max_depth": list(stage_max_depth),
+        "depth_series": [list(sample) for sample in depth_series],
+    }
+
+
+def simulate_server(server: int, schedule, service_ns, workers: int,
+                    queue_limit: int,
+                    emit: Optional[Callable[[str, Dict], None]] = None
+                    ) -> Dict:
+    """Run one server's arrivals through the fabric and return its
+    shard result.  *schedule* is an ArrivalSchedule; only requests whose
+    connection shards to *server* are offered."""
+    span = max(1, schedule.span_ns())
+    sim = ServerSim(server=server, workers=workers, queue_limit=queue_limit,
+                    service_ns=service_ns, stages=len(schedule.config.ramp),
+                    sample_every_ns=span // DEPTH_SAMPLES or 1, emit=emit)
+    for index, t_ns, tenant, kind, conn in schedule.iter_requests(server):
+        sim.offer(t_ns, schedule.stage_of(index), tenant, kind, conn)
+    sim.drain()
+    return sim.result()

@@ -1,0 +1,111 @@
+"""SLOReport: the load test's artifact, written as METRICS_slo.json.
+
+A thin frozen wrapper over the merged report document.  The document is
+fully JSON-safe (integers, strings, sorted keys) and the writer pins
+serialization (``sort_keys=True, indent=2`` + trailing newline), so a
+fixed ``(traffic, seed)`` produces a byte-identical file whatever
+``--jobs`` or engine tier produced it — the determinism contract the
+``tests/traffic`` property tests assert with plain byte comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+SLO_SCHEMA_VERSION = "slo-report-v1"
+
+DEFAULT_OUTPUT = os.path.join("benchmarks", "output", "METRICS_slo.json")
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Merged load-test results for one workload across mechanisms.
+
+    ``doc`` layout (all integers are exact — ns, counts, rps)::
+
+        schema          "slo-report-v1"
+        workload        e.g. "nginx"
+        seed            base schedule seed
+        traffic         canonical TrafficConfig echo (rate resolved)
+        schedule        {requests, span_ns, digest, stages[...]}
+        mechanisms      {name: {totals, latency_ns{overall, per_tenant,
+                        per_kind}, stages[...], queue_depth{server:
+                        [[t_ns, depth, in_flight], ...]}, knee,
+                        calibration}}
+
+    ``stats`` (cache hits/misses etc.) is deliberately *excluded* from
+    serialization: it varies run to run and would break byte-identity.
+    """
+
+    doc: Dict
+    stats: Optional[Dict] = field(default=None, compare=False)
+
+    @property
+    def schema(self) -> str:
+        return self.doc["schema"]
+
+    @property
+    def workload(self) -> str:
+        return self.doc["workload"]
+
+    @property
+    def mechanisms(self) -> Dict:
+        return self.doc["mechanisms"]
+
+    def knee(self, mechanism: str) -> Dict:
+        return self.doc["mechanisms"][mechanism]["knee"]
+
+    def total_completed(self) -> int:
+        return sum(section["totals"]["completed"]
+                   for section in self.doc["mechanisms"].values())
+
+    def to_dict(self) -> Dict:
+        return self.doc
+
+    def to_json(self) -> str:
+        """Pinned serialization — the byte-identity surface."""
+        return json.dumps(self.doc, sort_keys=True, indent=2) + "\n"
+
+    def write(self, path: str = DEFAULT_OUTPUT) -> str:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str = DEFAULT_OUTPUT) -> "SLOReport":
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != SLO_SCHEMA_VERSION:
+            raise ValueError(f"unsupported SLO report schema: "
+                             f"{doc.get('schema')!r}")
+        return cls(doc=doc)
+
+
+def summarize(report: SLOReport) -> str:
+    """Human-readable digest for CLI output: one block per mechanism
+    with totals, overall p50/p99/p99.9, and the saturation knee."""
+    lines = [f"workload={report.workload} "
+             f"requests={report.doc['schedule']['requests']} "
+             f"digest={report.doc['schedule']['digest'][:12]}"]
+    for name in sorted(report.mechanisms):
+        section = report.mechanisms[name]
+        totals = section["totals"]
+        overall = section["latency_ns"]["overall"]
+        knee = section["knee"]
+        if knee["stage"] is None:
+            knee_txt = "no knee within ramp"
+        else:
+            knee_txt = (f"knee@stage{knee['stage']} "
+                        f"rate={knee['rate']}/s ({knee['reason']})")
+        lines.append(
+            f"  {name}: completed={totals['completed']} "
+            f"shed={totals['shed']} p50={overall['p50']}ns "
+            f"p99={overall['p99']}ns p99.9={overall['p999']}ns "
+            f"pmax={overall['pmax']}ns | {knee_txt}")
+    return "\n".join(lines)

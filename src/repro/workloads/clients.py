@@ -1,20 +1,49 @@
-"""Load generators: the wrk / redis-benchmark stand-ins.
+"""Traffic sources: the wrk / redis-benchmark stand-ins behind one protocol.
 
-Both drive the simulated servers from host level over keep-alive
+Everything that pushes requests at a simulated server — the closed-loop
+keep-alive driver the Table 6 macrobenchmarks use, the shadow harness's
+lockstep mirror, and the open-loop admission driver of the traffic engine
+(:mod:`repro.traffic.fleet`) — implements one protocol,
+:class:`TrafficSource`:
+
+- ``warmup(rounds)`` — un-measured rounds to steady state;
+- ``drive(requests) -> DriveResult`` — the measured drive;
+- ``exchange(limit) -> [response bytes | None, ...]`` — one batch with
+  the raw response bytes surfaced (the mirroring seam);
+- ``close()`` — shut the connections down cleanly.
+
+All sources drive the simulated servers from host level over keep-alive
 connections, mirroring the paper's same-machine setup where client cost is
-off the measured (server-side) path.  The drivers also expose per-client
-rate limits so the min(client, server) throughput model of the evaluation
-can reproduce client-limited rows (redis with 1 I/O thread, §6.2.2).
+off the measured (server-side) path.
+
+The historical names ``LoadGenerator`` / ``MirroredLoadGenerator`` remain
+as deprecation shims that warn once per process on direct construction
+(the ``runner.MECHANISMS`` pattern): construct
+:class:`KeepAliveSource` / :class:`MirroredSource` — or use the
+:func:`wrk` / :func:`redis_benchmark` factories — instead.
 """
 
 from __future__ import annotations
 
+import warnings
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 HTTP_REQUEST = (b"GET / HTTP/1.1\r\nHost: localhost\r\n"
                 b"Connection: keep-alive\r\n\r\n")
 REDIS_GET = b"*2\r\n$3\r\nGET\r\n$6\r\nkey:42\r\n"
+
+#: Deprecated constructor names that already warned this process.
+_WARNED: set = set()
+
+
+def _warn_once(name: str, hint: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(f"{name} is deprecated; {hint}",
+                  DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -36,8 +65,44 @@ class DriveResult:
         return self.cycles / self.requests if self.requests else float("inf")
 
 
-class LoadGenerator:
-    """Keep-alive request driver over N connections."""
+class TrafficSource(ABC):
+    """The request-driver protocol every harness consumes.
+
+    A source owns a set of host-level connections into one (or, for
+    mirrored sources, a pair of) simulated kernels and exposes the
+    four-call surface above.  ``exchange`` is the composition seam:
+    anything that needs per-request visibility (the shadow mirror's
+    byte comparison, the traffic engine's per-request latency capture)
+    layers over it rather than over ``drive``.
+    """
+
+    @abstractmethod
+    def warmup(self, rounds: int = 2) -> None:
+        """Un-measured rounds: lets discovery-rewriters reach steady
+        state and servers finish accepting, as the paper's 30-second
+        runs do."""
+
+    @abstractmethod
+    def drive(self, requests: int) -> DriveResult:
+        """Measured drive of *requests* total round trips."""
+
+    @abstractmethod
+    def exchange(self, limit: Optional[int] = None
+                 ) -> List[Optional[bytes]]:
+        """One request/response batch with the response bytes surfaced
+        (None = the request never produced a response)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close every connection and let the server observe the EOFs."""
+
+
+class KeepAliveSource(TrafficSource):
+    """Closed-loop keep-alive driver over N connections (wrk's model).
+
+    Each round sends one request per connection, runs the server, and
+    drains the responses — the Table 6 measurement loop.
+    """
 
     def __init__(self, kernel, port: int, connections: int,
                  payload: bytes, steps_per_round: int = 400_000):
@@ -50,13 +115,10 @@ class LoadGenerator:
         self.failures = 0
 
     def warmup(self, rounds: int = 2) -> None:
-        """Un-measured rounds: lets discovery-rewriters reach steady state
-        and servers finish accepting, as the paper's 30-second runs do."""
         for _ in range(rounds):
             self._round()
 
     def drive(self, requests: int) -> DriveResult:
-        """Measured drive of *requests* total round trips."""
         start_cycles = self.kernel.cycles.cycles
         completed = 0
         stalled_rounds = 0
@@ -79,7 +141,7 @@ class LoadGenerator:
         Sends the payload on each active connection, runs the server,
         and returns the per-connection response bytes (None = the
         request never produced a response).  This is the mirroring seam:
-        a :class:`MirroredLoadGenerator` issues the same exchange on two
+        a :class:`MirroredSource` issues the same exchange on two
         kernels and compares these byte strings, which plain ``drive``
         collapses to done/failed counts.
         """
@@ -131,28 +193,29 @@ def _prefix(data: Optional[bytes], length: int = 8) -> str:
     return "" if data is None else data[:length].hex()
 
 
-class MirroredLoadGenerator:
+class MirroredSource(TrafficSource):
     """Drive two kernels in lockstep: every request is mirrored.
 
-    The *primary* generator's responses are the real ones; the *shadow*
-    generator receives an identical copy of every request, its responses
+    The *primary* source's responses are the real ones; the *shadow*
+    source receives an identical copy of every request, its responses
     are compared byte-for-byte against the primary's and then discarded
-    — the Shadow Request pattern.  Both generators must be configured
+    — the Shadow Request pattern.  Both sources must be configured
     with the same payload and connection count.
 
     ``on_mismatch`` (when given) is called with each
     :class:`MirrorMismatch` as it is detected, letting the shadow
     harness emit divergence events while the drive is still running.
+    Accumulated mismatches stay readable on ``self.mismatches``.
     """
 
-    def __init__(self, primary: LoadGenerator, shadow: LoadGenerator,
+    def __init__(self, primary: KeepAliveSource, shadow: KeepAliveSource,
                  on_mismatch: Optional[Callable[[MirrorMismatch], None]]
                  = None):
         if len(primary.connections) != len(shadow.connections):
-            raise ValueError("mirrored generators need identical "
+            raise ValueError("mirrored sources need identical "
                              "connection counts")
         if primary.payload != shadow.payload:
-            raise ValueError("mirrored generators need identical payloads")
+            raise ValueError("mirrored sources need identical payloads")
         self.primary = primary
         self.shadow = shadow
         self.on_mismatch = on_mismatch
@@ -165,16 +228,14 @@ class MirroredLoadGenerator:
             self.primary.exchange()
             self.shadow.exchange()
 
-    def _mirror_round(self, limit: Optional[int] = None) -> int:
+    def exchange(self, limit: Optional[int] = None
+                 ) -> List[Optional[bytes]]:
+        """Mirror one batch; returns the *primary* responses (the real
+        ones) after comparing the shadow's copy byte-for-byte."""
         primary_responses = self.primary.exchange(limit)
         shadow_responses = self.shadow.exchange(limit)
-        done = 0
         for conn, (mine, theirs) in enumerate(zip(primary_responses,
                                                   shadow_responses)):
-            if mine is not None:
-                done += 1
-            else:
-                self.primary.failures += 1
             if mine != theirs:
                 mismatch = MirrorMismatch(
                     request=self._request_index + conn, connection=conn,
@@ -186,12 +247,17 @@ class MirroredLoadGenerator:
                 if self.on_mismatch is not None:
                     self.on_mismatch(mismatch)
         self._request_index += len(primary_responses)
+        return primary_responses
+
+    def _mirror_round(self, limit: Optional[int] = None) -> int:
+        responses = self.exchange(limit)
+        done = sum(1 for response in responses if response is not None)
+        self.primary.failures += len(responses) - done
         return done
 
-    def drive(self, requests: int) -> Tuple[DriveResult, List[MirrorMismatch]]:
-        """Mirror *requests* round trips; returns the primary's
-        DriveResult plus every response mismatch detected."""
-        start = len(self.mismatches)
+    def drive(self, requests: int) -> DriveResult:
+        """Mirror *requests* round trips; mismatches accumulate on
+        ``self.mismatches`` as they are detected."""
         start_cycles = self.primary.kernel.cycles.cycles
         completed = 0
         stalled_rounds = 0
@@ -202,22 +268,54 @@ class MirroredLoadGenerator:
             stalled_rounds = 0 if done else stalled_rounds + 1
             if stalled_rounds >= 5:
                 break
-        result = DriveResult(
+        return DriveResult(
             requests=completed,
             cycles=self.primary.kernel.cycles.cycles - start_cycles,
             failures=self.primary.failures)
-        return result, self.mismatches[start:]
 
     def close(self) -> None:
         self.primary.close()
         self.shadow.close()
 
 
-def wrk(kernel, port: int, connections: int) -> LoadGenerator:
+# --------------------------------------------------------- deprecation shims
+
+
+class LoadGenerator(KeepAliveSource):
+    """Deprecated name for :class:`KeepAliveSource` (warns once)."""
+
+    def __init__(self, *args, **kwargs):
+        _warn_once("LoadGenerator",
+                   "construct KeepAliveSource (a TrafficSource) or use "
+                   "the wrk()/redis_benchmark() factories")
+        super().__init__(*args, **kwargs)
+
+
+class MirroredLoadGenerator(MirroredSource):
+    """Deprecated name for :class:`MirroredSource` (warns once).
+
+    Preserves the historical ``drive`` return shape —
+    ``(DriveResult, new mismatches)`` — for callers that unpack it.
+    """
+
+    def __init__(self, *args, **kwargs):
+        _warn_once("MirroredLoadGenerator",
+                   "construct MirroredSource (a TrafficSource); its "
+                   "drive() returns a DriveResult and mismatches "
+                   "accumulate on .mismatches")
+        super().__init__(*args, **kwargs)
+
+    def drive(self, requests: int):
+        start = len(self.mismatches)
+        result = super().drive(requests)
+        return result, self.mismatches[start:]
+
+
+def wrk(kernel, port: int, connections: int) -> KeepAliveSource:
     """The wrk stand-in (static HTTP GET, keep-alive)."""
-    return LoadGenerator(kernel, port, connections, HTTP_REQUEST)
+    return KeepAliveSource(kernel, port, connections, HTTP_REQUEST)
 
 
-def redis_benchmark(kernel, port: int, clients: int) -> LoadGenerator:
+def redis_benchmark(kernel, port: int, clients: int) -> KeepAliveSource:
     """The redis-benchmark stand-in (100 % GET)."""
-    return LoadGenerator(kernel, port, clients, REDIS_GET)
+    return KeepAliveSource(kernel, port, clients, REDIS_GET)

@@ -41,12 +41,17 @@ LIGHTTPD_TABLE2_SITES = 44
 INLINE_PAD = 27
 
 
-def install_lighttpd(kernel, workers: int = 1, file_size_kb: int = 0) -> str:
-    """Register the lighttpd binary + config for one configuration."""
+def install_lighttpd(kernel, workers: int = 1, file_size_kb: int = 0,
+                     multiconn: bool = False) -> str:
+    """Register the lighttpd binary + config for one configuration.
+
+    ``multiconn=True`` selects epoll event-loop serving (see nginx.py).
+    """
     install_www(kernel)
     target = WWW_EMPTY if file_size_kb == 0 else WWW_4K
     burn = BURN_CYCLES.get((workers, file_size_kb), BURN_CYCLES[(1, 0)])
-    write_server_config(kernel, LIGHTTPD_CONF, workers, burn, target)
+    write_server_config(kernel, LIGHTTPD_CONF, workers, burn, target,
+                        multiconn=multiconn)
     build_http_server(LIGHTTPD_PATH, LIGHTTPD_CONF, LIGHTTPD_PORT,
                       inline_pad=INLINE_PAD,
                       cache_revalidate_every=CACHE_REVALIDATE_EVERY,

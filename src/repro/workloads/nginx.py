@@ -42,12 +42,19 @@ NGINX_TABLE2_SITES = 43
 INLINE_PAD = 26
 
 
-def install_nginx(kernel, workers: int = 1, file_size_kb: int = 0) -> str:
-    """Register the nginx binary + config for one Table 6 configuration."""
+def install_nginx(kernel, workers: int = 1, file_size_kb: int = 0,
+                  multiconn: bool = False) -> str:
+    """Register the nginx binary + config for one Table 6 configuration.
+
+    ``multiconn=True`` switches the workers to epoll event-loop serving
+    (many connections each) for the open-loop traffic engine; the classic
+    Table 6 accept loop is untouched.
+    """
     install_www(kernel)
     target = WWW_EMPTY if file_size_kb == 0 else WWW_4K
     burn = BURN_CYCLES.get((workers, file_size_kb), BURN_CYCLES[(1, 0)])
-    write_server_config(kernel, NGINX_CONF, workers, burn, target)
+    write_server_config(kernel, NGINX_CONF, workers, burn, target,
+                        multiconn=multiconn)
     build_http_server(NGINX_PATH, NGINX_CONF, NGINX_PORT,
                       inline_pad=INLINE_PAD,
                       cache_revalidate_every=1,

@@ -32,8 +32,18 @@ REDIS_TABLE2_SITES = 92
 INLINE_PAD = 83
 
 
-def write_redis_config(kernel, io_threads: int) -> None:
-    kernel.vfs.create(REDIS_CONF, struct.pack("<Q", io_threads))
+#: Config offset of the multi-connection flag (see workloads.http): the
+#: classic config is 8 bytes, so the zero confbuf tail reads as "off".
+MULTICONN_FLAG_OFFSET = 56
+
+
+def write_redis_config(kernel, io_threads: int,
+                       multiconn: bool = False) -> None:
+    payload = struct.pack("<Q", io_threads)
+    if multiconn:
+        payload = (payload.ljust(MULTICONN_FLAG_OFFSET, b"\x00")
+                   + struct.pack("<Q", 1))
+    kernel.vfs.create(REDIS_CONF, payload)
 
 
 def build_redis() -> ProgramBuilder:
@@ -42,6 +52,7 @@ def build_redis() -> ProgramBuilder:
     builder.buffer("confbuf", 64)
     builder.buffer("reqbuf", 256)
     builder.buffer("reply", 256)
+    builder.buffer("events", 16)
     asm = builder.asm
     builder.start()
 
@@ -71,8 +82,17 @@ def build_redis() -> ProgramBuilder:
 
     # ------------------------------------------------------------- io thread
     builder.label(".serve")
+    # Serving-model dispatch (see workloads.http): the multiconn flag
+    # selects the per-thread epoll event loop over the classic
+    # one-connection-at-a-time ae loop.
+    asm.lea_rip_label(Reg.R11, "confbuf")
+    asm.add_ri(Reg.R11, MULTICONN_FLAG_OFFSET)
+    asm.load(Reg.RAX, Reg.R11)
+    asm.test_rr(Reg.RAX, Reg.RAX)
+    asm.jne(".mc_serve")
+
     builder.label(".accept_loop")
-    builder.libc("accept", Reg.R14, 0, 0)
+    builder.libc("accept", Reg.R14, 0, 0, 0)
     asm.mov_rr(Reg.R13, Reg.RAX)
     builder.label(".req_loop")
     builder.libc("recvfrom", Reg.R13, data_ref("reqbuf"), 256, 0, 0, 0)
@@ -84,10 +104,45 @@ def build_redis() -> ProgramBuilder:
     builder.label(".conn_closed")
     builder.libc("close", Reg.R13)
     asm.jmp(".accept_loop")
+
+    # ------------------------------------------- multiconn io thread
+    # Each thread owns an epoll set over the shared listener plus the
+    # connections it accepted; the per-request mix (recvfrom, burn,
+    # sendto) is identical to the classic path.
+    builder.label(".mc_serve")
+    builder.libc("epoll_create", 1)
+    asm.mov_rr(Reg.R12, Reg.RAX)
+    builder.libc("epoll_ctl", Reg.R12, 1, Reg.R14, 0)
+    builder.label(".mc_loop")
+    builder.libc("epoll_wait", Reg.R12, data_ref("events"), 1,
+                 (1 << 64) - 1)
+    asm.lea_rip_label(Reg.R11, "events")
+    asm.load(Reg.R13, Reg.R11)  # R13 = the ready fd
+    asm.cmp_rr(Reg.R13, Reg.R14)
+    asm.jne(".mc_request")
+    # Thundering herd on the shared listener: losers take EAGAIN.
+    builder.libc("accept", Reg.R14, 0, 0, 0x800)
+    asm.cmp_ri(Reg.RAX, 0)
+    asm.jl(".mc_loop")
+    asm.mov_rr(Reg.R13, Reg.RAX)
+    builder.libc("epoll_ctl", Reg.R12, 1, Reg.R13, 0)
+    asm.jmp(".mc_loop")
+    builder.label(".mc_request")
+    builder.libc("recvfrom", Reg.R13, data_ref("reqbuf"), 256, 0, 0, 0)
+    asm.test_rr(Reg.RAX, Reg.RAX)
+    asm.je(".mc_closed")
+    builder.libc("burn", REDIS_BURN_CYCLES)
+    builder.libc("sendto", Reg.R13, data_ref("reply"), 32, 0, 0, 0)
+    asm.jmp(".mc_loop")
+    builder.label(".mc_closed")
+    builder.libc("epoll_ctl", Reg.R12, 2, Reg.R13, 0)
+    builder.libc("close", Reg.R13)
+    asm.jmp(".mc_loop")
     return builder
 
 
-def install_redis(kernel, io_threads: int = 1) -> str:
-    write_redis_config(kernel, io_threads)
+def install_redis(kernel, io_threads: int = 1,
+                  multiconn: bool = False) -> str:
+    write_redis_config(kernel, io_threads, multiconn=multiconn)
     build_redis().register(kernel)
     return REDIS_PATH

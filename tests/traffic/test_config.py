@@ -1,0 +1,96 @@
+"""TrafficConfig validation and the RunConfig(traffic=...) seam."""
+
+import pytest
+
+from repro.runapi import RunConfig
+from repro.traffic.config import TrafficConfig
+
+
+def test_defaults_validate():
+    config = TrafficConfig()
+    assert config.requests == 1_000_000
+    assert config.rate == 0  # auto
+    assert config.serve_mode == "model"
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"requests": 0},
+    {"rate": -1},
+    {"arrival": "uniform"},
+    {"serve_mode": "turbo"},
+    {"servers": 0},
+    {"connections": 2},          # < servers (default 4)
+    {"workers": 0},
+    {"queue_limit": 0},
+    {"calibration_requests": 0},
+    {"slo_p99_ms": 0},
+    {"tenants": ()},
+    {"tenants": (("a", 1), ("a", 2))},
+    {"mix": (("tiny", 1),)},
+    {"mix": (("ghost:small", 1),)},   # unknown tenant scope
+    {"mix": (("small", 0),)},
+    {"ramp": ()},
+    {"ramp": (1, 0)},
+])
+def test_invalid_configs_raise(kwargs):
+    with pytest.raises(ValueError):
+        TrafficConfig(**kwargs)
+
+
+def test_sequences_canonicalized_to_tuples():
+    config = TrafficConfig(tenants=[["a", 2], ["b", 1]],
+                           mix=[["small", 1]], ramp=[1, 2])
+    assert config.tenants == (("a", 2), ("b", 1))
+    assert config.mix == (("small", 1),)
+    assert config.ramp == (1, 2)
+
+
+def test_mix_for_scoped_entries_win():
+    config = TrafficConfig(
+        tenants=(("anchor", 4), ("batch", 1)),
+        mix=(("small", 3), ("large", 1), ("batch:large", 1)))
+    assert config.mix_for("anchor") == (("small", 3), ("large", 1))
+    assert config.mix_for("batch") == (("large", 1),)
+
+
+def test_canonical_requires_resolved_rate():
+    with pytest.raises(ValueError):
+        TrafficConfig().canonical()
+
+
+def test_canonical_roundtrip():
+    config = TrafficConfig(rate=5000, requests=100, arrival="pareto",
+                           ramp=(1, 3))
+    doc = config.canonical()
+    assert TrafficConfig.from_dict(doc) == config
+    assert doc["rate"] == 5000
+
+
+def test_with_rate_resolves_auto():
+    resolved = TrafficConfig().with_rate(1234)
+    assert resolved.rate == 1234
+    assert resolved.requests == 1_000_000
+
+
+def test_runconfig_accepts_traffic_dict():
+    config = RunConfig(mechanism="native", workload="nginx",
+                       traffic={"requests": 100, "rate": 50})
+    assert isinstance(config.traffic, TrafficConfig)
+    assert config.traffic.requests == 100
+
+
+def test_runconfig_traffic_needs_server_workload():
+    with pytest.raises(ValueError, match="server workload"):
+        RunConfig(mechanism="native", workload="stress",
+                  traffic=TrafficConfig())
+
+
+def test_runconfig_traffic_excludes_replay():
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        RunConfig(mechanism="native", workload="redis",
+                  traffic=TrafficConfig(), replay_from="/tmp/bundle")
+
+
+def test_runconfig_traffic_rejects_garbage():
+    with pytest.raises(ValueError, match="TrafficConfig"):
+        RunConfig(mechanism="native", workload="redis", traffic="lots")

@@ -1,0 +1,77 @@
+"""Multi-connection serving: the event-loop worker path behind the
+``multiconn`` installer flag, which the full-serve traffic engine rides.
+"""
+
+import pytest
+
+from repro.runapi import RunConfig, prepare
+
+
+def boot(workload, mechanism="native", multiconn=True, workers=2):
+    params = [("workers", workers)]
+    if multiconn:
+        params.append(("multiconn", 1))
+    prepared = prepare(RunConfig(mechanism=mechanism, workload=workload,
+                                 seed=9, params=tuple(params)))
+    prepared.boot()
+    return prepared
+
+
+@pytest.mark.parametrize("workload", ["nginx", "lighttpd", "redis"])
+def test_multiconn_serves_many_connections(workload):
+    prepared = boot(workload)
+    kernel, spec = prepared.kernel, prepared.spec
+    expected = 32 if workload == "redis" else 128
+    conns = []
+    for _ in range(6):
+        conns.append(kernel.net.connect(spec.port))
+    kernel.run(max_steps=600_000)
+    # Interleave: every connection gets a request before any second one.
+    for conn in conns:
+        conn.client_send(spec.payload)
+    kernel.run(max_steps=2_000_000)
+    for conn in conns:
+        response = conn.client_recv_all()
+        assert len(response) == expected, \
+            f"{workload}: connection answered {len(response)}B"
+
+
+@pytest.mark.parametrize("workload", ["nginx", "redis"])
+def test_multiconn_connection_close_keeps_serving(workload):
+    prepared = boot(workload)
+    kernel, spec = prepared.kernel, prepared.spec
+    first = kernel.net.connect(spec.port)
+    second = kernel.net.connect(spec.port)
+    kernel.run(max_steps=600_000)
+    first.client_send(spec.payload)
+    kernel.run(max_steps=1_000_000)
+    assert first.client_recv_all()
+    first.client_close()
+    kernel.run(max_steps=600_000)
+    second.client_send(spec.payload)
+    kernel.run(max_steps=1_000_000)
+    assert second.client_recv_all()
+
+
+def test_classic_path_untouched_without_flag():
+    """No multiconn param: the classic accept-one-connection loop, which
+    the calibrated macro benchmarks measure, still serves."""
+    prepared = boot("redis", multiconn=False, workers=1)
+    kernel, spec = prepared.kernel, prepared.spec
+    conn = kernel.net.connect(spec.port)
+    kernel.run(max_steps=600_000)
+    conn.client_send(spec.payload)
+    kernel.run(max_steps=1_000_000)
+    assert len(conn.client_recv_all()) == 32
+
+
+@pytest.mark.parametrize("mechanism", ["zpoline-default", "K23-ultra"])
+def test_multiconn_under_interposition(mechanism):
+    prepared = boot("nginx", mechanism=mechanism)
+    kernel, spec = prepared.kernel, prepared.spec
+    conns = [kernel.net.connect(spec.port) for _ in range(3)]
+    kernel.run(max_steps=600_000)
+    for conn in conns:
+        conn.client_send(spec.payload)
+    kernel.run(max_steps=3_000_000)
+    assert all(len(c.client_recv_all()) == 128 for c in conns)

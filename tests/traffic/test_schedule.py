@@ -1,0 +1,92 @@
+"""Arrival-schedule determinism: same seed, byte-identical columns."""
+
+import pytest
+
+from repro.traffic.config import TrafficConfig
+from repro.traffic.schedule import generate_schedule, schedule_summary
+
+
+def small(**kwargs):
+    defaults = dict(requests=2000, rate=100_000, servers=4,
+                    connections=64, ramp=(1, 2, 4))
+    defaults.update(kwargs)
+    return TrafficConfig(**defaults)
+
+
+def test_same_seed_same_digest():
+    a = generate_schedule(small(), 42)
+    b = generate_schedule(small(), 42)
+    assert a.digest() == b.digest()
+    assert a.t_ns == b.t_ns and a.conn == b.conn
+
+
+def test_different_seed_different_digest():
+    assert generate_schedule(small(), 1).digest() != \
+        generate_schedule(small(), 2).digest()
+
+
+def test_unresolved_rate_rejected():
+    with pytest.raises(ValueError, match="resolved rate"):
+        generate_schedule(TrafficConfig(), 1)
+
+
+def test_arrivals_monotonic_and_connections_in_range():
+    schedule = generate_schedule(small(), 7)
+    last = 0
+    for i in range(len(schedule)):
+        assert schedule.t_ns[i] >= last
+        last = schedule.t_ns[i]
+        assert 0 <= schedule.conn[i] < 64
+
+
+@pytest.mark.parametrize("arrival", ["poisson", "lognormal", "pareto"])
+def test_every_arrival_process_generates(arrival):
+    schedule = generate_schedule(small(arrival=arrival), 3)
+    assert len(schedule) == 2000
+    assert schedule.span_ns() > 0
+
+
+def test_stage_bounds_partition_requests():
+    schedule = generate_schedule(small(), 5)
+    bounds = schedule.stage_bounds()
+    assert bounds[0][0] == 0 and bounds[-1][1] == len(schedule)
+    for (_, end), (start, _) in zip(bounds, bounds[1:]):
+        assert end == start
+    for stage, (start, end) in enumerate(bounds):
+        assert schedule.stage_of(start) == stage
+        assert schedule.stage_of(end - 1) == stage
+
+
+def test_ramp_speeds_up_arrivals():
+    """Later (higher-multiplier) stages pack the same requests into less
+    wall time: mean gap shrinks roughly with the multiplier."""
+    schedule = generate_schedule(small(ramp=(1, 8)), 11)
+    (s0, e0), (s1, e1) = schedule.stage_bounds()
+    span0 = schedule.t_ns[e0 - 1] - schedule.t_ns[s0]
+    span1 = schedule.t_ns[e1 - 1] - schedule.t_ns[s1]
+    assert span1 * 3 < span0
+
+
+def test_server_sharding_covers_all_requests():
+    schedule = generate_schedule(small(), 9)
+    total = sum(1 for s in range(4)
+                for _ in schedule.iter_requests(s))
+    assert total == len(schedule)
+
+
+def test_tenant_weights_respected():
+    config = small(requests=4000, tenants=(("heavy", 9), ("light", 1)))
+    schedule = generate_schedule(config, 13)
+    heavy = schedule.tenant_names.index("heavy")
+    count = sum(1 for i in range(len(schedule))
+                if schedule.tenant[i] == heavy)
+    assert 0.8 < count / len(schedule) < 0.98
+
+
+def test_summary_echo():
+    schedule = generate_schedule(small(), 21)
+    doc = schedule_summary(schedule)
+    assert doc["requests"] == 2000
+    assert doc["digest"] == schedule.digest()
+    assert [row["rate"] for row in doc["stages"]] == \
+        [100_000, 200_000, 400_000]

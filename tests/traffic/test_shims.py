@@ -1,0 +1,109 @@
+"""The TrafficSource redesign's compatibility surface."""
+
+import warnings
+
+import pytest
+
+from repro.workloads.clients import (KeepAliveSource, LoadGenerator,
+                                     MirroredLoadGenerator, MirroredSource,
+                                     TrafficSource, redis_benchmark, wrk)
+from tests.workloads.test_clients import keepalive_echo
+
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def served_kernel():
+    kernel = Kernel(seed=71)
+    keepalive_echo(kernel, port=8080)
+    process = kernel.spawn_process("/bin/kecho")
+    kernel.run_process(process, max_steps=200_000)
+    return kernel
+
+
+def test_shims_subclass_the_new_names():
+    assert issubclass(LoadGenerator, KeepAliveSource)
+    assert issubclass(MirroredLoadGenerator, MirroredSource)
+    assert issubclass(KeepAliveSource, TrafficSource)
+    assert issubclass(MirroredSource, TrafficSource)
+
+
+def test_loadgenerator_warns_once(served_kernel):
+    import repro.workloads.clients as clients
+
+    clients._WARNED.discard("LoadGenerator")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        LoadGenerator(served_kernel, 8080, connections=1, payload=b"x")
+        LoadGenerator(served_kernel, 8080, connections=1, payload=b"x")
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "KeepAliveSource" in str(deprecations[0].message)
+
+
+def test_new_names_do_not_warn(served_kernel):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        KeepAliveSource(served_kernel, 8080, connections=1, payload=b"x")
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_wrk_and_redis_benchmark_return_sources(served_kernel):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert type(wrk(served_kernel, 8080, 2)) is KeepAliveSource
+        assert type(redis_benchmark(served_kernel, 8080, 2)) is \
+            KeepAliveSource
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_legacy_mirrored_drive_returns_tuple(served_kernel):
+    """The old MirroredLoadGenerator.drive contract — (DriveResult,
+    mismatches) — survives on the shim; the new MirroredSource returns
+    the DriveResult alone."""
+    import repro.workloads.clients as clients
+
+    primary = KeepAliveSource(served_kernel, 8080, connections=1,
+                              payload=b"ping")
+    kernel_b = Kernel(seed=71)
+    keepalive_echo(kernel_b, port=8080)
+    kernel_b.run_process(kernel_b.spawn_process("/bin/kecho"),
+                         max_steps=200_000)
+    shadow = KeepAliveSource(kernel_b, 8080, connections=1,
+                             payload=b"ping")
+    clients._WARNED.discard("MirroredLoadGenerator")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = MirroredLoadGenerator(primary, shadow)
+        result, mismatches = legacy.drive(2)
+    assert result.requests == 2
+    assert mismatches == []
+
+
+def test_mirrored_source_drive_returns_result_only(served_kernel):
+    primary = KeepAliveSource(served_kernel, 8080, connections=1,
+                              payload=b"ping")
+    kernel_b = Kernel(seed=71)
+    keepalive_echo(kernel_b, port=8080)
+    kernel_b.run_process(kernel_b.spawn_process("/bin/kecho"),
+                         max_steps=200_000)
+    shadow = KeepAliveSource(kernel_b, 8080, connections=1,
+                             payload=b"ping")
+    mirror = MirroredSource(primary, shadow)
+    result = mirror.drive(2)
+    assert result.requests == 2
+    assert mirror.mismatches == []
+
+
+def test_prepared_run_traffic_source_is_keepalive():
+    from repro.runapi import RunConfig, prepare
+
+    prepared = prepare(RunConfig(mechanism="native", workload="redis",
+                                 seed=5))
+    prepared.boot()
+    source = prepared.traffic_source()
+    assert type(source) is KeepAliveSource
+    assert type(prepared.load_generator()) is KeepAliveSource

@@ -6,7 +6,7 @@ from repro.kernel import Kernel
 from repro.workloads.clients import (
     DriveResult,
     HTTP_REQUEST,
-    LoadGenerator,
+    KeepAliveSource,
     REDIS_GET,
     redis_benchmark,
     wrk,
@@ -85,16 +85,16 @@ def test_cycles_measured_only_during_drive(served_kernel):
 def test_multi_connection_needs_matching_workers(served_kernel):
     """A single-worker server can only progress one connection's session at
     a time — the reason the macro configs match connections to workers."""
-    generator = LoadGenerator(served_kernel, 8080, connections=3,
-                              payload=b"m")
+    generator = KeepAliveSource(served_kernel, 8080, connections=3,
+                               payload=b"m")
     result = generator.drive(3)
     assert result.requests >= 1
     assert generator.failures >= 1  # the starved connections
 
 
 def test_batching_respects_request_limit(served_kernel):
-    generator = LoadGenerator(served_kernel, 8080, connections=1,
-                              payload=b"m")
+    generator = KeepAliveSource(served_kernel, 8080, connections=1,
+                               payload=b"m")
     result = generator.drive(7)
     assert result.requests == 7
     assert result.failures == 0
