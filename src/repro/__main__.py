@@ -11,6 +11,7 @@ One dispatcher over the tools::
     python -m repro traceq TRACE [--type T] [--phase P] [--count] ...
     python -m repro replay --bundle B --to-seq N [--step] [--seed N] ...
     python -m repro loadtest [--workload W] [--requests N] [--jobs N] ...
+    python -m repro sloexplain [EXEMPLAR_ID] [--worst] [--list] ...
 
 The shared flags — ``--seed``, ``--jobs``, ``--trace-out`` — mean the
 same thing everywhere they are accepted (determinism seed, process-pool
@@ -39,6 +40,7 @@ SUBCOMMANDS = {
     "traceq": ("repro.tools.traceq", ()),
     "replay": ("repro.tools.replay", ("--seed",)),
     "loadtest": ("repro.tools.loadtest", ("--seed", "--jobs")),
+    "sloexplain": ("repro.tools.sloexplain", ()),
 }
 
 SHARED_FLAGS = ("--seed", "--jobs", "--trace-out")

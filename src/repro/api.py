@@ -59,8 +59,10 @@ from repro.interposers.registry import (REGISTRY, MechanismRegistry,
                                         MechanismSpec, UnknownMechanismError)
 from repro.kernel import Kernel
 from repro.observability import (Bus, BusEvent, CounterSink, DivergenceSink,
-                                 NullSink, RingBufferSink, ShadowDivergence,
-                                 Sink, StreamingJSONLSink, TraceSink,
+                                 ExemplarReservoir, NullSink, RequestSpan,
+                                 RingBufferSink, ShadowDivergence, Sink,
+                                 SpanFlightRecorder, StreamingJSONLSink,
+                                 TraceContext, TraceSink,
                                  validate_chrome_trace, write_chrome_trace)
 from repro.observability.analyzers import (AnalyzerSuite, LatencyAnalyzer,
                                            PitfallVerdict)
@@ -105,6 +107,10 @@ __all__ = [
     "RingBufferSink",
     "StreamingJSONLSink",
     "TraceSink",
+    "RequestSpan",
+    "TraceContext",
+    "ExemplarReservoir",
+    "SpanFlightRecorder",
     "write_chrome_trace",
     "validate_chrome_trace",
     # interposition

@@ -92,6 +92,7 @@ _LOADTEST_MODULES: Tuple[str, ...] = (
     "repro.traffic.fleet",
     "repro.traffic.engine",
     "repro.observability.analyzers.latency",
+    "repro.observability.spans",
 )
 
 

@@ -25,14 +25,18 @@ from repro.observability.events import (BusEvent, CycleCharge, EVENT_TYPES,
                                         FaultInjected, HookObserved,
                                         IcacheShootdown, PtraceStop,
                                         QuantumEnd, QueueDepthSample,
-                                        RawCycles, ShadowDivergence,
-                                        SignalEvent, SyscallEnter,
-                                        SyscallExit, TrafficStageStats)
-from repro.observability.export import (TraceSink, validate_chrome_trace,
+                                        RawCycles, RequestSpan,
+                                        ShadowDivergence, SignalEvent,
+                                        SyscallEnter, SyscallExit,
+                                        TrafficStageStats)
+from repro.observability.export import (TraceSink, spans_to_chrome_trace,
+                                        validate_chrome_trace,
                                         write_chrome_trace)
 from repro.observability.sinks import (CounterSink, DivergenceSink, NullSink,
                                        RingBufferSink, Sink,
                                        StreamingJSONLSink)
+from repro.observability.spans import (ExemplarReservoir, SpanFlightRecorder,
+                                       TraceContext, merge_exemplar_docs)
 
 __all__ = [
     "Bus",
@@ -47,6 +51,7 @@ __all__ = [
     "QueueDepthSample",
     "RawCycles",
     "TrafficStageStats",
+    "RequestSpan",
     "ShadowDivergence",
     "SignalEvent",
     "SyscallEnter",
@@ -58,6 +63,11 @@ __all__ = [
     "RingBufferSink",
     "StreamingJSONLSink",
     "TraceSink",
+    "ExemplarReservoir",
+    "SpanFlightRecorder",
+    "TraceContext",
+    "merge_exemplar_docs",
+    "spans_to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

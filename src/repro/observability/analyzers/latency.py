@@ -48,6 +48,29 @@ def bucket_bounds(index: int) -> Tuple[int, int]:
     return low, high
 
 
+def percentile_rank(count: int, p: float) -> int:
+    """Target rank (1-based) of percentile *p* over *count* values:
+    ``ceil(count * p / 100)`` computed in integer tenths.
+
+    The single rank rule every histogram consumer shares — the SLO
+    report, the per-span analyzer snapshots, and ``sloexplain`` — so
+    two code paths can never round a boundary differently.  The tenths
+    conversion uses explicit half-up rounding: ``int(round(p * 10))``
+    banker's-rounds ties to even (``round(992.5) == 992``), which
+    silently shifted the target rank down at .5-tenth boundaries like
+    ``p=99.25``.
+    """
+    tenths = int(p * 10 + 0.5)
+    return max(1, -(-count * tenths // 1000))  # ceil
+
+
+def percentile_of_doc(doc: Dict, p: float) -> int:
+    """Percentile *p* of a serialized histogram (``to_dict`` output) —
+    exact: the sparse bucket table round-trips the full state, so this
+    agrees byte-for-byte with the live histogram's :meth:`percentile`."""
+    return LogHistogram.from_dict(doc).percentile(p)
+
+
 class LogHistogram:
     """Sparse log-bucketed histogram of non-negative integers."""
 
@@ -89,8 +112,7 @@ class LogHistogram:
         # Integer rank arithmetic (p may be fractional, e.g. 99.9): the
         # target rank is ceil(count * p / 100) computed in tenths so the
         # result is identical however many shards the counts arrived in.
-        tenths = int(round(p * 10))
-        target = max(1, -(-self.count * tenths // 1000))  # ceil
+        target = percentile_rank(self.count, p)
         seen = 0
         for index in sorted(self.buckets):
             seen += self.buckets[index]

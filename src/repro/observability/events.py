@@ -291,10 +291,42 @@ class TrafficStageStats(BusEvent):
     max_depth: int
 
 
+@dataclass(frozen=True, slots=True)
+class RequestSpan(BusEvent):
+    """One finished (or shed) open-loop request's span decomposition.
+
+    The flat, queryable rendering of a traffic span tree
+    (:mod:`repro.observability.spans`): ``request`` is the exemplar ID
+    (``"r-<schedule index>"`` — the key ``sloexplain`` and
+    ``traceq --where request=...`` take), stage durations are integer
+    nanoseconds and sum exactly to ``latency_ns`` (the zero-residual
+    contract; ``service_ns`` is the closing remainder).  ``shed`` marks
+    a rejected request, ``stalled`` one abandoned by stall-shed
+    detection (a wedged fleet).  Emitted behind the null-sink guard
+    only when span tracing is enabled for the run.
+    """
+
+    request: str
+    server: int
+    conn: int
+    stage: int
+    tenant: str
+    kind: str
+    arrival_ns: int
+    latency_ns: int
+    admission_ns: int
+    conn_wait_ns: int
+    queue_ns: int
+    service_ns: int
+    shed: bool
+    stalled: bool
+
+
 #: Every event type, for sink filters and schema docs.
 EVENT_TYPES: Tuple[type, ...] = (
     SyscallEnter, SyscallExit, SignalEvent, PtraceStop, IcacheShootdown,
     FaultInjected, QuantumEnd, CycleCharge, RawCycles, HookObserved,
     ProcessLifecycle, RewriteApplied, VdsoCall, ShadowDivergence,
     EngineStats, ReplayCheckpoint, QueueDepthSample, TrafficStageStats,
+    RequestSpan,
 )

@@ -221,13 +221,67 @@ class TraceSink(Sink):
         }
 
 
-def write_chrome_trace(sink: TraceSink, path) -> Path:
-    """Serialize *sink* to *path*; returns the written path."""
+def write_trace_doc(doc: Dict, path) -> Path:
+    """Serialize a trace-event JSON object to *path* (pinned layout);
+    returns the written path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(sink.to_chrome_trace(), indent=1,
-                               sort_keys=True) + "\n")
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
     return path
+
+
+def write_chrome_trace(sink: TraceSink, path) -> Path:
+    """Serialize *sink* to *path*; returns the written path."""
+    return write_trace_doc(sink.to_chrome_trace(), path)
+
+
+def spans_to_chrome_trace(spans: List[Dict], mechanism: str = "",
+                          workload: str = "") -> Dict:
+    """Render traffic span trees (`repro.observability.spans` dicts) as
+    a Chrome trace-event JSON object for the Perfetto pipeline.
+
+    One track per (server, connection): each request's four stages are
+    ``X`` slices laid end to end from its arrival time, so the critical
+    path reads left to right exactly as ``sloexplain`` prints it.
+    Span times are virtual schedule nanoseconds; the spec's unit is
+    microseconds, hence ``/ 1000``.
+    """
+    events: List[Dict] = []
+    tracks_seen = set()
+    for span in spans:
+        pid = span["server"]
+        tid = span["conn"]
+        if pid not in tracks_seen:
+            tracks_seen.add(pid)
+            events.append({
+                "name": "process_name", "ph": "M", "ts": 0, "pid": pid,
+                "tid": 0, "args": {"name": f"fleet server {pid}"},
+            })
+        cursor = span["arrival_ns"]
+        for name, dur_ns in span["stages"]:
+            if dur_ns <= 0:
+                continue
+            events.append({
+                "name": name, "cat": "request", "ph": "X",
+                "ts": round(cursor / 1000, 4),
+                "dur": max(round(dur_ns / 1000, 4), 0.0001),
+                "pid": pid, "tid": tid,
+                "args": {"request": span["id"], "tenant": span["tenant"],
+                         "kind": span["kind"], "stage": span["stage"],
+                         "shed": span["shed"], "stalled": span["stalled"]},
+            })
+            cursor += dur_ns
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "mechanism": mechanism,
+            "workload": workload,
+            "clock_hz": CLOCK_HZ,
+            "trace_schema_version": TRACE_SCHEMA_VERSION,
+            "span_count": len(spans),
+        },
+    }
 
 
 _VALID_PH = frozenset("BEXiICMbensf")

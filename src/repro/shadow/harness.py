@@ -121,6 +121,7 @@ class ShadowReport:
     counters: Dict = field(default_factory=dict)
     analyzer_reports: Dict = field(default_factory=dict)
     bundle_path: Optional[str] = None
+    flight_path: Optional[str] = None
 
     @property
     def promoted(self) -> bool:
@@ -141,6 +142,7 @@ class ShadowReport:
             "latency_delta": self.latency_delta,
             "counters": self.counters,
             "bundle_path": self.bundle_path,
+            "flight_path": self.flight_path,
         }
 
 
@@ -232,6 +234,13 @@ class _ShadowRun:
         self.primary_records: List[Dict] = []
         self.shadow_records: List[Dict] = []
         self.trace_divergences: List[Dict] = []
+        # Flight recorder over the primary's recent exchanges — dumped
+        # once, on the first divergence, so the forensics snapshot shows
+        # what the traffic looked like when the disagreement surfaced.
+        from repro.observability.spans import SpanFlightRecorder
+
+        self.flight = SpanFlightRecorder(capacity=512)
+        self.flight_path: Optional[str] = None
 
     def emit(self, kind: str, request: int, detail: str) -> None:
         self.divergences.append({"kind": kind, "request": request,
@@ -240,6 +249,17 @@ class _ShadowRun:
             ts=self.primary.kernel.cycles.cycles, pid=0, tid=0, kind=kind,
             primary=self.config.primary, shadow=self.config.shadow,
             request=request, detail=detail))
+        if self.flight_path is None and self.flight.recorded:
+            import os
+
+            from repro.observability.spans import flight_dir
+
+            base = self.config.bundle_dir or flight_dir()
+            self.flight_path = self.flight.dump(
+                os.path.join(base,
+                             f"shadow-flight-{self.config.primary}"
+                             f"-vs-{self.config.shadow}.json"),
+                reason=f"shadow-divergence:{kind}")
 
     # ---------------------------------------------------------- execution
 
@@ -250,6 +270,7 @@ class _ShadowRun:
             self.primary.traffic_source(), self.shadow.traffic_source(),
             on_mismatch=lambda m: self.emit("response", m.request,
                                             m.describe()))
+        mirror.bind_trace(self.flight)
         mirror.warmup(self.config.warmup_rounds)
         # Compare steady-state traffic only: everything before this point
         # (boot, discovery rewrites, warmup) is mechanism-dependent.
@@ -307,7 +328,8 @@ class _ShadowRun:
             counters={"primary": self.primary.counters.snapshot(),
                       "shadow": self.shadow.counters.snapshot()},
             analyzer_reports={"primary": self.primary.suite.report(),
-                              "shadow": self.shadow.suite.report()})
+                              "shadow": self.shadow.suite.report()},
+            flight_path=self.flight_path)
         if count and self.config.bundle_dir is not None:
             from repro.shadow.bundle import write_bundle
 

@@ -8,6 +8,7 @@ Usage::
         [--tenants name:weight,...] [--mix kind:weight,...] \\
         [--ramp 1,2,4,...] [--queue-limit N] [--slo-p99-ms N] \\
         [--serve-mode model|full] [--seed N] [--jobs N] \\
+        [--spans] [--exemplars N] [--shed-exemplars N] \\
         [--out FILE] [--no-cache] [--history]
 
 Generates a seeded open-loop arrival schedule (default: one million
@@ -120,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--slo-p99-ms", type=int, default=2,
                         help="p99 latency budget defining the knee "
                         "(default 2 ms)")
+    parser.add_argument("--spans", action="store_true",
+                        help="per-request span tracing: the report "
+                        "grows a rank-based exemplar section "
+                        "(inspect with python -m repro sloexplain)")
+    parser.add_argument("--exemplars", type=int, default=4,
+                        help="slowest span trees kept per (stage, "
+                        "tenant, kind) group (default 4)")
+    parser.add_argument("--shed-exemplars", type=int, default=16,
+                        help="earliest shed span trees kept per group "
+                        "(default 16)")
     parser.add_argument("--serve-mode", default="model",
                         choices=SERVE_MODES,
                         help="model = calibrated queueing fabric "
@@ -208,7 +219,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             queue_limit=args.queue_limit,
             calibration_requests=args.calibration_requests,
             serve_mode=args.serve_mode,
-            slo_p99_ms=args.slo_p99_ms)
+            slo_p99_ms=args.slo_p99_ms,
+            spans=args.spans,
+            exemplars=args.exemplars,
+            shed_exemplars=args.shed_exemplars)
     except ValueError as exc:
         print(f"loadtest: {exc}", file=sys.stderr)
         return 2

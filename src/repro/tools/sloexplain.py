@@ -1,0 +1,263 @@
+"""sloexplain — critical-path forensics for tail-latency exemplars.
+
+Usage::
+
+    python -m repro sloexplain [EXEMPLAR_ID] [--report FILE]
+                               [--mechanism NAME] [--list | --worst]
+                               [--perfetto OUT] [--json]
+
+Reads the exemplar section of a span-traced load-test report
+(``python -m repro loadtest --spans``) and renders one request's
+critical-path breakdown: where its latency actually went, stage by
+stage, with its position against the report's own percentile fields and
+the calibrated per-kind syscall sub-span profile underneath the service
+stage.  The zero-residual contract is *checked*, not assumed: a span
+whose stage durations do not sum exactly to its recorded latency is a
+data bug and exits 1.
+
+- ``EXEMPLAR_ID`` (``r-<index>``) names a retained span; ``--worst``
+  picks the slowest completed exemplar instead; ``--list`` enumerates
+  everything retained.
+- ``--mechanism`` narrows the search when several mechanisms were
+  load-tested (required only when an ID appears in more than one).
+- ``--perfetto OUT`` additionally exports the mechanism's retained
+  span trees as a Chrome trace-event file for ``ui.perfetto.dev``.
+- ``--json`` prints the selected span document instead of the
+  rendering (for scripts; the CI smoke job uses it).
+
+Exit status: 0 rendered; 1 zero-residual violation; 2 usage error or
+exemplar not found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.spans import (iter_spans, residual, worst_span)
+from repro.traffic.slo import DEFAULT_OUTPUT, SLOReport
+
+#: Width of the stage-duration bar chart.
+BAR_WIDTH = 40
+
+#: The report's percentile fields, best first, for position labelling.
+PERCENTILE_FIELDS = (("p999", "p99.9"), ("p99", "p99"), ("p95", "p95"),
+                     ("p90", "p90"), ("p50", "p50"))
+
+
+def _tenths(part: int, whole: int) -> int:
+    """``part / whole`` in integer tenths of a percent (exact)."""
+    return part * 1000 // whole if whole else 0
+
+
+def _pct(part: int, whole: int) -> str:
+    tenths = _tenths(part, whole)
+    return f"{tenths // 10}.{tenths % 10}%"
+
+
+def position_label(latency_ns: int, hist_doc: Dict) -> str:
+    """Where *latency_ns* sits against a histogram doc's own percentile
+    fields — the same fields the SLO report prints, so the two can
+    never disagree."""
+    for field, label in PERCENTILE_FIELDS:
+        if latency_ns >= hist_doc.get(field, 0):
+            return f">= {label} ({hist_doc.get(field, 0)} ns)"
+    return f"< p50 ({hist_doc.get('p50', 0)} ns)"
+
+
+def dominant_stage(span: Dict) -> Tuple[str, int]:
+    """The stage carrying the most latency (ties: causal order wins)."""
+    best_name, best_dur = span["stages"][0]
+    for name, dur in span["stages"][1:]:
+        if dur > best_dur:
+            best_name, best_dur = name, dur
+    return best_name, best_dur
+
+
+def render_span(span: Dict, mechanism: str, section: Dict) -> List[str]:
+    """The human rendering: header, stage table, verdict, percentile
+    position, calibrated syscall profile."""
+    latency = span["latency_ns"]
+    kind_txt = "shed" if span["shed"] else "completed"
+    if span["stalled"]:
+        kind_txt = "stalled (abandoned by stall-shed detection)"
+    lines = [
+        f"exemplar {span['id']}  mechanism={mechanism}  {kind_txt}",
+        f"  tenant={span['tenant']} kind={span['kind']} "
+        f"ramp-stage={span['stage']} server={span['server']} "
+        f"conn={span['conn']}",
+        f"  arrival={span['arrival_ns']} ns  latency={latency} ns",
+        "",
+    ]
+    for name, dur in span["stages"]:
+        bar = "#" * (dur * BAR_WIDTH // latency if latency else 0)
+        lines.append(f"  {name:<15} {dur:>12} ns  {_pct(dur, latency):>6}"
+                     f"  {bar}")
+    lines.append(f"  {'total':<15} {latency:>12} ns  100.0%")
+    lines.append("")
+
+    name, dur = dominant_stage(span)
+    lines.append(f"  verdict: {_pct(dur, latency)} of {span['id']} is "
+                 f"{name} (tenant {span['tenant']}, {span['kind']} "
+                 f"request)")
+
+    overall = section["latency_ns"]["overall"]
+    per_tenant = section["latency_ns"]["per_tenant"].get(span["tenant"])
+    per_kind = section["latency_ns"]["per_kind"].get(span["kind"])
+    if not span["shed"]:
+        lines.append(f"  position: {position_label(latency, overall)} "
+                     f"overall")
+        if per_tenant:
+            lines.append(f"            "
+                         f"{position_label(latency, per_tenant)} within "
+                         f"tenant {span['tenant']}")
+        if per_kind:
+            lines.append(f"            "
+                         f"{position_label(latency, per_kind)} within "
+                         f"{span['kind']} requests")
+
+    profile = (section.get("calibration", {}).get("kinds", {})
+               .get(span["kind"], {}).get("syscalls"))
+    if profile and profile.get("rows"):
+        requests = max(1, profile["requests"])
+        lines.append("")
+        lines.append(f"  calibrated syscall sub-spans per {span['kind']} "
+                     f"request ({mechanism}, {requests} calibration "
+                     f"round trips):")
+        lines.append(f"    {'phase:syscall':<28} {'calls/req':>9} "
+                     f"{'cycles/req':>11}")
+        for row in profile["rows"][:10]:
+            rate = row["count"] * 10 // requests
+            rate_txt = f"{rate // 10}.{rate % 10}"
+            lines.append(
+                f"    {row['phase'] + ':' + row['name']:<28} "
+                f"{rate_txt:>9} {row['cycles'] // requests:>11}")
+    return lines
+
+
+def list_exemplars(report: SLOReport,
+                   mechanism: Optional[str]) -> List[str]:
+    lines = []
+    names = [mechanism] if mechanism else sorted(report.mechanisms)
+    for name in names:
+        exemplars = report.exemplars(name)
+        if not exemplars:
+            lines.append(f"{name}: no exemplar section (run loadtest "
+                         f"with --spans)")
+            continue
+        lines.append(f"{name} (shed_total={exemplars['shed_total']}):")
+        for span in iter_spans(exemplars):
+            flag = " shed" if span["shed"] else ""
+            flag += " stalled" if span["stalled"] else ""
+            lines.append(
+                f"  {span['id']:<10} stage={span['stage']} "
+                f"tenant={span['tenant']} kind={span['kind']} "
+                f"latency={span['latency_ns']} ns{flag}")
+    return lines
+
+
+def _select(report: SLOReport, args) -> Optional[Tuple[str, Dict]]:
+    """Resolve the target (mechanism, span) or None with a message."""
+    if args.worst:
+        names = [args.mechanism] if args.mechanism \
+            else sorted(report.mechanisms)
+        best: Optional[Tuple[str, Dict]] = None
+        for name in names:
+            exemplars = report.exemplars(name)
+            if not exemplars:
+                continue
+            span = worst_span(exemplars)
+            if span and (best is None
+                         or span["latency_ns"] > best[1]["latency_ns"]):
+                best = (name, span)
+        return best
+    found = report.find_exemplar(args.id, mechanism=args.mechanism)
+    if found is None:
+        return None
+    return found["mechanism"], found["span"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sloexplain", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("id", nargs="?", metavar="EXEMPLAR_ID",
+                        help="exemplar span ID (r-<index>)")
+    parser.add_argument("--report", default=DEFAULT_OUTPUT, metavar="FILE",
+                        help="METRICS_slo.json path (default %(default)s)")
+    parser.add_argument("--mechanism", default=None,
+                        help="narrow to one mechanism section")
+    parser.add_argument("--list", action="store_true",
+                        help="enumerate every retained exemplar")
+    parser.add_argument("--worst", action="store_true",
+                        help="explain the slowest completed exemplar")
+    parser.add_argument("--perfetto", default=None, metavar="OUT",
+                        help="also export the mechanism's exemplar span "
+                        "trees as a Chrome/Perfetto trace file")
+    parser.add_argument("--json", action="store_true",
+                        help="print the span document, not the rendering")
+    args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except BrokenPipeError:
+        # Output piped into head & co. — not an error.
+        return 0
+
+
+def _run(args) -> int:
+    try:
+        report = SLOReport.load(args.report)
+    except (OSError, ValueError) as exc:
+        print(f"sloexplain: {exc}", file=sys.stderr)
+        return 2
+    if args.mechanism and args.mechanism not in report.mechanisms:
+        print(f"sloexplain: mechanism {args.mechanism!r} not in report "
+              f"(has: {', '.join(sorted(report.mechanisms))})",
+              file=sys.stderr)
+        return 2
+
+    if args.list:
+        print("\n".join(list_exemplars(report, args.mechanism)))
+        return 0
+    if not args.id and not args.worst:
+        print("sloexplain: give an EXEMPLAR_ID, --worst, or --list",
+              file=sys.stderr)
+        return 2
+
+    selected = _select(report, args)
+    if selected is None:
+        wanted = args.id if args.id else "--worst"
+        print(f"sloexplain: no exemplar {wanted} in {args.report} "
+              f"(try --list)", file=sys.stderr)
+        return 2
+    mechanism, span = selected
+    section = report.mechanisms[mechanism]
+
+    if residual(span) != 0:
+        print(f"sloexplain: ZERO-RESIDUAL VIOLATION on {span['id']}: "
+              f"stages sum to {sum(d for _n, d in span['stages'])} ns "
+              f"but latency is {span['latency_ns']} ns", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps({"mechanism": mechanism, "span": span},
+                         sort_keys=True, indent=2))
+    else:
+        print("\n".join(render_span(span, mechanism, section)))
+
+    if args.perfetto:
+        from repro.observability.export import (spans_to_chrome_trace,
+                                                write_trace_doc)
+
+        spans = list(iter_spans(report.exemplars(mechanism) or {}))
+        doc = spans_to_chrome_trace(spans, mechanism=mechanism,
+                                    workload=report.workload)
+        path = write_trace_doc(doc, args.perfetto)
+        print(f"perfetto: {len(spans)} exemplar span trees -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,14 +5,19 @@ Usage::
     python -m repro traceq TRACE [--type SyscallEnter ...] [--nr write]
                            [--phase app ...] [--pid N] [--tid N]
                            [--since TS] [--until TS]
+                           [--where KEY=VALUE ...]
                            [--count | --group-by FIELD] [--limit N]
 
 Filters AND together; repeatable flags (``--type``, ``--phase``,
 ``--nr``) OR within themselves.  ``--nr`` takes a syscall name or
-number.  Output is the matching records as JSON lines (``--limit`` caps
-them), a bare count with ``--count``, or a ``value  count`` table with
-``--group-by FIELD`` (descending by count).  The ``TraceMeta`` header
-and ``ChargeSummary`` trailer are excluded from matching.
+number.  ``--where KEY=VALUE`` (repeatable, ANDed) matches any record
+field by exact value — values parse as bools (``true``/``false``) or
+ints when they look like one, strings otherwise, and compare against
+the record's field after the same coercion.  Output is the matching
+records as JSON lines (``--limit`` caps them), a bare count with
+``--count``, or a ``value  count`` table with ``--group-by FIELD``
+(descending by count).  The ``TraceMeta`` header and ``ChargeSummary``
+trailer are excluded from matching.
 
 Examples::
 
@@ -45,6 +50,29 @@ def _parse_nr(text: str) -> int:
                 f"unknown syscall {text!r}") from None
 
 
+def _parse_where(text: str):
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--where takes KEY=VALUE, got {text!r}")
+    return key, _coerce(value)
+
+
+def _coerce(value):
+    """Normalize a comparison operand: CLI strings become bools/ints
+    when they look like one; record fields pass through unchanged."""
+    if isinstance(value, str):
+        if value == "true":
+            return True
+        if value == "false":
+            return False
+        try:
+            return int(value)
+        except ValueError:
+            return value
+    return value
+
+
 def match(record: Dict, args: argparse.Namespace) -> bool:
     if args.type and record.get("type") not in args.type:
         return False
@@ -61,6 +89,9 @@ def match(record: Dict, args: argparse.Namespace) -> bool:
         return False
     if args.until is not None and (ts is None or ts > args.until):
         return False
+    for key, wanted in getattr(args, "where", None) or ():
+        if key not in record or _coerce(record[key]) != wanted:
+            return False
     return True
 
 
@@ -82,6 +113,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="minimum cycle timestamp")
     parser.add_argument("--until", type=int, metavar="TS",
                         help="maximum cycle timestamp")
+    parser.add_argument("--where", action="append", type=_parse_where,
+                        metavar="KEY=VALUE",
+                        help="exact-match any record field "
+                        "(repeatable, ANDed), e.g. --where "
+                        "request=r-4812 --where shed=true")
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--count", action="store_true",
                        help="print only the number of matches")

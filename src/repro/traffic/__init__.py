@@ -28,13 +28,18 @@ merge is commutative integer sums; percentiles are computed once, after
 the merge.
 """
 
+from repro.observability.spans import (ExemplarReservoir, TraceContext,
+                                       merge_exemplar_docs)
 from repro.traffic.config import TrafficConfig
 from repro.traffic.schedule import ArrivalSchedule, generate_schedule
 from repro.traffic.slo import SLOReport
 
 __all__ = [
     "ArrivalSchedule",
+    "ExemplarReservoir",
     "SLOReport",
+    "TraceContext",
     "TrafficConfig",
     "generate_schedule",
+    "merge_exemplar_docs",
 ]

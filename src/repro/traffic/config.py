@@ -77,6 +77,14 @@ class TrafficConfig:
     calibration_requests: int = 400
     serve_mode: str = "model"
     slo_p99_ms: int = 2
+    #: Per-request span tracing: when True every request carries a span
+    #: tree and the report grows a rank-based exemplar section (slowest
+    #: ``exemplars`` spans per (stage, tenant, kind), earliest
+    #: ``shed_exemplars`` shed spans per group) — see
+    #: :mod:`repro.observability.spans` and ``python -m repro sloexplain``.
+    spans: bool = False
+    exemplars: int = 4
+    shed_exemplars: int = 16
 
     def __post_init__(self) -> None:
         if not isinstance(self.requests, int) or self.requests <= 0:
@@ -107,6 +115,13 @@ class TrafficConfig:
                              "positive")
         if not isinstance(self.slo_p99_ms, int) or self.slo_p99_ms <= 0:
             raise ValueError("traffic: slo_p99_ms must be positive")
+        if not isinstance(self.spans, bool):
+            raise ValueError("traffic: spans must be a bool")
+        if not isinstance(self.exemplars, int) or self.exemplars <= 0:
+            raise ValueError("traffic: exemplars must be positive")
+        if not isinstance(self.shed_exemplars, int) or \
+                self.shed_exemplars < 0:
+            raise ValueError("traffic: shed_exemplars must be >= 0")
         # Canonicalize sequence fields to tuples (lists accepted in).
         object.__setattr__(self, "tenants",
                            tuple((str(k), int(w)) for k, w in self.tenants))
@@ -162,6 +177,9 @@ class TrafficConfig:
             "calibration_requests": self.calibration_requests,
             "serve_mode": self.serve_mode,
             "slo_p99_ms": self.slo_p99_ms,
+            "spans": self.spans,
+            "exemplars": self.exemplars,
+            "shed_exemplars": self.shed_exemplars,
         }
 
     @classmethod

@@ -49,15 +49,31 @@ def run_shard(mechanism: str, workload: str, traffic_doc: Dict, seed: int,
     schedule = generate_schedule(traffic, seed)
     servers = shard_servers(traffic.servers, shard, nshards)
     calibration = calibrate_service_table(mechanism, workload, traffic, seed)
+
+    def trace_for(server: int):
+        if not traffic.spans:
+            return None
+        from repro.observability.spans import TraceContext
+
+        return TraceContext(server=server,
+                            tenant_names=schedule.tenant_names,
+                            kind_names=schedule.kind_names,
+                            per_group=traffic.exemplars,
+                            shed_keep=traffic.shed_exemplars)
+
+    traces = {server: trace_for(server) for server in servers}
     if traffic.serve_mode == "model":
         table = service_ns_table(calibration, schedule)
         docs = [simulate_server(server, schedule, table, traffic.workers,
-                                traffic.queue_limit)
+                                traffic.queue_limit, trace=traces[server])
                 for server in servers]
     else:
         docs = [run_server_full(mechanism, workload, traffic, seed, server,
-                                schedule)
+                                schedule, trace=traces[server])
                 for server in servers]
+    if traffic.spans:
+        for server, doc in zip(servers, docs):
+            doc["exemplars"] = traces[server].reservoir.to_doc()
     return {
         "mechanism": mechanism,
         "shard": shard,
@@ -130,7 +146,15 @@ def merge_mechanism(shard_docs: Sequence[Dict], traffic: TrafficConfig,
     stages = _stage_rows(traffic, schedule, offered, completed, shed,
                          per_stage, stage_max_depth)
     knee = _find_knee(traffic, stages)
-    return {
+    exemplars = None
+    if any("exemplars" in doc for doc in server_docs):
+        from repro.observability.spans import merge_exemplar_docs
+
+        exemplars = merge_exemplar_docs(
+            [doc["exemplars"] for doc in server_docs
+             if "exemplars" in doc],
+            traffic.exemplars, traffic.shed_exemplars)
+    section = {
         "totals": {
             "offered": sum(offered.values()),
             "completed": sum(completed.values()),
@@ -149,6 +173,9 @@ def merge_mechanism(shard_docs: Sequence[Dict], traffic: TrafficConfig,
         "knee": knee,
         "calibration": shard_docs[0]["calibration"],
     }
+    if exemplars is not None:
+        section["exemplars"] = exemplars
+    return section
 
 
 def _copy_hist(hist: LogHistogram) -> LogHistogram:

@@ -119,9 +119,18 @@ def calibrate_service_table(mechanism: str, workload: str,
     kernel.run(max_steps=400_000)  # accept + epoll registration
 
     per_kind = max(8, traffic.calibration_requests // max(1, len(kinds)))
-    table: Dict[str, Dict[str, int]] = {}
+    table: Dict[str, Dict] = {}
     for kind in kinds:
         payload = request_payload(workload, spec.payload, kind)
+        # The per-kind syscall sub-span profile rides on the existing
+        # bus events: a LatencyAnalyzer observes the calibration drive
+        # (sinks are observe-only, so the measured cycles are
+        # unperturbed — the lockstep property).
+        from repro.observability.analyzers.latency import LatencyAnalyzer
+        from repro.observability.spans import syscall_profile
+
+        analyzer = LatencyAnalyzer()
+        kernel.bus.attach(analyzer)
         samples: List[int] = []
         for index in range(per_kind + 4):  # first 4 are warmup
             before = kernel.cycles.cycles
@@ -134,10 +143,12 @@ def calibrate_service_table(mechanism: str, workload: str,
                     f"{len(response)}B for a {kind} request "
                     f"(expected {expected}B)")
             samples.append(kernel.cycles.cycles - before)
+        kernel.bus.detach(analyzer)
         steady = samples[4:]
         cycles = statistics.median_low(steady)
         table[kind] = {"cycles": cycles, "ns": ns_of_cycles(cycles),
-                       "samples": len(steady)}
+                       "samples": len(steady),
+                       "syscalls": syscall_profile(analyzer, per_kind + 4)}
     connection.client_close()
     kernel.run(max_steps=200_000)
     doc = {"mechanism": mechanism, "workload": workload, "kinds": table}
@@ -192,14 +203,14 @@ class RoundAdmission:
     """
 
     def __init__(self, kernel, connections: Dict[int, object],
-                 arrivals: List[Tuple[int, int, int, int, int]],
+                 arrivals: List[Tuple[int, int, int, int, int, int]],
                  payloads: Dict[int, bytes], expected_len: int,
                  epoch_cycles: int, queue_limit: int, stages: int,
-                 span_ns: int, server: int = 0):
+                 span_ns: int, server: int = 0, trace=None):
         self.kernel = kernel
         self.server = server
         self.connections = connections
-        #: (t_ns, stage, tenant, kind, conn) in arrival order.
+        #: (t_ns, stage, tenant, kind, conn, index) in arrival order.
         self.arrivals = arrivals
         self.payloads = payloads
         self.expected_len = expected_len
@@ -207,8 +218,14 @@ class RoundAdmission:
         self.queue_limit = queue_limit
         self._pos = 0
         self._queued = 0
-        self.busy: Dict[int, Tuple[int, int, int, int, int]] = {}
+        self.busy: Dict[int, Tuple[int, int, int, int, int, int]] = {}
         self.conn_queue: Dict[int, deque] = {}
+        #: Optional :class:`repro.observability.spans.TraceContext`.
+        self.trace = trace
+        # index -> [admission_cycles, release_cycles, conn_wait_cycles];
+        # conn_wait appended at send time, so a 2-entry list marks a
+        # request still parked on its connection's queue.
+        self._span_meta: Dict[int, List[int]] = {}
 
         self.offered: Dict[Tuple[int, int, int], int] = {}
         self.completed: Dict[Tuple[int, int, int], int] = {}
@@ -251,13 +268,27 @@ class RoundAdmission:
             if sum(len(c) for c in connection.to_client) < self.expected_len:
                 continue
             connection.client_recv_all()
-            due_cycles, stage, tenant, kind, _conn = self.busy.pop(conn_id)
+            due_cycles, stage, tenant, kind, _conn, index = \
+                self.busy.pop(conn_id)
             key = (stage, tenant, kind)
             self.completed[key] = self.completed.get(key, 0) + 1
             hist = self.latency.get(key)
             if hist is None:
                 hist = self.latency[key] = LogHistogram()
-            hist.record(ns_of_cycles(max(0, now - due_cycles)))
+            latency_ns = ns_of_cycles(max(0, now - due_cycles))
+            hist.record(latency_ns)
+            if self.trace is not None and index >= 0:
+                meta = self._span_meta.pop(index)
+                # The span's service stage is the closing remainder, so
+                # cycle→ns floor rounding can never leave a residual
+                # (floor(a)+floor(b) <= floor(a+b) keeps it >= 0).
+                self.trace.record(
+                    index=index, conn=conn_id, stage=stage, tenant=tenant,
+                    kind=kind, arrival_ns=ns_of_cycles(due_cycles
+                                                       - self.epoch),
+                    latency_ns=latency_ns,
+                    admission_ns=ns_of_cycles(meta[0]),
+                    conn_wait_ns=ns_of_cycles(meta[2]), ts=now)
             collected = True
             pending = self.conn_queue.get(conn_id)
             if pending:
@@ -265,36 +296,91 @@ class RoundAdmission:
                 if not pending:
                     del self.conn_queue[conn_id]
                 self._queued -= 1
-                self._send(conn_id, request)
+                self._send(conn_id, request, now)
         return collected
 
     def _release(self, now: int) -> bool:
         released = False
         while self._pos < len(self.arrivals):
-            t_ns, stage, tenant, kind, conn_id = self.arrivals[self._pos]
+            t_ns, stage, tenant, kind, conn_id, index = \
+                self.arrivals[self._pos]
             due_cycles = self.epoch + cycles_of_ns(t_ns)
             if due_cycles > now:
                 break
             self._pos += 1
             key = (stage, tenant, kind)
             self.offered[key] = self.offered.get(key, 0) + 1
-            request = (due_cycles, stage, tenant, kind, conn_id)
+            request = (due_cycles, stage, tenant, kind, conn_id, index)
+            tracing = self.trace is not None and index >= 0
+            if tracing:
+                # Admission wait: the scheduler-round granularity of the
+                # admission seam — release happens at the first round
+                # boundary at/after the virtual due time.
+                self._span_meta[index] = [now - due_cycles, now]
             if conn_id in self.busy:
                 if self._queued >= self.queue_limit:
                     self.shed[key] = self.shed.get(key, 0) + 1
+                    if tracing:
+                        admission = self._span_meta.pop(index)[0]
+                        self.trace.record(
+                            index=index, conn=conn_id, stage=stage,
+                            tenant=tenant, kind=kind,
+                            arrival_ns=ns_of_cycles(due_cycles - self.epoch),
+                            latency_ns=ns_of_cycles(admission),
+                            admission_ns=ns_of_cycles(admission),
+                            shed=True, ts=now)
                     continue
                 self.conn_queue.setdefault(conn_id, deque()).append(request)
                 self._queued += 1
                 if self._queued > self.stage_max_depth[stage]:
                     self.stage_max_depth[stage] = self._queued
             else:
-                self._send(conn_id, request)
+                self._send(conn_id, request, now)
             released = True
         return released
 
-    def _send(self, conn_id: int, request: Tuple) -> None:
+    def _send(self, conn_id: int, request: Tuple, now: int) -> None:
+        if self.trace is not None and request[5] >= 0:
+            meta = self._span_meta[request[5]]
+            meta.append(now - meta[1])  # conn-wait: release -> send
         self.busy[conn_id] = request
         self.connections[conn_id].client_send(self.payloads[request[3]])
+
+    def record_stalled(self, now: int) -> None:
+        """Span-record every unfinished request as shed+stalled — called
+        by stall-shed detection *before* the tallies are cleared, so the
+        flight-recorder dump carries the wedged requests' partial
+        timelines (how far each one got before the fleet died)."""
+        if self.trace is None:
+            return
+        for conn_id, request in sorted(self.busy.items()):
+            due_cycles, stage, tenant, kind, _conn, index = request
+            meta = self._span_meta.pop(index, None)
+            if index < 0 or meta is None:
+                continue
+            self.trace.record(
+                index=index, conn=conn_id, stage=stage, tenant=tenant,
+                kind=kind, arrival_ns=ns_of_cycles(due_cycles - self.epoch),
+                latency_ns=ns_of_cycles(max(0, now - due_cycles)),
+                admission_ns=ns_of_cycles(meta[0]),
+                conn_wait_ns=ns_of_cycles(meta[2]),
+                shed=True, stalled=True, ts=now)
+        for conn_id, pending in sorted(self.conn_queue.items()):
+            for request in pending:
+                due_cycles, stage, tenant, kind, _conn, index = request
+                meta = self._span_meta.pop(index, None)
+                if index < 0 or meta is None:
+                    continue
+                # Never sent: still waiting on the connection since its
+                # release — conn-wait runs to the stall point.
+                self.trace.record(
+                    index=index, conn=conn_id, stage=stage, tenant=tenant,
+                    kind=kind,
+                    arrival_ns=ns_of_cycles(due_cycles - self.epoch),
+                    latency_ns=ns_of_cycles(max(0, now - due_cycles)),
+                    admission_ns=ns_of_cycles(meta[0]),
+                    conn_wait_ns=ns_of_cycles(max(0, now - meta[1])),
+                    shed=True, stalled=True, ts=now)
 
     def _sample(self) -> None:
         now_ns = ns_of_cycles(max(0, self.kernel.cycles.cycles - self.epoch))
@@ -324,11 +410,14 @@ def connect_fleet(kernel, port: int, conn_ids: List[int]) -> Dict[int, object]:
 
 def run_server_full(mechanism: str, workload: str, traffic: TrafficConfig,
                     seed: int, server: int,
-                    schedule: ArrivalSchedule) -> Dict:
+                    schedule: ArrivalSchedule, trace=None) -> Dict:
     """Serve one fleet server's arrival subsequence on a real kernel.
 
     Returns the same shard-result doc shape as the model fabric's
-    :func:`~repro.traffic.loadbalancer.simulate_server`.
+    :func:`~repro.traffic.loadbalancer.simulate_server`.  *trace* (a
+    :class:`repro.observability.spans.TraceContext`) enables span
+    capture; its flight-recorder ring is dumped automatically when
+    stall-shed detection fires.
     """
     from repro.runapi import RunConfig, prepare
 
@@ -353,14 +442,19 @@ def run_server_full(mechanism: str, workload: str, traffic: TrafficConfig,
         kernel.run(max_steps=400_000)
         warm.client_recv_all()
 
-    arrivals = [(t_ns, schedule.stage_of(index), tenant, kind, conn)
+    if trace is not None:
+        # The kernel exists only inside this call: late-bind the bus so
+        # RequestSpan events reach any attached sinks (null-sink guard
+        # still applies at every emit).
+        trace.bus = kernel.bus
+    arrivals = [(t_ns, schedule.stage_of(index), tenant, kind, conn, index)
                 for index, t_ns, tenant, kind, conn
                 in schedule.iter_requests(server)]
     admission = RoundAdmission(
         kernel, connections, arrivals, payloads, expected,
         epoch_cycles=kernel.cycles.cycles, queue_limit=traffic.queue_limit,
         stages=len(traffic.ramp), span_ns=max(1, schedule.span_ns()),
-        server=server)
+        server=server, trace=trace)
     kernel.admission = admission
     try:
         stalled = 0
@@ -372,6 +466,7 @@ def run_server_full(mechanism: str, workload: str, traffic: TrafficConfig,
             if stalled >= 3:
                 # Wedged fleet (e.g. a mechanism killed the workers):
                 # count every unfinished request as shed.
+                admission.record_stalled(kernel.cycles.cycles)
                 for request in list(admission.busy.values()):
                     key = (request[1], request[2], request[3])
                     admission.shed[key] = admission.shed.get(key, 0) + 1
@@ -383,6 +478,16 @@ def run_server_full(mechanism: str, workload: str, traffic: TrafficConfig,
                 admission.conn_queue.clear()
                 admission._queued = 0
                 admission._pos = len(admission.arrivals)
+                if trace is not None:
+                    from repro.observability.spans import flight_dir
+                    import os as _os
+
+                    trace.flight.dump(
+                        _os.path.join(
+                            flight_dir(),
+                            f"stallshed-{mechanism}-{workload}"
+                            f"-s{server}.json"),
+                        reason="stall-shed")
                 break
     finally:
         kernel.admission = None

@@ -48,7 +48,8 @@ class ServerSim:
     def __init__(self, server: int, workers: int, queue_limit: int,
                  service_ns: Dict[Tuple[int, int], int], stages: int,
                  sample_every_ns: int,
-                 emit: Optional[Callable[[str, Dict], None]] = None):
+                 emit: Optional[Callable[[str, Dict], None]] = None,
+                 trace=None):
         self.server = server
         self.workers = workers
         self.queue_limit = queue_limit
@@ -56,6 +57,12 @@ class ServerSim:
         self.stages = stages
         self.sample_every_ns = max(1, sample_every_ns)
         self.emit = emit
+        #: Optional :class:`repro.observability.spans.TraceContext`;
+        #: None keeps the hot path at one predicate per request.
+        self.trace = trace
+        # index -> [conn_wait_ns, queue_enter_ns (-1 = never queued),
+        #           queue_wait_ns]; only populated when tracing.
+        self._span_meta: Dict[int, List[int]] = {}
 
         self.free_workers = workers
         self.waiting: deque = deque()
@@ -77,12 +84,17 @@ class ServerSim:
     # ------------------------------------------------------------ events
 
     def offer(self, t_ns: int, stage: int, tenant: int, kind: int,
-              conn: int) -> None:
-        """One arrival.  Must be called in non-decreasing ``t_ns``."""
+              conn: int, index: int = -1) -> None:
+        """One arrival.  Must be called in non-decreasing ``t_ns``.
+        *index* is the global schedule index — the span/exemplar
+        identity; -1 (direct fabric use without a schedule) disables
+        span capture for the request."""
         self._advance(t_ns)
         key = (stage, tenant, kind)
         self.offered[key] = self.offered.get(key, 0) + 1
-        request = (t_ns, stage, tenant, kind, conn)
+        request = (t_ns, stage, tenant, kind, conn, index)
+        if self.trace is not None and index >= 0:
+            self._span_meta[index] = [0, -1, 0]
         if conn in self.engaged:
             self.conn_pending.setdefault(conn, deque()).append(request)
             return
@@ -107,6 +119,13 @@ class ServerSim:
         """Place *request*; returns False when it was shed (callers own
         any connection release so shed chains stay iterative)."""
         conn = request[4]
+        meta = None
+        if self.trace is not None and request[5] >= 0:
+            meta = self._span_meta[request[5]]
+            # The time between arrival and admission is spent waiting
+            # for this connection's previous request (keep-alive
+            # serialization); 0 when the connection was free.
+            meta[0] = now - request[0]
         if self.free_workers > 0:
             self.engaged.add(conn)
             self._start(request, now)
@@ -114,16 +133,29 @@ class ServerSim:
         if len(self.waiting) >= self.queue_limit:
             key = (request[1], request[2], request[3])
             self.shed[key] = self.shed.get(key, 0) + 1
+            if meta is not None:
+                self._span_meta.pop(request[5], None)
+                self.trace.record(
+                    index=request[5], conn=conn, stage=request[1],
+                    tenant=request[2], kind=request[3],
+                    arrival_ns=request[0], latency_ns=now - request[0],
+                    conn_wait_ns=meta[0], shed=True)
             return False
         self.engaged.add(conn)
         self.waiting.append(request)
+        if meta is not None:
+            meta[1] = now
         depth = len(self.waiting)
         if depth > self.stage_max_depth[request[1]]:
             self.stage_max_depth[request[1]] = depth
         return True
 
     def _start(self, request: Tuple, now: int) -> None:
-        _t, stage, tenant, kind, _conn = request
+        _t, stage, tenant, kind, _conn, index = request
+        if self.trace is not None and index >= 0:
+            meta = self._span_meta[index]
+            if meta[1] >= 0:
+                meta[2] = now - meta[1]
         self.free_workers -= 1
         service = self.service_ns[(tenant, kind)]
         self._seq += 1
@@ -132,7 +164,7 @@ class ServerSim:
 
     def _complete_next(self) -> None:
         done_t, _seq, request = heapq.heappop(self.in_service)
-        t_ns, stage, tenant, kind, conn = request
+        t_ns, stage, tenant, kind, conn, index = request
         self._sample(done_t)
         self._now = max(self._now, done_t)
         self.free_workers += 1
@@ -142,6 +174,12 @@ class ServerSim:
         if hist is None:
             hist = self.latency[key] = LogHistogram()
         hist.record(done_t - t_ns)
+        if self.trace is not None and index >= 0:
+            meta = self._span_meta.pop(index)
+            self.trace.record(
+                index=index, conn=conn, stage=stage, tenant=tenant,
+                kind=kind, arrival_ns=t_ns, latency_ns=done_t - t_ns,
+                conn_wait_ns=meta[0], queue_ns=meta[2])
         # Fixed post-completion order: next waiting request first, then
         # the finished connection's next pipelined request.
         if self.waiting and self.free_workers > 0:
@@ -202,16 +240,20 @@ def server_result_doc(server: int, offered, completed, shed, latency,
 
 def simulate_server(server: int, schedule, service_ns, workers: int,
                     queue_limit: int,
-                    emit: Optional[Callable[[str, Dict], None]] = None
-                    ) -> Dict:
+                    emit: Optional[Callable[[str, Dict], None]] = None,
+                    trace=None) -> Dict:
     """Run one server's arrivals through the fabric and return its
     shard result.  *schedule* is an ArrivalSchedule; only requests whose
-    connection shards to *server* are offered."""
+    connection shards to *server* are offered.  *trace* (a
+    :class:`repro.observability.spans.TraceContext`) enables per-request
+    span capture."""
     span = max(1, schedule.span_ns())
     sim = ServerSim(server=server, workers=workers, queue_limit=queue_limit,
                     service_ns=service_ns, stages=len(schedule.config.ramp),
-                    sample_every_ns=span // DEPTH_SAMPLES or 1, emit=emit)
+                    sample_every_ns=span // DEPTH_SAMPLES or 1, emit=emit,
+                    trace=trace)
     for index, t_ns, tenant, kind, conn in schedule.iter_requests(server):
-        sim.offer(t_ns, schedule.stage_of(index), tenant, kind, conn)
+        sim.offer(t_ns, schedule.stage_of(index), tenant, kind, conn,
+                  index=index)
     sim.drain()
     return sim.result()

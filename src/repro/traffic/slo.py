@@ -58,6 +58,28 @@ class SLOReport:
     def knee(self, mechanism: str) -> Dict:
         return self.doc["mechanisms"][mechanism]["knee"]
 
+    def exemplars(self, mechanism: str) -> Optional[Dict]:
+        """The mechanism's merged exemplar reservoir doc, or None when
+        the run had span tracing off."""
+        return self.doc["mechanisms"][mechanism].get("exemplars")
+
+    def find_exemplar(self, span_id: str,
+                      mechanism: Optional[str] = None) -> Optional[Dict]:
+        """Locate a retained span by exemplar ID (``r-<index>``); returns
+        ``(mechanism, span)`` packed as a dict, or None.  Searches one
+        mechanism when named, else all in sorted order."""
+        from repro.observability.spans import find_span
+
+        names = [mechanism] if mechanism else sorted(self.mechanisms)
+        for name in names:
+            exemplars = self.exemplars(name)
+            if not exemplars:
+                continue
+            span = find_span(exemplars, span_id)
+            if span is not None:
+                return {"mechanism": name, "span": span}
+        return None
+
     def total_completed(self) -> int:
         return sum(section["totals"]["completed"]
                    for section in self.doc["mechanisms"].values())
@@ -108,4 +130,13 @@ def summarize(report: SLOReport) -> str:
             f"shed={totals['shed']} p50={overall['p50']}ns "
             f"p99={overall['p99']}ns p99.9={overall['p999']}ns "
             f"pmax={overall['pmax']}ns | {knee_txt}")
+        exemplars = section.get("exemplars")
+        if exemplars:
+            kept = sum(len(spans) for spans
+                       in exemplars["per_group"].values())
+            kept_shed = sum(len(spans) for spans
+                            in exemplars["shed"].values())
+            lines.append(
+                f"    exemplars: {kept} tail spans, {kept_shed} shed "
+                f"spans retained (sloexplain <id> to inspect)")
     return "\n".join(lines)

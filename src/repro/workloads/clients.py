@@ -74,7 +74,20 @@ class TrafficSource(ABC):
     anything that needs per-request visibility (the shadow mirror's
     byte comparison, the traffic engine's per-request latency capture)
     layers over it rather than over ``drive``.
+
+    ``bind_trace`` is the trace-context seam: harnesses hand a source a
+    recorder (a :class:`~repro.observability.spans.SpanFlightRecorder`
+    or anything with ``record(dict)``) and the source feeds it one
+    lightweight record per exchange batch entry.  Unbound (the default)
+    costs one ``is None`` predicate per batch — the null-sink rule.
     """
+
+    #: Bound trace recorder; None = tracing off (the default).
+    trace = None
+
+    def bind_trace(self, trace) -> None:
+        """Attach a per-exchange trace recorder (None detaches)."""
+        self.trace = trace
 
     @abstractmethod
     def warmup(self, rounds: int = 2) -> None:
@@ -113,6 +126,7 @@ class KeepAliveSource(TrafficSource):
         self.connections = [kernel.net.connect(port)
                             for _ in range(connections)]
         self.failures = 0
+        self._exchange_index = 0
 
     def warmup(self, rounds: int = 2) -> None:
         for _ in range(rounds):
@@ -147,11 +161,25 @@ class KeepAliveSource(TrafficSource):
         """
         active = self.connections if limit is None \
             else self.connections[:limit]
+        start_cycles = self.kernel.cycles.cycles
         for connection in active:
             connection.client_send(self.payload)
         self.kernel.run(max_steps=self.steps_per_round)
-        return [connection.client_recv_all() or None
-                for connection in active]
+        responses = [connection.client_recv_all() or None
+                     for connection in active]
+        if self.trace is not None:
+            end_cycles = self.kernel.cycles.cycles
+            for conn, response in enumerate(responses):
+                self.trace.record({
+                    "id": f"x-{self._exchange_index + conn}",
+                    "conn": conn,
+                    "start_cycles": start_cycles,
+                    "end_cycles": end_cycles,
+                    "ok": response is not None,
+                    "bytes": len(response or b""),
+                })
+        self._exchange_index += len(responses)
+        return responses
 
     def _round(self, limit: Optional[int] = None) -> int:
         """One batch: a request on each connection, then drain responses."""
@@ -221,6 +249,12 @@ class MirroredSource(TrafficSource):
         self.on_mismatch = on_mismatch
         self.mismatches: List[MirrorMismatch] = []
         self._request_index = 0
+
+    def bind_trace(self, trace) -> None:
+        """Trace the *primary* side (the real responses); the shadow's
+        exchanges are replicas and would double every record."""
+        self.trace = trace
+        self.primary.bind_trace(trace)
 
     def warmup(self, rounds: int = 2) -> None:
         """Un-measured, un-compared rounds on both sides."""

@@ -19,7 +19,9 @@ from repro.observability.analyzers import (
 )
 from repro.observability.analyzers.latency import (SUB_BUCKET_BITS,
                                                    bucket_bounds,
-                                                   bucket_index)
+                                                   bucket_index,
+                                                   percentile_of_doc,
+                                                   percentile_rank)
 from repro.observability.events import (ProcessLifecycle, SyscallEnter,
                                         SyscallExit)
 from repro.observability.sinks import CounterSink
@@ -76,6 +78,58 @@ class TestLogHistogram:
     def test_empty(self):
         d = LogHistogram().to_dict()
         assert d["count"] == 0 and d["p99"] == 0 and d["buckets"] == {}
+
+
+class TestPercentileRank:
+    """Pin the interpolation fix: ranks are exact ceilings in tenths of a
+    percent, immune to banker's rounding at .5-tenth boundaries."""
+
+    def test_half_tenth_boundary_is_not_bankers_rounded(self):
+        # count=400, p=99.25: the rank is ceil(400 * 992.5 / 1000) = 397?
+        # No — 400 * 99.25 / 100 = 397 exactly, so rank 397... the old
+        # code computed int(round(99.25 * 10)) == 992 (banker's rounding
+        # of 992.5 ties to even), i.e. ceil(400 * 992 / 1000) = 397
+        # where the true tenth count 993 gives ceil(397.2) = 398.
+        assert percentile_rank(400, 99.25) == 398
+
+    def test_agrees_with_exact_ceiling(self):
+        # For any p expressible in tenths, the rank must be
+        # ceil(count * p / 100), clamped to at least 1.
+        for count in (1, 7, 100, 400, 999, 10_000):
+            for p in (0.1, 50.0, 90.0, 95.0, 99.0, 99.25, 99.9, 100.0):
+                tenths = int(p * 10 + 0.5)
+                expected = max(1, -(-count * tenths // 1000))
+                assert percentile_rank(count, p) == expected, (count, p)
+
+    def test_rank_is_monotone_in_p(self):
+        for count in (3, 64, 1000):
+            ranks = [percentile_rank(count, p / 10)
+                     for p in range(1, 1001)]
+            assert ranks == sorted(ranks)
+            assert ranks[-1] == count
+
+    def test_standard_percentiles_unchanged(self):
+        # The report's published fields (p50/p90/p95/p99/p99.9) sit on
+        # exact tenths — the boundary fix must not move them.
+        hist = LogHistogram()
+        for v in range(1, 1001):
+            hist.record(v)
+        for p, rank in ((50, 500), (90, 900), (95, 950), (99, 990),
+                        (99.9, 999)):
+            assert percentile_rank(1000, p) == rank
+            low, high = bucket_bounds(bucket_index(rank))
+            assert low <= hist.percentile(p) <= high
+
+    def test_percentile_of_doc_matches_live_histogram(self):
+        hist = LogHistogram()
+        for v in [10] * 90 + [1000] * 9 + [100000]:
+            hist.record(v)
+        doc = hist.to_dict()
+        for p in (50, 90, 95, 99, 99.25, 99.9):
+            assert percentile_of_doc(doc, p) == hist.percentile(p), p
+
+    def test_percentile_of_doc_empty(self):
+        assert percentile_of_doc(LogHistogram().to_dict(), 99) == 0
 
 
 def _enter(ts, nr=1, phase="app", pid=1, tid=0):

@@ -137,3 +137,54 @@ class TestTraceq:
                  capsys.readouterr().out.splitlines() if line.strip()]
         assert all(r["type"] not in ("TraceMeta", "ChargeSummary")
                    for r in lines)
+
+
+class TestTraceqWhere:
+    """`--where KEY=VALUE`: exact-match any record field."""
+
+    @pytest.fixture(scope="class")
+    def span_trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "spans.jsonl"
+        records = [
+            {"type": "RequestSpan", "request": "r-1", "server": 0,
+             "tenant": "anchor", "shed": False, "latency_ns": 100},
+            {"type": "RequestSpan", "request": "r-2", "server": 1,
+             "tenant": "batch", "shed": True, "latency_ns": 900},
+            {"type": "RequestSpan", "request": "r-3", "server": 1,
+             "tenant": "batch", "shed": False, "latency_ns": 50},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return str(path)
+
+    def test_where_matches_string_field(self, span_trace, capsys):
+        assert traceq_main([span_trace, "--where", "request=r-2",
+                            "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_where_matches_int_and_bool(self, span_trace, capsys):
+        assert traceq_main([span_trace, "--where", "server=1",
+                            "--where", "shed=false", "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+        assert traceq_main([span_trace, "--where", "shed=true"]) == 0
+        records = [json.loads(line) for line in
+                   capsys.readouterr().out.splitlines()]
+        assert [r["request"] for r in records] == ["r-2"]
+
+    def test_where_composes_with_other_filters(self, trace_a, tmp_path,
+                                                capsys):
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in trace_a))
+        traceq_main([str(path), "--phase", "app", "--count"])
+        by_flag = capsys.readouterr().out.strip()
+        traceq_main([str(path), "--where", "phase=app", "--count"])
+        by_where = capsys.readouterr().out.strip()
+        assert by_flag == by_where
+
+    def test_where_missing_field_never_matches(self, span_trace, capsys):
+        assert traceq_main([span_trace, "--where", "nonexistent=1",
+                            "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "0"
+
+    def test_where_rejects_malformed_pair(self, span_trace):
+        with pytest.raises(SystemExit):
+            traceq_main([span_trace, "--where", "no-equals-sign"])

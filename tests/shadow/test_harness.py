@@ -142,6 +142,35 @@ class TestForcedDivergence:
         under = run_shadow(ShadowConfig(**base, budget=count - 1))
         assert under.verdict == ROLLBACK
 
+    def test_divergence_dumps_span_flight_ring(self, tmp_path):
+        """The first divergence freezes the span flight recorder: the
+        bundle gains a flight dump whose records cover the exchanges the
+        mirrored source completed before things went wrong."""
+        bundle_dir = tmp_path / "bundle"
+        report = run_shadow(ShadowConfig(
+            primary="zpoline-default", shadow="zpoline-default",
+            workload="redis", seed=5, requests=16,
+            fault_seed=11, fault_side="shadow",
+            bundle_dir=str(bundle_dir)))
+        assert report.verdict == ROLLBACK
+        assert report.flight_path is not None
+        assert report.to_dict()["flight_path"] == report.flight_path
+        doc = json.loads(open(report.flight_path).read())
+        assert doc["reason"].startswith("shadow-divergence")
+        assert doc["spans"]
+        for record in doc["spans"]:
+            assert record["id"].startswith("x-")
+            assert record["end_cycles"] >= record["start_cycles"]
+
+    def test_batch_run_has_no_flight_dump(self):
+        # Batch workloads drive no TrafficSource, so the flight ring
+        # stays empty and no dump is written even on divergence.
+        report = run_shadow(ShadowConfig(
+            primary="zpoline-default", shadow="zpoline-default",
+            workload="cat", seed=9, fault_seed=7, fault_side="primary"))
+        assert report.verdict == ROLLBACK
+        assert report.flight_path is None
+
     def test_clean_run_writes_no_bundle(self, tmp_path):
         bundle_dir = tmp_path / "bundle"
         report = run_shadow(ShadowConfig(

@@ -1,0 +1,370 @@
+"""Per-request span tracing: zero-residual trees, exact exemplar merge.
+
+The two contracts under test:
+
+- **zero residual** — every span's stage durations sum exactly to its
+  recorded latency, in both serve modes (the fabric's integer-ns math
+  and the full-serve kernel's cycle→ns floor rounding alike);
+- **shard invariance** — the exemplar reservoir merge is exact, so a
+  span-traced report stays byte-identical across ``--jobs`` counts and
+  engine tiers, and enabling spans changes nothing *except* the
+  exemplar section and its own config echo.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+import repro.traffic.fleet as fleet
+from repro.observability.spans import (ExemplarReservoir, SpanFlightRecorder,
+                                       TraceContext, find_span, iter_spans,
+                                       make_span, merge_exemplar_docs,
+                                       residual, span_id, worst_span)
+from repro.traffic.config import TrafficConfig
+from repro.traffic.engine import run_loadtest
+from repro.traffic.fleet import RoundAdmission
+from repro.traffic.loadbalancer import ServerSim
+
+from tests.traffic.test_determinism import TIER_HATCHES
+
+TENANTS = ("anchor", "batch")
+KINDS = ("small", "medium", "large")
+
+
+@pytest.fixture(autouse=True)
+def fresh_calibration():
+    fleet._CALIBRATION_CACHE.clear()
+    yield
+    fleet._CALIBRATION_CACHE.clear()
+
+
+def span_config(**kwargs):
+    defaults = dict(requests=1200, servers=3, connections=48,
+                    calibration_requests=12, workers=2, ramp=(1, 2, 8),
+                    spans=True)
+    defaults.update(kwargs)
+    return TrafficConfig(**defaults)
+
+
+def full_span_config(**kwargs):
+    defaults = dict(requests=150, servers=2, connections=12,
+                    calibration_requests=10, workers=2, ramp=(1, 4),
+                    serve_mode="full", spans=True)
+    defaults.update(kwargs)
+    return TrafficConfig(**defaults)
+
+
+def report_for(traffic, jobs=1, seed=23):
+    return run_loadtest(["native"], "redis", traffic, seed=seed, jobs=jobs)
+
+
+# ------------------------------------------------------------- span model
+
+
+class TestSpanModel:
+    def test_service_is_the_remainder(self):
+        span = make_span(7, server=1, conn=3, stage=0, tenant="anchor",
+                         kind="small", arrival_ns=100, latency_ns=1000,
+                         admission_ns=100, conn_wait_ns=300, queue_ns=200)
+        assert span["id"] == span_id(7) == "r-7"
+        assert dict(span["stages"])["service"] == 400
+        assert residual(span) == 0
+
+    def test_negative_remainder_raises(self):
+        with pytest.raises(ValueError, match="exceed"):
+            make_span(0, 0, 0, 0, "t", "k", arrival_ns=0, latency_ns=10,
+                      admission_ns=20)
+
+    def test_reservoir_is_offer_order_independent(self):
+        spans = [make_span(i, 0, i, 0, "anchor", "small", arrival_ns=i,
+                           latency_ns=(i * 37) % 101)
+                 for i in range(60)]
+        forward, backward = (ExemplarReservoir(per_group=3, shed_keep=2)
+                             for _ in range(2))
+        for span in spans:
+            forward.offer(span)
+        for span in reversed(spans):
+            backward.offer(span)
+        assert forward.to_doc() == backward.to_doc()
+
+    def test_reservoir_keeps_slowest_n_and_earliest_shed(self):
+        reservoir = ExemplarReservoir(per_group=2, shed_keep=2)
+        for i in range(10):
+            reservoir.offer(make_span(i, 0, i, 0, "anchor", "small",
+                                      arrival_ns=i, latency_ns=100 + i))
+        for i in range(10, 15):
+            reservoir.offer(make_span(i, 0, i, 0, "anchor", "small",
+                                      arrival_ns=i, latency_ns=5,
+                                      shed=True))
+        doc = reservoir.to_doc()
+        kept = [s["id"] for s in doc["per_group"]["0:anchor:small"]]
+        assert kept == ["r-9", "r-8"]  # slowest two, slowest first
+        shed = [s["id"] for s in doc["shed"]["0:anchor:small"]]
+        assert shed == ["r-10", "r-11"]  # earliest two
+        assert doc["shed_total"] == 5
+
+    def test_merge_is_shard_dealing_invariant(self):
+        spans = [make_span(i, i % 4, i, i % 3, TENANTS[i % 2],
+                           KINDS[i % 3], arrival_ns=i,
+                           latency_ns=(i * 13) % 257, shed=(i % 11 == 0))
+                 for i in range(120)]
+        unsharded = ExemplarReservoir(per_group=3, shed_keep=4)
+        for span in spans:
+            unsharded.offer(span)
+        for nshards in (2, 3, 4):
+            shard_docs = []
+            for shard in range(nshards):
+                reservoir = ExemplarReservoir(per_group=3, shed_keep=4)
+                # Deal by *server*, as the engine does.
+                for span in spans:
+                    if span["server"] % nshards == shard:
+                        reservoir.offer(span)
+                shard_docs.append(reservoir.to_doc())
+            merged = merge_exemplar_docs(shard_docs, 3, 4)
+            assert merged == unsharded.to_doc(), \
+                f"{nshards}-way merge diverged from the unsharded doc"
+
+    def test_flight_recorder_ring_and_dump(self, tmp_path):
+        ring = SpanFlightRecorder(capacity=4)
+        for i in range(10):
+            ring.record({"id": f"r-{i}"})
+        assert [s["id"] for s in ring.snapshot()] == \
+            ["r-6", "r-7", "r-8", "r-9"]
+        path = ring.dump(str(tmp_path / "flight.json"), reason="test")
+        doc = json.loads(open(path).read())
+        assert doc["reason"] == "test"
+        assert doc["recorded"] == 10
+        assert len(doc["spans"]) == 4
+
+
+# -------------------------------------------------------- fabric capture
+
+
+class TestFabricSpans:
+    def make_sim(self, trace, queue_limit=64, workers=1):
+        return ServerSim(server=0, workers=workers, queue_limit=queue_limit,
+                         service_ns={(0, 0): 100}, stages=1,
+                         sample_every_ns=10_000, trace=trace)
+
+    def make_trace(self, **kwargs):
+        return TraceContext(server=0, tenant_names=TENANTS,
+                            kind_names=KINDS, **kwargs)
+
+    def test_queue_and_conn_waits_attributed(self):
+        trace = self.make_trace()
+        sim = self.make_sim(trace)
+        # Two requests on one connection: the second serializes behind
+        # the first (conn-wait), no queueing (a worker is free).
+        sim.offer(0, 0, 0, 0, conn=1, index=0)
+        sim.offer(0, 0, 0, 0, conn=1, index=1)
+        sim.drain()
+        doc = trace.reservoir.to_doc()
+        first = find_span(doc, "r-0")
+        second = find_span(doc, "r-1")
+        assert dict(first["stages"]) == {"admission-wait": 0,
+                                         "conn-wait": 0, "queue-wait": 0,
+                                         "service": 100}
+        assert dict(second["stages"])["conn-wait"] == 100
+        assert second["latency_ns"] == 200
+        assert residual(first) == residual(second) == 0
+
+    def test_shed_requests_become_shed_spans(self):
+        trace = self.make_trace()
+        sim = self.make_sim(trace, queue_limit=1)
+        # Distinct connections: one in service, one queued, rest shed.
+        for i in range(4):
+            sim.offer(0, 0, 0, 0, conn=10 + i, index=i)
+        sim.drain()
+        doc = trace.reservoir.to_doc()
+        assert doc["shed_total"] == 2
+        shed = [s for s in iter_spans(doc) if s["shed"]]
+        assert {s["id"] for s in shed} == {"r-2", "r-3"}
+        assert all(residual(s) == 0 for s in shed)
+
+    def test_untraced_offer_still_works(self):
+        sim = self.make_sim(trace=None)
+        sim.offer(0, 0, 0, 0, conn=1)  # the pre-span call signature
+        sim.drain()
+        assert sim.result()["completed"] == {"0:0:0": 1}
+
+
+# ----------------------------------------------------- full-serve capture
+
+
+class TestFullServeSpans:
+    def test_record_stalled_snapshots_unfinished_requests(self):
+        trace = TraceContext(server=0, tenant_names=TENANTS,
+                             kind_names=KINDS)
+        admission = RoundAdmission(
+            kernel=None, connections={}, arrivals=[], payloads={},
+            expected_len=1, epoch_cycles=0, queue_limit=8, stages=1,
+            span_ns=1000, trace=trace)
+        # One in-flight request (sent at cycle 40 after release at 32),
+        # one still parked on the same connection's queue.
+        admission.busy[5] = (10, 0, 0, 1, 5, 7)
+        admission._span_meta[7] = [22, 32, 8]  # admission, release, wait
+        from collections import deque
+        admission.conn_queue[5] = deque([(50, 0, 1, 2, 5, 8)])
+        admission._span_meta[8] = [14, 64]     # never sent: 2-entry meta
+        admission.record_stalled(now=200)
+        doc = trace.reservoir.to_doc()
+        stalled = [s for s in iter_spans(doc) if s["stalled"]]
+        assert {s["id"] for s in stalled} == {"r-7", "r-8"}
+        assert all(s["shed"] and residual(s) == 0 for s in stalled)
+        assert admission._span_meta == {}
+
+    def test_full_mode_spans_have_zero_residual(self):
+        report = report_for(full_span_config())
+        exemplars = report.exemplars("native")
+        spans = list(iter_spans(exemplars))
+        assert spans
+        for span in spans:
+            assert residual(span) == 0
+            # Full mode has no separately observable kernel queue.
+            assert dict(span["stages"])["queue-wait"] == 0
+
+
+# ------------------------------------------------------ report invariance
+
+
+class TestReportInvariance:
+    def test_model_report_with_spans_is_jobs_invariant(self):
+        baseline = report_for(span_config(), jobs=1).to_json()
+        for jobs in (2, 4):
+            fleet._CALIBRATION_CACHE.clear()
+            assert report_for(span_config(), jobs=jobs).to_json() \
+                == baseline, f"--jobs {jobs} perturbed the exemplars"
+
+    def test_full_report_with_spans_is_jobs_invariant(self):
+        baseline = report_for(full_span_config(), jobs=1).to_json()
+        fleet._CALIBRATION_CACHE.clear()
+        assert report_for(full_span_config(), jobs=2).to_json() == baseline
+
+    def test_model_report_with_spans_is_tier_invariant(self):
+        baseline = report_for(span_config()).to_json()
+        for hatch in TIER_HATCHES:
+            fleet._CALIBRATION_CACHE.clear()
+            os.environ[hatch] = "1"
+            try:
+                assert report_for(span_config()).to_json() == baseline, \
+                    f"{hatch}=1 perturbed the span-traced report"
+            finally:
+                del os.environ[hatch]
+
+    def test_enabling_spans_only_adds_the_exemplar_section(self):
+        plain = report_for(span_config(spans=False)).doc
+        fleet._CALIBRATION_CACHE.clear()
+        traced = copy.deepcopy(report_for(span_config()).doc)
+        for section in traced["mechanisms"].values():
+            assert section.pop("exemplars")  # present and non-empty
+        traced["traffic"]["spans"] = False
+        assert json.dumps(traced, sort_keys=True) == \
+            json.dumps(plain, sort_keys=True)
+
+    def test_model_mode_spans_report_zero_residual_everywhere(self):
+        report = report_for(span_config(queue_limit=8))
+        exemplars = report.exemplars("native")
+        spans = list(iter_spans(exemplars))
+        assert spans
+        assert all(residual(s) == 0 for s in spans)
+        # Model mode has no admission seam.
+        assert all(dict(s["stages"])["admission-wait"] == 0 for s in spans)
+
+
+# ------------------------------------------------------------ sloexplain
+
+
+class TestSloexplainCLI:
+    @pytest.fixture()
+    def report_path(self, tmp_path):
+        report = report_for(span_config())
+        path = tmp_path / "METRICS_slo.json"
+        report.write(str(path))
+        return report, str(path)
+
+    def test_breakdown_sums_exactly_to_latency(self, report_path, capsys):
+        from repro.tools.sloexplain import main
+
+        report, path = report_path
+        span = worst_span(report.exemplars("native"))
+        assert main([span["id"], "--report", path]) == 0
+        out = capsys.readouterr().out
+        assert span["id"] in out
+        assert f"latency={span['latency_ns']} ns" in out
+        # Every stage line renders the exact integer duration; their sum
+        # is the latency (zero residual) by the span model's contract.
+        assert sum(dur for _name, dur in span["stages"]) \
+            == span["latency_ns"]
+        assert "verdict:" in out and "position:" in out
+
+    def test_worst_and_json_and_perfetto(self, report_path, tmp_path,
+                                         capsys):
+        from repro.observability.export import validate_chrome_trace
+        from repro.tools.sloexplain import main
+
+        report, path = report_path
+        trace_out = str(tmp_path / "spans-trace.json")
+        assert main(["--worst", "--report", path, "--json",
+                     "--perfetto", trace_out]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[:out.rindex("}") + 1])
+        assert payload["span"] == worst_span(
+            report.exemplars(payload["mechanism"]))
+        doc = json.loads(open(trace_out).read())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["span_count"] > 0
+
+    def test_list_and_missing_id(self, report_path, capsys):
+        from repro.tools.sloexplain import main
+
+        _report, path = report_path
+        assert main(["--list", "--report", path]) == 0
+        assert "r-" in capsys.readouterr().out
+        assert main(["r-999999999", "--report", path]) == 2
+        assert main(["--report", path]) == 2  # no ID, no --worst, no --list
+
+    def test_zero_residual_violation_exits_1(self, report_path, capsys):
+        from repro.tools.sloexplain import main
+
+        report, path = report_path
+        doc = copy.deepcopy(report.doc)
+        section = doc["mechanisms"]["native"]
+        first_group = next(iter(section["exemplars"]["per_group"].values()))
+        first_group[0]["stages"][3][1] += 1  # corrupt the remainder
+        broken = str(path) + ".broken"
+        with open(broken, "w") as fh:
+            fh.write(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        assert main([first_group[0]["id"], "--report", broken]) == 1
+        assert "ZERO-RESIDUAL" in capsys.readouterr().err
+
+
+# --------------------------------------------------------- bus emission
+
+
+class TestRequestSpanEvents:
+    def test_record_emits_behind_null_sink_guard(self):
+        from repro.observability import RequestSpan
+        from repro.observability.bus import Bus
+        from repro.observability.sinks import RingBufferSink
+
+        bus = Bus()
+        trace = TraceContext(server=2, tenant_names=TENANTS,
+                             kind_names=KINDS, bus=bus)
+        trace.record(index=4, conn=9, stage=1, tenant=1, kind=2,
+                     arrival_ns=50, latency_ns=700, conn_wait_ns=200,
+                     queue_ns=100, ts=123)
+        # No sink attached: nothing emitted, nothing crashed.
+        sink = RingBufferSink(capacity=8)
+        bus.attach(sink)
+        trace.record(index=5, conn=9, stage=1, tenant=0, kind=0,
+                     arrival_ns=60, latency_ns=400, ts=456)
+        events = [e for e in sink.events()
+                  if isinstance(e, RequestSpan)]
+        assert len(events) == 1
+        event = events[0]
+        assert event.request == "r-5" and event.server == 2
+        assert event.admission_ns + event.conn_wait_ns + event.queue_ns \
+            + event.service_ns == event.latency_ns
+        assert event.ts == 456
